@@ -1,0 +1,26 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+("laptop") scale, prints the same rows/series the paper reports, and asserts
+the qualitative shape (who wins, roughly by how much, where crossovers
+fall).  Absolute numbers are not expected to match the paper — the substrate
+is a functional simulator, not the authors' testbed.
+"""
+
+import pytest
+
+from repro.experiments.common import EvaluationScale
+
+#: The scale used by the benchmark suite: the default evaluation scale with
+#: fewer batches so the whole suite finishes in a few minutes.
+BENCH_SCALE = EvaluationScale(num_batches=2)
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return BENCH_SCALE
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

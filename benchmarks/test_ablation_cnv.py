@@ -1,0 +1,50 @@
+"""Extra ablation (§IV-C2 "Versatility"): fabric switches without process cores.
+
+Not a paper figure, but a design choice DESIGN.md calls out: when a remote
+fabric switch reports CNV = 0 (no compute capability), the local switch must
+stream its raw rows across the inter-switch link and accumulate them itself.
+The benchmark quantifies how much of the scale-out benefit depends on every
+switch carrying a process core.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.config import CXLConfig
+from repro.cxl.topology import FabricTopology
+from repro.pifs.forwarding import MultiSwitchCoordinator
+
+ROWS_PER_REQUEST = 32
+ROW_BYTES = 512
+PER_ROW_FETCH_NS = 180.0
+
+
+def _remote_time(compute_capable: bool) -> float:
+    cxl = CXLConfig()
+    topology = FabricTopology(2, cxl)
+    coordinator = MultiSwitchCoordinator(topology, cxl, compute_capable=[True, compute_capable])
+    return coordinator.remote_accumulation_time(
+        local_switch=0,
+        remote_switch=1,
+        rows=ROWS_PER_REQUEST,
+        row_bytes=ROW_BYTES,
+        per_row_fetch_ns=PER_ROW_FETCH_NS,
+        issue_ns=0.0,
+    )
+
+
+def test_cnv_ablation(benchmark):
+    def run():
+        return {"CNV=1 (remote process core)": _remote_time(True),
+                "CNV=0 (raw row streaming)": _remote_time(False)}
+
+    data = run_once(benchmark, run)
+    print()
+    print(format_table(["configuration", "remote accumulation time (ns)"], list(data.items())))
+
+    smart = data["CNV=1 (remote process core)"]
+    dumb = data["CNV=0 (raw row streaming)"]
+    # Remote in-switch accumulation avoids streaming every raw row over the
+    # inter-switch link, so it must be clearly faster.
+    assert smart < dumb
+    assert dumb / smart > 1.05

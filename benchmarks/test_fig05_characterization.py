@@ -1,0 +1,39 @@
+"""Fig 5: characterization of remote-socket vs CXL vs interleaved placement."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.experiments import characterization
+
+TABLE_SIZES = (16 * 1024, 64 * 1024, 256 * 1024)
+DIMS = (16, 64, 128)
+
+
+def test_fig05_placement_and_threading(benchmark):
+    data = run_once(
+        benchmark,
+        characterization.run_fig5,
+        table_sizes=TABLE_SIZES,
+        embedding_dims=DIMS,
+        lookups_per_thread=64,
+    )
+    rows = []
+    for placement, by_threading in data.items():
+        for threading, by_dim in by_threading.items():
+            for dim, by_size in by_dim.items():
+                for size, value in by_size.items():
+                    rows.append([placement, threading, dim, size, value])
+    print()
+    print(format_table(["placement", "threading", "emb_dim", "table_size", "norm_bandwidth"], rows))
+
+    for threading in ("batch", "table"):
+        for dim in DIMS:
+            for size in TABLE_SIZES:
+                remote = data["remote"][threading][dim][size]
+                cxl = data["cxl"][threading][dim][size]
+                interleave = data["interleave"][threading][dim][size]
+                # (a)-(d): spilling 20% of the working set costs bandwidth.
+                assert remote < 1.0
+                assert cxl < 1.0
+                # (e)-(f): interleaving beats allocating everything on CXL.
+                assert interleave > 1.0

@@ -1,0 +1,26 @@
+"""Fig 6: CXL bandwidth contribution under different workload configurations."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.experiments import characterization
+
+CONFIGS = ((16, 32), (16, 64), (16, 128), (32, 32), (32, 64))
+
+
+def test_fig06_cxl_contribution(benchmark):
+    data = run_once(benchmark, characterization.run_fig6, configs=CONFIGS, lookups_per_thread=64)
+    print()
+    print(format_table(
+        ["threads&dim", "dimm_share", "cxl_share", "app_bandwidth (B/ns)"],
+        [[cfg, v["dimm"], v["cxl"], v["bandwidth"]] for cfg, v in data.items()],
+    ))
+    for cfg, values in data.items():
+        # Under the 4:1 interleave policy CXL carries a visible minority share
+        # of the traffic and the local DIMMs carry the rest.
+        assert 0.05 < values["cxl"] < 0.5
+        assert values["dimm"] > values["cxl"]
+        assert abs(values["dimm"] + values["cxl"] - 1.0) < 1e-6
+    # Larger embedding dimensions move more bytes per lookup, so the absolute
+    # application bandwidth grows with the dimension (Fig 6's trend).
+    assert data["16&128"]["bandwidth"] > data["16&32"]["bandwidth"]

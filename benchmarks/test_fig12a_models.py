@@ -1,0 +1,31 @@
+"""Fig 12 (a): normalized latency of every scheme across RMC1-RMC4."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.analysis.stats import min_max_normalize
+from repro.experiments import fig12
+
+
+def test_fig12a_models_vs_systems(benchmark, scale):
+    data = run_once(benchmark, fig12.run_fig12a, scale)
+    rows = []
+    for model, by_system in data.items():
+        normalized = min_max_normalize(by_system)
+        for system in fig12.FIG12_SYSTEMS:
+            rows.append([model, system, by_system[system], normalized[system]])
+    print()
+    print(format_table(["model", "system", "latency_ns", "normalized"], rows))
+
+    for model, by_system in data.items():
+        # PIFS-Rec beats Pond, Pond+PM and BEACON on every model.
+        assert by_system["pifs-rec"] < by_system["pond"]
+        assert by_system["pifs-rec"] < by_system["pond+pm"]
+        assert by_system["pifs-rec"] < by_system["beacon"]
+        # RecNMP is the closest competitor (paper: within ~10%).
+        assert by_system["recnmp"] < by_system["beacon"]
+
+    # Headline claim: a multi-x advantage over Pond on the large models.
+    assert data["RMC4"]["pond"] / data["RMC4"]["pifs-rec"] > 2.0
+    # Latency grows with the model footprint for the Pond baseline.
+    assert data["RMC4"]["pond"] > data["RMC1"]["pond"]

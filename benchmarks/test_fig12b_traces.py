@@ -1,0 +1,28 @@
+"""Fig 12 (b): sensitivity to the trace distribution (RMC4)."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.analysis.stats import min_max_normalize
+from repro.experiments import fig12
+
+
+def test_fig12b_trace_distributions(benchmark, scale):
+    data = run_once(benchmark, fig12.run_fig12b, scale)
+    rows = []
+    for trace, by_system in data.items():
+        normalized = min_max_normalize(by_system)
+        for system in fig12.FIG12_SYSTEMS:
+            rows.append([trace, system, by_system[system], normalized[system]])
+    print()
+    print(format_table(["trace", "system", "latency_ns", "normalized"], rows))
+
+    for trace, by_system in data.items():
+        assert by_system["pifs-rec"] < by_system["pond"]
+        assert by_system["pifs-rec"] < by_system["beacon"]
+    # Pond suffers most under the skewed (Zipfian) trace, where congestion on
+    # the hot devices is worst; PIFS-Rec's advantage there is the largest.
+    zipf_gain = data["zipfian"]["pond"] / data["zipfian"]["pifs-rec"]
+    uniform_gain = data["uniform"]["pond"] / data["uniform"]["pifs-rec"]
+    assert zipf_gain > 1.5
+    assert uniform_gain > 1.0

@@ -1,0 +1,26 @@
+"""Fig 12 (c): scaling with the number of CXL memory devices (RMC4)."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.experiments import fig12
+
+
+def test_fig12c_memory_device_scaling(benchmark, scale):
+    data = run_once(benchmark, fig12.run_fig12c, scale, device_counts=(2, 4, 8, 16))
+    rows = []
+    for count, by_system in data.items():
+        for system, value in by_system.items():
+            rows.append([count, system, value])
+    print()
+    print(format_table(["devices", "system", "latency_ns"], rows))
+
+    # PIFS-Rec wins at every device count and its advantage over the
+    # host-centric baseline grows as devices (and thus device-level
+    # parallelism) are added.
+    for count, by_system in data.items():
+        assert by_system["pifs-rec"] < by_system["pond"]
+    assert data[16]["pifs-rec"] <= data[2]["pifs-rec"] * 1.05
+    gain_2 = data[2]["pond"] / data[2]["pifs-rec"]
+    gain_16 = data[16]["pond"] / data[16]["pifs-rec"]
+    assert gain_16 > gain_2 * 0.9

@@ -1,0 +1,26 @@
+"""Fig 12 (d): sensitivity to the local DRAM capacity (RMC4)."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.experiments import fig12
+
+
+def test_fig12d_dram_capacity(benchmark, scale):
+    data = run_once(benchmark, fig12.run_fig12d, scale, multipliers=(1, 2, 4))
+    rows = []
+    for multiplier, by_system in data.items():
+        for system, value in by_system.items():
+            rows.append([f"x{multiplier}", system, value])
+    print()
+    print(format_table(["dram", "system", "latency_ns"], rows))
+
+    # PIFS-Rec remains the best at every DRAM budget, and extra DRAM plays a
+    # comparatively minor role for it (the paper reports only 4-6%
+    # improvement going from 128 GB to 512 GB).
+    for multiplier, by_system in data.items():
+        assert by_system["pifs-rec"] < by_system["pond"]
+    assert data[4]["pifs-rec"] <= data[1]["pifs-rec"]
+    pifs_gain = data[1]["pifs-rec"] / data[4]["pifs-rec"]
+    pond_gain = data[1]["pond"] / data[4]["pond"]
+    assert pifs_gain < pond_gain * 1.2

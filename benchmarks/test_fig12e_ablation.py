@@ -1,0 +1,25 @@
+"""Fig 12 (e): ablation study of the PIFS-Rec optimizations."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.experiments import fig12
+
+
+def test_fig12e_ablation(benchmark, scale):
+    data = run_once(benchmark, fig12.run_fig12e, scale, models=("RMC1", "RMC4"))
+    rows = []
+    for model, steps in data.items():
+        for step, value in steps.items():
+            rows.append([model, step, value])
+    print()
+    print(format_table(["model", "step", "latency_ns"], rows))
+
+    for model, steps in data.items():
+        # Adding the process core is the single biggest step over Pond.
+        assert steps["PC"] < steps["Baseline"]
+        # Each further optimization never hurts, and the full design wins.
+        assert steps["PC/OoO"] <= steps["PC"] * 1.02
+        assert steps["PC/OoO/PM"] <= steps["PC/OoO"] * 1.05
+        assert steps["PC/OoO/PM/OSB"] <= steps["PC/OoO/PM"] * 1.02
+        assert steps["PC/OoO/PM/OSB"] < steps["Baseline"]

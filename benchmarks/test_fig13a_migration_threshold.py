@@ -1,0 +1,31 @@
+"""Fig 13 (a): embedding-migration threshold sweep and migration mechanisms."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.experiments import fig13
+
+
+def test_fig13a_migration_threshold(benchmark, scale):
+    data = run_once(benchmark, fig13.run_fig13a, scale, thresholds=(0.10, 0.20, 0.35, 0.50))
+    rows = []
+    for threshold, metrics in data.items():
+        rows.append([
+            f"{threshold:.0%}",
+            metrics["latency_cacheline_block"],
+            metrics["migration_cost_cacheline_block"],
+            metrics["latency_page_block"],
+            metrics["migration_cost_page_block"],
+        ])
+    print()
+    print(format_table(
+        ["threshold", "latency(cacheline)", "mig_cost(cacheline)", "latency(page)", "mig_cost(page)"],
+        rows,
+    ))
+
+    for metrics in data.values():
+        assert metrics["latency_cacheline_block"] > 0
+        # The cache-line-block mechanism never costs more than page-block
+        # migration and its query-visible latency is no worse.
+        assert metrics["migration_cost_cacheline_block"] <= metrics["migration_cost_page_block"] + 1e-9
+        assert metrics["latency_cacheline_block"] <= metrics["latency_page_block"] * 1.02

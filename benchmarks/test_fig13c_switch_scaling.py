@@ -1,0 +1,27 @@
+"""Fig 13 (c): latency vs fabric-switch count (multi-layer forwarding)."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.experiments import fig13
+
+
+def test_fig13c_fabric_switch_scaling(benchmark, scale):
+    data = run_once(
+        benchmark, fig13.run_fig13c, scale, switch_counts=(1, 2, 4, 8), batch_sizes=(8, 64)
+    )
+    rows = []
+    for batch, by_count in data.items():
+        for count, value in by_count.items():
+            rows.append([batch, count, value])
+    print()
+    print(format_table(["batch", "switches", "latency_ns"], rows))
+
+    for batch, by_count in data.items():
+        # More fabric switches (each with its own host and local CXL memory)
+        # reduce the latency; the effect is strongest for the larger batch.
+        assert by_count[8] < by_count[1]
+    gain_small = data[8][1] / data[8][8]
+    gain_large = data[64][1] / data[64][8]
+    assert gain_large > gain_small
+    assert gain_large > 2.0

@@ -1,0 +1,22 @@
+"""Fig 13 (d): cold-age-threshold sweep for hot/cold page swapping vs TPP."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.experiments import fig13
+
+
+def test_fig13d_cold_age_threshold(benchmark, scale):
+    data = run_once(benchmark, fig13.run_fig13d, scale, thresholds=(0.04, 0.08, 0.16, 0.20))
+    rows = [[name, m["latency"], m["migration_cost"]] for name, m in data.items()]
+    print()
+    print(format_table(["config", "latency_ns", "migration_cost_fraction"], rows))
+
+    tuned = data["0.16"]
+    tpp = data["TPP"]
+    # The tuned swapping policy is at least as fast as TPP's eager promotion
+    # (the paper reports ~12% lower latency) and migrates far less.
+    assert tuned["latency"] <= tpp["latency"] * 1.02
+    assert tuned["migration_cost"] <= tpp["migration_cost"]
+    for metrics in data.values():
+        assert metrics["latency"] > 0

@@ -1,0 +1,34 @@
+"""Fig 14: end-to-end speedup with multiple hosts and batch sizes."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.experiments import fig14
+
+
+def test_fig14_multihost_speedup(benchmark, scale):
+    data = run_once(
+        benchmark,
+        fig14.run_fig14,
+        scale,
+        models=("RMC1", "RMC2"),
+        host_counts=(1, 2, 4, 8),
+        batch_sizes=(8, 64),
+    )
+    rows = []
+    for model, by_batch in data.items():
+        for batch, by_hosts in by_batch.items():
+            for hosts, speedup in by_hosts.items():
+                rows.append([model, batch, hosts, speedup])
+    print()
+    print(format_table(["model", "batch", "hosts", "end_to_end_speedup"], rows))
+
+    for model, by_batch in data.items():
+        for batch, by_hosts in by_batch.items():
+            # Speedup over the Pond host baseline is >= 1 and grows with the
+            # number of concurrent hosts.
+            assert all(v >= 1.0 for v in by_hosts.values())
+            assert by_hosts[8] >= by_hosts[1]
+        # Larger batches spend a larger share of time in SLS, so the
+        # end-to-end benefit is larger (the paper's main Fig 14 trend).
+        assert max(by_batch[64].values()) >= max(by_batch[8].values()) * 0.95

@@ -1,0 +1,36 @@
+"""Fig 15: on-switch buffer capacity and replacement-policy comparison."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.config import KIB
+from repro.experiments import fig15
+
+
+def test_fig15_buffer_sweep(benchmark, scale):
+    data = run_once(
+        benchmark,
+        fig15.run_fig15,
+        scale,
+        buffer_sizes=(64 * KIB, 128 * KIB, 256 * KIB, 512 * KIB, 1024 * KIB),
+        policies=("htr", "lru", "fifo"),
+    )
+    rows = []
+    for policy, by_size in data.items():
+        for size, metrics in by_size.items():
+            rows.append([policy, size // KIB, metrics["speedup"], metrics["hit_ratio"]])
+    print()
+    print(format_table(["policy", "size_kib", "speedup_vs_no_buffer", "hit_ratio"], rows))
+
+    for policy, by_size in data.items():
+        # Caching never hurts, and the hit ratio grows with capacity.
+        for metrics in by_size.values():
+            assert metrics["speedup"] >= 0.98
+            assert 0.0 <= metrics["hit_ratio"] <= 1.0
+        assert by_size[512 * KIB]["hit_ratio"] >= by_size[64 * KIB]["hit_ratio"]
+        assert by_size[512 * KIB]["speedup"] >= by_size[64 * KIB]["speedup"] * 0.98
+    # HTR at the paper's 512 KB sweet spot is competitive with the best
+    # alternative policy at the same capacity.
+    htr = data["htr"][512 * KIB]["speedup"]
+    best_other = max(data["lru"][512 * KIB]["speedup"], data["fifo"][512 * KIB]["speedup"])
+    assert htr >= best_other * 0.95

@@ -1,0 +1,28 @@
+"""Fig 16: normalized TCO of PIFS-Rec vs GPU parameter servers."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.experiments import fig16_17
+
+
+def test_fig16_tco(benchmark):
+    data = run_once(benchmark, fig16_17.run_fig16)
+    rows = []
+    for model, configs in data.items():
+        for config, values in configs.items():
+            rows.append([model, config, values["capex"], values["opex"], values["total"], values["total_usd"]])
+    print()
+    print(format_table(["model", "config", "capex(norm)", "opex(norm)", "total(norm)", "total_usd"], rows))
+
+    for model, configs in data.items():
+        # PIFS-Rec is the cheapest deployment for every model, and CAPEX
+        # dominates the cost structure.
+        assert configs["Ours"]["total"] < min(configs[f"X{n}"]["total"] for n in (2, 3, 4))
+        assert configs["Ours"]["capex"] > configs["Ours"]["opex"]
+    # Cost advantage is larger for the smaller models (paper: 3.38x for RMC1
+    # vs 2.53x for RMC4 against a single-GPU server).
+    rmc1_adv = data["RMC1"]["X2"]["total"] / data["RMC1"]["Ours"]["total"]
+    rmc4_adv = data["RMC4"]["X2"]["total"] / data["RMC4"]["Ours"]["total"]
+    assert rmc1_adv > 1.5
+    assert rmc4_adv > 1.5

@@ -1,0 +1,34 @@
+"""Fig 17: normalized throughput of GPU parameter servers vs PIFS-Rec."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.experiments import fig16_17
+
+
+def test_fig17_throughput(benchmark):
+    data = run_once(benchmark, fig16_17.run_fig17)
+    rows = []
+    for model, configs in data.items():
+        for config, value in configs.items():
+            rows.append([model, config, value])
+    print()
+    print(format_table(["model", "config", "normalized throughput"], rows))
+
+    # Small model: GPUs win (the embedding tables fit in HBM).
+    assert data["RMC1"]["GPUX4"] > data["RMC1"]["PIFS-Rec"]
+    # Large models: memory bandwidth on the parameter server becomes the
+    # bottleneck and PIFS-Rec overtakes even the 4-GPU cluster (paper: 1.6x).
+    for model in ("RMC3", "RMC4"):
+        assert data[model]["PIFS-Rec"] > data[model]["GPUX4"]
+    ratio = data["RMC4"]["PIFS-Rec"] / data["RMC4"]["GPUX4"]
+    assert ratio > 1.3
+
+
+def test_fig17_performance_per_watt(benchmark):
+    ppw = run_once(benchmark, fig16_17.run_performance_per_watt)
+    print()
+    print(format_table(["model", "PIFS-Rec PPW vs 4-GPU"], list(ppw.items())))
+    # The paper reports PPW improving from 1.22x to 1.61x as models grow.
+    assert ppw["RMC4"] > ppw["RMC1"]
+    assert ppw["RMC4"] > 1.0

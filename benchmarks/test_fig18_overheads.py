@@ -1,0 +1,34 @@
+"""Fig 18 / §VI-D: hardware power & area overheads and energy consumption."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.experiments import fig18
+
+
+def test_fig18_power_area(benchmark):
+    data = run_once(benchmark, fig18.run_fig18)
+    rows = []
+    for name, values in data.items():
+        if name == "reductions":
+            continue
+        rows.append([name, values["power_mw"], values["area_um2"]])
+    print()
+    print(format_table(["component", "power_mw", "area_um2"], rows))
+    reductions = data["reductions"]
+    print(f"power reduction vs RecNMP x8: {reductions['power_reduction_x']:.2f}x")
+    print(f"area  reduction vs RecNMP x8: {reductions['area_reduction_x']:.2f}x")
+
+    # Paper: 2.7x lower power and 2.02x less area than RecNMP x8.
+    assert 2.3 < reductions["power_reduction_x"] < 3.2
+    assert 1.7 < reductions["area_reduction_x"] < 2.4
+    assert data["Process Core"]["power_mw"] == 9.3
+
+
+def test_energy_savings(benchmark, scale):
+    data = run_once(benchmark, fig18.run_energy_comparison, scale, model="RMC2")
+    print()
+    print(format_table(["metric", "value"], list(data.items()), float_format="{:.4f}"))
+    # The paper reports ~15% average energy reduction over the conventional
+    # DIMM+CPU solution; require a clearly positive saving.
+    assert data["saving_fraction"] > 0.05

@@ -1,0 +1,41 @@
+"""Tables I-III: model parameters, hardware configuration, hardware specs."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.experiments import tables
+
+
+def test_table1_models(benchmark):
+    rows = run_once(benchmark, tables.table1_models)
+    print()
+    print(format_table(
+        ["name", "emb_num", "emb_dim", "bottom_mlp", "top_mlp"],
+        [[r["name"], r["emb_num"], r["emb_dim"], r["bottom_mlp"], r["top_mlp"]] for r in rows],
+    ))
+    by_name = {r["name"]: r for r in rows}
+    assert by_name["RMC1"]["emb_num"] == 16384
+    assert by_name["RMC4"]["emb_dim"] == 128
+    assert by_name["RMC3"]["bottom_mlp"] == "2048-1024-256"
+
+
+def test_table2_hardware_configuration(benchmark):
+    data = run_once(benchmark, tables.table2_hardware)
+    print()
+    print(format_table(["key", "value"], [[k, str(v)] for k, v in data["dram"].items()]))
+    print(format_table(["key", "value"], [[k, str(v)] for k, v in data["cxl"].items()]))
+    assert data["dram"]["cl_rcd_rp_ras"] == (28, 28, 28, 52)
+    assert data["cxl"]["downstream_port_gbps"] == 64.0
+    assert data["cxl"]["access_penalty_ns"] == 100.0
+
+
+def test_table3_hardware_specs(benchmark):
+    rows = run_once(benchmark, tables.table3_specs)
+    print()
+    print(format_table(
+        ["name", "tdp_w", "price_usd"],
+        [[r["name"], r["tdp_watts"], r["price_usd"]] for r in rows],
+    ))
+    prices = {r["key"]: r["price_usd"] for r in rows}
+    assert prices["gpu"] == 18900.0
+    assert prices["server_cpu"] == 4695.0

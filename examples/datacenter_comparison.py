@@ -1,0 +1,61 @@
+"""Datacenter-scale comparison: every evaluated system plus the TCO analysis.
+
+Reproduces a mini version of Fig 12(a) (latency of Pond, Pond+PM, BEACON,
+RecNMP and PIFS-Rec on an RMC workload) and of Fig 16 (TCO of PIFS-Rec vs
+GPU parameter servers), printing the same rows the paper reports.
+
+Run with:  python examples/datacenter_comparison.py
+"""
+
+from repro import MODEL_CONFIGS, create_system
+from repro.analysis.report import format_table
+from repro.analysis.stats import min_max_normalize
+from repro.cost.tco import TCOModel
+from repro.experiments.common import DEFAULT_SCALE, evaluation_system, evaluation_workload
+
+SYSTEMS = ("pond", "pond+pm", "beacon", "recnmp", "pifs-rec")
+MODEL = "RMC2"
+
+
+def main() -> None:
+    workload = evaluation_workload(MODEL, DEFAULT_SCALE)
+    system_config = evaluation_system(DEFAULT_SCALE)
+
+    latencies = {}
+    details = {}
+    for name in SYSTEMS:
+        result = create_system(name, system_config).run(workload)
+        latencies[name] = result.total_ns
+        details[name] = result
+    normalized = min_max_normalize(latencies)
+
+    rows = [
+        [
+            name,
+            latencies[name],
+            normalized[name],
+            latencies[name] / latencies["pifs-rec"],
+            details[name].local_rows,
+            details[name].cxl_rows,
+        ]
+        for name in SYSTEMS
+    ]
+    print(f"SLS latency on {MODEL} ({workload.total_lookups} lookups):")
+    print(format_table(
+        ["system", "latency_ns", "normalized", "slowdown vs PIFS-Rec", "local rows", "CXL rows"],
+        rows,
+        float_format="{:.2f}",
+    ))
+
+    print()
+    print("Deployment TCO (Fig 16):")
+    tco = TCOModel(MODEL_CONFIGS["RMC4"])
+    rows = []
+    for name, report in tco.comparison().items():
+        rows.append([name, report.capex_usd, report.opex_usd, report.total_usd])
+    print(format_table(["config", "CAPEX $", "OPEX $ (3y)", "total $"], rows, float_format="{:,.0f}"))
+    print(f"PIFS-Rec is {tco.cost_advantage(num_gpus=1):.2f}x cheaper than a 1-GPU parameter server")
+
+
+if __name__ == "__main__":
+    main()

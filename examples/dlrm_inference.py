@@ -1,0 +1,61 @@
+"""End-to-end DLRM inference (Fig 1) with the SLS phase timed on PIFS-Rec.
+
+Builds a scaled-down RMC1 model, runs real inference (bottom MLP ->
+embedding lookup -> feature interaction -> top MLP) to produce click-through
+rates, then replays the same embedding lookups on the PIFS-Rec simulator and
+on the Pond baseline to estimate the end-to-end speedup (the Fig 14
+methodology: SLS speedup weighted by the operator profile).
+
+Run with:  python examples/dlrm_inference.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro import DLRM, QueryBatch, RMC1, WorkloadConfig, build_workload, create_system
+from repro.config import scaled_model
+from repro.dlrm.model import operator_profile
+from repro.experiments.common import DEFAULT_SCALE, evaluation_system
+
+BATCH = 16
+POOLING = 8
+
+
+def main() -> None:
+    # A laptop-scale RMC1: same shape, fewer embedding rows.
+    model_config = replace(scaled_model(RMC1, 0.25), num_tables=8)
+    model = DLRM(model_config, seed=3)
+
+    batch = QueryBatch.random(
+        batch_size=BATCH,
+        num_tables=model_config.num_tables,
+        num_embeddings=model_config.num_embeddings,
+        pooling_factor=POOLING,
+        seed=11,
+    )
+    ctr = model(batch)
+    print(f"model: {model_config.name} ({model_config.num_embeddings} rows x "
+          f"{model_config.embedding_dim} dims x {model_config.num_tables} tables)")
+    print(f"predicted CTR for the first 4 queries: {np.round(ctr[:4, 0], 4)}")
+
+    # Replay the embedding-lookup phase on the memory-system simulators.
+    workload = build_workload(
+        WorkloadConfig(model=model_config, batch_size=BATCH, pooling_factor=POOLING, num_batches=2)
+    )
+    system_config = evaluation_system(
+        DEFAULT_SCALE, local_capacity_bytes=workload.address_space.total_bytes // 5
+    )
+    pond = create_system("pond", system_config).run(workload)
+    pifs = create_system("pifs-rec", system_config).run(workload)
+    sls_speedup = pond.total_ns / pifs.total_ns
+
+    profile = operator_profile(model_config, BATCH, POOLING)
+    print(f"SLS latency   Pond     : {pond.total_ns:,.0f} ns")
+    print(f"SLS latency   PIFS-Rec : {pifs.total_ns:,.0f} ns  ({sls_speedup:.2f}x faster)")
+    print(f"SLS share of inference : {profile.sls_fraction:.1%}")
+    print(f"end-to-end speedup     : {profile.end_to_end_speedup(sls_speedup):.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Tuning the page-management thresholds (the Fig 13 (a)/(d) studies).
+
+Sweeps the embedding-migration threshold and the cold-age threshold of
+PIFS-Rec's software architecture on a fixed workload, printing the latency
+and migration-cost trade-off for both the OS page-block and the PIFS
+cache-line-block migration mechanisms.
+
+Run with:  python examples/page_management_tuning.py
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.common import DEFAULT_SCALE, EvaluationScale
+from repro.experiments.fig13 import run_fig13a, run_fig13d
+
+SCALE = EvaluationScale(
+    model_scale=DEFAULT_SCALE.model_scale,
+    num_tables=DEFAULT_SCALE.num_tables,
+    batch_size=DEFAULT_SCALE.batch_size,
+    num_batches=DEFAULT_SCALE.num_batches,
+    pooling_factor=DEFAULT_SCALE.pooling_factor,
+    local_capacity_fraction=DEFAULT_SCALE.local_capacity_fraction,
+    host_threads=DEFAULT_SCALE.host_threads,
+    num_cxl_devices=DEFAULT_SCALE.num_cxl_devices,
+    migration_epoch_accesses=512,
+)
+
+
+def main() -> None:
+    print("Embedding-migration threshold sweep (Fig 13a):")
+    data = run_fig13a(SCALE, thresholds=(0.10, 0.20, 0.35, 0.50))
+    rows = []
+    for threshold, metrics in data.items():
+        rows.append([
+            f"{threshold:.0%}",
+            metrics["latency_cacheline_block"],
+            f"{metrics['migration_cost_cacheline_block']:.2%}",
+            metrics["latency_page_block"],
+            f"{metrics['migration_cost_page_block']:.2%}",
+        ])
+    print(format_table(
+        ["threshold", "latency (cacheline)", "mig cost", "latency (page block)", "mig cost"],
+        rows, float_format="{:,.0f}",
+    ))
+
+    print()
+    print("Cold-age threshold sweep vs TPP (Fig 13d):")
+    data = run_fig13d(SCALE, thresholds=(0.04, 0.08, 0.16, 0.20))
+    rows = [
+        [name, metrics["latency"], f"{metrics['migration_cost']:.2%}"]
+        for name, metrics in data.items()
+    ]
+    print(format_table(["config", "latency_ns", "migration cost"], rows, float_format="{:,.0f}"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Quickstart: the PIFS-Rec user-space SLS API (§IV-D).
+
+Registers two embedding tables with the runtime, runs a pooled lookup
+(SparseLengthsSum) through the simulated PIFS-Rec fabric, verifies the
+numerical result against a plain numpy reference, and prints the simulated
+latency breakdown.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import PIFSRuntime
+
+NUM_EMBEDDINGS = 4096
+EMBEDDING_DIM = 64
+BATCH = 8
+POOLING = 12
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    runtime = PIFSRuntime()
+
+    # 1. Allocate embedding tables (the user supplies the table data, the
+    #    number of embeddings and the vector size).
+    table_a = runtime.allocate_embedding_table(
+        rng.standard_normal((NUM_EMBEDDINGS, EMBEDDING_DIM)).astype(np.float32)
+    )
+    table_b = runtime.allocate_embedding_table(
+        num_embeddings=NUM_EMBEDDINGS, embedding_dim=EMBEDDING_DIM
+    )
+
+    # 2. Build one batch of bags (indices + offsets per table).
+    lengths = rng.integers(1, POOLING, size=BATCH)
+    offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+    indices_a = rng.integers(0, NUM_EMBEDDINGS, size=int(lengths.sum()))
+    indices_b = rng.integers(0, NUM_EMBEDDINGS, size=int(lengths.sum()))
+
+    # 3. Run the SLS call through PIFS-Rec.
+    result = runtime.sls_multi([table_a, table_b], [indices_a, indices_b], [offsets, offsets])
+
+    # 4. Verify numerics against a numpy reference for table A, bag 0.
+    reference = runtime.table(table_a).weights[indices_a[: lengths[0]]].sum(axis=0)
+    np.testing.assert_allclose(result.values[0, 0], reference, rtol=1e-5)
+    print("numerical check vs numpy reference: OK")
+
+    sim = result.sim
+    print(f"pooled output shape        : {result.values.shape}")
+    print(f"simulated SLS latency      : {sim.total_ns:,.0f} ns for {sim.lookups} row lookups")
+    print(f"rows served from local DRAM: {sim.local_rows}")
+    print(f"rows served from CXL pool  : {sim.cxl_rows}")
+    print(f"on-switch buffer hit ratio : {sim.buffer_hit_ratio:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` uses the PEP 517 path defined in pyproject.toml when
+available; this file keeps `python setup.py develop` working offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,92 @@
+"""PIFS-Rec reproduction library.
+
+A from-scratch Python reproduction of *PIFS-Rec: Process-In-Fabric-Switch
+for Large-Scale Recommendation System Inferences* (MICRO 2024): a functional
+simulator of CXL fabric switches with near-data processing for DLRM
+embedding (SLS) operations, the baselines the paper compares against, the
+page-management software architecture, and the cost/power models behind the
+paper's evaluation figures.
+
+Typical entry points:
+
+>>> from repro import WorkloadConfig, RMC1, build_workload, PIFSRecSystem, DEFAULT_SYSTEM
+>>> workload = build_workload(WorkloadConfig(model=RMC1, batch_size=4, num_batches=1))
+>>> result = PIFSRecSystem(DEFAULT_SYSTEM).run(workload)
+>>> result.total_ns > 0
+True
+"""
+
+from repro.config import (
+    DEFAULT_SYSTEM,
+    DEFAULT_WORKLOAD,
+    MODEL_CONFIGS,
+    RMC1,
+    RMC2,
+    RMC3,
+    RMC4,
+    BufferConfig,
+    CXLConfig,
+    DRAMConfig,
+    DRAMTimings,
+    ModelConfig,
+    PageManagementConfig,
+    PIFSConfig,
+    SystemConfig,
+    WorkloadConfig,
+    scaled_model,
+)
+from repro.baselines import (
+    BeaconSystem,
+    GPUParameterServer,
+    PondPMSystem,
+    PondSystem,
+    RecNMPSystem,
+    TPPSystem,
+    create_system,
+)
+from repro.dlrm import DLRM, EmbeddingBagCollection, EmbeddingTable, QueryBatch
+from repro.pifs import PIFSRuntime, PIFSSwitch
+from repro.pifs.system import PIFSRecNoPM, PIFSRecSystem
+from repro.sls import SimResult
+from repro.traces import SLSWorkload, build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_SYSTEM",
+    "DEFAULT_WORKLOAD",
+    "MODEL_CONFIGS",
+    "RMC1",
+    "RMC2",
+    "RMC3",
+    "RMC4",
+    "BufferConfig",
+    "CXLConfig",
+    "DRAMConfig",
+    "DRAMTimings",
+    "ModelConfig",
+    "PageManagementConfig",
+    "PIFSConfig",
+    "SystemConfig",
+    "WorkloadConfig",
+    "scaled_model",
+    "BeaconSystem",
+    "GPUParameterServer",
+    "PondPMSystem",
+    "PondSystem",
+    "RecNMPSystem",
+    "TPPSystem",
+    "create_system",
+    "DLRM",
+    "EmbeddingBagCollection",
+    "EmbeddingTable",
+    "QueryBatch",
+    "PIFSRuntime",
+    "PIFSSwitch",
+    "PIFSRecSystem",
+    "PIFSRecNoPM",
+    "SimResult",
+    "SLSWorkload",
+    "build_workload",
+    "__version__",
+]

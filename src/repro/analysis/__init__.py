@@ -1,0 +1,19 @@
+"""Analysis helpers: normalization, speedups, text reports."""
+
+from repro.analysis.stats import (
+    geometric_mean,
+    min_max_normalize,
+    normalize_to,
+    speedup,
+    standard_deviation,
+)
+from repro.analysis.report import format_table
+
+__all__ = [
+    "geometric_mean",
+    "min_max_normalize",
+    "normalize_to",
+    "speedup",
+    "standard_deviation",
+    "format_table",
+]

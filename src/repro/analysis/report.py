@@ -1,0 +1,52 @@
+"""Plain-text table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a simple aligned text table.
+
+    Used by the experiment runners and the benchmark harness to print the
+    same rows/series the paper's figures report.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [fmt_row(list(headers)), "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_mapping(title: str, values: Mapping[str, float], float_format: str = "{:.3f}") -> str:
+    """Render a one-column mapping under a title."""
+    lines = [title]
+    for key, value in values.items():
+        lines.append(f"  {key}: {float_format.format(value)}")
+    return "\n".join(lines)
+
+
+__all__ = ["format_table", "format_mapping"]

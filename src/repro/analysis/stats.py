@@ -1,0 +1,70 @@
+"""Small numeric helpers shared by the experiments and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence, TypeVar
+
+K = TypeVar("K")
+
+
+def min_max_normalize(values: Mapping[K, float]) -> Dict[K, float]:
+    """Min-max normalization as used by Fig 12 ("the plot uses min-max
+    normalization"): the largest value maps to 1.0, the smallest to its
+    proportional share (values are scaled by the maximum).
+
+    The paper normalizes latencies by the slowest system so that lower bars
+    are better; an all-equal input maps every entry to 1.0.
+    """
+    if not values:
+        return {}
+    maximum = max(values.values())
+    if maximum == 0:
+        return {key: 0.0 for key in values}
+    return {key: value / maximum for key, value in values.items()}
+
+
+def normalize_to(values: Mapping[K, float], reference: K) -> Dict[K, float]:
+    """Normalize every value to the entry at ``reference``."""
+    if reference not in values:
+        raise KeyError(f"reference {reference!r} missing")
+    ref = values[reference]
+    if ref == 0:
+        raise ZeroDivisionError("reference value is zero")
+    return {key: value / ref for key, value in values.items()}
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """Latency speedup of ``improved`` over ``baseline``."""
+    if improved <= 0:
+        raise ZeroDivisionError("improved latency must be positive")
+    return baseline / improved
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean needs at least one value")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def standard_deviation(values: Sequence[float]) -> float:
+    """Population standard deviation (used for Fig 13 b)."""
+    values = list(values)
+    if not values:
+        raise ValueError("standard_deviation needs at least one value")
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return math.sqrt(variance)
+
+
+__all__ = [
+    "min_max_normalize",
+    "normalize_to",
+    "speedup",
+    "geometric_mean",
+    "standard_deviation",
+]

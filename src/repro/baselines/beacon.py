@@ -1,0 +1,65 @@
+"""BEACON-S: in-switch near-data processing without PIFS-Rec's optimizations."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List
+
+from repro.config import BufferConfig, SystemConfig
+from repro.memsys.tiered import TieredMemorySystem
+from repro.pifs.switch import PIFSSwitch, RowFetch
+from repro.sls.engine import SLSSystem
+from repro.traces.workload import SLSRequest, SLSWorkload
+
+
+class BeaconSystem(SLSSystem):
+    """BEACON adapted to SLS (the paper's "BEACON-S").
+
+    BEACON places the whole working set in CXL memory (no DRAM/CXL
+    interleaving), relies on custom DIMM-style instructions that require an
+    additional address-translation step inside the switch, has no on-switch
+    row buffer, processes accumulations in order, and supports only a single
+    fabric switch.
+    """
+
+    name = "BEACON"
+
+    #: Latency of the extra memory-translation logic BEACON needs per row.
+    ADDRESS_TRANSLATION_NS = 20.0
+
+    def __init__(self, system: SystemConfig) -> None:
+        # Disable the PIFS-specific switch features.
+        pifs = replace(
+            system.pifs,
+            out_of_order=False,
+            on_switch_buffer=BufferConfig(policy="none", capacity_bytes=0),
+        )
+        system = replace(system, pifs=pifs, num_fabric_switches=1)
+        super().__init__(system, use_pifs_switch=True)
+
+    def build_placement(self, workload: SLSWorkload) -> TieredMemorySystem:
+        return self.place_cxl_only(workload)
+
+    def process_request(self, request: SLSRequest, start_ns: float, host_id: int) -> float:
+        rows: List[RowFetch] = []
+        for address in request.addresses:
+            address = int(address)
+            self.tiered.record_access(address, start_ns)
+            rows.append(RowFetch(address=address, device_id=self.device_of_address(address)))
+        self._counters["cxl_rows"] += len(rows)
+
+        switch = self.backends.switches[0]
+        assert isinstance(switch, PIFSSwitch)
+        port = self.backends.host_port(host_id, switch.switch_id)
+        outcome = switch.accumulate(
+            rows,
+            host_port=port,
+            issue_ns=start_ns,
+            result_address=(1 << 41) | (request.request_id << 8),
+            per_row_overhead_ns=self.ADDRESS_TRANSLATION_NS,
+        )
+        # The host still pays a small cost to pick up the result.
+        return outcome.host_notified_ns + self.HOST_CXL_OVERHEAD_NS
+
+
+__all__ = ["BeaconSystem"]

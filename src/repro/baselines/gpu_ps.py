@@ -1,0 +1,96 @@
+"""GPU parameter-server roofline model used by the cost analysis (Fig 16/17).
+
+The paper compares PIFS-Rec against a conventional parameter-server
+deployment in which one CPU server plus up to four A100 GPUs serve DLRM
+inference.  Embedding shards that fit in aggregate HBM are served at HBM
+bandwidth; the overflow lives in host memory and must cross PCIe for every
+lookup, which is what makes GPU throughput collapse for large models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config import GIB, ModelConfig
+
+#: Deployment-scale embedding footprints used for the cost/throughput study
+#: (the evaluation models are sharded replicas of Table I at industrial table
+#: counts; §VI-E sizes the RMC4 deployment at ~2 TB).
+DEPLOYMENT_FOOTPRINT_BYTES: Dict[str, int] = {
+    "RMC1": 128 * GIB,
+    "RMC2": 512 * GIB,
+    "RMC3": 1024 * GIB,
+    "RMC4": 2048 * GIB,
+}
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A100 80 GB PCIe (Table III)."""
+
+    hbm_bytes: int = 80 * GIB
+    hbm_bandwidth_gbps: float = 1935.0
+    #: Effective PCIe bandwidth for scattered embedding-row gathers (random
+    #: 64-512 B transfers achieve a small fraction of the x16 peak).
+    pcie_bandwidth_gbps: float = 16.0
+    tdp_watts: float = 300.0
+    price_usd: float = 18900.0
+
+
+class GPUParameterServer:
+    """Bandwidth-roofline throughput model of a GPU parameter server."""
+
+    def __init__(self, num_gpus: int, model: ModelConfig, gpu: GPUSpec = GPUSpec()) -> None:
+        if num_gpus <= 0:
+            raise ValueError("num_gpus must be positive")
+        self.num_gpus = num_gpus
+        self.model = model
+        self.gpu = gpu
+
+    @property
+    def footprint_bytes(self) -> int:
+        return DEPLOYMENT_FOOTPRINT_BYTES.get(self.model.name, self.model.total_embedding_bytes)
+
+    @property
+    def hbm_resident_fraction(self) -> float:
+        """Fraction of the embedding footprint resident in aggregate HBM."""
+        total_hbm = self.num_gpus * self.gpu.hbm_bytes
+        return min(1.0, total_hbm / self.footprint_bytes)
+
+    def bytes_per_query(self, pooling_factor: int = 8, tables_per_query: int = 8) -> int:
+        return pooling_factor * tables_per_query * self.model.embedding_row_bytes
+
+    def throughput_queries_per_us(
+        self, pooling_factor: int = 8, tables_per_query: int = 8
+    ) -> float:
+        """Sustained SLS query throughput (queries per microsecond).
+
+        Lookups hitting HBM are served at aggregate HBM bandwidth; the
+        overflow fraction is bottlenecked by PCIe transfers from host memory.
+        The effective throughput is the harmonic combination of the two.
+        """
+        per_query = self.bytes_per_query(pooling_factor, tables_per_query)
+        resident = self.hbm_resident_fraction
+        hbm_bw = self.num_gpus * self.gpu.hbm_bandwidth_gbps  # bytes per ns
+        pcie_bw = self.num_gpus * self.gpu.pcie_bandwidth_gbps
+        # Time (ns) to serve one query's bytes from each source.
+        time_hbm = (per_query * resident) / hbm_bw
+        time_pcie = (per_query * (1.0 - resident)) / pcie_bw
+        total_time_ns = time_hbm + time_pcie
+        if total_time_ns <= 0:
+            return 0.0
+        return (1.0 / total_time_ns) * 1000.0
+
+    def power_watts(self, cpu_tdp_watts: float = 360.0) -> float:
+        """Power envelope of the parameter server (CPU host + GPUs)."""
+        return cpu_tdp_watts + self.num_gpus * self.gpu.tdp_watts
+
+    def performance_per_watt(self, pooling_factor: int = 8, tables_per_query: int = 8) -> float:
+        power = self.power_watts()
+        if power <= 0:
+            return 0.0
+        return self.throughput_queries_per_us(pooling_factor, tables_per_query) / power
+
+
+__all__ = ["GPUParameterServer", "GPUSpec", "DEPLOYMENT_FOOTPRINT_BYTES"]

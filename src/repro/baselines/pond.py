@@ -1,0 +1,31 @@
+"""Pond: CXL memory pooling with host-centric SLS (§VI-B baseline)."""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.memsys.tiered import TieredMemorySystem
+from repro.sls.engine import SLSSystem
+from repro.traces.workload import SLSRequest, SLSWorkload
+
+
+class PondSystem(SLSSystem):
+    """Pond-style CXL memory pooling.
+
+    The embedding tables fill local DRAM in address order and spill to the
+    CXL pool.  Every row is fetched to the host through the fabric switch and
+    accumulated by the CPU; no page management, no in-switch computation.
+    """
+
+    name = "Pond"
+
+    def __init__(self, system: SystemConfig) -> None:
+        super().__init__(system, use_pifs_switch=False)
+
+    def build_placement(self, workload: SLSWorkload) -> TieredMemorySystem:
+        return self.place_capacity_order(workload)
+
+    def process_request(self, request: SLSRequest, start_ns: float, host_id: int) -> float:
+        return self.host_accumulate_bag(request.addresses, start_ns, host_id)
+
+
+__all__ = ["PondSystem"]

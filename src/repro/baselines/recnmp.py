@@ -1,0 +1,157 @@
+"""RecNMP: DIMM-side near-memory processing for SLS (§VI-B baseline)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import KIB, BufferConfig, SystemConfig
+from repro.memsys.tiered import TieredMemorySystem
+from repro.pagemgmt.global_hotness import GlobalHotnessPolicy
+from repro.pagemgmt.spreading import SpreadingPolicy
+from repro.pifs.onswitch_buffer import OnSwitchBuffer
+from repro.sls.engine import SLSSystem
+from repro.traces.workload import SLSRequest, SLSWorkload
+
+
+class RecNMPSystem(SLSSystem):
+    """RecNMP with the paper's memory setting.
+
+    Rows resident in local DRAM are accumulated by the near-memory units on
+    the DIMMs: lookups proceed with bank-level parallelism, a rank-level
+    cache (RankCache) absorbs reused rows, and only the pooled result crosses
+    the memory channel.  Rows that spill to the CXL pool are likewise served
+    by NMP-capable DIMMs inside the Type 3 expanders ("their computational
+    hardware configuration with our memory setting", §VI-B): the host issues
+    per-row commands through the fabric switch, the DIMM-side units fetch and
+    accumulate with bank-level parallelism, and one partial sum per device
+    returns to the host.  What RecNMP lacks relative to PIFS-Rec is the
+    switch-level view: no on-switch buffer shared across devices, no
+    instruction repacking, and per-device partial results that the host must
+    combine.
+    """
+
+    name = "RecNMP"
+
+    #: Per-row latency of the DIMM-side accumulate unit.
+    NMP_ACCUMULATE_NS = 1.0
+    #: Command latency for the host to issue one NMP-SLS macro instruction.
+    NMP_COMMAND_NS = 15.0
+    #: Latency to return the pooled result over the channel.
+    NMP_RESULT_NS = 10.0
+    #: RankCache capacity (128 KB per rank, 8 ranks as in RecNMP-base x8).
+    RANKCACHE_BYTES = 8 * 128 * KIB
+
+    def __init__(self, system: SystemConfig, page_management: bool = True) -> None:
+        super().__init__(system, use_pifs_switch=False)
+        self.page_management = page_management
+        self.hotness_policy = GlobalHotnessPolicy(
+            cold_age_threshold=system.page_mgmt.cold_age_threshold
+        )
+        self.spreading_policy = SpreadingPolicy(
+            migrate_threshold=system.page_mgmt.migrate_threshold
+        )
+        self._rank_cache: OnSwitchBuffer | None = None
+
+    def build_placement(self, workload: SLSWorkload) -> TieredMemorySystem:
+        # RecNMP profiles hot embeddings and keeps them on the NMP-capable
+        # DIMMs (its RankCache design assumes this allocation), so the local
+        # tier starts from the hotness-ordered placement.
+        return self.place_hotness_order(workload)
+
+    def prepare(self, workload: SLSWorkload) -> None:
+        cache_config = BufferConfig(
+            capacity_bytes=self.RANKCACHE_BYTES, policy="lru", hit_latency_ns=5.0
+        )
+        self._rank_cache = OnSwitchBuffer(cache_config, workload.model.embedding_row_bytes)
+
+    # ------------------------------------------------------------------
+    def _nmp_accumulate(self, addresses: List[int], start_ns: float) -> float:
+        """Near-memory accumulation of locally resident rows."""
+        if not addresses:
+            return start_ns
+        issue = start_ns + self.NMP_COMMAND_NS
+        last_row = issue
+        for address in addresses:
+            self.tiered.record_access(address, start_ns)
+            self._counters["local_rows"] += 1
+            if self._rank_cache.lookup(address):
+                self._counters["buffer_hits"] += 1
+                ready = issue + self._rank_cache.hit_latency_ns()
+            else:
+                self._counters["buffer_misses"] += 1
+                ready = self.backends.local_dram.access(
+                    address, issue, bytes_requested=self.backends.row_bytes
+                )
+                self._rank_cache.insert(address)
+            last_row = max(last_row, ready + self.NMP_ACCUMULATE_NS)
+        return last_row + self.NMP_RESULT_NS
+
+    def _nmp_cxl_accumulate(self, addresses: List[int], start_ns: float, host_id: int) -> float:
+        """Near-memory accumulation inside the CXL expanders' NMP DIMMs."""
+        if not addresses:
+            return start_ns
+        by_device: dict[int, List[int]] = {}
+        for address in addresses:
+            by_device.setdefault(self.device_of_address(address), []).append(address)
+
+        controller_penalty = self.system.cxl.access_penalty_ns / 2.0
+        finishes: List[float] = []
+        for device_id, device_addresses in by_device.items():
+            device = self.backends.devices[device_id]
+            switch = self.backends.switch_of_device(device_id)
+            port = self.backends.host_port(host_id, switch.switch_id)
+            last_row = start_ns
+            for address in device_addresses:
+                self.tiered.record_access(address, start_ns)
+                self._counters["cxl_rows"] += 1
+                command_at_switch = (
+                    port.link.transfer(self.system.cxl.slot_bytes, start_ns)
+                    + switch.FORWARD_LATENCY_NS
+                )
+                command_at_dimm = (
+                    device.link.transfer(self.system.cxl.slot_bytes, command_at_switch)
+                    + controller_penalty
+                )
+                if self._rank_cache.lookup(address):
+                    self._counters["buffer_hits"] += 1
+                    ready = command_at_dimm + self._rank_cache.hit_latency_ns()
+                else:
+                    self._counters["buffer_misses"] += 1
+                    ready = device.dram.access(
+                        address, command_at_dimm, bytes_requested=self.backends.row_bytes
+                    )
+                    self._rank_cache.insert(address)
+                last_row = max(last_row, ready + self.NMP_ACCUMULATE_NS)
+            # One partial sum per device crosses both links back to the host.
+            result_at_switch = device.link.transfer(self.backends.row_bytes, last_row)
+            result_at_host = port.link.transfer(self.backends.row_bytes, result_at_switch)
+            finishes.append(result_at_host + self.HOST_CXL_OVERHEAD_NS)
+        # The host combines the per-device partial sums.
+        return max(finishes) + len(by_device) * self.HOST_ACCUMULATE_NS_PER_ROW
+
+    def process_request(self, request: SLSRequest, start_ns: float, host_id: int) -> float:
+        local: List[int] = []
+        remote: List[int] = []
+        for address in request.addresses:
+            address = int(address)
+            if self.is_local(address):
+                local.append(address)
+            else:
+                remote.append(address)
+        local_done = self._nmp_accumulate(local, start_ns)
+        remote_done = self._nmp_cxl_accumulate(remote, start_ns, host_id)
+        return max(local_done, remote_done)
+
+    def maintenance(self, now_ns: float) -> float:
+        if not self.page_management:
+            return 0.0
+        row_bytes = self.backends.row_bytes
+        swap = self.hotness_policy.run_epoch(self.tiered, row_bytes=row_bytes)
+        balance = self.spreading_policy.rebalance(self.tiered, row_bytes=row_bytes)
+        cost = swap.cost_ns + balance.cost_ns
+        self.add_migration_cost(cost)
+        self.tiered.decay_hotness(0.5)
+        return cost * 0.25
+
+
+__all__ = ["RecNMPSystem"]

@@ -1,0 +1,17 @@
+"""Cost, power, area and energy models (§VI-D, §VI-E)."""
+
+from repro.cost.energy import EnergyModel
+from repro.cost.hardware_specs import HARDWARE_SPECS, HardwareSpec
+from repro.cost.power_area import PIFS_BREAKDOWN, ComponentOverhead, PowerAreaModel
+from repro.cost.tco import TCOModel, TCOReport
+
+__all__ = [
+    "EnergyModel",
+    "HARDWARE_SPECS",
+    "HardwareSpec",
+    "PIFS_BREAKDOWN",
+    "ComponentOverhead",
+    "PowerAreaModel",
+    "TCOModel",
+    "TCOReport",
+]

@@ -1,0 +1,70 @@
+"""Energy accounting for simulated runs (§VI-D, §VI-E)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.power_area import PIFS_BREAKDOWN, PowerAreaModel
+from repro.sls.result import SimResult
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one simulated run, in millijoules."""
+
+    dram_mj: float
+    cxl_mj: float
+    switch_logic_mj: float
+    host_mj: float
+
+    @property
+    def total_mj(self) -> float:
+        return self.dram_mj + self.cxl_mj + self.switch_logic_mj + self.host_mj
+
+
+class EnergyModel:
+    """Per-access energy model.
+
+    Per-access DRAM/CXL energies follow the usual CACTI-class figures
+    (tens of nJ per 64 B access including I/O); the switch logic draws the
+    synthesized power of Fig 18 for the duration of the run; host energy is
+    charged per row accumulated by the CPU.
+    """
+
+    DRAM_ACCESS_NJ = 20.0
+    CXL_ACCESS_NJ = 35.0  # DDR4 media + CXL controller + SerDes
+    #: Extra energy when the row additionally travels through the switch and
+    #: upstream FlexBus into the host cache hierarchy (host-centric systems).
+    CXL_HOST_TRANSFER_NJ = 25.0
+    HOST_ROW_NJ = 4.0
+    CPU_IDLE_W_PER_THREAD = 2.5
+
+    def __init__(self, power_area: PowerAreaModel | None = None) -> None:
+        self._power_area = power_area or PowerAreaModel(PIFS_BREAKDOWN)
+
+    def breakdown(self, result: SimResult, in_switch: bool = True) -> EnergyBreakdown:
+        """Energy of ``result``; ``in_switch`` selects who accumulates rows."""
+        dram_mj = result.local_rows * self.DRAM_ACCESS_NJ * 1e-6
+        cxl_nj_per_row = self.CXL_ACCESS_NJ + (0.0 if in_switch else self.CXL_HOST_TRANSFER_NJ)
+        cxl_mj = result.cxl_rows * cxl_nj_per_row * 1e-6
+        switch_power_w = self._power_area.total_power_mw() / 1000.0
+        switch_logic_mj = switch_power_w * result.total_ns * 1e-6 if in_switch else 0.0
+        host_rows = result.lookups if not in_switch else result.local_rows
+        host_mj = host_rows * self.HOST_ROW_NJ * 1e-6
+        return EnergyBreakdown(
+            dram_mj=dram_mj, cxl_mj=cxl_mj, switch_logic_mj=switch_logic_mj, host_mj=host_mj
+        )
+
+    def total_mj(self, result: SimResult, in_switch: bool = True) -> float:
+        return self.breakdown(result, in_switch=in_switch).total_mj
+
+    def savings_vs(self, ours: SimResult, baseline: SimResult) -> float:
+        """Fractional energy saving of ``ours`` vs ``baseline`` (paper: ~15 %)."""
+        ours_mj = self.total_mj(ours, in_switch=True)
+        base_mj = self.total_mj(baseline, in_switch=False)
+        if base_mj <= 0:
+            raise ZeroDivisionError("baseline energy must be positive")
+        return 1.0 - ours_mj / base_mj
+
+
+__all__ = ["EnergyModel", "EnergyBreakdown"]

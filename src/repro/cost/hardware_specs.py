@@ -1,0 +1,78 @@
+"""Hardware specifications and prices (Table III)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """One line of Table III."""
+
+    name: str
+    description: str
+    tdp_watts: float
+    price_usd: float
+    #: For per-GB priced items (DIMMs), the price refers to one GB and the
+    #: TDP to one 64 GB module.
+    per_gb: bool = False
+
+
+HARDWARE_SPECS: Dict[str, HardwareSpec] = {
+    "server_cpu": HardwareSpec(
+        name="Server CPU",
+        description="AMD EPYC 9654 96C @ 2.4 GHz",
+        tdp_watts=360.0,
+        price_usd=4695.0,
+    ),
+    "ddr4_dimm": HardwareSpec(
+        name="DIMM & CXL mem (DDR4)",
+        description="per GB, DDR4 (64 GB module TDP)",
+        tdp_watts=21.6,
+        price_usd=4.90,
+        per_gb=True,
+    ),
+    "ddr5_dimm": HardwareSpec(
+        name="DIMM (DDR5)",
+        description="per GB, DDR5 (64 GB module TDP)",
+        tdp_watts=24.0,
+        price_usd=11.25,
+        per_gb=True,
+    ),
+    "nic": HardwareSpec(
+        name="NIC",
+        description="NVIDIA ConnectX-6 @ 200 Gbps IB",
+        tdp_watts=23.6,
+        price_usd=1900.0,
+    ),
+    "switch": HardwareSpec(
+        name="Network switch",
+        description="Juniper QFX10002-36Q @ 100 Gbps",
+        tdp_watts=360.0,
+        price_usd=11899.0,
+    ),
+    "switch_pu": HardwareSpec(
+        name="Switch + PUs",
+        description="3.2 Tbps, 2 pipelines (ASIC, Tofino-class)",
+        tdp_watts=400.0,
+        price_usd=13039.0,
+    ),
+    "gpu": HardwareSpec(
+        name="GPU",
+        description="NVIDIA A100 80 GB PCIe HBM2e",
+        tdp_watts=300.0,
+        price_usd=18900.0,
+    ),
+}
+
+
+def spec(name: str) -> HardwareSpec:
+    """Look up a hardware spec by key."""
+    if name not in HARDWARE_SPECS:
+        valid = ", ".join(sorted(HARDWARE_SPECS))
+        raise KeyError(f"unknown hardware spec {name!r}; expected one of: {valid}")
+    return HARDWARE_SPECS[name]
+
+
+__all__ = ["HardwareSpec", "HARDWARE_SPECS", "spec"]

@@ -1,0 +1,126 @@
+"""Total cost of ownership model (Fig 16, §VI-E)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config import GIB, ModelConfig
+from repro.baselines.gpu_ps import DEPLOYMENT_FOOTPRINT_BYTES, GPUParameterServer
+from repro.cost.hardware_specs import HARDWARE_SPECS, spec
+
+#: Electricity price used by the paper ($ per kWh).
+ENERGY_COST_PER_KWH = 0.05
+#: OPEX horizon in years.
+OPEX_YEARS = 3.0
+HOURS_PER_YEAR = 24 * 365
+
+
+@dataclass(frozen=True)
+class TCOReport:
+    """CAPEX/OPEX breakdown of one deployment."""
+
+    name: str
+    capex_usd: float
+    opex_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        return self.capex_usd + self.opex_usd
+
+
+def _opex_usd(power_watts: float, years: float = OPEX_YEARS) -> float:
+    kwh = power_watts / 1000.0 * HOURS_PER_YEAR * years
+    return kwh * ENERGY_COST_PER_KWH
+
+
+class TCOModel:
+    """CAPEX + 3-year OPEX for PIFS-Rec and GPU parameter-server deployments."""
+
+    def __init__(self, model: ModelConfig) -> None:
+        self.model = model
+
+    @property
+    def memory_footprint_bytes(self) -> int:
+        return DEPLOYMENT_FOOTPRINT_BYTES.get(self.model.name, self.model.total_embedding_bytes)
+
+    @property
+    def memory_footprint_gb(self) -> float:
+        return self.memory_footprint_bytes / GIB
+
+    # ------------------------------------------------------------------
+    def pifs_rec(self, cxl_fraction: float = 0.8) -> TCOReport:
+        """A PIFS-Rec deployment: one CPU server, DDR5 + CXL DDR4, fabric switch.
+
+        ``cxl_fraction`` is the share of the embedding footprint placed in
+        re-purposed DDR4 behind the fabric switch; the rest is CPU-attached
+        DDR5.
+        """
+        if not 0.0 <= cxl_fraction <= 1.0:
+            raise ValueError("cxl_fraction must be in [0, 1]")
+        gb = self.memory_footprint_gb
+        ddr4_gb = gb * cxl_fraction
+        ddr5_gb = gb * (1.0 - cxl_fraction)
+        cpu = spec("server_cpu")
+        ddr4 = spec("ddr4_dimm")
+        ddr5 = spec("ddr5_dimm")
+        fabric_switch = spec("switch_pu")
+
+        capex = (
+            cpu.price_usd
+            + ddr4_gb * ddr4.price_usd
+            + ddr5_gb * ddr5.price_usd
+            + fabric_switch.price_usd
+        )
+        # DIMM TDP figures are per 64 GB module; CXL memory draws ~90 % of
+        # the equivalent local DRAM power (§VI-E).
+        ddr4_power = (ddr4_gb / 64.0) * ddr4.tdp_watts * 0.9
+        ddr5_power = (ddr5_gb / 64.0) * ddr5.tdp_watts
+        power = cpu.tdp_watts + ddr4_power + ddr5_power + fabric_switch.tdp_watts
+        return TCOReport(name="PIFS-Rec", capex_usd=capex, opex_usd=_opex_usd(power))
+
+    def gpu_parameter_server(self, num_gpus: int) -> TCOReport:
+        """A parameter-server deployment: CPU host, DDR5, NICs, switch, GPUs."""
+        if num_gpus <= 0:
+            raise ValueError("num_gpus must be positive")
+        gb = self.memory_footprint_gb
+        cpu = spec("server_cpu")
+        ddr5 = spec("ddr5_dimm")
+        nic = spec("nic")
+        net_switch = spec("switch")
+        gpu = spec("gpu")
+
+        capex = (
+            cpu.price_usd
+            + gb * ddr5.price_usd
+            + num_gpus * gpu.price_usd
+            + num_gpus * nic.price_usd
+            + net_switch.price_usd
+        )
+        ps = GPUParameterServer(num_gpus, self.model)
+        ddr5_power = (gb / 64.0) * ddr5.tdp_watts
+        power = (
+            ps.power_watts(cpu_tdp_watts=cpu.tdp_watts)
+            + ddr5_power
+            + num_gpus * nic.tdp_watts
+            + net_switch.tdp_watts
+        )
+        return TCOReport(name=f"GPU x{num_gpus}", capex_usd=capex, opex_usd=_opex_usd(power))
+
+    # ------------------------------------------------------------------
+    def comparison(self, gpu_counts=(2, 3, 4)) -> Dict[str, TCOReport]:
+        """Fig 16: TCO of GPU deployments and PIFS-Rec for this model."""
+        reports = {f"X{count}": self.gpu_parameter_server(count) for count in gpu_counts}
+        reports["Ours"] = self.pifs_rec()
+        return reports
+
+    def cost_advantage(self, num_gpus: int = 1) -> float:
+        """How many times cheaper PIFS-Rec is than a ``num_gpus`` deployment."""
+        ours = self.pifs_rec().total_usd
+        theirs = self.gpu_parameter_server(num_gpus).total_usd
+        if ours <= 0:
+            raise ZeroDivisionError("PIFS-Rec TCO must be positive")
+        return theirs / ours
+
+
+__all__ = ["TCOModel", "TCOReport", "ENERGY_COST_PER_KWH", "OPEX_YEARS"]

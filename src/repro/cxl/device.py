@@ -1,0 +1,118 @@
+"""CXL Type 3 memory expander."""
+
+from __future__ import annotations
+
+from repro.config import CACHE_LINE_BYTES, CXLConfig, DRAMConfig
+from repro.cxl.bias_table import BiasTable
+from repro.cxl.link import CXLLink
+from repro.dram.device import DRAMDevice, DRAMStats
+
+
+class CXLType3Device:
+    """A Type 3 (memory-only) CXL device: DDR media behind a FlexBus link.
+
+    The access path is: downstream-port link transfer of the request, the
+    device-internal CXL controller overhead (the fixed "CXL access penalty
+    over DRAM" of Table II is split between the two link directions and the
+    controller), the DRAM media access, then the response transfer back
+    through the link.
+    """
+
+    def __init__(
+        self,
+        device_id: int,
+        dram_config: DRAMConfig,
+        cxl_config: CXLConfig,
+        name: str | None = None,
+    ) -> None:
+        self._device_id = device_id
+        self._name = name or f"cxl{device_id}"
+        self._cxl_config = cxl_config
+        self._dram = DRAMDevice(dram_config, name=f"{self._name}.dram")
+        self._link = CXLLink(
+            bandwidth_gbps=cxl_config.downstream_port_bandwidth_gbps,
+            propagation_ns=cxl_config.retimer_ns,
+            name=f"{self._name}.dsp",
+        )
+        self._bias = BiasTable()
+        # The fixed penalty accounts for the device-side CXL controller and
+        # the extra protocol crossings that remain after the explicit link
+        # serialization below.
+        self._controller_penalty_ns = cxl_config.access_penalty_ns / 2.0
+        self._reads = 0
+        self._writes = 0
+
+    @property
+    def device_id(self) -> int:
+        return self._device_id
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def dram(self) -> DRAMDevice:
+        return self._dram
+
+    @property
+    def link(self) -> CXLLink:
+        return self._link
+
+    @property
+    def bias_table(self) -> BiasTable:
+        return self._bias
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._dram.capacity_bytes
+
+    @property
+    def reads(self) -> int:
+        return self._reads
+
+    @property
+    def writes(self) -> int:
+        return self._writes
+
+    def access(
+        self,
+        address: int,
+        arrival_ns: float,
+        is_write: bool = False,
+        bytes_requested: int = CACHE_LINE_BYTES,
+        from_switch: bool = True,
+    ) -> float:
+        """Access the device; return the time the response is available.
+
+        ``from_switch`` selects whether the requester sits at the switch's
+        downstream port (PIFS process core, one link crossing) or is the host
+        (request and response both cross the downstream link; the upstream
+        link is accounted for by the caller).
+        """
+        if is_write:
+            self._writes += 1
+        else:
+            self._reads += 1
+        bias_penalty = 0.0 if from_switch is False else self._bias.device_access_penalty_ns(address)
+        request_arrival = self._link.transfer(CACHE_LINE_BYTES, arrival_ns)
+        media_start = request_arrival + self._controller_penalty_ns + bias_penalty
+        media_done = self._dram.access(
+            address=address,
+            arrival_ns=media_start,
+            is_write=is_write,
+            bytes_requested=bytes_requested,
+        )
+        response_done = self._link.transfer(bytes_requested, media_done)
+        return response_done
+
+    def dram_stats(self) -> DRAMStats:
+        return self._dram.stats()
+
+    def reset(self) -> None:
+        self._dram.reset()
+        self._link.reset()
+        self._reads = 0
+        self._writes = 0
+
+
+__all__ = ["CXLType3Device"]

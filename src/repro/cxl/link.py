@@ -1,0 +1,89 @@
+"""FlexBus / CXL link model.
+
+A link is characterized by a peak bandwidth (GB/s == bytes per ns), a
+propagation latency (I/O port + retimer), and a busy-until timestamp that
+serializes transfers, which is how flex-bus congestion under heavy memory
+traffic (§III "limitations") manifests in the simulator.
+"""
+
+from __future__ import annotations
+
+
+class CXLLink:
+    """A unidirectional CXL/FlexBus link."""
+
+    def __init__(
+        self,
+        bandwidth_gbps: float,
+        propagation_ns: float = 15.0,
+        name: str = "link",
+    ) -> None:
+        if bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self._bandwidth = bandwidth_gbps
+        self._propagation_ns = propagation_ns
+        self._name = name
+        self._busy_until_ns = 0.0
+        self._bytes_transferred = 0
+        self._transfers = 0
+        self._queued_ns = 0.0
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        return self._bandwidth
+
+    @property
+    def propagation_ns(self) -> float:
+        return self._propagation_ns
+
+    @property
+    def bytes_transferred(self) -> int:
+        return self._bytes_transferred
+
+    @property
+    def transfers(self) -> int:
+        return self._transfers
+
+    @property
+    def busy_until_ns(self) -> float:
+        return self._busy_until_ns
+
+    @property
+    def total_queue_delay_ns(self) -> float:
+        """Total time transfers spent waiting for the link to free up."""
+        return self._queued_ns
+
+    def transfer(self, bytes_count: int, start_ns: float) -> float:
+        """Transfer ``bytes_count`` bytes beginning no earlier than ``start_ns``.
+
+        Returns the time at which the last byte arrives at the far end.
+        """
+        if bytes_count < 0:
+            raise ValueError("bytes_count must be non-negative")
+        serialization = bytes_count / self._bandwidth
+        begin = max(start_ns, self._busy_until_ns)
+        self._queued_ns += begin - start_ns
+        finish_serialization = begin + serialization
+        self._busy_until_ns = finish_serialization
+        self._bytes_transferred += bytes_count
+        self._transfers += 1
+        return finish_serialization + self._propagation_ns
+
+    def utilization(self, elapsed_ns: float) -> float:
+        """Link utilization over ``elapsed_ns``."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, (self._bytes_transferred / self._bandwidth) / elapsed_ns)
+
+    def reset(self) -> None:
+        self._busy_until_ns = 0.0
+        self._bytes_transferred = 0
+        self._transfers = 0
+        self._queued_ns = 0.0
+
+
+__all__ = ["CXLLink"]

@@ -1,0 +1,187 @@
+"""Base CXL fabric switch (the non-PIFS switch used by Pond/TPP baselines).
+
+The switch owns an upstream port per host and a downstream port per Type 3
+device.  A standard CXL.mem read issued by a host traverses:
+
+    host --[upstream link]--> switch --(forwarding)--> device access
+         <--[upstream link]-- switch <-- device response
+
+Device access latency, including the downstream link, is modelled inside
+:class:`repro.cxl.device.CXLType3Device`; the switch adds its forwarding
+latency and the upstream-link serialization, which is where congestion under
+multi-host traffic appears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.config import CACHE_LINE_BYTES, CXLConfig
+from repro.cxl.device import CXLType3Device
+from repro.cxl.fabric_manager import FabricManager
+from repro.cxl.link import CXLLink
+from repro.cxl.protocol import CXLMemM2S, CXLMemS2M, MemOpcode
+
+
+@dataclass
+class SwitchPort:
+    """One physical switch port and its link."""
+
+    port_id: int
+    direction: str  # "upstream" | "downstream"
+    link: CXLLink
+
+
+class FabricSwitch:
+    """A conventional CXL 2.0 fabric switch (no processing capability)."""
+
+    #: Latency for the switch to decode and forward a request (ns).
+    FORWARD_LATENCY_NS = 25.0
+
+    def __init__(self, config: CXLConfig, switch_id: int = 0, name: str | None = None) -> None:
+        self._config = config
+        self._switch_id = switch_id
+        self._name = name or f"switch{switch_id}"
+        self._fm = FabricManager()
+        self._upstream_ports: Dict[int, SwitchPort] = {}
+        self._devices: Dict[int, CXLType3Device] = {}
+        self._device_ports: Dict[int, int] = {}
+        self._next_port_id = 0
+        self._forwarded_requests = 0
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+    @property
+    def switch_id(self) -> int:
+        return self._switch_id
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def config(self) -> CXLConfig:
+        return self._config
+
+    @property
+    def fabric_manager(self) -> FabricManager:
+        return self._fm
+
+    @property
+    def forwarded_requests(self) -> int:
+        return self._forwarded_requests
+
+    def _allocate_port(self) -> int:
+        port = self._next_port_id
+        self._next_port_id += 1
+        return port
+
+    def attach_host(self, host_name: str) -> SwitchPort:
+        """Attach a host to a new upstream port; returns the port."""
+        port_id = self._allocate_port()
+        link = CXLLink(
+            bandwidth_gbps=self._config.upstream_port_bandwidth_gbps,
+            propagation_ns=self._config.retimer_ns,
+            name=f"{self._name}.usp{port_id}",
+        )
+        port = SwitchPort(port_id=port_id, direction="upstream", link=link)
+        self._upstream_ports[port_id] = port
+        self._fm.bind(port_id, host_name, "host")
+        return port
+
+    def attach_device(self, device: CXLType3Device) -> SwitchPort:
+        """Attach a Type 3 device to a new downstream port; returns the port."""
+        port_id = self._allocate_port()
+        port = SwitchPort(port_id=port_id, direction="downstream", link=device.link)
+        self._devices[device.device_id] = device
+        self._device_ports[device.device_id] = port_id
+        self._fm.bind(port_id, device.name, "type3")
+        return port
+
+    def devices(self) -> List[CXLType3Device]:
+        return [self._devices[k] for k in sorted(self._devices)]
+
+    def device(self, device_id: int) -> CXLType3Device:
+        return self._devices[device_id]
+
+    def upstream_port(self, port_id: int) -> Optional[SwitchPort]:
+        return self._upstream_ports.get(port_id)
+
+    def upstream_ports(self) -> List[SwitchPort]:
+        return [self._upstream_ports[k] for k in sorted(self._upstream_ports)]
+
+    # ------------------------------------------------------------------
+    # Standard CXL.mem forwarding (host-centric path)
+    # ------------------------------------------------------------------
+    def host_read(
+        self,
+        host_port: SwitchPort,
+        device_id: int,
+        address: int,
+        issue_ns: float,
+        bytes_requested: int = CACHE_LINE_BYTES,
+    ) -> float:
+        """Service a standard host read through the switch.
+
+        Returns the time the data arrives back at the host.
+        """
+        request = CXLMemM2S(
+            opcode=MemOpcode.MEM_RD,
+            address=address,
+            spid=host_port.port_id,
+            dpid=self._device_ports[device_id],
+            issue_ns=issue_ns,
+            data_bytes=bytes_requested,
+        )
+        response = self.forward(request, host_port=host_port, bytes_requested=bytes_requested)
+        return response.finish_ns
+
+    def forward(
+        self,
+        request: CXLMemM2S,
+        host_port: SwitchPort,
+        bytes_requested: int = CACHE_LINE_BYTES,
+    ) -> CXLMemS2M:
+        """Forward a standard request from ``host_port`` to its target device."""
+        device = self._device_for_port(request.dpid)
+        self._forwarded_requests += 1
+        # Request crosses the upstream link (a command flit).
+        at_switch = host_port.link.transfer(self._config.flit_bytes, request.issue_ns)
+        at_switch += self.FORWARD_LATENCY_NS
+        # Device access includes the downstream link in both directions.
+        data_at_switch = device.access(
+            address=request.address,
+            arrival_ns=at_switch,
+            is_write=request.opcode == MemOpcode.MEM_WR,
+            bytes_requested=bytes_requested,
+            from_switch=False,
+        )
+        # Response data crosses the upstream link back to the host.
+        finish = host_port.link.transfer(bytes_requested, data_at_switch)
+        return CXLMemS2M(
+            request_id=request.message_id,
+            address=request.address,
+            data_valid=True,
+            finish_ns=finish,
+        )
+
+    def _device_for_port(self, port_id: int) -> CXLType3Device:
+        for device_id, bound_port in self._device_ports.items():
+            if bound_port == port_id:
+                return self._devices[device_id]
+        raise KeyError(f"no device bound to port {port_id}")
+
+    def device_port_id(self, device_id: int) -> int:
+        return self._device_ports[device_id]
+
+    def reset(self) -> None:
+        for device in self._devices.values():
+            device.reset()
+        for port in self._upstream_ports.values():
+            port.link.reset()
+        self._forwarded_requests = 0
+
+
+__all__ = ["FabricSwitch", "SwitchPort"]

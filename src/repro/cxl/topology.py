@@ -1,0 +1,87 @@
+"""Multi-switch fabric topologies (§IV-C, Fig 11).
+
+A :class:`FabricTopology` holds a set of fabric switches and the inter-switch
+connectivity.  The paper's scale-up experiments assume fully connected
+switches with one host and one local CXL memory per switch, and an extra
+100 ns of latency per inter-switch transfer; the topology class captures the
+connectivity and hop latency so the PIFS forwarding layer can compute remote
+accumulation costs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.config import CXLConfig
+
+
+class FabricTopology:
+    """Connectivity between fabric switches."""
+
+    def __init__(self, num_switches: int, cxl_config: CXLConfig, fully_connected: bool = True) -> None:
+        if num_switches < 1:
+            raise ValueError("at least one switch is required")
+        self._num_switches = num_switches
+        self._config = cxl_config
+        self._edges: Dict[int, set] = {i: set() for i in range(num_switches)}
+        if fully_connected:
+            for a in range(num_switches):
+                for b in range(num_switches):
+                    if a != b:
+                        self._edges[a].add(b)
+
+    @property
+    def num_switches(self) -> int:
+        return self._num_switches
+
+    def add_link(self, a: int, b: int) -> None:
+        """Add a bidirectional inter-switch link."""
+        self._validate(a)
+        self._validate(b)
+        if a == b:
+            raise ValueError("cannot link a switch to itself")
+        self._edges[a].add(b)
+        self._edges[b].add(a)
+
+    def neighbors(self, switch_id: int) -> List[int]:
+        self._validate(switch_id)
+        return sorted(self._edges[switch_id])
+
+    def are_connected(self, a: int, b: int) -> bool:
+        self._validate(a)
+        self._validate(b)
+        return b in self._edges[a]
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Minimum number of inter-switch hops between ``src`` and ``dst``."""
+        self._validate(src)
+        self._validate(dst)
+        if src == dst:
+            return 0
+        # Breadth-first search; fabrics are small (<= 32 switches).
+        frontier = [src]
+        visited = {src}
+        hops = 0
+        while frontier:
+            hops += 1
+            next_frontier = []
+            for node in frontier:
+                for neighbor in self._edges[node]:
+                    if neighbor == dst:
+                        return hops
+                    if neighbor not in visited:
+                        visited.add(neighbor)
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        raise ValueError(f"switches {src} and {dst} are not connected")
+
+    def hop_latency_ns(self, src: int, dst: int) -> float:
+        """Latency contributed by inter-switch hops between two switches."""
+        return self.hop_count(src, dst) * self._config.inter_switch_hop_ns
+
+    def _validate(self, switch_id: int) -> None:
+        if not 0 <= switch_id < self._num_switches:
+            raise ValueError(f"switch id {switch_id} out of range")
+
+
+__all__ = ["FabricTopology"]

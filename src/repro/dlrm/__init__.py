@@ -1,0 +1,25 @@
+"""A from-scratch DLRM inference pipeline (Fig 1).
+
+The package provides functional (numpy) implementations of the four DLRM
+stages — bottom MLP, embedding lookup (SparseLengthsSum), feature
+interaction and top MLP — plus the RMC1-RMC4 model presets from Table I.
+The functional model is used by the examples and by the end-to-end speedup
+estimate of Fig 14 (SLS vs non-SLS operator weighting); the memory-system
+simulators consume only the lookup index streams.
+"""
+
+from repro.dlrm.embedding import EmbeddingBagCollection, EmbeddingTable
+from repro.dlrm.interaction import dot_feature_interaction
+from repro.dlrm.mlp import MLP
+from repro.dlrm.model import DLRM, OperatorProfile
+from repro.dlrm.query import QueryBatch
+
+__all__ = [
+    "EmbeddingBagCollection",
+    "EmbeddingTable",
+    "dot_feature_interaction",
+    "MLP",
+    "DLRM",
+    "OperatorProfile",
+    "QueryBatch",
+]

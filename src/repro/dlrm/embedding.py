@@ -1,0 +1,147 @@
+"""Embedding tables and the SparseLengthsSum (SLS) operator."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class EmbeddingTable:
+    """One embedding table: ``num_embeddings`` rows of ``dim`` FP32 values."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        dim: int,
+        table_id: int = 0,
+        rng: Optional[np.random.Generator] = None,
+        materialize: bool = True,
+    ) -> None:
+        if num_embeddings <= 0 or dim <= 0:
+            raise ValueError("num_embeddings and dim must be positive")
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.table_id = table_id
+        self._rng = rng or np.random.default_rng(table_id)
+        if materialize:
+            scale = 1.0 / np.sqrt(dim)
+            self.weights = self._rng.uniform(-scale, scale, size=(num_embeddings, dim)).astype(np.float32)
+        else:
+            # Large tables used only for address-stream simulation need no
+            # backing data; lookups on a non-materialized table raise.
+            self.weights = None
+
+    @property
+    def row_bytes(self) -> int:
+        return self.dim * 4
+
+    @property
+    def table_bytes(self) -> int:
+        return self.num_embeddings * self.row_bytes
+
+    def lookup(self, indices: Sequence[int]) -> np.ndarray:
+        """Gather the rows at ``indices`` (no pooling)."""
+        if self.weights is None:
+            raise RuntimeError("table was created with materialize=False")
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.num_embeddings):
+            raise IndexError("embedding index out of range")
+        return self.weights[idx]
+
+    def sls(
+        self,
+        indices: Sequence[int],
+        offsets: Sequence[int],
+        weights: Optional[Sequence[float]] = None,
+    ) -> np.ndarray:
+        """SparseLengthsSum: sum rows per bag, bags delimited by ``offsets``.
+
+        ``offsets`` has one entry per bag giving the start position in
+        ``indices``; the last bag extends to the end of ``indices``.
+        """
+        if self.weights is None:
+            raise RuntimeError("table was created with materialize=False")
+        idx = np.asarray(indices, dtype=np.int64)
+        offs = np.asarray(offsets, dtype=np.int64)
+        if offs.ndim != 1 or offs.size == 0:
+            raise ValueError("offsets must be a non-empty 1-D sequence")
+        if np.any(np.diff(offs) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        if offs[0] != 0:
+            raise ValueError("offsets must start at 0")
+        if idx.size and (idx.min() < 0 or idx.max() >= self.num_embeddings):
+            raise IndexError("embedding index out of range")
+        if weights is not None and len(weights) != len(idx):
+            raise ValueError("weights must align with indices")
+        bags = offs.size
+        out = np.zeros((bags, self.dim), dtype=np.float32)
+        bounds = np.concatenate([offs, [idx.size]])
+        for bag in range(bags):
+            start, end = bounds[bag], bounds[bag + 1]
+            if end <= start:
+                continue
+            rows = self.weights[idx[start:end]]
+            if weights is not None:
+                w = np.asarray(weights[start:end], dtype=np.float32)[:, None]
+                rows = rows * w
+            out[bag] = rows.sum(axis=0)
+        return out
+
+
+class EmbeddingBagCollection:
+    """A collection of embedding tables queried together (one per sparse feature)."""
+
+    def __init__(self, tables: Sequence[EmbeddingTable]) -> None:
+        if not tables:
+            raise ValueError("at least one table is required")
+        dims = {t.dim for t in tables}
+        if len(dims) != 1:
+            raise ValueError("all tables in a collection must share the same dim")
+        self.tables = list(tables)
+        self.dim = self.tables[0].dim
+
+    @classmethod
+    def build(
+        cls,
+        num_tables: int,
+        num_embeddings: int,
+        dim: int,
+        seed: int = 0,
+        materialize: bool = True,
+    ) -> "EmbeddingBagCollection":
+        rng = np.random.default_rng(seed)
+        tables = [
+            EmbeddingTable(num_embeddings, dim, table_id=t, rng=rng, materialize=materialize)
+            for t in range(num_tables)
+        ]
+        return cls(tables)
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(t.table_bytes for t in self.tables)
+
+    def sls(
+        self,
+        indices_per_table: Sequence[Sequence[int]],
+        offsets_per_table: Sequence[Sequence[int]],
+    ) -> np.ndarray:
+        """Run SLS on every table; returns (batch, num_tables, dim)."""
+        if len(indices_per_table) != len(self.tables):
+            raise ValueError("need one index list per table")
+        if len(offsets_per_table) != len(self.tables):
+            raise ValueError("need one offsets list per table")
+        pooled: List[np.ndarray] = []
+        for table, indices, offsets in zip(self.tables, indices_per_table, offsets_per_table):
+            pooled.append(table.sls(indices, offsets))
+        batch = pooled[0].shape[0]
+        for p in pooled:
+            if p.shape[0] != batch:
+                raise ValueError("all tables must produce the same batch size")
+        return np.stack(pooled, axis=1)
+
+
+__all__ = ["EmbeddingTable", "EmbeddingBagCollection"]

@@ -1,0 +1,42 @@
+"""Feature interaction layer (pairwise dot products, Fig 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dot_feature_interaction(dense: np.ndarray, sparse: np.ndarray) -> np.ndarray:
+    """Combine the bottom-MLP output with the pooled embeddings.
+
+    ``dense`` has shape (batch, dim); ``sparse`` has shape
+    (batch, num_tables, dim).  The interaction computes the pairwise dot
+    products between all feature vectors (dense + each pooled embedding) and
+    concatenates the upper triangle with the dense vector, matching the
+    original DLRM "dot" interaction.
+    """
+    dense = np.asarray(dense, dtype=np.float32)
+    sparse = np.asarray(sparse, dtype=np.float32)
+    if dense.ndim != 2:
+        raise ValueError("dense must be (batch, dim)")
+    if sparse.ndim != 3:
+        raise ValueError("sparse must be (batch, num_tables, dim)")
+    if dense.shape[0] != sparse.shape[0]:
+        raise ValueError("batch sizes must match")
+    if dense.shape[1] != sparse.shape[2]:
+        raise ValueError("dense dim must match embedding dim")
+
+    batch, num_tables, dim = sparse.shape
+    features = np.concatenate([dense[:, None, :], sparse], axis=1)  # (B, T+1, D)
+    gram = np.einsum("bij,bkj->bik", features, features)  # (B, T+1, T+1)
+    upper_i, upper_j = np.triu_indices(num_tables + 1, k=1)
+    interactions = gram[:, upper_i, upper_j]  # (B, (T+1)T/2)
+    return np.concatenate([dense, interactions], axis=1)
+
+
+def interaction_output_dim(num_tables: int, dim: int) -> int:
+    """Width of the interaction output for ``num_tables`` tables of ``dim``."""
+    num_features = num_tables + 1
+    return dim + num_features * (num_features - 1) // 2
+
+
+__all__ = ["dot_feature_interaction", "interaction_output_dim"]

@@ -1,0 +1,89 @@
+"""A small fully-connected network used for the bottom and top MLPs."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+class MLP:
+    """A dense multi-layer perceptron with ReLU hidden layers.
+
+    ``layer_sizes`` lists the output width of every layer; the input width is
+    given separately.  The final layer uses a sigmoid when
+    ``sigmoid_output=True`` (the top MLP producing the CTR) and ReLU
+    otherwise (the bottom MLP producing the dense latent vector).
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        layer_sizes: Sequence[int],
+        sigmoid_output: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if input_dim <= 0:
+            raise ValueError("input_dim must be positive")
+        if not layer_sizes:
+            raise ValueError("at least one layer is required")
+        self.input_dim = input_dim
+        self.layer_sizes = tuple(int(s) for s in layer_sizes)
+        self.sigmoid_output = sigmoid_output
+        rng = np.random.default_rng(seed)
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        previous = input_dim
+        for size in self.layer_sizes:
+            scale = np.sqrt(2.0 / previous)
+            self.weights.append(rng.normal(0.0, scale, size=(previous, size)).astype(np.float32))
+            self.biases.append(np.zeros(size, dtype=np.float32))
+            previous = size
+
+    @property
+    def output_dim(self) -> int:
+        return self.layer_sizes[-1]
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(w.size + b.size for w, b in zip(self.weights, self.biases))
+
+    def flops_per_sample(self) -> int:
+        """Approximate multiply-accumulate count per input sample."""
+        flops = 0
+        previous = self.input_dim
+        for size in self.layer_sizes:
+            flops += 2 * previous * size
+            previous = size
+        return flops
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the network on a (batch, input_dim) matrix."""
+        activations = np.asarray(x, dtype=np.float32)
+        if activations.ndim == 1:
+            activations = activations[None, :]
+        if activations.shape[1] != self.input_dim:
+            raise ValueError(
+                f"expected input dim {self.input_dim}, got {activations.shape[1]}"
+            )
+        last = len(self.weights) - 1
+        for i, (weight, bias) in enumerate(zip(self.weights, self.biases)):
+            activations = activations @ weight + bias
+            if i == last and self.sigmoid_output:
+                activations = _sigmoid(activations)
+            else:
+                activations = _relu(activations)
+        return activations
+
+    __call__ = forward
+
+
+__all__ = ["MLP"]

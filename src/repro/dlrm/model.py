@@ -1,0 +1,125 @@
+"""End-to-end DLRM model (bottom MLP -> SLS -> interaction -> top MLP)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.config import ModelConfig
+from repro.dlrm.embedding import EmbeddingBagCollection
+from repro.dlrm.interaction import dot_feature_interaction, interaction_output_dim
+from repro.dlrm.mlp import MLP
+from repro.dlrm.query import QueryBatch
+
+
+@dataclass(frozen=True)
+class OperatorProfile:
+    """Relative time split between SLS and non-SLS operators.
+
+    Fig 14 estimates end-to-end speedup by weighting the accelerated SLS
+    portion against the unaccelerated MLP/interaction portion; this profile
+    captures the split for a given model and batch size.
+    """
+
+    sls_fraction: float
+    non_sls_fraction: float
+
+    def __post_init__(self) -> None:
+        total = self.sls_fraction + self.non_sls_fraction
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise ValueError("fractions must sum to 1")
+
+    def end_to_end_speedup(self, sls_speedup: float) -> float:
+        """Amdahl-style end-to-end speedup given an SLS-only speedup."""
+        if sls_speedup <= 0:
+            raise ValueError("sls_speedup must be positive")
+        return 1.0 / (self.non_sls_fraction + self.sls_fraction / sls_speedup)
+
+
+def operator_profile(model: ModelConfig, batch_size: int, pooling_factor: int = 8) -> OperatorProfile:
+    """Estimate the SLS vs non-SLS time split for ``model``.
+
+    SLS time scales with the bytes fetched from embedding tables (bandwidth
+    bound, ~50 GB/s effective per-socket SLS bandwidth); MLP time scales with
+    FLOPs.  The effective dense throughput improves with the batch size
+    because larger batches amortize GEMM overheads, which is why the share of
+    time spent in SLS — and therefore the end-to-end benefit of accelerating
+    it — grows with the batch size (Fig 14).
+    """
+    bytes_per_sample = model.num_tables * pooling_factor * model.embedding_row_bytes
+    # Random-access embedding gathers achieve only a fraction of the DRAM
+    # peak; 25 GB/s is the per-socket effective SLS bandwidth the
+    # characterization study observes under load.
+    sls_time = bytes_per_sample * batch_size / 25e9
+
+    bottom_flops = 0
+    previous = model.dense_features
+    for width in model.bottom_mlp:
+        bottom_flops += 2 * previous * width
+        previous = width
+    top_in = interaction_output_dim(model.num_tables, model.embedding_dim)
+    top_flops = 0
+    previous = top_in
+    for width in model.top_mlp:
+        top_flops += 2 * previous * width
+        previous = width
+    # Effective dense throughput: ~2 TFLOP/s for small batches, approaching
+    # 4 TFLOP/s once the GEMMs are large enough to run at full efficiency.
+    dense_throughput = 2.0e12 + 2.0e12 * min(1.0, batch_size / 256.0)
+    non_sls_time = (bottom_flops + top_flops) * batch_size / dense_throughput
+
+    total = sls_time + non_sls_time
+    return OperatorProfile(sls_fraction=sls_time / total, non_sls_fraction=non_sls_time / total)
+
+
+class DLRM:
+    """A functional DLRM built from a :class:`~repro.config.ModelConfig`."""
+
+    def __init__(self, config: ModelConfig, seed: int = 0, materialize: bool = True) -> None:
+        self.config = config
+        self.bottom_mlp = MLP(config.dense_features, config.bottom_mlp, seed=seed)
+        if self.bottom_mlp.output_dim != config.embedding_dim:
+            # The bottom MLP must produce a vector of the embedding dimension
+            # for the dot interaction; append a projection layer when the
+            # configured widths do not line up (RMC presets do line up for
+            # 64-dim models; RMC4 needs the projection).
+            self.bottom_mlp = MLP(
+                config.dense_features,
+                tuple(config.bottom_mlp) + (config.embedding_dim,),
+                seed=seed,
+            )
+        self.embeddings = EmbeddingBagCollection.build(
+            num_tables=config.num_tables,
+            num_embeddings=config.num_embeddings,
+            dim=config.embedding_dim,
+            seed=seed,
+            materialize=materialize,
+        )
+        top_input = interaction_output_dim(config.num_tables, config.embedding_dim)
+        self.top_mlp = MLP(top_input, config.top_mlp, sigmoid_output=True, seed=seed + 1)
+
+    def forward(self, batch: QueryBatch) -> np.ndarray:
+        """Run inference; returns the CTR prediction per sample (batch, 1)."""
+        if batch.num_tables != self.config.num_tables:
+            raise ValueError(
+                f"batch has {batch.num_tables} tables, model expects {self.config.num_tables}"
+            )
+        dense_out = self.bottom_mlp(batch.dense)
+        pooled = self.embeddings.sls(batch.indices_per_table, batch.offsets_per_table)
+        interacted = dot_feature_interaction(dense_out, pooled)
+        return self.top_mlp(interacted)
+
+    __call__ = forward
+
+    def parameter_counts(self) -> Dict[str, int]:
+        """Parameter counts per component."""
+        return {
+            "bottom_mlp": self.bottom_mlp.num_parameters,
+            "top_mlp": self.top_mlp.num_parameters,
+            "embeddings": sum(t.num_embeddings * t.dim for t in self.embeddings.tables),
+        }
+
+
+__all__ = ["DLRM", "OperatorProfile", "operator_profile"]

@@ -1,0 +1,82 @@
+"""Input batches for DLRM inference."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class QueryBatch:
+    """One inference batch.
+
+    * ``dense`` — (batch, dense_features) continuous features.
+    * ``indices_per_table`` — for each sparse feature/table, the flat list of
+      embedding row indices for the whole batch.
+    * ``offsets_per_table`` — for each table, the bag start offsets (one per
+      sample, starting at 0).
+    """
+
+    dense: np.ndarray
+    indices_per_table: List[np.ndarray]
+    offsets_per_table: List[np.ndarray]
+
+    def __post_init__(self) -> None:
+        if self.dense.ndim != 2:
+            raise ValueError("dense must be (batch, dense_features)")
+        if len(self.indices_per_table) != len(self.offsets_per_table):
+            raise ValueError("indices and offsets must cover the same tables")
+        batch = self.dense.shape[0]
+        for offsets in self.offsets_per_table:
+            if len(offsets) != batch:
+                raise ValueError("each table needs one bag per sample")
+            if len(offsets) and offsets[0] != 0:
+                raise ValueError("offsets must start at 0")
+
+    @property
+    def batch_size(self) -> int:
+        return self.dense.shape[0]
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.indices_per_table)
+
+    @property
+    def total_lookups(self) -> int:
+        """Total number of embedding-row lookups in the batch."""
+        return int(sum(len(idx) for idx in self.indices_per_table))
+
+    def pooling_factor(self) -> float:
+        """Average bag size across tables and samples."""
+        bags = self.batch_size * self.num_tables
+        if bags == 0:
+            return 0.0
+        return self.total_lookups / bags
+
+    @classmethod
+    def random(
+        cls,
+        batch_size: int,
+        num_tables: int,
+        num_embeddings: int,
+        dense_features: int = 13,
+        pooling_factor: int = 8,
+        seed: int = 0,
+    ) -> "QueryBatch":
+        """Generate a uniform random batch (used by examples and tests)."""
+        rng = np.random.default_rng(seed)
+        dense = rng.normal(size=(batch_size, dense_features)).astype(np.float32)
+        indices_per_table: List[np.ndarray] = []
+        offsets_per_table: List[np.ndarray] = []
+        for _ in range(num_tables):
+            lengths = rng.poisson(pooling_factor, size=batch_size).clip(1, None)
+            offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]]).astype(np.int64)
+            indices = rng.integers(0, num_embeddings, size=int(lengths.sum()), dtype=np.int64)
+            indices_per_table.append(indices)
+            offsets_per_table.append(offsets)
+        return cls(dense=dense, indices_per_table=indices_per_table, offsets_per_table=offsets_per_table)
+
+
+__all__ = ["QueryBatch"]

@@ -1,0 +1,25 @@
+"""Cycle-approximate DRAM substrate.
+
+This package replaces the Ramulator 2.0 dependency of the paper with a
+self-contained DRAM model: per-bank row-buffer state machines driven by the
+DDR timing parameters of Table II, a FR-FCFS-flavoured controller that
+serializes requests on bank readiness and channel data-bus occupancy, and a
+configurable physical address mapping.
+"""
+
+from repro.dram.address_mapping import AddressMapping, DecodedAddress
+from repro.dram.bank import Bank, RowBufferResult
+from repro.dram.channel import Channel
+from repro.dram.controller import DRAMController
+from repro.dram.device import DRAMDevice, DRAMStats
+
+__all__ = [
+    "AddressMapping",
+    "DecodedAddress",
+    "Bank",
+    "RowBufferResult",
+    "Channel",
+    "DRAMController",
+    "DRAMDevice",
+    "DRAMStats",
+]

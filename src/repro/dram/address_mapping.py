@@ -1,0 +1,66 @@
+"""Physical address decomposition for the DRAM model.
+
+The mapping follows the common "row : bank : rank : channel : column" layout
+(channel bits in the low-order positions after the cache-line offset) so that
+consecutive cache lines are striped across channels — the layout that
+maximizes channel-level parallelism, which both the baselines and PIFS-Rec
+assume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CACHE_LINE_BYTES, DRAMConfig
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """The DRAM coordinates of a physical address."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+
+    @property
+    def bank_key(self) -> tuple:
+        """A hashable key identifying the (channel, rank, bank) triple."""
+        return (self.channel, self.rank, self.bank)
+
+
+class AddressMapping:
+    """Decode physical addresses into channel/rank/bank/row/column tuples."""
+
+    def __init__(self, config: DRAMConfig) -> None:
+        self._config = config
+        self._lines_per_row = max(1, config.row_size_bytes // CACHE_LINE_BYTES)
+
+    @property
+    def config(self) -> DRAMConfig:
+        return self._config
+
+    def decode(self, address: int) -> DecodedAddress:
+        """Decode ``address`` (a byte address) into DRAM coordinates."""
+        if address < 0:
+            raise ValueError(f"address must be non-negative, got {address}")
+        cfg = self._config
+        line = address // CACHE_LINE_BYTES
+        channel = line % cfg.channels
+        line //= cfg.channels
+        column = line % self._lines_per_row
+        line //= self._lines_per_row
+        bank = line % cfg.banks_per_rank
+        line //= cfg.banks_per_rank
+        rank = line % cfg.ranks_per_channel
+        line //= cfg.ranks_per_channel
+        row = line
+        return DecodedAddress(channel=channel, rank=rank, bank=bank, row=row, column=column)
+
+    def lines_per_row(self) -> int:
+        """Number of cache lines that fit in one DRAM row."""
+        return self._lines_per_row
+
+
+__all__ = ["AddressMapping", "DecodedAddress"]

@@ -1,0 +1,115 @@
+"""Per-bank row-buffer state machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.config import DRAMTimings
+
+
+class RowBufferResult(Enum):
+    """Outcome of an access with respect to the bank's row buffer."""
+
+    HIT = "hit"
+    MISS = "miss"  # bank precharged; activate then read
+    CONFLICT = "conflict"  # different row open; precharge, activate, read
+
+
+@dataclass
+class BankAccess:
+    """Timing outcome of a single bank access."""
+
+    start_ns: float
+    ready_ns: float
+    result: RowBufferResult
+
+
+class Bank:
+    """A single DRAM bank.
+
+    The bank tracks the currently open row and the earliest time at which it
+    can begin servicing the next command.  Latencies are derived from the
+    :class:`~repro.config.DRAMTimings` row hit / closed / conflict cycle
+    counts.
+    """
+
+    def __init__(self, timings: DRAMTimings) -> None:
+        self._timings = timings
+        self._open_row: int | None = None
+        self._next_ready_ns = 0.0
+        self._hits = 0
+        self._misses = 0
+        self._conflicts = 0
+
+    @property
+    def open_row(self) -> int | None:
+        return self._open_row
+
+    @property
+    def next_ready_ns(self) -> float:
+        return self._next_ready_ns
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def conflicts(self) -> int:
+        return self._conflicts
+
+    def classify(self, row: int) -> RowBufferResult:
+        """Classify an access to ``row`` without changing bank state."""
+        if self._open_row is None:
+            return RowBufferResult.MISS
+        if self._open_row == row:
+            return RowBufferResult.HIT
+        return RowBufferResult.CONFLICT
+
+    def access(self, row: int, arrival_ns: float, is_write: bool = False) -> BankAccess:
+        """Service an access to ``row`` arriving at ``arrival_ns``.
+
+        Returns the time at which data is available on the bank's output
+        (reads) or the write is committed (writes).
+        """
+        timings = self._timings
+        result = self.classify(row)
+        if result is RowBufferResult.HIT:
+            cycles = timings.row_hit_cycles
+            self._hits += 1
+        elif result is RowBufferResult.MISS:
+            cycles = timings.row_closed_cycles
+            self._misses += 1
+        else:
+            cycles = timings.row_conflict_cycles
+            self._conflicts += 1
+        if is_write:
+            cycles += max(0, timings.tcwl - timings.cl)
+
+        start = max(arrival_ns, self._next_ready_ns)
+        ready = start + timings.cycles_to_ns(cycles)
+        self._open_row = row
+        # The bank can accept the next column command once this one completes;
+        # writes additionally hold the bank for the write-recovery time.
+        recovery_cycles = timings.twr if is_write else timings.trtp
+        self._next_ready_ns = ready + timings.cycles_to_ns(recovery_cycles) * 0.25
+        return BankAccess(start_ns=start, ready_ns=ready, result=result)
+
+    def precharge(self) -> None:
+        """Close the currently open row."""
+        self._open_row = None
+
+    def reset(self) -> None:
+        """Reset state and statistics."""
+        self._open_row = None
+        self._next_ready_ns = 0.0
+        self._hits = 0
+        self._misses = 0
+        self._conflicts = 0
+
+
+__all__ = ["Bank", "BankAccess", "RowBufferResult"]

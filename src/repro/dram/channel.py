@@ -1,0 +1,87 @@
+"""DRAM channel: a shared data bus in front of a set of ranks and banks."""
+
+from __future__ import annotations
+
+from repro.config import CACHE_LINE_BYTES, DRAMConfig
+from repro.dram.bank import Bank, BankAccess
+
+
+class Channel:
+    """One DRAM channel.
+
+    The channel owns its banks (``ranks_per_channel`` x ``banks_per_rank``)
+    and models the shared data bus as a busy-until timestamp: each cache-line
+    burst occupies the bus for ``CACHE_LINE_BYTES / bandwidth`` nanoseconds.
+    """
+
+    def __init__(self, config: DRAMConfig, index: int = 0) -> None:
+        self._config = config
+        self._index = index
+        self._banks = [
+            Bank(config.timings)
+            for _ in range(config.ranks_per_channel * config.banks_per_rank)
+        ]
+        self._bus_free_ns = 0.0
+        self._burst_ns = CACHE_LINE_BYTES / config.channel_bandwidth_gbps
+        self._bytes_transferred = 0
+        self._busy_ns = 0.0
+
+    @property
+    def index(self) -> int:
+        return self._index
+
+    @property
+    def banks(self) -> list:
+        return list(self._banks)
+
+    @property
+    def bytes_transferred(self) -> int:
+        return self._bytes_transferred
+
+    @property
+    def busy_ns(self) -> float:
+        return self._busy_ns
+
+    @property
+    def bus_free_ns(self) -> float:
+        return self._bus_free_ns
+
+    def _bank(self, rank: int, bank: int) -> Bank:
+        return self._banks[rank * self._config.banks_per_rank + bank]
+
+    def access(
+        self,
+        rank: int,
+        bank: int,
+        row: int,
+        arrival_ns: float,
+        is_write: bool = False,
+        bytes_requested: int = CACHE_LINE_BYTES,
+    ) -> float:
+        """Service one access; return the time the data burst completes."""
+        bank_obj = self._bank(rank, bank)
+        bank_access: BankAccess = bank_obj.access(row, arrival_ns, is_write=is_write)
+        bursts = max(1, (bytes_requested + CACHE_LINE_BYTES - 1) // CACHE_LINE_BYTES)
+        burst_time = self._burst_ns * bursts
+        start_burst = max(bank_access.ready_ns, self._bus_free_ns)
+        finish = start_burst + burst_time
+        self._bus_free_ns = finish
+        self._bytes_transferred += bursts * CACHE_LINE_BYTES
+        self._busy_ns += burst_time
+        return finish
+
+    def utilization(self, elapsed_ns: float) -> float:
+        """Fraction of ``elapsed_ns`` during which the data bus was busy."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, self._busy_ns / elapsed_ns)
+
+    def reset(self) -> None:
+        for bank in self._banks:
+            bank.reset()
+        self._bus_free_ns = 0.0
+        self._bytes_transferred = 0
+        self._busy_ns = 0.0
+
+
+__all__ = ["Channel"]

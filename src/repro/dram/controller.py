@@ -1,0 +1,138 @@
+"""Memory controller front-end for a DRAM device."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CACHE_LINE_BYTES, DRAMConfig
+from repro.dram.address_mapping import AddressMapping
+from repro.dram.channel import Channel
+
+
+@dataclass
+class MemoryRequest:
+    """A single memory request presented to the controller."""
+
+    address: int
+    arrival_ns: float
+    is_write: bool = False
+    bytes_requested: int = CACHE_LINE_BYTES
+
+
+@dataclass
+class MemoryResponse:
+    """Completion record for a serviced request."""
+
+    address: int
+    arrival_ns: float
+    finish_ns: float
+
+    @property
+    def latency_ns(self) -> float:
+        return self.finish_ns - self.arrival_ns
+
+
+class DRAMController:
+    """A simple open-page controller.
+
+    Requests are serviced in arrival order per channel (FR-FCFS reordering is
+    approximated by the row-buffer state retained between accesses: streams
+    with locality naturally see row hits).  The controller adds a fixed
+    queueing/command overhead per request to account for the on-chip
+    controller pipeline.
+    """
+
+    #: Fixed controller pipeline overhead per request (ns).
+    CONTROLLER_OVERHEAD_NS = 10.0
+
+    def __init__(self, config: DRAMConfig) -> None:
+        self._config = config
+        self._mapping = AddressMapping(config)
+        self._channels = [Channel(config, index=i) for i in range(config.channels)]
+        self._requests = 0
+        self._total_latency_ns = 0.0
+        self._last_finish_ns = 0.0
+
+    @property
+    def config(self) -> DRAMConfig:
+        return self._config
+
+    @property
+    def channels(self) -> list:
+        return list(self._channels)
+
+    @property
+    def mapping(self) -> AddressMapping:
+        return self._mapping
+
+    @property
+    def requests(self) -> int:
+        return self._requests
+
+    @property
+    def last_finish_ns(self) -> float:
+        return self._last_finish_ns
+
+    def average_latency_ns(self) -> float:
+        """Mean request latency since the last reset."""
+        if self._requests == 0:
+            return 0.0
+        return self._total_latency_ns / self._requests
+
+    def service(self, request: MemoryRequest) -> MemoryResponse:
+        """Service a request and return its completion record."""
+        decoded = self._mapping.decode(request.address)
+        channel = self._channels[decoded.channel]
+        finish = channel.access(
+            rank=decoded.rank,
+            bank=decoded.bank,
+            row=decoded.row,
+            arrival_ns=request.arrival_ns,
+            is_write=request.is_write,
+            bytes_requested=request.bytes_requested,
+        )
+        finish += self.CONTROLLER_OVERHEAD_NS
+        self._requests += 1
+        self._total_latency_ns += finish - request.arrival_ns
+        self._last_finish_ns = max(self._last_finish_ns, finish)
+        return MemoryResponse(address=request.address, arrival_ns=request.arrival_ns, finish_ns=finish)
+
+    def access(
+        self,
+        address: int,
+        arrival_ns: float,
+        is_write: bool = False,
+        bytes_requested: int = CACHE_LINE_BYTES,
+    ) -> float:
+        """Convenience wrapper returning only the completion time."""
+        response = self.service(
+            MemoryRequest(
+                address=address,
+                arrival_ns=arrival_ns,
+                is_write=is_write,
+                bytes_requested=bytes_requested,
+            )
+        )
+        return response.finish_ns
+
+    def row_buffer_hit_rate(self) -> float:
+        """Aggregate row-buffer hit rate across all banks."""
+        hits = 0
+        total = 0
+        for channel in self._channels:
+            for bank in channel.banks:
+                hits += bank.hits
+                total += bank.hits + bank.misses + bank.conflicts
+        if total == 0:
+            return 0.0
+        return hits / total
+
+    def reset(self) -> None:
+        for channel in self._channels:
+            channel.reset()
+        self._requests = 0
+        self._total_latency_ns = 0.0
+        self._last_finish_ns = 0.0
+
+
+__all__ = ["DRAMController", "MemoryRequest", "MemoryResponse"]

@@ -1,0 +1,83 @@
+"""A complete DRAM device (one memory node's media)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CACHE_LINE_BYTES, DRAMConfig
+from repro.dram.controller import DRAMController
+
+
+@dataclass
+class DRAMStats:
+    """Summary statistics of a DRAM device."""
+
+    requests: int
+    bytes_transferred: int
+    average_latency_ns: float
+    row_buffer_hit_rate: float
+    busy_ns: float
+
+    def bandwidth_gbps(self, elapsed_ns: float) -> float:
+        """Achieved bandwidth over ``elapsed_ns`` in GB/s (bytes per ns)."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.bytes_transferred / elapsed_ns
+
+
+class DRAMDevice:
+    """The DRAM media of one memory node (local DDR5, CXL DDR4, ...)."""
+
+    def __init__(self, config: DRAMConfig, name: str = "dram") -> None:
+        self._config = config
+        self._name = name
+        self._controller = DRAMController(config)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def config(self) -> DRAMConfig:
+        return self._config
+
+    @property
+    def controller(self) -> DRAMController:
+        return self._controller
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._config.capacity_bytes
+
+    def access(
+        self,
+        address: int,
+        arrival_ns: float,
+        is_write: bool = False,
+        bytes_requested: int = CACHE_LINE_BYTES,
+    ) -> float:
+        """Access the media; return the completion time in ns."""
+        return self._controller.access(
+            address=address,
+            arrival_ns=arrival_ns,
+            is_write=is_write,
+            bytes_requested=bytes_requested,
+        )
+
+    def stats(self) -> DRAMStats:
+        """Return aggregate statistics since the last reset."""
+        busy = sum(channel.busy_ns for channel in self._controller.channels)
+        transferred = sum(channel.bytes_transferred for channel in self._controller.channels)
+        return DRAMStats(
+            requests=self._controller.requests,
+            bytes_transferred=transferred,
+            average_latency_ns=self._controller.average_latency_ns(),
+            row_buffer_hit_rate=self._controller.row_buffer_hit_rate(),
+            busy_ns=busy,
+        )
+
+    def reset(self) -> None:
+        self._controller.reset()
+
+
+__all__ = ["DRAMDevice", "DRAMStats"]

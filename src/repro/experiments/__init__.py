@@ -1,0 +1,13 @@
+"""Experiment drivers: one module per evaluation figure/table of the paper.
+
+Each module exposes ``run_*`` functions that return plain dictionaries (so
+tests and benchmarks can assert on them) plus a ``main()`` that prints the
+same rows/series the paper reports.  All experiments run at "laptop scale":
+the RMC models are scaled down and the local-DRAM capacity is scaled with
+them so that the fraction of the working set spilling to CXL matches the
+paper's regime.
+"""
+
+from repro.experiments.common import EvaluationScale, evaluation_system, evaluation_workload
+
+__all__ = ["EvaluationScale", "evaluation_system", "evaluation_workload"]

@@ -1,0 +1,262 @@
+"""Characterization study experiments (Fig 5 and Fig 6, §III).
+
+The characterization runs the embedding-table lookup phase on the tiered
+memory model of the dual-socket + CXL platform (Fig 3) under two
+parallelization methods:
+
+* *batch threading* — each thread processes a slice of the batch and touches
+  every table (all threads see the same local/spilled page mix);
+* *table threading* — each thread owns a set of tables (threads whose tables
+  spill to the slower tier become stragglers).
+
+and four placements of the working set:
+
+* ``local``      — everything in CPU-attached DDR5 (the reference),
+* ``remote``     — 20 % of the pages on the remote CPU socket,
+* ``cxl``        — the same 20 % on CXL DDR4,
+* ``interleave`` — the 20 % spread over all CXL nodes (the 4:1 policy).
+
+The metric is application bandwidth (bytes moved / makespan), normalized to
+the local-only configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.config import GIB
+from repro.memsys.allocator import InterleaveAllocator, PlacementPolicy
+from repro.memsys.node import MemoryNode, MemoryTier
+from repro.traces.synthetic import TraceDistribution, generate_indices
+
+#: Embedding-table sizes on the X axis of Fig 5 (number of embeddings).
+TABLE_SIZES = (16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024)
+#: Embedding dimensions (the Fig 5 series).
+EMBEDDING_DIMS = (16, 32, 64, 128)
+
+PLACEMENTS = ("local", "remote", "cxl", "interleave")
+THREADING_MODES = ("batch", "table")
+
+
+def _build_nodes(num_cxl_nodes: int = 4) -> List[MemoryNode]:
+    """The characterization platform: local DDR5, remote socket, CXL DDR4."""
+    nodes = [
+        MemoryNode(0, MemoryTier.LOCAL_DRAM, 768 * GIB, base_latency_ns=90.0, bandwidth_gbps=460.0),
+        # The remote socket is only partially populated/accessed, so its
+        # effective bandwidth over the inter-socket interconnect is low
+        # (§III: partial remote accesses degrade application bandwidth).
+        MemoryNode(1, MemoryTier.REMOTE_SOCKET, 768 * GIB, base_latency_ns=150.0, bandwidth_gbps=19.2),
+    ]
+    for i in range(num_cxl_nodes):
+        nodes.append(
+            MemoryNode(
+                2 + i,
+                MemoryTier.CXL,
+                256 * GIB,
+                base_latency_ns=190.0,
+                bandwidth_gbps=25.6,
+            )
+        )
+    return nodes
+
+
+def _placement_policy(placement: str) -> PlacementPolicy:
+    return {
+        "local": PlacementPolicy.LOCAL_ONLY,
+        "remote": PlacementPolicy.REMOTE_FRACTION,
+        "cxl": PlacementPolicy.CXL_FRACTION,
+        "interleave": PlacementPolicy.INTERLEAVE,
+        "cxl_only": PlacementPolicy.CXL_ONLY,
+    }[placement]
+
+
+@dataclass
+class CharacterizationPoint:
+    """One measured configuration of the characterization study."""
+
+    placement: str
+    threading: str
+    table_size: int
+    embedding_dim: int
+    bandwidth_bytes_per_ns: float
+    local_bytes: int
+    cxl_bytes: int
+    remote_bytes: int
+
+
+def run_lookup_phase(
+    placement: str,
+    threading: str,
+    table_size: int,
+    embedding_dim: int,
+    num_tables: int = 16,
+    threads: int = 16,
+    lookups_per_thread: int = 256,
+    spill_fraction: float = 0.2,
+    num_cxl_nodes: int = 4,
+    seed: int = 7,
+) -> CharacterizationPoint:
+    """Simulate the embedding lookup phase for one configuration."""
+    if threading not in THREADING_MODES:
+        raise ValueError(f"unknown threading mode {threading!r}")
+    nodes = _build_nodes(num_cxl_nodes)
+    allocator = InterleaveAllocator(nodes, _placement_policy(placement), spill_fraction)
+    row_bytes = embedding_dim * 4
+    rows_per_page = max(1, 4096 // row_bytes)
+    pages_per_table = (table_size + rows_per_page - 1) // rows_per_page
+    total_pages = pages_per_table * num_tables
+    placement_map = allocator.place_pages(total_pages)
+    node_by_id = {node.node_id: node for node in nodes}
+
+    rng = np.random.default_rng(seed)
+    # Pre-generate the index stream each thread will consume.
+    per_thread_tables: List[Sequence[int]] = []
+    for thread in range(threads):
+        if threading == "table":
+            tables = [thread % num_tables]
+        else:
+            tables = list(range(num_tables))
+        per_thread_tables.append(tables)
+
+    thread_time = [0.0] * threads
+    tier_bytes = {MemoryTier.LOCAL_DRAM: 0, MemoryTier.CXL: 0, MemoryTier.REMOTE_SOCKET: 0}
+    for thread in range(threads):
+        tables = per_thread_tables[thread]
+        indices = generate_indices(
+            TraceDistribution.META, lookups_per_thread, table_size, rng=rng
+        )
+        cursor = 0.0
+        for i, row in enumerate(indices):
+            table = tables[i % len(tables)]
+            page = table * pages_per_table + int(row) // rows_per_page
+            node = node_by_id[placement_map[page]]
+            cursor = node.serve(cursor, row_bytes)
+            tier_bytes[node.tier] += row_bytes
+        thread_time[thread] = cursor
+
+    makespan = max(thread_time)
+    total_bytes = sum(tier_bytes.values())
+    return CharacterizationPoint(
+        placement=placement,
+        threading=threading,
+        table_size=table_size,
+        embedding_dim=embedding_dim,
+        bandwidth_bytes_per_ns=total_bytes / makespan if makespan > 0 else 0.0,
+        local_bytes=tier_bytes[MemoryTier.LOCAL_DRAM],
+        cxl_bytes=tier_bytes[MemoryTier.CXL],
+        remote_bytes=tier_bytes[MemoryTier.REMOTE_SOCKET],
+    )
+
+
+def run_fig5(
+    table_sizes: Sequence[int] = TABLE_SIZES,
+    embedding_dims: Sequence[int] = EMBEDDING_DIMS,
+    threads: int = 16,
+    lookups_per_thread: int = 128,
+) -> Dict[str, Dict[str, Dict[int, Dict[int, float]]]]:
+    """Fig 5: normalized application bandwidth per panel.
+
+    Returns ``{placement: {threading: {embedding_dim: {table_size: value}}}}``.
+    Panels (a)-(d) — ``remote`` and ``cxl`` — are normalized to the local-only
+    configuration (values below 1.0: partially spilling the working set hurts
+    bandwidth, CXL less so than the remote socket).  Panels (e)-(f) —
+    ``interleave`` — are normalized to the CXL-only placement, showing the
+    gain of the software interleave policy over relying on CXL alone (the
+    paper reports up to ~9x).
+    """
+    results: Dict[str, Dict[str, Dict[int, Dict[int, float]]]] = {}
+    local_baseline: Dict[tuple, float] = {}
+    cxl_only_baseline: Dict[tuple, float] = {}
+    for threading in THREADING_MODES:
+        for dim in embedding_dims:
+            for size in table_sizes:
+                local = run_lookup_phase(
+                    "local", threading, size, dim, threads=threads,
+                    lookups_per_thread=lookups_per_thread,
+                )
+                cxl_only = run_lookup_phase(
+                    "cxl_only", threading, size, dim, threads=threads,
+                    lookups_per_thread=lookups_per_thread,
+                )
+                local_baseline[(threading, dim, size)] = local.bandwidth_bytes_per_ns
+                cxl_only_baseline[(threading, dim, size)] = cxl_only.bandwidth_bytes_per_ns
+
+    for placement in ("remote", "cxl", "interleave"):
+        results[placement] = {}
+        for threading in THREADING_MODES:
+            results[placement][threading] = {}
+            for dim in embedding_dims:
+                results[placement][threading][dim] = {}
+                for size in table_sizes:
+                    point = run_lookup_phase(
+                        placement, threading, size, dim, threads=threads,
+                        lookups_per_thread=lookups_per_thread,
+                    )
+                    if placement == "interleave":
+                        baseline = cxl_only_baseline[(threading, dim, size)]
+                    else:
+                        baseline = local_baseline[(threading, dim, size)]
+                    value = point.bandwidth_bytes_per_ns / baseline if baseline > 0 else 0.0
+                    results[placement][threading][dim][size] = value
+    return results
+
+
+def run_fig6(
+    configs: Sequence[tuple] = ((16, 32), (16, 64), (16, 128), (32, 32), (32, 64)),
+    table_size: int = 128 * 1024,
+    lookups_per_thread: int = 128,
+) -> Dict[str, Dict[str, float]]:
+    """Fig 6: DIMM vs CXL share of system bandwidth per (threads, dim) config.
+
+    Returns ``{"16&32": {"dimm": ..., "cxl": ...}, ...}`` where the values
+    are the fractions of total bytes served by each tier under the
+    interleaved placement.
+    """
+    results: Dict[str, Dict[str, float]] = {}
+    for threads, dim in configs:
+        point = run_lookup_phase(
+            "interleave", "batch", table_size, dim, threads=threads,
+            lookups_per_thread=lookups_per_thread,
+        )
+        total = point.local_bytes + point.cxl_bytes + point.remote_bytes
+        results[f"{threads}&{dim}"] = {
+            "dimm": point.local_bytes / total if total else 0.0,
+            "cxl": point.cxl_bytes / total if total else 0.0,
+            "bandwidth": point.bandwidth_bytes_per_ns,
+        }
+    return results
+
+
+def main() -> None:
+    from repro.analysis.report import format_table
+
+    fig5 = run_fig5(table_sizes=TABLE_SIZES[:4], embedding_dims=(16, 64), lookups_per_thread=64)
+    rows = []
+    for placement, by_threading in fig5.items():
+        for threading, by_dim in by_threading.items():
+            for dim, by_size in by_dim.items():
+                for size, value in by_size.items():
+                    rows.append([placement, threading, dim, size, value])
+    print(format_table(["placement", "threading", "dim", "table_size", "norm_bandwidth"], rows))
+
+    fig6 = run_fig6()
+    rows = [[config, v["dimm"], v["cxl"]] for config, v in fig6.items()]
+    print(format_table(["threads&dim", "dimm_share", "cxl_share"], rows))
+
+
+if __name__ == "__main__":
+    main()
+
+
+__all__ = [
+    "TABLE_SIZES",
+    "EMBEDDING_DIMS",
+    "CharacterizationPoint",
+    "run_lookup_phase",
+    "run_fig5",
+    "run_fig6",
+    "main",
+]

@@ -1,0 +1,137 @@
+"""Shared scaling and configuration for the evaluation experiments.
+
+The paper evaluates multi-terabyte models on a 128 GB-local / multi-device
+CXL machine.  To run on a laptop we scale the models down and scale the
+local-DRAM capacity with them, preserving the *fraction* of the embedding
+working set that spills to CXL memory — the quantity every evaluation result
+depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.config import (
+    DEFAULT_SYSTEM,
+    MODEL_CONFIGS,
+    ModelConfig,
+    SystemConfig,
+    WorkloadConfig,
+    scaled_model,
+)
+from repro.traces.workload import SLSWorkload, build_workload
+
+
+@dataclass(frozen=True)
+class EvaluationScale:
+    """Scale factors for laptop-size evaluation runs."""
+
+    #: Embedding-count scale applied to the Table I models.
+    model_scale: float = 0.01
+    #: Number of embedding tables per model.
+    num_tables: int = 8
+    #: Query batch size (the paper's default evaluation uses 8 per batch).
+    batch_size: int = 8
+    #: Number of batches replayed.
+    num_batches: int = 4
+    #: Average pooling factor (bag size).
+    pooling_factor: int = 16
+    #: Local DRAM capacity as a fraction of the *smallest* model's (RMC1)
+    #: working set.  The paper's 128 GB local DRAM is a small fraction of its
+    #: multi-terabyte deployments, so every model spills to CXL and the spill
+    #: fraction grows from RMC1 to RMC4 — this scaling reproduces that regime.
+    local_capacity_fraction: float = 0.50
+    #: Simulated host threads.
+    host_threads: int = 16
+    #: Default number of CXL memory devices (the paper's default is 4... 8).
+    num_cxl_devices: int = 4
+    #: Page-management epoch (lookups between maintenance passes).
+    migration_epoch_accesses: int = 1024
+    seed: int = 2024
+
+    def model(self, name: str) -> ModelConfig:
+        base = MODEL_CONFIGS[name]
+        scaled = scaled_model(base, self.model_scale)
+        return replace(scaled, num_tables=self.num_tables)
+
+    def reference_working_set_bytes(self) -> int:
+        """Working-set size of the scaled RMC1 (the smallest model)."""
+        reference = self.model("RMC1")
+        return reference.table_bytes * reference.num_tables
+
+    def local_capacity_bytes(self) -> int:
+        return max(
+            4 * 4096,
+            int(self.reference_working_set_bytes() * self.local_capacity_fraction),
+        )
+
+
+#: The default scale used by benchmarks; tests use smaller custom scales.
+DEFAULT_SCALE = EvaluationScale()
+
+#: A faster scale for unit/integration tests.
+QUICK_SCALE = EvaluationScale(
+    model_scale=0.004,
+    num_tables=4,
+    batch_size=4,
+    num_batches=2,
+    pooling_factor=8,
+    host_threads=8,
+    migration_epoch_accesses=512,
+)
+
+
+def evaluation_workload(
+    model_name: str,
+    scale: EvaluationScale = DEFAULT_SCALE,
+    distribution: str = "meta",
+    batch_size: Optional[int] = None,
+    num_hosts: int = 1,
+) -> SLSWorkload:
+    """Build the SLS workload for one model at the given scale.
+
+    ``num_hosts`` distributes the batch's requests across concurrent hosts
+    (used by the multi-host and multi-switch scaling experiments).
+    """
+    config = WorkloadConfig(
+        model=scale.model(model_name),
+        batch_size=batch_size or scale.batch_size,
+        pooling_factor=scale.pooling_factor,
+        num_batches=scale.num_batches,
+        distribution=distribution,
+        seed=scale.seed,
+    )
+    return build_workload(config, num_hosts=num_hosts)
+
+
+def evaluation_system(
+    scale: EvaluationScale = DEFAULT_SCALE,
+    num_cxl_devices: Optional[int] = None,
+    num_fabric_switches: int = 1,
+    num_hosts: int = 1,
+    local_capacity_bytes: Optional[int] = None,
+    base: SystemConfig = DEFAULT_SYSTEM,
+) -> SystemConfig:
+    """Build the :class:`SystemConfig` for one evaluation run."""
+    page_mgmt = replace(
+        base.page_mgmt, migration_epoch_accesses=scale.migration_epoch_accesses
+    )
+    return replace(
+        base,
+        local_dram_capacity_bytes=local_capacity_bytes or scale.local_capacity_bytes(),
+        num_cxl_devices=num_cxl_devices or scale.num_cxl_devices,
+        num_fabric_switches=num_fabric_switches,
+        num_hosts=num_hosts,
+        host_threads=scale.host_threads,
+        page_mgmt=page_mgmt,
+    )
+
+
+__all__ = [
+    "EvaluationScale",
+    "DEFAULT_SCALE",
+    "QUICK_SCALE",
+    "evaluation_workload",
+    "evaluation_system",
+]

@@ -1,0 +1,171 @@
+"""Fig 12: the main HW/SW co-evaluation (§VI-C1 .. §VI-C4).
+
+Five panels:
+
+* (a) normalized latency per scheme across the RMC1-RMC4 models,
+* (b) per trace distribution (Meta, Zipfian, Normal, Uniform, Random),
+* (c) scaling with the number of CXL memory devices,
+* (d) sensitivity to local DRAM capacity,
+* (e) the ablation study (PC, +OoO, +PM, +OSB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines import create_system
+from repro.config import BufferConfig, SystemConfig
+from repro.experiments.common import DEFAULT_SCALE, EvaluationScale, evaluation_system, evaluation_workload
+from repro.pifs.system import PIFSRecSystem
+from repro.sls.result import SimResult
+
+#: The schemes of Fig 12 (a)-(d), in the paper's order.
+FIG12_SYSTEMS = ("pond", "pond+pm", "beacon", "recnmp", "pifs-rec")
+FIG12_MODELS = ("RMC1", "RMC2", "RMC3", "RMC4")
+FIG12_TRACES = ("meta", "zipfian", "normal", "uniform", "random")
+FIG12_DEVICE_COUNTS = (2, 4, 8, 16)
+#: DRAM capacities relative to the default (128 GB, x2, x4 in the paper).
+FIG12_DRAM_MULTIPLIERS = (1, 2, 4)
+
+
+def _run(name: str, system_config: SystemConfig, workload) -> SimResult:
+    return create_system(name, system_config).run(workload)
+
+
+def run_fig12a(
+    scale: EvaluationScale = DEFAULT_SCALE,
+    systems: Sequence[str] = FIG12_SYSTEMS,
+    models: Sequence[str] = FIG12_MODELS,
+) -> Dict[str, Dict[str, float]]:
+    """Latency (ns) per model per system: ``{model: {system: total_ns}}``."""
+    results: Dict[str, Dict[str, float]] = {}
+    system_config = evaluation_system(scale)
+    for model in models:
+        workload = evaluation_workload(model, scale)
+        results[model] = {name: _run(name, system_config, workload).total_ns for name in systems}
+    return results
+
+
+def run_fig12b(
+    scale: EvaluationScale = DEFAULT_SCALE,
+    systems: Sequence[str] = FIG12_SYSTEMS,
+    traces: Sequence[str] = FIG12_TRACES,
+    model: str = "RMC4",
+) -> Dict[str, Dict[str, float]]:
+    """Latency per trace distribution: ``{trace: {system: total_ns}}``."""
+    results: Dict[str, Dict[str, float]] = {}
+    system_config = evaluation_system(scale)
+    for trace in traces:
+        workload = evaluation_workload(model, scale, distribution=trace)
+        results[trace] = {name: _run(name, system_config, workload).total_ns for name in systems}
+    return results
+
+
+def run_fig12c(
+    scale: EvaluationScale = DEFAULT_SCALE,
+    systems: Sequence[str] = FIG12_SYSTEMS,
+    device_counts: Sequence[int] = FIG12_DEVICE_COUNTS,
+    model: str = "RMC4",
+) -> Dict[int, Dict[str, float]]:
+    """Latency vs number of CXL memory devices."""
+    results: Dict[int, Dict[str, float]] = {}
+    workload = evaluation_workload(model, scale)
+    for count in device_counts:
+        system_config = evaluation_system(scale, num_cxl_devices=count)
+        results[count] = {name: _run(name, system_config, workload).total_ns for name in systems}
+    return results
+
+
+def run_fig12d(
+    scale: EvaluationScale = DEFAULT_SCALE,
+    systems: Sequence[str] = FIG12_SYSTEMS,
+    multipliers: Sequence[int] = FIG12_DRAM_MULTIPLIERS,
+    model: str = "RMC4",
+) -> Dict[int, Dict[str, float]]:
+    """Latency vs local DRAM capacity (x1 = the scaled 128 GB equivalent)."""
+    results: Dict[int, Dict[str, float]] = {}
+    workload = evaluation_workload(model, scale)
+    base_capacity = scale.local_capacity_bytes()
+    for multiplier in multipliers:
+        system_config = evaluation_system(
+            scale, local_capacity_bytes=base_capacity * multiplier
+        )
+        results[multiplier] = {
+            name: _run(name, system_config, workload).total_ns for name in systems
+        }
+    return results
+
+
+# ----------------------------------------------------------------------
+# Fig 12 (e): ablation study
+# ----------------------------------------------------------------------
+ABLATION_STEPS = ("Baseline", "PC", "PC/OoO", "PC/OoO/PM", "PC/OoO/PM/OSB")
+
+
+def run_fig12e(
+    scale: EvaluationScale = DEFAULT_SCALE,
+    models: Sequence[str] = FIG12_MODELS,
+) -> Dict[str, Dict[str, float]]:
+    """Ablation: cumulative PIFS-Rec features over the Pond baseline.
+
+    ``Baseline`` is Pond; ``PC`` adds the in-switch process core (no OoO, no
+    buffer, no PM); the remaining steps cumulatively add out-of-order
+    accumulation, page management, and the on-switch buffer.
+    """
+    results: Dict[str, Dict[str, float]] = {}
+    base_system = evaluation_system(scale)
+    no_buffer = BufferConfig(policy="none", capacity_bytes=0)
+
+    def pifs_variant(out_of_order: bool, page_management: bool, buffer_on: bool) -> PIFSRecSystem:
+        pifs_cfg = replace(
+            base_system.pifs,
+            out_of_order=out_of_order,
+            on_switch_buffer=base_system.pifs.on_switch_buffer if buffer_on else no_buffer,
+        )
+        cfg = replace(base_system, pifs=pifs_cfg)
+        return PIFSRecSystem(cfg, page_management=page_management)
+
+    for model in models:
+        workload = evaluation_workload(model, scale)
+        row: Dict[str, float] = {}
+        row["Baseline"] = create_system("pond", base_system).run(workload).total_ns
+        row["PC"] = pifs_variant(False, False, False).run(workload).total_ns
+        row["PC/OoO"] = pifs_variant(True, False, False).run(workload).total_ns
+        row["PC/OoO/PM"] = pifs_variant(True, True, False).run(workload).total_ns
+        row["PC/OoO/PM/OSB"] = pifs_variant(True, True, True).run(workload).total_ns
+        results[model] = row
+    return results
+
+
+def main() -> None:
+    from repro.analysis.report import format_table
+    from repro.analysis.stats import min_max_normalize
+
+    fig12a = run_fig12a()
+    rows = []
+    for model, by_system in fig12a.items():
+        normalized = min_max_normalize(by_system)
+        for system, value in normalized.items():
+            rows.append([model, system, by_system[system], value])
+    print(format_table(["model", "system", "latency_ns", "normalized"], rows))
+
+
+if __name__ == "__main__":
+    main()
+
+
+__all__ = [
+    "FIG12_SYSTEMS",
+    "FIG12_MODELS",
+    "FIG12_TRACES",
+    "FIG12_DEVICE_COUNTS",
+    "FIG12_DRAM_MULTIPLIERS",
+    "ABLATION_STEPS",
+    "run_fig12a",
+    "run_fig12b",
+    "run_fig12c",
+    "run_fig12d",
+    "run_fig12e",
+    "main",
+]

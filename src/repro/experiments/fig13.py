@@ -1,0 +1,192 @@
+"""Fig 13: page-management and scale-out sensitivity studies (§VI-C4, C6).
+
+* (a) embedding-migration threshold sweep: SLS latency plus the migration
+  cost under page-block and cache-line-block mechanisms;
+* (b) per-device access frequency before/after the spreading policy;
+* (c) latency vs fabric-switch count for different batch sizes;
+* (d) cold-age-threshold sweep for the hot/cold page swapping policy,
+  compared against TPP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Sequence
+
+from repro.analysis.stats import standard_deviation
+from repro.baselines import create_system
+from repro.experiments.common import DEFAULT_SCALE, EvaluationScale, evaluation_system, evaluation_workload
+from repro.pagemgmt.spreading import SpreadingPolicy
+from repro.pagemgmt.global_hotness import GlobalHotnessPolicy
+from repro.pifs.system import PIFSRecSystem
+
+MIGRATION_THRESHOLDS = (0.10, 0.20, 0.35, 0.50)
+COLD_AGE_THRESHOLDS = (0.04, 0.08, 0.16, 0.20)
+SWITCH_COUNTS = (1, 2, 4, 8)
+SWITCH_BATCHES = (8, 64, 256)
+
+
+def run_fig13a(
+    scale: EvaluationScale = DEFAULT_SCALE,
+    thresholds: Sequence[float] = MIGRATION_THRESHOLDS,
+    model: str = "RMC4",
+) -> Dict[float, Dict[str, float]]:
+    """Migration-threshold sweep.
+
+    For each threshold returns the normalizable SLS latency plus the
+    migration cost fraction under both migration mechanisms.
+    """
+    results: Dict[float, Dict[str, float]] = {}
+    workload = evaluation_workload(model, scale)
+    for threshold in thresholds:
+        entry: Dict[str, float] = {}
+        for mode in ("page_block", "cacheline_block"):
+            base = evaluation_system(scale)
+            cfg = replace(
+                base,
+                page_mgmt=replace(base.page_mgmt, migrate_threshold=threshold, migration_mode=mode),
+            )
+            system = PIFSRecSystem(cfg, spreading_policy=SpreadingPolicy(migrate_threshold=threshold))
+            result = system.run(workload)
+            entry[f"latency_{mode}"] = result.total_ns
+            entry[f"migration_cost_{mode}"] = result.migration_cost_fraction
+            entry[f"migrations_{mode}"] = float(result.migrations)
+        results[threshold] = entry
+    return results
+
+
+def run_fig13b(
+    scale: EvaluationScale = DEFAULT_SCALE,
+    model: str = "RMC4",
+    num_devices: int = 16,
+) -> Dict[str, Dict[int, float]]:
+    """Per-device relative access frequency before and after spreading.
+
+    Returns ``{"before": {device: freq}, "after": {...}, "std": {...}}``
+    where frequencies are percentages of the busiest device (before).
+    """
+    workload = evaluation_workload(model, scale)
+    system_config = evaluation_system(scale, num_cxl_devices=num_devices)
+
+    class _BlockedPlacementPIFS(PIFSRecSystem):
+        """PIFS hardware without PM, starting from a block-allocated spill.
+
+        Whole tables land on individual CXL devices, which is the unbalanced
+        "before PM" starting point of Fig 13 (b).
+        """
+
+        name = "PIFS-Rec (before PM)"
+
+        def build_placement(self, wl):
+            return self.place_capacity_order(wl, interleave_spill=False)
+
+    before = _BlockedPlacementPIFS(system_config, page_management=False).run(workload)
+    after = PIFSRecSystem(system_config, page_management=True).run(workload)
+
+    def relative(counts: Dict[int, int]) -> Dict[int, float]:
+        peak = max(counts.values()) if counts else 1
+        return {device: 100.0 * count / peak for device, count in sorted(counts.items())}
+
+    before_rel = relative(before.device_access_counts)
+    after_rel = relative(after.device_access_counts)
+    return {
+        "before": before_rel,
+        "after": after_rel,
+        "std": {
+            0: standard_deviation(list(before_rel.values())),
+            1: standard_deviation(list(after_rel.values())),
+        },
+    }
+
+
+def run_fig13c(
+    scale: EvaluationScale = DEFAULT_SCALE,
+    switch_counts: Sequence[int] = SWITCH_COUNTS,
+    batch_sizes: Sequence[int] = SWITCH_BATCHES,
+    model: str = "RMC4",
+) -> Dict[int, Dict[int, float]]:
+    """Latency vs fabric-switch count per batch size: ``{batch: {count: ns}}``.
+
+    Each fabric switch brings one host and a proportional share of the CXL
+    devices, as in the paper's scale-up experiment.
+    """
+    results: Dict[int, Dict[int, float]] = {}
+    for batch in batch_sizes:
+        per_batch: Dict[int, float] = {}
+        for count in switch_counts:
+            # One host and one local CXL memory device per fabric switch; the
+            # batch is shared between the hosts.
+            workload = evaluation_workload(model, scale, batch_size=batch, num_hosts=count)
+            system_config = evaluation_system(
+                scale,
+                num_cxl_devices=count,
+                num_fabric_switches=count,
+                num_hosts=count,
+            )
+            result = PIFSRecSystem(system_config).run(workload)
+            per_batch[count] = result.total_ns
+        results[batch] = per_batch
+    return results
+
+
+def run_fig13d(
+    scale: EvaluationScale = DEFAULT_SCALE,
+    thresholds: Sequence[float] = COLD_AGE_THRESHOLDS,
+    model: str = "RMC4",
+) -> Dict[str, Dict[str, float]]:
+    """Cold-age-threshold sweep vs TPP.
+
+    Returns ``{"TPP": {...}, "0.04": {...}, ...}`` with latency and migration
+    cost fraction per configuration.
+    """
+    workload = evaluation_workload(model, scale)
+    results: Dict[str, Dict[str, float]] = {}
+
+    tpp_result = create_system("tpp", evaluation_system(scale)).run(workload)
+    results["TPP"] = {
+        "latency": tpp_result.total_ns,
+        "migration_cost": tpp_result.migration_cost_fraction,
+    }
+    for threshold in thresholds:
+        base = evaluation_system(scale)
+        cfg = replace(base, page_mgmt=replace(base.page_mgmt, cold_age_threshold=threshold))
+        system = PIFSRecSystem(
+            cfg, hotness_policy=GlobalHotnessPolicy(cold_age_threshold=threshold)
+        )
+        result = system.run(workload)
+        results[f"{threshold:.2f}"] = {
+            "latency": result.total_ns,
+            "migration_cost": result.migration_cost_fraction,
+        }
+    return results
+
+
+def main() -> None:
+    from repro.analysis.report import format_table
+
+    fig13a = run_fig13a()
+    rows = [
+        [t, v["latency_cacheline_block"], v["migration_cost_cacheline_block"],
+         v["latency_page_block"], v["migration_cost_page_block"]]
+        for t, v in fig13a.items()
+    ]
+    print(format_table(
+        ["threshold", "latency(cl)", "mig_cost(cl)", "latency(page)", "mig_cost(page)"], rows
+    ))
+
+
+if __name__ == "__main__":
+    main()
+
+
+__all__ = [
+    "MIGRATION_THRESHOLDS",
+    "COLD_AGE_THRESHOLDS",
+    "SWITCH_COUNTS",
+    "SWITCH_BATCHES",
+    "run_fig13a",
+    "run_fig13b",
+    "run_fig13c",
+    "run_fig13d",
+    "main",
+]

@@ -1,0 +1,78 @@
+"""Fig 14: end-to-end inference speedup with multiple hosts (§VI-C4).
+
+The end-to-end speedup is obtained by weighting the SLS speedup measured on
+the simulator with the non-SLS operator fraction of each model (bottom/top
+MLP and feature interaction are not accelerated by PIFS-Rec).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.baselines import create_system
+from repro.dlrm.model import operator_profile
+from repro.experiments.common import DEFAULT_SCALE, EvaluationScale, evaluation_system, evaluation_workload
+from repro.pifs.system import PIFSRecSystem
+from repro.traces.workload import build_workload
+
+HOST_COUNTS = (1, 2, 4, 8)
+BATCH_SIZES = (8, 64, 256)
+FIG14_MODELS = ("RMC1", "RMC2")
+
+
+def run_fig14(
+    scale: EvaluationScale = DEFAULT_SCALE,
+    models: Sequence[str] = FIG14_MODELS,
+    host_counts: Sequence[int] = HOST_COUNTS,
+    batch_sizes: Sequence[int] = BATCH_SIZES,
+) -> Dict[str, Dict[int, Dict[int, float]]]:
+    """End-to-end speedup of PIFS-Rec over Pond: ``{model: {batch: {hosts: x}}}``.
+
+    ``hosts = 1`` corresponds to the "Host" point of Fig 14 (the baseline
+    parameter server handling the whole batch itself).
+    """
+    results: Dict[str, Dict[int, Dict[int, float]]] = {}
+    for model_name in models:
+        model_results: Dict[int, Dict[int, float]] = {}
+        for batch in batch_sizes:
+            per_hosts: Dict[int, float] = {}
+            profile = operator_profile(
+                scale.model(model_name), batch, pooling_factor=scale.pooling_factor
+            )
+            baseline_workload = evaluation_workload(model_name, scale, batch_size=batch)
+            baseline = create_system("pond", evaluation_system(scale)).run(baseline_workload)
+            for hosts in host_counts:
+                workload = evaluation_workload(
+                    model_name, scale, batch_size=batch, num_hosts=hosts
+                )
+                system_config = evaluation_system(
+                    scale,
+                    num_hosts=hosts,
+                    num_fabric_switches=1,
+                    num_cxl_devices=max(scale.num_cxl_devices, hosts),
+                )
+                result = PIFSRecSystem(system_config).run(workload)
+                sls_speedup = baseline.total_ns / result.total_ns
+                per_hosts[hosts] = profile.end_to_end_speedup(sls_speedup)
+            model_results[batch] = per_hosts
+        results[model_name] = model_results
+    return results
+
+
+def main() -> None:
+    from repro.analysis.report import format_table
+
+    data = run_fig14()
+    rows = []
+    for model, by_batch in data.items():
+        for batch, by_hosts in by_batch.items():
+            for hosts, speedup in by_hosts.items():
+                rows.append([model, batch, hosts, speedup])
+    print(format_table(["model", "batch", "hosts", "end_to_end_speedup"], rows))
+
+
+if __name__ == "__main__":
+    main()
+
+
+__all__ = ["HOST_COUNTS", "BATCH_SIZES", "FIG14_MODELS", "run_fig14", "main"]

@@ -1,0 +1,72 @@
+"""Fig 15: on-switch buffer capacity and replacement-policy sweep (§VI-C5)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Sequence
+
+from repro.config import KIB, BufferConfig
+from repro.experiments.common import DEFAULT_SCALE, EvaluationScale, evaluation_system, evaluation_workload
+from repro.pifs.system import PIFSRecSystem
+
+BUFFER_SIZES = (64 * KIB, 128 * KIB, 256 * KIB, 512 * KIB, 1024 * KIB)
+POLICIES = ("htr", "lru", "fifo")
+
+
+def run_fig15(
+    scale: EvaluationScale = DEFAULT_SCALE,
+    buffer_sizes: Sequence[int] = BUFFER_SIZES,
+    policies: Sequence[str] = POLICIES,
+    model: str = "RMC4",
+) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Speedup over the no-buffer configuration and hit ratio per policy/size.
+
+    Returns ``{policy: {capacity_bytes: {"speedup": x, "hit_ratio": h}}}``.
+    The sweep disables page management so the buffer sees the full embedding
+    reuse stream, matching the paper's isolation of the caching effect.
+    """
+    workload = evaluation_workload(model, scale)
+    base_system = evaluation_system(scale)
+
+    no_buffer_cfg = replace(
+        base_system, pifs=replace(base_system.pifs, on_switch_buffer=BufferConfig(policy="none", capacity_bytes=0))
+    )
+    baseline = PIFSRecSystem(no_buffer_cfg, page_management=False).run(workload)
+
+    results: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for policy in policies:
+        per_policy: Dict[int, Dict[str, float]] = {}
+        for capacity in buffer_sizes:
+            cfg = replace(
+                base_system,
+                pifs=replace(
+                    base_system.pifs,
+                    on_switch_buffer=BufferConfig(policy=policy, capacity_bytes=capacity),
+                ),
+            )
+            result = PIFSRecSystem(cfg, page_management=False).run(workload)
+            per_policy[capacity] = {
+                "speedup": baseline.total_ns / result.total_ns,
+                "hit_ratio": result.buffer_hit_ratio,
+                "latency": result.total_ns,
+            }
+        results[policy] = per_policy
+    return results
+
+
+def main() -> None:
+    from repro.analysis.report import format_table
+
+    data = run_fig15()
+    rows = []
+    for policy, by_size in data.items():
+        for size, metrics in by_size.items():
+            rows.append([policy, size // KIB, metrics["speedup"], metrics["hit_ratio"]])
+    print(format_table(["policy", "size_kib", "speedup", "hit_ratio"], rows))
+
+
+if __name__ == "__main__":
+    main()
+
+
+__all__ = ["BUFFER_SIZES", "POLICIES", "run_fig15", "main"]

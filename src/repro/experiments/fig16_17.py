@@ -1,0 +1,103 @@
+"""Fig 16 (TCO) and Fig 17 (throughput) — the cost and performance analysis (§VI-E)."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.baselines.gpu_ps import GPUParameterServer
+from repro.config import MODEL_CONFIGS
+from repro.cost.tco import TCOModel
+
+GPU_COUNTS = (2, 3, 4)
+FIG16_MODELS = ("RMC1", "RMC2", "RMC3", "RMC4")
+
+
+def run_fig16(
+    models: Sequence[str] = FIG16_MODELS, gpu_counts: Sequence[int] = GPU_COUNTS
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Normalized TCO per model: ``{model: {config: {capex, opex, total}}}``.
+
+    Values are normalized to the most expensive configuration of each model
+    (min-max normalization of Fig 16).
+    """
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for model_name in models:
+        tco = TCOModel(MODEL_CONFIGS[model_name])
+        reports = tco.comparison(gpu_counts)
+        peak = max(report.total_usd for report in reports.values())
+        results[model_name] = {
+            key: {
+                "capex": report.capex_usd / peak,
+                "opex": report.opex_usd / peak,
+                "total": report.total_usd / peak,
+                "total_usd": report.total_usd,
+            }
+            for key, report in reports.items()
+        }
+    return results
+
+
+def run_fig17(
+    models: Sequence[str] = FIG16_MODELS,
+    gpu_counts: Sequence[int] = GPU_COUNTS,
+    pifs_effective_bandwidth_gbps: float = 180.0,
+) -> Dict[str, Dict[str, float]]:
+    """Normalized SLS throughput per model: GPU x2/x3/x4 vs PIFS-Rec.
+
+    The GPU throughput comes from the HBM/PCIe roofline; PIFS-Rec throughput
+    is modelled as the aggregate loaded bandwidth of the local DDR5 channels
+    plus the CXL downstream ports divided by the bytes each query moves —
+    PIFS-Rec is bandwidth-bound but insensitive to the model footprint.
+    """
+    results: Dict[str, Dict[str, float]] = {}
+    for model_name in models:
+        model = MODEL_CONFIGS[model_name]
+        per_config: Dict[str, float] = {}
+        for count in gpu_counts:
+            ps = GPUParameterServer(count, model)
+            per_config[f"GPUX{count}"] = ps.throughput_queries_per_us()
+        bytes_per_query = 8 * 8 * model.embedding_row_bytes
+        per_config["PIFS-Rec"] = pifs_effective_bandwidth_gbps / bytes_per_query * 1000.0
+        peak = max(per_config.values())
+        results[model_name] = {key: value / peak for key, value in per_config.items()}
+    return results
+
+
+def run_performance_per_watt(
+    models: Sequence[str] = FIG16_MODELS,
+    pifs_effective_bandwidth_gbps: float = 180.0,
+    pifs_power_watts: float = 1200.0,
+) -> Dict[str, float]:
+    """PIFS-Rec performance-per-watt relative to a 4-GPU parameter server."""
+    results: Dict[str, float] = {}
+    for model_name in models:
+        model = MODEL_CONFIGS[model_name]
+        ps = GPUParameterServer(4, model)
+        gpu_ppw = ps.performance_per_watt()
+        bytes_per_query = 8 * 8 * model.embedding_row_bytes
+        pifs_throughput = pifs_effective_bandwidth_gbps / bytes_per_query * 1000.0
+        pifs_ppw = pifs_throughput / pifs_power_watts
+        results[model_name] = pifs_ppw / gpu_ppw if gpu_ppw > 0 else float("inf")
+    return results
+
+
+def main() -> None:
+    from repro.analysis.report import format_table
+
+    fig16 = run_fig16()
+    rows = []
+    for model, configs in fig16.items():
+        for config, values in configs.items():
+            rows.append([model, config, values["capex"], values["opex"], values["total"]])
+    print(format_table(["model", "config", "capex", "opex", "total(norm)"], rows))
+
+    fig17 = run_fig17()
+    rows = [[model, *(configs[k] for k in sorted(configs))] for model, configs in fig17.items()]
+    print(format_table(["model", *sorted(next(iter(fig17.values())))], rows))
+
+
+if __name__ == "__main__":
+    main()
+
+
+__all__ = ["GPU_COUNTS", "FIG16_MODELS", "run_fig16", "run_fig17", "run_performance_per_watt", "main"]

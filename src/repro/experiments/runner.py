@@ -1,0 +1,117 @@
+"""Run every experiment and print a compact report.
+
+``python -m repro.experiments.runner --quick`` regenerates every figure and
+table of the paper at a reduced scale; dropping ``--quick`` uses the default
+evaluation scale used by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict
+
+from repro.analysis.report import format_table
+from repro.analysis.stats import min_max_normalize
+from repro.experiments import characterization, fig12, fig13, fig14, fig15, fig16_17, fig18, tables
+from repro.experiments.common import DEFAULT_SCALE, QUICK_SCALE, EvaluationScale
+
+
+def _print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def run_all(scale: EvaluationScale) -> Dict[str, object]:
+    """Run every experiment; returns the raw data keyed by experiment id."""
+    data: Dict[str, object] = {}
+
+    _print_header("Table I / II / III")
+    tables.main()
+    data["tables"] = {
+        "table1": tables.table1_models(),
+        "table2": tables.table2_hardware(),
+        "table3": tables.table3_specs(),
+    }
+
+    _print_header("Fig 5 / Fig 6 — characterization")
+    fig5 = characterization.run_fig5(
+        table_sizes=characterization.TABLE_SIZES[:4],
+        embedding_dims=(16, 64),
+        lookups_per_thread=64,
+    )
+    fig6 = characterization.run_fig6(lookups_per_thread=64)
+    data["fig5"], data["fig6"] = fig5, fig6
+    print(format_table(
+        ["config", "dimm_share", "cxl_share"],
+        [[cfg, v["dimm"], v["cxl"]] for cfg, v in fig6.items()],
+    ))
+
+    _print_header("Fig 12 (a) — models x systems")
+    fig12a = fig12.run_fig12a(scale)
+    data["fig12a"] = fig12a
+    rows = []
+    for model, by_system in fig12a.items():
+        norm = min_max_normalize(by_system)
+        rows.extend([[model, system, by_system[system], norm[system]] for system in by_system])
+    print(format_table(["model", "system", "latency_ns", "normalized"], rows))
+
+    _print_header("Fig 12 (b) — trace distributions (RMC4)")
+    fig12b = fig12.run_fig12b(scale)
+    data["fig12b"] = fig12b
+    rows = []
+    for trace, by_system in fig12b.items():
+        norm = min_max_normalize(by_system)
+        rows.extend([[trace, system, norm[system]] for system in by_system])
+    print(format_table(["trace", "system", "normalized latency"], rows))
+
+    _print_header("Fig 12 (c) — memory device count")
+    data["fig12c"] = fig12.run_fig12c(scale)
+    _print_header("Fig 12 (d) — DRAM capacity")
+    data["fig12d"] = fig12.run_fig12d(scale)
+    _print_header("Fig 12 (e) — ablation")
+    fig12e = fig12.run_fig12e(scale, models=("RMC1", "RMC4"))
+    data["fig12e"] = fig12e
+    rows = []
+    for model, steps in fig12e.items():
+        rows.extend([[model, step, value] for step, value in steps.items()])
+    print(format_table(["model", "step", "latency_ns"], rows))
+
+    _print_header("Fig 13 — page management & scale-out")
+    data["fig13a"] = fig13.run_fig13a(scale)
+    data["fig13b"] = fig13.run_fig13b(scale, num_devices=8)
+    data["fig13c"] = fig13.run_fig13c(scale, switch_counts=(1, 2, 4), batch_sizes=(8, 64))
+    data["fig13d"] = fig13.run_fig13d(scale)
+
+    _print_header("Fig 14 — multi-host end-to-end speedup")
+    data["fig14"] = fig14.run_fig14(scale, host_counts=(1, 2, 4), batch_sizes=(8, 64))
+
+    _print_header("Fig 15 — on-switch buffer")
+    data["fig15"] = fig15.run_fig15(scale)
+
+    _print_header("Fig 16 / 17 — TCO and throughput")
+    data["fig16"] = fig16_17.run_fig16()
+    data["fig17"] = fig16_17.run_fig17()
+
+    _print_header("Fig 18 — hardware overheads")
+    fig18.main()
+    data["fig18"] = fig18.run_fig18()
+    data["energy"] = fig18.run_energy_comparison(scale)
+
+    return data
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description="Run all PIFS-Rec reproduction experiments")
+    parser.add_argument("--quick", action="store_true", help="use the reduced test scale")
+    args = parser.parse_args()
+    scale = QUICK_SCALE if args.quick else DEFAULT_SCALE
+    run_all(scale)
+
+
+if __name__ == "__main__":
+    main()
+
+
+__all__ = ["run_all", "main"]

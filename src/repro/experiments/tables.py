@@ -1,0 +1,85 @@
+"""Tables I-III of the paper as structured data."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import DEFAULT_SYSTEM, MODEL_CONFIGS
+from repro.cost.hardware_specs import HARDWARE_SPECS
+
+
+def table1_models() -> List[Dict[str, object]]:
+    """Table I: model parameters."""
+    rows: List[Dict[str, object]] = []
+    for name, model in MODEL_CONFIGS.items():
+        rows.append(
+            {
+                "name": name,
+                "emb_num": model.num_embeddings,
+                "emb_dim": model.embedding_dim,
+                "bottom_mlp": "-".join(str(x) for x in model.bottom_mlp),
+                "top_mlp": "-".join(str(x) for x in model.top_mlp),
+            }
+        )
+    return rows
+
+
+def table2_hardware() -> Dict[str, Dict[str, object]]:
+    """Table II: the hardware configuration used by the simulator."""
+    dram = DEFAULT_SYSTEM.local_dram
+    cxl = DEFAULT_SYSTEM.cxl
+    timings = dram.timings
+    return {
+        "dram": {
+            "dimm_capacity_gb": dram.dimm_capacity_bytes // (1024 ** 3),
+            "channels": dram.channels,
+            "ranks": dram.ranks_per_channel,
+            "frequency_mhz": int(1e6 / timings.tck_ps),
+            "cl_rcd_rp_ras": (timings.cl, timings.trcd, timings.trp, timings.tras),
+            "trc_twr_trtp": (timings.trc, timings.twr, timings.trtp),
+            "tcwl_nrfc1_tck_ps": (timings.tcwl, timings.nrfc1, timings.tck_ps),
+        },
+        "cxl": {
+            "downstream_port_gbps": cxl.downstream_port_bandwidth_gbps,
+            "downstream_ports": cxl.downstream_ports,
+            "buffer_read_ns": cxl.buffer_read_ns,
+            "buffer_write_ns": cxl.buffer_write_ns,
+            "access_penalty_ns": cxl.access_penalty_ns,
+        },
+    }
+
+
+def table3_specs() -> List[Dict[str, object]]:
+    """Table III: hardware specifications and prices."""
+    return [
+        {
+            "key": key,
+            "name": spec.name,
+            "description": spec.description,
+            "tdp_watts": spec.tdp_watts,
+            "price_usd": spec.price_usd,
+            "per_gb": spec.per_gb,
+        }
+        for key, spec in HARDWARE_SPECS.items()
+    ]
+
+
+def main() -> None:
+    from repro.analysis.report import format_table
+
+    print(format_table(
+        ["name", "emb_num", "emb_dim", "bottom_mlp", "top_mlp"],
+        [[r["name"], r["emb_num"], r["emb_dim"], r["bottom_mlp"], r["top_mlp"]] for r in table1_models()],
+    ))
+    print()
+    print(format_table(
+        ["name", "tdp_w", "price_usd"],
+        [[r["name"], r["tdp_watts"], r["price_usd"]] for r in table3_specs()],
+    ))
+
+
+if __name__ == "__main__":
+    main()
+
+
+__all__ = ["table1_models", "table2_hardware", "table3_specs", "main"]

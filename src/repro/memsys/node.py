@@ -1,0 +1,94 @@
+"""Memory nodes (tiers) of the simulated machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.config import CACHE_LINE_BYTES, PAGE_SIZE_BYTES
+
+
+class MemoryTier(Enum):
+    """The three memory tiers of the characterization platform (Fig 3)."""
+
+    LOCAL_DRAM = "local_dram"
+    REMOTE_SOCKET = "remote_socket"
+    CXL = "cxl"
+
+
+@dataclass
+class MemoryNode:
+    """One memory node: a pool of pages with a latency/bandwidth envelope.
+
+    The node-level envelope is used by placement policies and by the
+    characterization experiments (Fig 5/6); detailed per-access timing for
+    the evaluation figures is produced by the DRAM/CXL device models, which
+    the SLS systems associate with nodes via ``node_id``.
+    """
+
+    node_id: int
+    tier: MemoryTier
+    capacity_bytes: int
+    base_latency_ns: float
+    bandwidth_gbps: float
+    name: str = ""
+    used_bytes: int = 0
+    access_count: int = 0
+    bytes_served: int = 0
+    busy_until_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"{self.tier.value}{self.node_id}"
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    @property
+    def page_capacity(self) -> int:
+        """Number of 4 KB pages the node can hold."""
+        return self.capacity_bytes // PAGE_SIZE_BYTES
+
+    @property
+    def free_bytes(self) -> int:
+        return max(0, self.capacity_bytes - self.used_bytes)
+
+    def can_fit(self, num_bytes: int) -> bool:
+        return self.free_bytes >= num_bytes
+
+    def allocate(self, num_bytes: int) -> None:
+        """Reserve ``num_bytes`` on the node."""
+        if not self.can_fit(num_bytes):
+            raise MemoryError(
+                f"node {self.name} cannot fit {num_bytes} bytes "
+                f"({self.free_bytes} free)"
+            )
+        self.used_bytes += num_bytes
+
+    def release(self, num_bytes: int) -> None:
+        """Release previously reserved bytes."""
+        self.used_bytes = max(0, self.used_bytes - num_bytes)
+
+    def serve(self, start_ns: float, bytes_requested: int = CACHE_LINE_BYTES) -> float:
+        """Serve an access with the node-level envelope; returns finish time.
+
+        The envelope serializes transfers on the node's aggregate bandwidth
+        and adds the tier's base latency — this is the coarse model used by
+        the characterization study where only relative tier behaviour
+        matters.
+        """
+        self.access_count += 1
+        self.bytes_served += bytes_requested
+        serialization = bytes_requested / self.bandwidth_gbps
+        begin = max(start_ns, self.busy_until_ns)
+        self.busy_until_ns = begin + serialization
+        return begin + serialization + self.base_latency_ns
+
+    def reset_counters(self) -> None:
+        self.access_count = 0
+        self.bytes_served = 0
+        self.busy_until_ns = 0.0
+
+
+__all__ = ["MemoryNode", "MemoryTier"]

@@ -1,0 +1,257 @@
+"""Tiered memory system: page table, per-node accounting, migration engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import CACHE_LINE_BYTES, PAGE_SIZE_BYTES
+from repro.memsys.hotness import AccessTracker
+from repro.memsys.node import MemoryNode, MemoryTier
+from repro.memsys.page import Page, page_id_of
+
+
+@dataclass
+class MigrationRecord:
+    """One page migration event."""
+
+    page_id: int
+    src_node: int
+    dst_node: int
+    cost_ns: float
+    mode: str  # "page_block" | "cacheline_block"
+
+
+@dataclass
+class MigrationStats:
+    """Aggregate migration accounting."""
+
+    migrations: int = 0
+    total_cost_ns: float = 0.0
+    blocked_row_accesses: int = 0
+
+    def record(self, cost_ns: float, blocked_rows: int) -> None:
+        self.migrations += 1
+        self.total_cost_ns += cost_ns
+        self.blocked_row_accesses += blocked_rows
+
+
+class TieredMemorySystem:
+    """Page-granular placement over a set of memory nodes.
+
+    The tiered system owns the page table (page id -> node), per-page and
+    per-node access counters, and the migration engine that models the cost
+    of page-block vs cache-line-block migration (§IV-B4).
+    """
+
+    #: Cost to move one cache line between nodes (ns): the copy is pipelined
+    #: over the CXL link, so the per-line cost is close to its serialization
+    #: time; used by both migration modes.
+    CACHELINE_COPY_NS = 5.0
+    #: Extra fixed software overhead of an OS page-granular migration
+    #: (unmap/TLB-shootdown/remap) in ns.
+    PAGE_BLOCK_OVERHEAD_NS = 1500.0
+    #: Extra fixed overhead of the cache-line-granular migration controller.
+    CACHELINE_BLOCK_OVERHEAD_NS = 100.0
+
+    def __init__(
+        self,
+        nodes: Sequence[MemoryNode],
+        page_size: int = PAGE_SIZE_BYTES,
+        migration_mode: str = "cacheline_block",
+    ) -> None:
+        if not nodes:
+            raise ValueError("at least one node is required")
+        if migration_mode not in ("page_block", "cacheline_block"):
+            raise ValueError(f"unknown migration mode {migration_mode!r}")
+        self._nodes: Dict[int, MemoryNode] = {node.node_id: node for node in nodes}
+        if len(self._nodes) != len(nodes):
+            raise ValueError("node ids must be unique")
+        self._page_size = page_size
+        self._migration_mode = migration_mode
+        self._pages: Dict[int, Page] = {}
+        self._node_access: Dict[int, AccessTracker] = {
+            node_id: AccessTracker() for node_id in self._nodes
+        }
+        self._migration_stats = MigrationStats()
+        self._migration_log: List[MigrationRecord] = []
+
+    # ------------------------------------------------------------------
+    # Construction / placement
+    # ------------------------------------------------------------------
+    @property
+    def page_size(self) -> int:
+        return self._page_size
+
+    @property
+    def migration_mode(self) -> str:
+        return self._migration_mode
+
+    @property
+    def migration_stats(self) -> MigrationStats:
+        return self._migration_stats
+
+    @property
+    def migration_log(self) -> List[MigrationRecord]:
+        return list(self._migration_log)
+
+    def nodes(self) -> List[MemoryNode]:
+        return [self._nodes[k] for k in sorted(self._nodes)]
+
+    def node(self, node_id: int) -> MemoryNode:
+        return self._nodes[node_id]
+
+    def nodes_by_tier(self, tier: MemoryTier) -> List[MemoryNode]:
+        return [n for n in self.nodes() if n.tier is tier]
+
+    def pages(self) -> List[Page]:
+        return [self._pages[k] for k in sorted(self._pages)]
+
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    def install_placement(self, placement: Dict[int, int]) -> None:
+        """Install an initial page placement (page id -> node id)."""
+        for page_id, node_id in placement.items():
+            if node_id not in self._nodes:
+                raise KeyError(f"unknown node id {node_id}")
+            if page_id in self._pages:
+                raise ValueError(f"page {page_id} already placed")
+            self._nodes[node_id].allocate(self._page_size)
+            self._pages[page_id] = Page(page_id=page_id, node_id=node_id)
+
+    def place_page(self, page_id: int, node_id: int) -> Page:
+        """Place a single page (used by tests and incremental allocation)."""
+        self.install_placement({page_id: node_id})
+        return self._pages[page_id]
+
+    # ------------------------------------------------------------------
+    # Lookup / access recording
+    # ------------------------------------------------------------------
+    def page(self, page_id: int) -> Page:
+        return self._pages[page_id]
+
+    def node_of_address(self, address: int) -> MemoryNode:
+        """The node currently holding ``address``."""
+        page = self._pages[page_id_of(address, self._page_size)]
+        return self._nodes[page.node_id]
+
+    def node_of_page(self, page_id: int) -> MemoryNode:
+        return self._nodes[self._pages[page_id].node_id]
+
+    def record_access(self, address: int, now_ns: float = 0.0) -> Page:
+        """Record an access to ``address`` in page and node counters."""
+        page_id = page_id_of(address, self._page_size)
+        page = self._pages[page_id]
+        page.record_access(now_ns)
+        self._node_access[page.node_id].record(page_id)
+        self._nodes[page.node_id].access_count += 1
+        return page
+
+    def node_access_tracker(self, node_id: int) -> AccessTracker:
+        return self._node_access[node_id]
+
+    def node_access_counts(self) -> Dict[int, int]:
+        """Access counts per node since the last counter reset."""
+        return {node_id: node.access_count for node_id, node in self._nodes.items()}
+
+    # ------------------------------------------------------------------
+    # Migration
+    # ------------------------------------------------------------------
+    def migration_cost_ns(self, mode: Optional[str] = None) -> float:
+        """Cost of migrating one page under ``mode`` (default: configured)."""
+        mode = mode or self._migration_mode
+        lines = self._page_size // CACHE_LINE_BYTES
+        copy_cost = lines * self.CACHELINE_COPY_NS
+        if mode == "page_block":
+            return copy_cost + self.PAGE_BLOCK_OVERHEAD_NS
+        return copy_cost + self.CACHELINE_BLOCK_OVERHEAD_NS
+
+    def blocked_rows_per_migration(self, row_bytes: int, mode: Optional[str] = None) -> int:
+        """How many row vectors are made inaccessible during one migration.
+
+        With OS page-block migration every row in the page is blocked; with
+        the cache-line-block mechanism only the rows sharing the in-flight
+        cache line are blocked.
+        """
+        mode = mode or self._migration_mode
+        rows_per_page = max(1, self._page_size // row_bytes)
+        if mode == "page_block":
+            return rows_per_page
+        rows_per_line = max(1, CACHE_LINE_BYTES // row_bytes)
+        return min(rows_per_page, rows_per_line)
+
+    def migrate_page(
+        self,
+        page_id: int,
+        dst_node_id: int,
+        row_bytes: int = 64,
+        mode: Optional[str] = None,
+    ) -> MigrationRecord:
+        """Migrate ``page_id`` to ``dst_node_id``; returns the event record."""
+        if dst_node_id not in self._nodes:
+            raise KeyError(f"unknown node id {dst_node_id}")
+        page = self._pages[page_id]
+        src_node_id = page.node_id
+        if src_node_id == dst_node_id:
+            record = MigrationRecord(page_id, src_node_id, dst_node_id, 0.0, mode or self._migration_mode)
+            return record
+        dst = self._nodes[dst_node_id]
+        src = self._nodes[src_node_id]
+        if not dst.can_fit(self._page_size):
+            raise MemoryError(f"node {dst.name} has no room for page {page_id}")
+        mode = mode or self._migration_mode
+        cost = self.migration_cost_ns(mode)
+        blocked = self.blocked_rows_per_migration(row_bytes, mode)
+        dst.allocate(self._page_size)
+        src.release(self._page_size)
+        page.node_id = dst_node_id
+        page.migrations += 1
+        self._migration_stats.record(cost, blocked)
+        record = MigrationRecord(page_id, src_node_id, dst_node_id, cost, mode)
+        self._migration_log.append(record)
+        return record
+
+    def swap_pages(self, page_a: int, page_b: int, row_bytes: int = 64) -> List[MigrationRecord]:
+        """Swap the placements of two pages (claim & swap, Fig 10a)."""
+        a = self._pages[page_a]
+        b = self._pages[page_b]
+        if a.node_id == b.node_id:
+            return []
+        node_a, node_b = a.node_id, b.node_id
+        # Perform the swap without requiring slack capacity on either node:
+        # the exchange is modelled as two migrations whose capacity effects
+        # cancel out.
+        a.node_id, b.node_id = node_b, node_a
+        a.migrations += 1
+        b.migrations += 1
+        cost = self.migration_cost_ns()
+        blocked = self.blocked_rows_per_migration(row_bytes)
+        records = [
+            MigrationRecord(page_a, node_a, node_b, cost, self._migration_mode),
+            MigrationRecord(page_b, node_b, node_a, cost, self._migration_mode),
+        ]
+        for record in records:
+            self._migration_stats.record(record.cost_ns, blocked)
+            self._migration_log.append(record)
+        return records
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def reset_access_counters(self) -> None:
+        for node in self._nodes.values():
+            node.reset_counters()
+        for tracker in self._node_access.values():
+            tracker.reset()
+        for page in self._pages.values():
+            page.access_count = 0
+
+    def decay_hotness(self, factor: float = 0.5) -> None:
+        for page in self._pages.values():
+            page.decay(factor)
+        for tracker in self._node_access.values():
+            tracker.decay(factor)
+
+
+__all__ = ["TieredMemorySystem", "MigrationRecord", "MigrationStats"]

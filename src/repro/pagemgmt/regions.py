@@ -1,0 +1,56 @@
+"""Private-hot / public-cold region bookkeeping (§IV-B2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+
+@dataclass
+class HostRegions:
+    """The page regions visible to one host.
+
+    * the *private hot region* lives in the host's local DRAM and holds the
+      pages this host accesses most frequently;
+    * the *public cold region* is the CXL memory address space shared by all
+      hosts.
+
+    The class tracks which pages each host has claimed so that two hosts do
+    not both designate the same page as private hot (the paper's rule: if a
+    page is already another host's private hot page, the host picks its next
+    most frequently accessed page instead).
+    """
+
+    host_id: int
+    private_hot: Set[int] = field(default_factory=set)
+    #: Shared map page -> owning host, passed in by the coordinator so that
+    #: claims are visible across hosts.
+    global_claims: Dict[int, int] = field(default_factory=dict)
+
+    def is_claimed_by_other(self, page_id: int) -> bool:
+        owner = self.global_claims.get(page_id)
+        return owner is not None and owner != self.host_id
+
+    def claim(self, page_id: int) -> bool:
+        """Claim ``page_id`` as private hot; returns False if another host owns it."""
+        if self.is_claimed_by_other(page_id):
+            return False
+        self.private_hot.add(page_id)
+        self.global_claims[page_id] = self.host_id
+        return True
+
+    def release(self, page_id: int) -> None:
+        """Release a page back to the public cold region."""
+        self.private_hot.discard(page_id)
+        if self.global_claims.get(page_id) == self.host_id:
+            del self.global_claims[page_id]
+
+    def owns(self, page_id: int) -> bool:
+        return page_id in self.private_hot
+
+    @property
+    def num_private_pages(self) -> int:
+        return len(self.private_hot)
+
+
+__all__ = ["HostRegions"]

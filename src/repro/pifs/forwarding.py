@@ -1,0 +1,141 @@
+"""Multi-layer instruction forwarding across fabric switches (§IV-C).
+
+In a scaled-out fabric every switch owns a local host and local Type 3
+memory.  A row-accumulation request whose candidates span several switches
+is split: each remote switch accumulates its local candidates (tracking a
+Sub-SumCandidateCounter) and forwards only the partial sum back to the local
+switch, whose forward controller combines sub-sums once every candidate has
+been processed.  Switches without a process core (CNV = 0) forward raw rows
+instead, and the local switch accumulates them itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import CXLConfig
+from repro.cxl.topology import FabricTopology
+
+
+@dataclass
+class SubSumRecord:
+    """Tracking record for one remote switch's contribution to a sumtag."""
+
+    switch_id: int
+    sub_candidate_count: int
+    completed: bool = False
+    arrival_ns: float = 0.0
+
+
+@dataclass
+class ForwardDecision:
+    """The forward controller's verdict once sub-results arrive."""
+
+    complete: bool
+    forward_ns: float
+    missing_switches: List[int] = field(default_factory=list)
+
+
+class ForwardController:
+    """Per-sumtag tracking of sub-sums expected from remote switches."""
+
+    def __init__(self) -> None:
+        self._expected: Dict[int, Dict[int, SubSumRecord]] = {}
+
+    def expect(self, sumtag: int, switch_id: int, sub_candidate_count: int) -> None:
+        """Register that ``switch_id`` owes ``sub_candidate_count`` candidates."""
+        if sub_candidate_count <= 0:
+            raise ValueError("sub_candidate_count must be positive")
+        self._expected.setdefault(sumtag, {})[switch_id] = SubSumRecord(
+            switch_id=switch_id, sub_candidate_count=sub_candidate_count
+        )
+
+    def record_arrival(self, sumtag: int, switch_id: int, arrival_ns: float) -> ForwardDecision:
+        """Record a sub-sum arrival; decide whether the result can be forwarded."""
+        records = self._expected.get(sumtag)
+        if records is None or switch_id not in records:
+            raise KeyError(f"sumtag {sumtag} does not expect switch {switch_id}")
+        record = records[switch_id]
+        record.completed = True
+        record.arrival_ns = arrival_ns
+        missing = [r.switch_id for r in records.values() if not r.completed]
+        if missing:
+            return ForwardDecision(complete=False, forward_ns=arrival_ns, missing_switches=missing)
+        forward_ns = max(r.arrival_ns for r in records.values())
+        return ForwardDecision(complete=True, forward_ns=forward_ns)
+
+    def discard(self, sumtag: int) -> None:
+        """Discard tracking state (e.g. after a data-transfer error)."""
+        self._expected.pop(sumtag, None)
+
+    def outstanding(self, sumtag: int) -> int:
+        records = self._expected.get(sumtag, {})
+        return sum(1 for r in records.values() if not r.completed)
+
+
+class MultiSwitchCoordinator:
+    """Cost model for splitting an accumulation across a fabric of switches."""
+
+    def __init__(
+        self,
+        topology: FabricTopology,
+        cxl_config: CXLConfig,
+        compute_capable: Optional[Sequence[bool]] = None,
+    ) -> None:
+        self._topology = topology
+        self._config = cxl_config
+        if compute_capable is None:
+            compute_capable = [True] * topology.num_switches
+        if len(compute_capable) != topology.num_switches:
+            raise ValueError("compute_capable must have one flag per switch")
+        self._cnv = list(compute_capable)
+        self.forward_controller = ForwardController()
+
+    @property
+    def num_switches(self) -> int:
+        return self._topology.num_switches
+
+    def is_compute_capable(self, switch_id: int) -> bool:
+        """The CNV bit read during configuration (§IV-C2)."""
+        return self._cnv[switch_id]
+
+    def partition_rows(self, row_switches: Sequence[int]) -> Dict[int, int]:
+        """Count row candidates per owning switch."""
+        counts: Dict[int, int] = {}
+        for switch_id in row_switches:
+            counts[switch_id] = counts.get(switch_id, 0) + 1
+        return counts
+
+    def remote_accumulation_time(
+        self,
+        local_switch: int,
+        remote_switch: int,
+        rows: int,
+        row_bytes: int,
+        per_row_fetch_ns: float,
+        issue_ns: float,
+    ) -> float:
+        """Time for ``remote_switch`` to produce and deliver its contribution.
+
+        A compute-capable remote switch accumulates its rows locally and
+        forwards one ``row_bytes`` partial sum; a CNV=0 switch streams every
+        raw row to ``local_switch``, which accumulates them itself.
+        """
+        if rows <= 0:
+            raise ValueError("rows must be positive")
+        hop_ns = self._topology.hop_latency_ns(local_switch, remote_switch)
+        request_arrival = issue_ns + hop_ns
+        if self.is_compute_capable(remote_switch):
+            # Fetches to the remote switch's local devices proceed in
+            # parallel; the slowest row dominates, plus one partial-sum
+            # transfer back.
+            local_done = request_arrival + per_row_fetch_ns
+            return local_done + hop_ns
+        # CNV=0: every raw row crosses the inter-switch link and is
+        # accumulated by the local switch's process core.
+        stream_ns = rows * (row_bytes / self._config.downstream_port_bandwidth_gbps)
+        return request_arrival + per_row_fetch_ns + hop_ns + stream_ns
+
+
+__all__ = ["ForwardController", "ForwardDecision", "MultiSwitchCoordinator", "SubSumRecord"]

@@ -1,0 +1,201 @@
+"""Enhanced CXL.mem instruction format and repacking (Fig 9).
+
+The enhanced M2S request adds, on top of the standard fields (valid bit,
+MemOpcode, snoop/meta fields, tag, address, SPID/DPID):
+
+* ``sumtag``     (9 bits)  — the accumulation cluster a row fetch belongs to,
+* ``vector_size`` (3 bits) — the number of 16 B chunks forming a row access
+  (binary-coded, eight configurations from 16 B to 2 KB),
+* ``sum_candidate_count`` (16 bits, configuration opcode only) — the number
+  of row vectors required to finish the accumulation; the address field is
+  re-purposed as the reserved result address.
+
+Instruction *repacking* (§IV-A2) is performed by the process core: the PIFS
+data-fetch opcode is rewritten to a standard read whose SPID is the fabric
+switch, so the target Type 3 device sees an unmodified CXL.mem request and
+returns the data to the switch instead of the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.config import CXLConfig
+from repro.cxl.protocol import CXLMemM2S, MemOpcode
+
+#: Field widths (bits) from Fig 9.
+VALID_BITS = 1
+MEMOPCODE_BITS = 4
+META_BITS = 7
+TAG_BITS = 16
+ADDRESS_BITS = 46
+SPID_BITS = 12
+DPID_BITS = 12
+SUMTAG_BITS = 9
+VECTOR_SIZE_BITS = 3
+SUM_CANDIDATE_COUNT_BITS = 16
+
+#: vector_size encodings: value -> row bytes.  The minimum granularity is one
+#: 16 B slot; eight configurations are supported with the 3-bit field.
+VECTOR_SIZE_BYTES = {
+    0: 16,
+    1: 32,
+    2: 64,
+    3: 128,
+    4: 256,
+    5: 512,
+    6: 1024,
+    7: 2048,
+}
+_BYTES_TO_VECTOR_SIZE = {v: k for k, v in VECTOR_SIZE_BYTES.items()}
+
+
+def encode_vector_size(row_bytes: int) -> int:
+    """Encode a row size in bytes into the 3-bit vectorsize field."""
+    if row_bytes not in _BYTES_TO_VECTOR_SIZE:
+        supported = sorted(_BYTES_TO_VECTOR_SIZE)
+        raise ValueError(f"row size {row_bytes} B not encodable; supported: {supported}")
+    return _BYTES_TO_VECTOR_SIZE[row_bytes]
+
+
+def decode_vector_size(code: int) -> int:
+    """Decode the 3-bit vectorsize field into a row size in bytes."""
+    if code not in VECTOR_SIZE_BYTES:
+        raise ValueError(f"invalid vectorsize code {code}")
+    return VECTOR_SIZE_BYTES[code]
+
+
+@dataclass(frozen=True)
+class PIFSInstruction:
+    """A decoded enhanced instruction as seen by the process core."""
+
+    opcode: MemOpcode
+    address: int
+    spid: int
+    dpid: int
+    sumtag: int = 0
+    vector_size_code: int = 0
+    sum_candidate_count: int = 0
+    weight: float = 1.0
+    issue_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sumtag < (1 << SUMTAG_BITS):
+            raise ValueError(f"sumtag {self.sumtag} exceeds {SUMTAG_BITS} bits")
+        if not 0 <= self.vector_size_code < (1 << VECTOR_SIZE_BITS):
+            raise ValueError("vector_size_code exceeds 3 bits")
+        if not 0 <= self.sum_candidate_count < (1 << SUM_CANDIDATE_COUNT_BITS):
+            raise ValueError("sum_candidate_count exceeds 16 bits")
+        if not 0 <= self.address < (1 << (ADDRESS_BITS + 1)):
+            raise ValueError("address exceeds 46/47 bits")
+
+    @property
+    def row_bytes(self) -> int:
+        return decode_vector_size(self.vector_size_code)
+
+    @property
+    def is_config(self) -> bool:
+        return self.opcode is MemOpcode.PIFS_CONFIG
+
+    @property
+    def is_data_fetch(self) -> bool:
+        return self.opcode is MemOpcode.PIFS_DATA_FETCH
+
+    def to_message(self) -> CXLMemM2S:
+        """Render the instruction as an on-the-wire M2S message."""
+        return CXLMemM2S(
+            opcode=self.opcode,
+            address=self.address,
+            spid=self.spid,
+            dpid=self.dpid,
+            sumtag=self.sumtag,
+            vector_size=self.vector_size_code,
+            sum_candidate_count=self.sum_candidate_count,
+            weight=self.weight,
+            data_bytes=self.row_bytes if self.is_data_fetch else 16,
+            issue_ns=self.issue_ns,
+        )
+
+    @classmethod
+    def data_fetch(
+        cls,
+        address: int,
+        row_bytes: int,
+        sumtag: int,
+        spid: int,
+        dpid: int = 0,
+        weight: float = 1.0,
+        issue_ns: float = 0.0,
+    ) -> "PIFSInstruction":
+        """Build a row-vector data-fetch instruction."""
+        return cls(
+            opcode=MemOpcode.PIFS_DATA_FETCH,
+            address=address,
+            spid=spid,
+            dpid=dpid,
+            sumtag=sumtag,
+            vector_size_code=encode_vector_size(row_bytes),
+            weight=weight,
+            issue_ns=issue_ns,
+        )
+
+    @classmethod
+    def configuration(
+        cls,
+        result_address: int,
+        sum_candidate_count: int,
+        sumtag: int,
+        spid: int,
+        issue_ns: float = 0.0,
+    ) -> "PIFSInstruction":
+        """Build an ACR configuration instruction.
+
+        The address field carries the reserved result address; the data slot
+        carries the SumCandidateCount.
+        """
+        return cls(
+            opcode=MemOpcode.PIFS_CONFIG,
+            address=result_address,
+            spid=spid,
+            dpid=0,
+            sumtag=sumtag,
+            sum_candidate_count=sum_candidate_count,
+            issue_ns=issue_ns,
+        )
+
+
+def repack_instruction(
+    instruction: PIFSInstruction,
+    switch_spid: int,
+    device_dpid: int,
+    device_address: Optional[int] = None,
+) -> CXLMemM2S:
+    """Repack a PIFS data-fetch into a standard read issued by the switch.
+
+    Two fields change (§IV-A2): the MemOpcode becomes a standard ``MEM_RD``
+    so the Type 3 device needs no modification, and the SPID becomes the
+    fabric switch so the data returns to the switch rather than the host.
+    """
+    if not instruction.is_data_fetch:
+        raise ValueError("only data-fetch instructions are repacked")
+    return CXLMemM2S(
+        opcode=MemOpcode.MEM_RD,
+        address=device_address if device_address is not None else instruction.address,
+        spid=switch_spid,
+        dpid=device_dpid,
+        sumtag=instruction.sumtag,
+        vector_size=instruction.vector_size_code,
+        weight=instruction.weight,
+        data_bytes=instruction.row_bytes,
+        issue_ns=instruction.issue_ns,
+    )
+
+
+__all__ = [
+    "PIFSInstruction",
+    "repack_instruction",
+    "encode_vector_size",
+    "decode_vector_size",
+    "VECTOR_SIZE_BYTES",
+]

@@ -1,0 +1,175 @@
+"""On-switch SRAM buffer (§IV-A4) with HTR, LRU and FIFO policies."""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Optional
+
+from repro.config import BufferConfig
+from repro.memsys.hotness import AccessTracker
+
+
+class OnSwitchBuffer:
+    """A row-vector cache held in the fabric switch's SRAM.
+
+    The buffer stores whole embedding rows keyed by their (row-aligned) byte
+    address.  Three replacement strategies are supported:
+
+    * ``htr`` — Hottest Recording: an address profiler ranks rows by access
+      frequency; the buffer is periodically re-curated to hold the hottest
+      rows, and on insertion the coldest resident row is evicted only if the
+      incoming row is hotter.
+    * ``lru`` — classic least-recently-used.
+    * ``fifo`` — first-in-first-out.
+    * ``none`` — the buffer is disabled (every lookup misses).
+    """
+
+    def __init__(self, config: BufferConfig, row_bytes: int) -> None:
+        if row_bytes <= 0:
+            raise ValueError("row_bytes must be positive")
+        if config.policy not in ("htr", "lru", "fifo", "none"):
+            raise ValueError(f"unknown buffer policy {config.policy!r}")
+        self._config = config
+        self._row_bytes = row_bytes
+        self._capacity_rows = max(0, config.capacity_bytes // row_bytes)
+        self._entries: "OrderedDict[int, int]" = OrderedDict()  # address -> insertion order
+        self._fifo: Deque[int] = deque()
+        self._profiler = AccessTracker()
+        self._hits = 0
+        self._misses = 0
+        self._insertions = 0
+        self._evictions = 0
+        self._accesses_since_curate = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> BufferConfig:
+        return self._config
+
+    @property
+    def capacity_rows(self) -> int:
+        return self._capacity_rows
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    @property
+    def profiler(self) -> AccessTracker:
+        return self._profiler
+
+    def hit_ratio(self) -> float:
+        total = self._hits + self._misses
+        if total == 0:
+            return 0.0
+        return self._hits / total
+
+    def hit_latency_ns(self) -> float:
+        return self._config.hit_latency_ns
+
+    # ------------------------------------------------------------------
+    def lookup(self, address: int) -> bool:
+        """Look up ``address``; records profiling info and hit/miss counters."""
+        self._profiler.record(address)
+        self._accesses_since_curate += 1
+        if self._config.policy == "none" or self._capacity_rows == 0:
+            self._misses += 1
+            return False
+        hit = address in self._entries
+        if hit:
+            self._hits += 1
+            if self._config.policy == "lru":
+                self._entries.move_to_end(address)
+        else:
+            self._misses += 1
+        if (
+            self._config.policy == "htr"
+            and self._accesses_since_curate >= self._config.htr_interval
+        ):
+            self._curate()
+        return hit
+
+    def insert(self, address: int) -> None:
+        """Insert ``address`` after a miss, applying the replacement policy."""
+        if self._config.policy == "none" or self._capacity_rows == 0:
+            return
+        if address in self._entries:
+            if self._config.policy == "lru":
+                self._entries.move_to_end(address)
+            return
+        if len(self._entries) >= self._capacity_rows:
+            if not self._evict_for(address):
+                return
+        self._entries[address] = self._insertions
+        self._insertions += 1
+        if self._config.policy == "fifo":
+            self._fifo.append(address)
+
+    def contains(self, address: int) -> bool:
+        return address in self._entries
+
+    # ------------------------------------------------------------------
+    def _evict_for(self, incoming: int) -> bool:
+        """Free one slot for ``incoming``; returns False if it should not be cached."""
+        policy = self._config.policy
+        if policy == "fifo":
+            while self._fifo:
+                victim = self._fifo.popleft()
+                if victim in self._entries:
+                    del self._entries[victim]
+                    self._evictions += 1
+                    return True
+            return True
+        if policy == "lru":
+            self._entries.popitem(last=False)
+            self._evictions += 1
+            return True
+        # HTR: evict the coldest resident row, but only if the incoming row is
+        # at least as hot — otherwise keep the current curation.
+        coldest_addr = None
+        coldest_count = None
+        for addr in self._entries:
+            count = self._profiler.count(addr)
+            if coldest_count is None or count < coldest_count:
+                coldest_addr, coldest_count = addr, count
+        incoming_count = self._profiler.count(incoming)
+        if coldest_addr is None:
+            return True
+        if incoming_count >= (coldest_count or 0):
+            del self._entries[coldest_addr]
+            self._evictions += 1
+            return True
+        return False
+
+    def _curate(self) -> None:
+        """Re-curate the HTR buffer to hold the hottest recorded rows."""
+        self._accesses_since_curate = 0
+        hottest = self._profiler.hottest(self._capacity_rows)
+        desired = {addr for addr, _ in hottest}
+        current = set(self._entries)
+        for addr in current - desired:
+            del self._entries[addr]
+            self._evictions += 1
+        for addr in desired - current:
+            if len(self._entries) < self._capacity_rows:
+                self._entries[addr] = self._insertions
+                self._insertions += 1
+
+    def reset_stats(self) -> None:
+        self._hits = 0
+        self._misses = 0
+
+
+__all__ = ["OnSwitchBuffer"]

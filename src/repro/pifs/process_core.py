@@ -1,0 +1,199 @@
+"""The Process Core (PC) of the PIFS switch (§IV-A2, §IV-A3).
+
+The process core passively receives enhanced instructions from the host,
+decodes them, repacks data fetches into standard reads, tracks in-flight
+accumulations in the Accumulate Configuration Register (ACR), applies
+back-pressure when the ACR is full, and drives the accumulate logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.config import PIFSConfig
+from repro.cxl.protocol import MemOpcode
+from repro.pifs.instructions import PIFSInstruction
+from repro.pifs.ooo import OutOfOrderAccumulator
+
+
+@dataclass
+class ACREntry:
+    """One Accumulate Configuration Register entry (one sumtag)."""
+
+    sumtag: int
+    result_address: int
+    sum_candidate_count: int
+    remaining: int
+    accumulated: int = 0
+    configured_ns: float = 0.0
+    last_update_ns: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        return self.remaining == 0
+
+
+@dataclass
+class ProcessCoreStats:
+    """Counters exposed by the process core."""
+
+    decoded_instructions: int = 0
+    repacked_instructions: int = 0
+    bypassed_instructions: int = 0
+    configured_sumtags: int = 0
+    completed_sumtags: int = 0
+    backpressure_events: int = 0
+    backpressure_ns: float = 0.0
+
+
+class ProcessCore:
+    """Cycle-cost model of the PIFS process core."""
+
+    def __init__(self, config: PIFSConfig, out_of_order: Optional[bool] = None) -> None:
+        self._config = config
+        self._acr: Dict[int, ACREntry] = {}
+        self._accumulator = OutOfOrderAccumulator(config, out_of_order=out_of_order)
+        self._stats = ProcessCoreStats()
+        self._ingress_registry: Dict[int, PIFSInstruction] = {}
+        # Earliest time a new sumtag can be admitted when the ACR is full.
+        self._earliest_free_ns = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> PIFSConfig:
+        return self._config
+
+    @property
+    def stats(self) -> ProcessCoreStats:
+        return self._stats
+
+    @property
+    def accumulator(self) -> OutOfOrderAccumulator:
+        return self._accumulator
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self._config.core_clock_ghz
+
+    @property
+    def active_sumtags(self) -> int:
+        return len(self._acr)
+
+    def acr_entry(self, sumtag: int) -> Optional[ACREntry]:
+        return self._acr.get(sumtag)
+
+    # ------------------------------------------------------------------
+    # MemOpcode checker
+    # ------------------------------------------------------------------
+    def check_opcode(self, opcode: MemOpcode) -> bool:
+        """Return True when the instruction must be handled by the PC.
+
+        Standard instructions bypass the core and are routed straight to the
+        VCS (the caller forwards them like a conventional switch).
+        """
+        handled = opcode in (MemOpcode.PIFS_DATA_FETCH, MemOpcode.PIFS_CONFIG)
+        if not handled:
+            self._stats.bypassed_instructions += 1
+        return handled
+
+    # ------------------------------------------------------------------
+    # Configuration path
+    # ------------------------------------------------------------------
+    def configure(self, instruction: PIFSInstruction, now_ns: float) -> float:
+        """Program the ACR for a new accumulation; returns the ready time.
+
+        When the ACR capacity limit is reached the core asserts back-pressure
+        and the configuration is delayed until an entry retires.
+        """
+        if not instruction.is_config:
+            raise ValueError("configure() expects a PIFS_CONFIG instruction")
+        ready = now_ns
+        if len(self._acr) >= self._config.acr_capacity:
+            wait_until = max(self._earliest_free_ns, now_ns + self.cycle_ns)
+            self._stats.backpressure_events += 1
+            self._stats.backpressure_ns += wait_until - now_ns
+            ready = wait_until
+        ready += self._config.decode_cycles * self.cycle_ns
+        self._stats.decoded_instructions += 1
+        self._stats.configured_sumtags += 1
+        self._acr[instruction.sumtag] = ACREntry(
+            sumtag=instruction.sumtag,
+            result_address=instruction.address,
+            sum_candidate_count=instruction.sum_candidate_count,
+            remaining=instruction.sum_candidate_count,
+            configured_ns=ready,
+            last_update_ns=ready,
+        )
+        return ready
+
+    # ------------------------------------------------------------------
+    # Data-fetch path
+    # ------------------------------------------------------------------
+    def register_fetch(self, instruction: PIFSInstruction, now_ns: float) -> float:
+        """Decode + repack a data-fetch; returns when the repacked read can issue."""
+        if not instruction.is_data_fetch:
+            raise ValueError("register_fetch() expects a PIFS_DATA_FETCH instruction")
+        if instruction.sumtag not in self._acr:
+            raise KeyError(f"sumtag {instruction.sumtag} was never configured")
+        self._ingress_registry[instruction.address] = instruction
+        self._stats.decoded_instructions += 1
+        self._stats.repacked_instructions += 1
+        cycles = self._config.decode_cycles + self._config.repack_cycles
+        return now_ns + cycles * self.cycle_ns
+
+    def match_ingress(self, address: int) -> Optional[PIFSInstruction]:
+        """Match returning data against the Instruction Ingress Registry."""
+        return self._ingress_registry.get(address)
+
+    def accumulate(self, sumtag: int, data_ready_ns: float, elements: int = 1) -> float:
+        """Accumulate ``elements`` row vectors of ``sumtag`` arriving at ``data_ready_ns``.
+
+        Returns the time the accumulate logic is done with this data.  The
+        ACR entry's remaining counter is decremented once per element; the
+        caller checks :meth:`is_complete` to detect completion.
+        """
+        entry = self._acr.get(sumtag)
+        if entry is None:
+            raise KeyError(f"sumtag {sumtag} was never configured")
+        busy_ns = 0.0
+        for _ in range(elements):
+            busy_ns += self._accumulator.accumulate_element(sumtag)
+            if entry.remaining > 0:
+                entry.remaining -= 1
+            entry.accumulated += 1
+        done = data_ready_ns + busy_ns
+        entry.last_update_ns = max(entry.last_update_ns, done)
+        return done
+
+    def is_complete(self, sumtag: int) -> bool:
+        entry = self._acr.get(sumtag)
+        return entry is not None and entry.complete
+
+    def retire(self, sumtag: int, now_ns: float) -> ACREntry:
+        """Retire a completed accumulation and free its ACR slot."""
+        entry = self._acr.pop(sumtag, None)
+        if entry is None:
+            raise KeyError(f"sumtag {sumtag} is not active")
+        if entry.remaining != 0:
+            raise RuntimeError(
+                f"sumtag {sumtag} retired with {entry.remaining} candidates outstanding"
+            )
+        self._accumulator.finish_sumtag(sumtag)
+        self._stats.completed_sumtags += 1
+        self._earliest_free_ns = max(self._earliest_free_ns, now_ns)
+        # Drop ingress-registry entries belonging to this sumtag.
+        stale = [addr for addr, ins in self._ingress_registry.items() if ins.sumtag == sumtag]
+        for addr in stale:
+            del self._ingress_registry[addr]
+        return entry
+
+    def reset(self) -> None:
+        self._acr.clear()
+        self._ingress_registry.clear()
+        self._accumulator.reset()
+        self._stats = ProcessCoreStats()
+        self._earliest_free_ns = 0.0
+
+
+__all__ = ["ProcessCore", "ProcessCoreStats", "ACREntry"]

@@ -1,0 +1,208 @@
+"""User-space programming interface of PIFS-Rec (§IV-D).
+
+The runtime mirrors the OpenCL-like model the paper describes: the user
+registers embedding tables (supplying the table data, the number of
+embeddings and the vector size), then calls the SLS API with batch indices
+and offsets.  Each call returns both the numerically correct pooled vectors
+(computed functionally) and the simulated timing of executing the call on
+the PIFS-Rec fabric, so applications can be validated for correctness and
+performance from the same entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import ModelConfig, SystemConfig, WorkloadConfig, DEFAULT_SYSTEM
+from repro.dlrm.embedding import EmbeddingTable
+from repro.memsys.address_space import AddressSpace
+from repro.pifs.system import PIFSRecSystem
+from repro.sls.result import SimResult
+from repro.traces.workload import SLSRequest, SLSWorkload
+
+
+@dataclass
+class SLSCallResult:
+    """Result of one runtime SLS call."""
+
+    values: np.ndarray
+    sim: SimResult
+
+    @property
+    def latency_ns(self) -> float:
+        return self.sim.total_ns
+
+
+@dataclass
+class _TableHandle:
+    table_id: int
+    table: EmbeddingTable
+
+
+class PIFSRuntime:
+    """The public, user-facing SLS API."""
+
+    def __init__(
+        self,
+        system: Optional[SystemConfig] = None,
+        seed: int = 0,
+        local_capacity_fraction: Optional[float] = 0.25,
+    ) -> None:
+        """Create a runtime.
+
+        ``local_capacity_fraction`` sizes the simulated local-DRAM tier as a
+        fraction of the registered tables' footprint (mirroring the paper's
+        regime where embedding tables exceed local DRAM and spill to the CXL
+        pool).  Pass ``None`` to keep the capacity of ``system`` untouched.
+        """
+        self.system = system or DEFAULT_SYSTEM
+        self.local_capacity_fraction = local_capacity_fraction
+        self._seed = seed
+        self._tables: List[_TableHandle] = []
+
+    # ------------------------------------------------------------------
+    # Memory allocation API
+    # ------------------------------------------------------------------
+    def allocate_embedding_table(
+        self,
+        weights: Optional[np.ndarray] = None,
+        num_embeddings: Optional[int] = None,
+        embedding_dim: Optional[int] = None,
+    ) -> int:
+        """Register an embedding table; returns its handle (table id).
+
+        Either supply the table data directly via ``weights`` or give the
+        (``num_embeddings``, ``embedding_dim``) shape to have the runtime
+        initialize it, mirroring the paper's API where the user supplies the
+        embedding table file, the number of embeddings and the vector size.
+        """
+        table_id = len(self._tables)
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float32)
+            if weights.ndim != 2:
+                raise ValueError("weights must be a 2-D (num_embeddings, dim) array")
+            table = EmbeddingTable(weights.shape[0], weights.shape[1], table_id=table_id)
+            table.weights = weights.copy()
+        else:
+            if num_embeddings is None or embedding_dim is None:
+                raise ValueError("provide either weights or (num_embeddings, embedding_dim)")
+            table = EmbeddingTable(num_embeddings, embedding_dim, table_id=table_id)
+        if self._tables and table.dim != self._tables[0].table.dim:
+            raise ValueError("all tables registered with one runtime must share the same dim")
+        self._tables.append(_TableHandle(table_id=table_id, table=table))
+        return table_id
+
+    @property
+    def num_tables(self) -> int:
+        return len(self._tables)
+
+    def table(self, handle: int) -> EmbeddingTable:
+        return self._tables[handle].table
+
+    # ------------------------------------------------------------------
+    # SLS API
+    # ------------------------------------------------------------------
+    def sls(
+        self,
+        table_handle: int,
+        indices: Sequence[int],
+        offsets: Sequence[int],
+        weights: Optional[Sequence[float]] = None,
+    ) -> SLSCallResult:
+        """Pooled embedding lookup on one table (one bag per offset)."""
+        return self.sls_multi([table_handle], [indices], [offsets], [weights])
+
+    def sls_multi(
+        self,
+        table_handles: Sequence[int],
+        indices_per_table: Sequence[Sequence[int]],
+        offsets_per_table: Sequence[Sequence[int]],
+        weights_per_table: Optional[Sequence[Optional[Sequence[float]]]] = None,
+    ) -> SLSCallResult:
+        """Pooled lookup across several tables; values stack per table."""
+        if not table_handles:
+            raise ValueError("at least one table handle is required")
+        if not (len(table_handles) == len(indices_per_table) == len(offsets_per_table)):
+            raise ValueError("handles, indices and offsets must align")
+        if weights_per_table is None:
+            weights_per_table = [None] * len(table_handles)
+
+        values = []
+        for handle, indices, offsets, weights in zip(
+            table_handles, indices_per_table, offsets_per_table, weights_per_table
+        ):
+            values.append(self.table(handle).sls(indices, offsets, weights))
+        stacked = np.stack(values, axis=1)  # (batch, tables, dim)
+
+        sim = self._simulate(table_handles, indices_per_table, offsets_per_table)
+        return SLSCallResult(values=stacked, sim=sim)
+
+    # ------------------------------------------------------------------
+    def _model_config(self) -> ModelConfig:
+        dims = self._tables[0].table.dim
+        max_rows = max(handle.table.num_embeddings for handle in self._tables)
+        return ModelConfig(
+            name="runtime",
+            num_embeddings=max_rows,
+            embedding_dim=dims,
+            bottom_mlp=(dims,),
+            top_mlp=(1,),
+            num_tables=len(self._tables),
+        )
+
+    def _simulate(
+        self,
+        table_handles: Sequence[int],
+        indices_per_table: Sequence[Sequence[int]],
+        offsets_per_table: Sequence[Sequence[int]],
+    ) -> SimResult:
+        model = self._model_config()
+        space = AddressSpace.for_model(model)
+        row_bytes = model.embedding_row_bytes
+        requests: List[SLSRequest] = []
+        request_id = 0
+        batch_size = 0
+        for handle, indices, offsets in zip(table_handles, indices_per_table, offsets_per_table):
+            idx = np.asarray(indices, dtype=np.int64)
+            offs = np.asarray(offsets, dtype=np.int64)
+            batch_size = max(batch_size, len(offs))
+            bounds = np.concatenate([offs, [len(idx)]])
+            for sample in range(len(offs)):
+                rows = idx[int(bounds[sample]) : int(bounds[sample + 1])]
+                if len(rows) == 0:
+                    continue
+                addresses = np.array(
+                    [space.row_address(handle, int(r)) for r in rows], dtype=np.int64
+                )
+                requests.append(
+                    SLSRequest(
+                        request_id=request_id,
+                        host_id=0,
+                        table=handle,
+                        sample=sample,
+                        rows=rows,
+                        addresses=addresses,
+                        row_bytes=row_bytes,
+                    )
+                )
+                request_id += 1
+        workload = SLSWorkload(
+            model=model,
+            address_space=space,
+            requests=requests,
+            batch_size=batch_size,
+            num_batches=1,
+            distribution="user",
+        )
+        system_config = self.system
+        if self.local_capacity_fraction is not None:
+            capacity = max(2 * 4096, int(space.total_bytes * self.local_capacity_fraction))
+            system_config = replace(system_config, local_dram_capacity_bytes=capacity)
+        system = PIFSRecSystem(system_config)
+        return system.run(workload)
+
+
+__all__ = ["PIFSRuntime", "SLSCallResult"]

@@ -1,0 +1,219 @@
+"""The PIFS fabric switch: a CXL fabric switch with a process core.
+
+The switch combines the base :class:`~repro.cxl.switch.FabricSwitch` with
+the process core, the FM endpoint extension and the on-switch buffer, and
+implements the full in-switch accumulation flow of Fig 8:
+
+1. the host issues one configuration instruction (SumCandidateCount + the
+   reserved result address) and one data-fetch instruction per row candidate;
+2. the memopcode checker routes them to the process core, which decodes and
+   repacks each fetch into a standard read whose SPID is the switch;
+3. reads are issued concurrently to the downstream Type 3 devices (or served
+   from the on-switch buffer);
+4. arriving rows are accumulated (out of order when enabled) and, when the
+   SumCandidateCounter reaches zero, the result is written back to the
+   reserved host address with a CXL.cache D2H message that the host snoops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import CXLConfig, PIFSConfig
+from repro.cxl.protocol import CXLCacheD2H, MemOpcode
+from repro.cxl.switch import FabricSwitch, SwitchPort
+from repro.pifs.fm_endpoint import FMEndpointExtension
+from repro.pifs.instructions import PIFSInstruction, repack_instruction
+from repro.pifs.onswitch_buffer import OnSwitchBuffer
+from repro.pifs.process_core import ProcessCore
+
+
+@dataclass(frozen=True)
+class RowFetch:
+    """One row candidate to accumulate: its global address and owning device."""
+
+    address: int
+    device_id: int
+    device_address: Optional[int] = None
+
+    @property
+    def target_address(self) -> int:
+        return self.device_address if self.device_address is not None else self.address
+
+
+@dataclass
+class AccumulationOutcome:
+    """Result of one in-switch accumulation."""
+
+    sumtag: int
+    result_ready_ns: float
+    host_notified_ns: float
+    buffer_hits: int
+    buffer_misses: int
+    device_rows: Dict[int, int]
+    writeback: CXLCacheD2H
+
+
+class PIFSSwitch(FabricSwitch):
+    """A fabric switch augmented with PIFS-Rec processing capability."""
+
+    #: ID used as the SPID of repacked reads (the switch itself).
+    SWITCH_SPID = 0xFFF
+
+    def __init__(
+        self,
+        cxl_config: CXLConfig,
+        pifs_config: PIFSConfig,
+        row_bytes: int,
+        switch_id: int = 0,
+        name: Optional[str] = None,
+        compute_enabled: bool = True,
+    ) -> None:
+        super().__init__(cxl_config, switch_id=switch_id, name=name or f"pifs{switch_id}")
+        self._pifs_config = pifs_config
+        self._row_bytes = row_bytes
+        self._compute_enabled = compute_enabled and pifs_config.process_core
+        self.process_core = ProcessCore(pifs_config)
+        self.buffer = OnSwitchBuffer(pifs_config.on_switch_buffer, row_bytes)
+        self.fm_extension = FMEndpointExtension()
+        self._next_sumtag = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pifs_config(self) -> PIFSConfig:
+        return self._pifs_config
+
+    @property
+    def row_bytes(self) -> int:
+        return self._row_bytes
+
+    @property
+    def compute_enabled(self) -> bool:
+        """CNV bit: whether this switch can execute in-switch accumulation."""
+        return self._compute_enabled
+
+    def allocate_sumtag(self) -> int:
+        """Allocate the next sumtag (9-bit, wraps around)."""
+        sumtag = self._next_sumtag
+        self._next_sumtag = (self._next_sumtag + 1) % 512
+        return sumtag
+
+    # ------------------------------------------------------------------
+    def accumulate(
+        self,
+        rows: Sequence[RowFetch],
+        host_port: SwitchPort,
+        issue_ns: float,
+        result_address: int = 0,
+        sumtag: Optional[int] = None,
+        notify_host: bool = True,
+        per_row_overhead_ns: float = 0.0,
+    ) -> AccumulationOutcome:
+        """Run one complete in-switch accumulation for ``rows``.
+
+        Returns the :class:`AccumulationOutcome`, whose ``host_notified_ns``
+        is the time the accumulated result lands at the host's reserved
+        address (or ``result_ready_ns`` when ``notify_host`` is False, e.g.
+        for sub-sums forwarded to another switch).
+        """
+        if not rows:
+            raise ValueError("accumulate() needs at least one row")
+        if not self._compute_enabled:
+            raise RuntimeError(f"switch {self.name} has no process core (CNV=0)")
+        tag = self.allocate_sumtag() if sumtag is None else sumtag
+
+        # Step 1: configuration instruction crosses the upstream link.
+        config_instr = PIFSInstruction.configuration(
+            result_address=result_address,
+            sum_candidate_count=len(rows),
+            sumtag=tag,
+            spid=host_port.port_id,
+            issue_ns=issue_ns,
+        )
+        config_at_switch = host_port.link.transfer(self._config.flit_bytes, issue_ns)
+        configured_ns = self.process_core.configure(config_instr, config_at_switch)
+
+        # Step 2: one data-fetch instruction per row, pipelined on the link.
+        buffer_hits = 0
+        buffer_misses = 0
+        device_rows: Dict[int, int] = {}
+        last_done = configured_ns
+        for row in rows:
+            fetch = PIFSInstruction.data_fetch(
+                address=row.address,
+                row_bytes=self._row_bytes,
+                sumtag=tag,
+                spid=host_port.port_id,
+                dpid=self.device_port_id(row.device_id),
+                issue_ns=configured_ns,
+            )
+            # Fetch instructions are pipelined on the upstream link; the
+            # link's busy-until bookkeeping provides the serialization.
+            instr_at_switch = host_port.link.transfer(self._config.slot_bytes, configured_ns)
+            ready_to_issue = self.process_core.register_fetch(fetch, instr_at_switch)
+            # Extra per-row switch work, e.g. BEACON's address translation
+            # logic, which PIFS-Rec avoids by operating on physical addresses.
+            ready_to_issue += per_row_overhead_ns
+
+            # Step 3: on-switch buffer lookup, then device fetch on a miss.
+            self.fm_extension.record_device_access(row.device_id, row.address)
+            if self.buffer.lookup(row.address):
+                buffer_hits += 1
+                data_ready = ready_to_issue + self.buffer.hit_latency_ns()
+            else:
+                buffer_misses += 1
+                repacked = repack_instruction(
+                    fetch,
+                    switch_spid=self.SWITCH_SPID,
+                    device_dpid=self.device_port_id(row.device_id),
+                    device_address=row.target_address,
+                )
+                device = self.device(row.device_id)
+                data_ready = device.access(
+                    address=repacked.address,
+                    arrival_ns=ready_to_issue,
+                    bytes_requested=self._row_bytes,
+                    from_switch=True,
+                )
+                self.buffer.insert(row.address)
+            device_rows[row.device_id] = device_rows.get(row.device_id, 0) + 1
+
+            # Step 4: accumulate the arriving row.
+            done = self.process_core.accumulate(tag, data_ready)
+            last_done = max(last_done, done)
+
+        if not self.process_core.is_complete(tag):
+            raise RuntimeError(f"sumtag {tag} did not complete")
+        self.process_core.retire(tag, last_done)
+
+        # Step 5: write the result back to the host's reserved address.
+        if notify_host:
+            notified = host_port.link.transfer(self._row_bytes, last_done)
+        else:
+            notified = last_done
+        writeback = CXLCacheD2H(
+            address=result_address,
+            payload_bytes=self._row_bytes,
+            finish_ns=notified,
+            sumtag=tag,
+            source_switch=self.switch_id,
+        )
+        return AccumulationOutcome(
+            sumtag=tag,
+            result_ready_ns=last_done,
+            host_notified_ns=notified,
+            buffer_hits=buffer_hits,
+            buffer_misses=buffer_misses,
+            device_rows=device_rows,
+            writeback=writeback,
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self.process_core.reset()
+        self.fm_extension.reset_counters()
+        self.buffer.reset_stats()
+
+
+__all__ = ["PIFSSwitch", "RowFetch", "AccumulationOutcome"]

@@ -1,0 +1,174 @@
+"""PIFS-Rec as an end-to-end SLS system (hardware + software architecture)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.config import SystemConfig
+from repro.cxl.topology import FabricTopology
+from repro.memsys.tiered import TieredMemorySystem
+from repro.pagemgmt.global_hotness import GlobalHotnessPolicy
+from repro.pagemgmt.spreading import SpreadingPolicy
+from repro.pifs.forwarding import MultiSwitchCoordinator
+from repro.pifs.host import PIFSHost
+from repro.pifs.switch import PIFSSwitch, RowFetch
+from repro.sls.engine import SLSSystem
+from repro.traces.workload import SLSRequest, SLSWorkload
+
+
+class PIFSRecSystem(SLSSystem):
+    """The full PIFS-Rec design (§IV).
+
+    Hardware: process cores in every fabric switch, on-switch HTR buffer,
+    out-of-order accumulation, FM endpoint extension.  Software: online
+    global-hotness page swapping between local DRAM and CXL plus embedding
+    spreading across CXL nodes, using the cache-line-granular migration
+    controller.
+    """
+
+    name = "PIFS-Rec"
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        page_management: bool = True,
+        hotness_policy: Optional[GlobalHotnessPolicy] = None,
+        spreading_policy: Optional[SpreadingPolicy] = None,
+    ) -> None:
+        super().__init__(system, use_pifs_switch=True)
+        self.page_management = page_management and system.page_mgmt.enabled
+        self.hotness_policy = hotness_policy or GlobalHotnessPolicy(
+            cold_age_threshold=system.page_mgmt.cold_age_threshold
+        )
+        self.spreading_policy = spreading_policy or SpreadingPolicy(
+            migrate_threshold=system.page_mgmt.migrate_threshold
+        )
+        self.hosts: Dict[int, PIFSHost] = {}
+        self.coordinator: Optional[MultiSwitchCoordinator] = None
+
+    # ------------------------------------------------------------------
+    def build_placement(self, workload: SLSWorkload) -> TieredMemorySystem:
+        if self.page_management:
+            # With page management enabled the placement starts from the
+            # hotness-ordered steady state the global-hotness policy converges
+            # to (convergence is fast thanks to cache-line-granular
+            # migration); the online policies keep refining it below.
+            return self.place_hotness_order(workload)
+        # Without page management PIFS-Rec inherits Pond's capacity-ordered
+        # placement.
+        return self.place_capacity_order(workload)
+
+    def prepare(self, workload: SLSWorkload) -> None:
+        self.hosts = {
+            host_id: PIFSHost(host_id, self.system)
+            for host_id in range(max(1, self.system.num_hosts))
+        }
+        # The embedding-table region is designated device-bias (§IV-A1), so
+        # in-switch fetches never pay the host-bias coherence round trip.
+        from repro.cxl.bias_table import BiasMode
+
+        for device in self.backends.devices:
+            device.bias_table.set_mode(0, BiasMode.DEVICE, workload.address_space.total_bytes)
+        num_switches = max(1, self.system.num_fabric_switches)
+        if num_switches > 1:
+            topology = FabricTopology(num_switches, self.system.cxl)
+            compute = [
+                isinstance(sw, PIFSSwitch) and sw.compute_enabled
+                for sw in self.backends.switches
+            ]
+            self.coordinator = MultiSwitchCoordinator(topology, self.system.cxl, compute)
+        else:
+            self.coordinator = None
+
+    # ------------------------------------------------------------------
+    def process_request(self, request: SLSRequest, start_ns: float, host_id: int) -> float:
+        host = self.hosts[host_id]
+        split = host.split_candidates(request.addresses, self.tiered)
+
+        local_done = host.accumulate_local(
+            split.local_addresses,
+            start_ns,
+            lambda address, now, _host=host_id: self.host_local_access(address, now, _host),
+        )
+
+        if not split.remote_addresses:
+            return local_done
+
+        # Record CXL accesses for placement policies and counters.
+        for address in split.remote_addresses:
+            self.tiered.record_access(address, start_ns)
+        self._counters["cxl_rows"] += len(split.remote_addresses)
+
+        remote_done = self._accumulate_in_fabric(split.remote_addresses, start_ns, host_id, request)
+        return host.combine(local_done, remote_done)
+
+    def _accumulate_in_fabric(
+        self,
+        addresses: List[int],
+        start_ns: float,
+        host_id: int,
+        request: SLSRequest,
+    ) -> float:
+        """Run the in-switch accumulation for the non-local candidates."""
+        by_switch: Dict[int, List[RowFetch]] = {}
+        for address in addresses:
+            device_id = self.device_of_address(address)
+            switch_id = self.backends.device_switch[device_id]
+            by_switch.setdefault(switch_id, []).append(
+                RowFetch(address=address, device_id=device_id)
+            )
+
+        home_switch_id = self.backends.host_home_switch[host_id]
+        result_address = (1 << 40) | (request.request_id << 8)
+        finishes: List[float] = []
+        for switch_id, rows in by_switch.items():
+            switch = self.backends.switches[switch_id]
+            assert isinstance(switch, PIFSSwitch)
+            port = self.backends.host_port(host_id, switch_id)
+            is_home = switch_id == home_switch_id
+            outcome = switch.accumulate(
+                rows,
+                host_port=port,
+                issue_ns=start_ns,
+                result_address=result_address,
+                notify_host=is_home or self.coordinator is None,
+            )
+            finish = outcome.host_notified_ns
+            if not is_home and self.coordinator is not None:
+                # Sub-sum produced at the remote switch travels back to the
+                # home switch (inter-switch hops in both directions for the
+                # forwarded instructions and the returning partial result).
+                hop_ns = 2 * self.coordinator._topology.hop_latency_ns(home_switch_id, switch_id)
+                finish = outcome.result_ready_ns + hop_ns
+            finishes.append(finish)
+        return max(finishes)
+
+    # ------------------------------------------------------------------
+    def maintenance(self, now_ns: float) -> float:
+        if not self.page_management:
+            return 0.0
+        row_bytes = self.backends.row_bytes
+        swap = self.hotness_policy.run_epoch(self.tiered, row_bytes=row_bytes)
+        balance = self.spreading_policy.rebalance(self.tiered, row_bytes=row_bytes)
+        cost = swap.cost_ns + balance.cost_ns
+        self.add_migration_cost(cost)
+        self.tiered.decay_hotness(0.5)
+        # Cache-line-block migration barely blocks query processing; OS
+        # page-block migration stalls the queries that touch the page for a
+        # sizeable fraction of the copy.
+        if self.system.page_mgmt.migration_mode == "page_block":
+            return cost * 0.25
+        return cost * 0.05
+
+
+class PIFSRecNoPM(PIFSRecSystem):
+    """PIFS-Rec hardware without the software page management (ablation)."""
+
+    name = "PIFS-Rec (no PM)"
+
+    def __init__(self, system: SystemConfig) -> None:
+        super().__init__(system, page_management=False)
+
+
+__all__ = ["PIFSRecSystem", "PIFSRecNoPM"]

@@ -1,0 +1,13 @@
+"""Common SLS-system machinery: result records and the simulation engine.
+
+Every evaluated system — Pond, Pond+PM, BEACON-S, RecNMP, TPP and PIFS-Rec —
+implements the :class:`~repro.sls.engine.SLSSystem` interface: it prepares a
+page placement for a workload, then processes each row-accumulation request
+and returns a :class:`~repro.sls.result.SimResult` with total latency and
+detailed counters.
+"""
+
+from repro.sls.engine import MemoryBackends, SLSSystem
+from repro.sls.result import SimResult
+
+__all__ = ["MemoryBackends", "SLSSystem", "SimResult"]

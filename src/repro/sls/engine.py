@@ -1,0 +1,399 @@
+"""Shared simulation engine for all SLS systems.
+
+The engine provides:
+
+* :class:`MemoryBackends` — constructs the detailed device models (local
+  DDR5, CXL Type 3 expanders, fabric switches, host ports) for a
+  :class:`~repro.config.SystemConfig`;
+* :class:`SLSSystem` — the abstract base every evaluated system extends.  It
+  owns the thread-lane scheduler that replays a workload, the page placement
+  helpers (capacity-order, hotness-based, CXL-only), the timing helpers for
+  host-side local and CXL accesses, and the page-management maintenance hook
+  invoked every ``migration_epoch_accesses`` lookups.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import PAGE_SIZE_BYTES, SystemConfig
+from repro.cxl.device import CXLType3Device
+from repro.cxl.switch import FabricSwitch, SwitchPort
+from repro.dram.device import DRAMDevice
+from repro.memsys.hotness import AccessTracker
+from repro.memsys.node import MemoryNode, MemoryTier
+from repro.memsys.page import page_id_of
+from repro.memsys.tiered import TieredMemorySystem
+from repro.pifs.switch import PIFSSwitch
+from repro.sls.result import SimResult
+from repro.traces.workload import SLSRequest, SLSWorkload
+
+
+class MemoryBackends:
+    """The detailed device models behind one simulated machine."""
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        row_bytes: int,
+        use_pifs_switch: bool = False,
+        compute_enabled: bool = True,
+    ) -> None:
+        self.system = system
+        self.row_bytes = row_bytes
+        # One local DRAM per host: in a multi-host deployment every host is a
+        # separate server with its own CPU-attached DIMMs; only the CXL pool
+        # behind the fabric switches is shared.
+        self.local_dram_per_host = [
+            DRAMDevice(system.local_dram, name=f"local_ddr5_h{host}")
+            for host in range(max(1, system.num_hosts))
+        ]
+        self.local_dram = self.local_dram_per_host[0]
+
+        num_switches = max(1, system.num_fabric_switches)
+        num_devices = max(1, system.num_cxl_devices)
+        self.switches: List[FabricSwitch] = []
+        for switch_id in range(num_switches):
+            if use_pifs_switch:
+                switch: FabricSwitch = PIFSSwitch(
+                    system.cxl,
+                    system.pifs,
+                    row_bytes=row_bytes,
+                    switch_id=switch_id,
+                    compute_enabled=compute_enabled,
+                )
+            else:
+                switch = FabricSwitch(system.cxl, switch_id=switch_id)
+            self.switches.append(switch)
+
+        # Devices are distributed round-robin across switches.
+        self.devices: List[CXLType3Device] = []
+        self.device_switch: Dict[int, int] = {}
+        for device_id in range(num_devices):
+            device = CXLType3Device(device_id, system.cxl_dram, system.cxl)
+            switch_id = device_id % num_switches
+            self.switches[switch_id].attach_device(device)
+            self.devices.append(device)
+            self.device_switch[device_id] = switch_id
+
+        # Each host gets one upstream port per switch it talks to; hosts are
+        # assigned a "home" switch round-robin.
+        self.host_ports: Dict[Tuple[int, int], SwitchPort] = {}
+        self.host_home_switch: Dict[int, int] = {}
+        for host_id in range(max(1, system.num_hosts)):
+            self.host_home_switch[host_id] = host_id % num_switches
+            for switch_id, switch in enumerate(self.switches):
+                port = switch.attach_host(f"host{host_id}@sw{switch_id}")
+                self.host_ports[(host_id, switch_id)] = port
+
+    def host_port(self, host_id: int, switch_id: Optional[int] = None) -> SwitchPort:
+        if switch_id is None:
+            switch_id = self.host_home_switch[host_id]
+        return self.host_ports[(host_id, switch_id)]
+
+    def local_dram_of_host(self, host_id: int) -> DRAMDevice:
+        return self.local_dram_per_host[host_id % len(self.local_dram_per_host)]
+
+    def switch_of_device(self, device_id: int) -> FabricSwitch:
+        return self.switches[self.device_switch[device_id]]
+
+    def reset(self) -> None:
+        for dram in self.local_dram_per_host:
+            dram.reset()
+        for switch in self.switches:
+            switch.reset()
+
+
+class SLSSystem(ABC):
+    """Base class for every evaluated SLS system."""
+
+    name = "base"
+    #: Host-side overhead of a load serviced by local DRAM (core + caches).
+    HOST_LOCAL_OVERHEAD_NS = 30.0
+    #: Host-side overhead of handling a CXL load response (demotion into the
+    #: cache hierarchy, poll completion).
+    HOST_CXL_OVERHEAD_NS = 60.0
+    #: Latency to accumulate one row on the host.
+    HOST_ACCUMULATE_NS_PER_ROW = 1.0
+    #: Outstanding-miss capacity of one host thread (limits host-side MLP).
+    HOST_MLP = 4
+
+    def __init__(self, system: SystemConfig, use_pifs_switch: bool = False) -> None:
+        self.system = system
+        self.use_pifs_switch = use_pifs_switch
+        self.backends: Optional[MemoryBackends] = None
+        self.tiered: Optional[TieredMemorySystem] = None
+        self.workload: Optional[SLSWorkload] = None
+        self._page_device: Dict[int, int] = {}
+        self._counters: Dict[str, float] = {}
+        self._migration_cost_ns = 0.0
+        self._lookups_since_maintenance = 0
+
+    # ------------------------------------------------------------------
+    # Workload execution
+    # ------------------------------------------------------------------
+    def run(self, workload: SLSWorkload) -> SimResult:
+        """Replay ``workload`` on this system and return the result."""
+        self.workload = workload
+        self._counters = {
+            "local_rows": 0,
+            "cxl_rows": 0,
+            "remote_rows": 0,
+            "buffer_hits": 0,
+            "buffer_misses": 0,
+            "bytes_to_host": 0,
+        }
+        self._migration_cost_ns = 0.0
+        self._lookups_since_maintenance = 0
+        self.backends = MemoryBackends(
+            self.system, workload.model.embedding_row_bytes, use_pifs_switch=self.use_pifs_switch
+        )
+        self.tiered = self.build_placement(workload)
+        self.prepare(workload)
+
+        num_hosts = max(1, self.system.num_hosts)
+        threads_per_host = max(1, self.system.host_threads)
+        lanes = [0.0] * (num_hosts * threads_per_host)
+        epoch = max(1, self.system.page_mgmt.migration_epoch_accesses)
+        # Per-host round-robin so every host spreads its own requests over its
+        # own threads (lanes) independently of the global request order.
+        host_cursor = [0] * num_hosts
+
+        for i, request in enumerate(workload.requests):
+            host_id = request.host_id % num_hosts
+            lane_index = host_id * threads_per_host + (host_cursor[host_id] % threads_per_host)
+            host_cursor[host_id] += 1
+            start_ns = lanes[lane_index]
+            finish_ns = self.process_request(request, start_ns, host_id)
+            lanes[lane_index] = finish_ns
+            self._lookups_since_maintenance += request.num_candidates
+            if self._lookups_since_maintenance >= epoch:
+                self._lookups_since_maintenance = 0
+                stall_ns = self.maintenance(max(lanes))
+                if stall_ns > 0:
+                    lanes = [lane + stall_ns for lane in lanes]
+
+        total_ns = max(lanes) if lanes else 0.0
+        return self._build_result(workload, total_ns)
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def build_placement(self, workload: SLSWorkload) -> TieredMemorySystem:
+        """Create the tiered memory system and install the initial placement."""
+
+    def prepare(self, workload: SLSWorkload) -> None:
+        """Optional extra preparation after placement (default: none)."""
+
+    @abstractmethod
+    def process_request(self, request: SLSRequest, start_ns: float, host_id: int) -> float:
+        """Process one row-accumulation request; return its finish time."""
+
+    def maintenance(self, now_ns: float) -> float:
+        """Periodic page-management work; returns the stall imposed on lanes."""
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Placement helpers
+    # ------------------------------------------------------------------
+    def _make_nodes(self) -> List[MemoryNode]:
+        system = self.system
+        nodes = [
+            MemoryNode(
+                node_id=0,
+                tier=MemoryTier.LOCAL_DRAM,
+                capacity_bytes=system.local_dram_capacity_bytes,
+                base_latency_ns=system.local_dram_base_latency_ns,
+                bandwidth_gbps=system.local_dram.peak_bandwidth_gbps,
+                name="local_dram",
+            )
+        ]
+        for device_id in range(max(1, system.num_cxl_devices)):
+            nodes.append(
+                MemoryNode(
+                    node_id=device_id + 1,
+                    tier=MemoryTier.CXL,
+                    capacity_bytes=system.cxl_dram.capacity_bytes,
+                    base_latency_ns=system.local_dram_base_latency_ns + system.cxl.access_penalty_ns,
+                    bandwidth_gbps=min(
+                        system.cxl.downstream_port_bandwidth_gbps,
+                        system.cxl_dram.peak_bandwidth_gbps,
+                    ),
+                    name=f"cxl{device_id}",
+                )
+            )
+        return nodes
+
+    def node_to_device(self, node_id: int) -> int:
+        """Map a CXL node id to its device id (node 0 is local DRAM)."""
+        if node_id <= 0:
+            raise ValueError("node 0 is local DRAM, not a CXL device")
+        return node_id - 1
+
+    def device_to_node(self, device_id: int) -> int:
+        return device_id + 1
+
+    def _local_page_budget(self) -> int:
+        return max(0, self.system.local_dram_capacity_bytes // PAGE_SIZE_BYTES)
+
+    def _profile_page_hotness(self, workload: SLSWorkload) -> AccessTracker:
+        """Count page accesses across the whole workload (profiling pass)."""
+        tracker = AccessTracker()
+        for request in workload.requests:
+            for address in request.addresses:
+                tracker.record(page_id_of(int(address)))
+        return tracker
+
+    def place_capacity_order(
+        self, workload: SLSWorkload, interleave_spill: bool = True
+    ) -> TieredMemorySystem:
+        """Pond-style placement: fill local DRAM in address order, spill to CXL.
+
+        With ``interleave_spill`` the spilled pages are striped across the CXL
+        devices; without it they are assigned in contiguous blocks (whole
+        tables land on single devices), which is the unbalanced starting point
+        the embedding-spreading policy fixes (Fig 13 b).
+        """
+        tiered = TieredMemorySystem(self._make_nodes(), migration_mode=self.system.page_mgmt.migration_mode)
+        budget = self._local_page_budget()
+        num_cxl = max(1, self.system.num_cxl_devices)
+        total_pages = workload.address_space.total_pages
+        spill_pages = max(1, total_pages - budget)
+        block = (spill_pages + num_cxl - 1) // num_cxl
+        placement: Dict[int, int] = {}
+        spill_index = 0
+        for page in range(total_pages):
+            if page < budget:
+                placement[page] = 0
+            elif interleave_spill:
+                placement[page] = 1 + (page % num_cxl)
+            else:
+                placement[page] = 1 + min(num_cxl - 1, spill_index // block)
+                spill_index += 1
+        tiered.install_placement(placement)
+        return tiered
+
+    def place_hotness_order(self, workload: SLSWorkload) -> TieredMemorySystem:
+        """PM placement: hottest pages local, cold pages interleaved over CXL."""
+        tiered = TieredMemorySystem(self._make_nodes(), migration_mode=self.system.page_mgmt.migration_mode)
+        budget = self._local_page_budget()
+        num_cxl = max(1, self.system.num_cxl_devices)
+        hotness = self._profile_page_hotness(workload)
+        ranked = [page for page, _ in hotness.hottest(workload.address_space.total_pages)]
+        hot_set = set(ranked[:budget])
+        placement: Dict[int, int] = {}
+        spill_index = 0
+        for page in range(workload.address_space.total_pages):
+            if page in hot_set:
+                placement[page] = 0
+            else:
+                placement[page] = 1 + (spill_index % num_cxl)
+                spill_index += 1
+        tiered.install_placement(placement)
+        return tiered
+
+    def place_cxl_only(self, workload: SLSWorkload) -> TieredMemorySystem:
+        """BEACON-style placement: everything lives in CXL memory."""
+        tiered = TieredMemorySystem(self._make_nodes(), migration_mode=self.system.page_mgmt.migration_mode)
+        num_cxl = max(1, self.system.num_cxl_devices)
+        placement = {
+            page: 1 + (page % num_cxl) for page in range(workload.address_space.total_pages)
+        }
+        tiered.install_placement(placement)
+        return tiered
+
+    # ------------------------------------------------------------------
+    # Timing helpers (host-centric paths)
+    # ------------------------------------------------------------------
+    def device_of_address(self, address: int) -> int:
+        """CXL device id holding ``address`` (placement must be non-local)."""
+        node = self.tiered.node_of_address(address)
+        if node.tier is MemoryTier.LOCAL_DRAM:
+            raise ValueError("address is in local DRAM")
+        return self.node_to_device(node.node_id)
+
+    def is_local(self, address: int) -> bool:
+        return self.tiered.node_of_address(address).tier is MemoryTier.LOCAL_DRAM
+
+    def host_local_access(self, address: int, start_ns: float, host_id: int = 0) -> float:
+        """A host load served by that host's local DRAM."""
+        self._counters["local_rows"] += 1
+        self.tiered.record_access(address, start_ns)
+        dram = self.backends.local_dram_of_host(host_id)
+        finish = dram.access(address, start_ns, bytes_requested=self.backends.row_bytes)
+        return finish + self.HOST_LOCAL_OVERHEAD_NS
+
+    def host_cxl_access(self, address: int, start_ns: float, host_id: int) -> float:
+        """A host load served by a CXL device through the fabric switch."""
+        self._counters["cxl_rows"] += 1
+        self._counters["bytes_to_host"] += self.backends.row_bytes
+        self.tiered.record_access(address, start_ns)
+        device_id = self.device_of_address(address)
+        switch = self.backends.switch_of_device(device_id)
+        port = self.backends.host_port(host_id, switch.switch_id)
+        finish = switch.host_read(
+            port, device_id, address, start_ns, bytes_requested=self.backends.row_bytes
+        )
+        return finish + self.HOST_CXL_OVERHEAD_NS
+
+    def host_accumulate_bag(
+        self, addresses: Sequence[int], start_ns: float, host_id: int
+    ) -> float:
+        """Host-centric SLS for one bag: grouped loads plus SIMD accumulation."""
+        cursor = start_ns
+        for group_start in range(0, len(addresses), self.HOST_MLP):
+            group = addresses[group_start : group_start + self.HOST_MLP]
+            group_finish = cursor
+            for address in group:
+                address = int(address)
+                if self.is_local(address):
+                    finish = self.host_local_access(address, cursor, host_id)
+                else:
+                    finish = self.host_cxl_access(address, cursor, host_id)
+                group_finish = max(group_finish, finish)
+            cursor = group_finish + len(group) * self.HOST_ACCUMULATE_NS_PER_ROW
+        return cursor
+
+    # ------------------------------------------------------------------
+    # Result assembly
+    # ------------------------------------------------------------------
+    def add_migration_cost(self, cost_ns: float, migrations: int = 0) -> None:
+        self._migration_cost_ns += cost_ns
+
+    def _build_result(self, workload: SLSWorkload, total_ns: float) -> SimResult:
+        device_counts = {
+            device.device_id: device.reads + device.writes for device in self.backends.devices
+        }
+        stall_cycles = 0.0
+        backpressure = 0.0
+        buffer_hits = int(self._counters.get("buffer_hits", 0))
+        buffer_misses = int(self._counters.get("buffer_misses", 0))
+        for switch in self.backends.switches:
+            if isinstance(switch, PIFSSwitch):
+                stall_cycles += switch.process_core.accumulator.stats.stall_cycles
+                backpressure += switch.process_core.stats.backpressure_ns
+                buffer_hits += switch.buffer.hits
+                buffer_misses += switch.buffer.misses
+        migration_stats = self.tiered.migration_stats if self.tiered else None
+        return SimResult(
+            system=self.name,
+            total_ns=total_ns,
+            requests=len(workload.requests),
+            lookups=workload.total_lookups,
+            local_rows=int(self._counters.get("local_rows", 0)),
+            cxl_rows=int(self._counters.get("cxl_rows", 0)),
+            remote_socket_rows=int(self._counters.get("remote_rows", 0)),
+            buffer_hits=buffer_hits,
+            buffer_misses=buffer_misses,
+            migrations=migration_stats.migrations if migration_stats else 0,
+            migration_cost_ns=self._migration_cost_ns,
+            stall_cycles=stall_cycles,
+            backpressure_ns=backpressure,
+            bytes_to_host=int(self._counters.get("bytes_to_host", 0)),
+            device_access_counts=device_counts,
+        )
+
+
+__all__ = ["MemoryBackends", "SLSSystem"]

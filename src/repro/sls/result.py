@@ -1,0 +1,80 @@
+"""Simulation result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SimResult:
+    """Outcome of running one SLS workload on one system.
+
+    ``total_ns`` is the wall-clock completion time of the workload ("total
+    ticks used to process the traces", §VI-C); the remaining fields are the
+    counters the evaluation figures are built from.
+    """
+
+    system: str
+    total_ns: float
+    requests: int
+    lookups: int
+    local_rows: int = 0
+    cxl_rows: int = 0
+    remote_socket_rows: int = 0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    migrations: int = 0
+    migration_cost_ns: float = 0.0
+    stall_cycles: float = 0.0
+    backpressure_ns: float = 0.0
+    bytes_to_host: int = 0
+    device_access_counts: Dict[int, int] = field(default_factory=dict)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.total_ns < 0:
+            raise ValueError("total_ns must be non-negative")
+        if self.requests < 0 or self.lookups < 0:
+            raise ValueError("counters must be non-negative")
+
+    @property
+    def latency_per_request_ns(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.total_ns / self.requests
+
+    @property
+    def latency_per_lookup_ns(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.total_ns / self.lookups
+
+    @property
+    def throughput_lookups_per_us(self) -> float:
+        if self.total_ns == 0:
+            return 0.0
+        return self.lookups / (self.total_ns / 1000.0)
+
+    @property
+    def buffer_hit_ratio(self) -> float:
+        total = self.buffer_hits + self.buffer_misses
+        if total == 0:
+            return 0.0
+        return self.buffer_hits / total
+
+    @property
+    def migration_cost_fraction(self) -> float:
+        """Migration cost relative to total latency (Fig 13 a/d right axis)."""
+        if self.total_ns == 0:
+            return 0.0
+        return self.migration_cost_ns / self.total_ns
+
+    def speedup_over(self, other: "SimResult") -> float:
+        """How much faster this result is than ``other`` (latency ratio)."""
+        if self.total_ns == 0:
+            raise ZeroDivisionError("cannot compute speedup of a zero-latency result")
+        return other.total_ns / self.total_ns
+
+
+__all__ = ["SimResult"]

@@ -1,0 +1,21 @@
+"""Embedding-lookup trace generation and workload containers.
+
+The paper evaluates with the open-source Meta DLRM traces plus synthetic
+Zipfian / Normal / Uniform / Random traces (Fig 12 b).  This package
+provides deterministic generators for all five distributions and the
+:class:`~repro.traces.workload.SLSWorkload` container consumed by every SLS
+system implementation.
+"""
+
+from repro.traces.meta import generate_meta_like_trace
+from repro.traces.synthetic import TraceDistribution, generate_indices
+from repro.traces.workload import SLSRequest, SLSWorkload, build_workload
+
+__all__ = [
+    "generate_meta_like_trace",
+    "TraceDistribution",
+    "generate_indices",
+    "SLSRequest",
+    "SLSWorkload",
+    "build_workload",
+]

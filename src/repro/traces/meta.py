@@ -1,0 +1,79 @@
+"""Meta-like DLRM embedding trace generation.
+
+The paper uses the open-source Meta ``dlrm_datasets`` traces.  Those traces
+are per-table streams of (indices, offsets) pairs with a highly skewed,
+hot-set-dominated reuse pattern and per-table pooling factors.  This module
+generates traces with the same structure so the rest of the system consumes
+exactly the same shape of data.  Each trace is a list of batches; each batch
+holds per-table index arrays and bag offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import WorkloadConfig
+from repro.traces.synthetic import TraceDistribution, generate_indices
+
+
+@dataclass
+class TraceBatch:
+    """One batch of a trace: per-table indices and offsets."""
+
+    indices_per_table: List[np.ndarray]
+    offsets_per_table: List[np.ndarray]
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.indices_per_table)
+
+    @property
+    def batch_size(self) -> int:
+        if not self.offsets_per_table:
+            return 0
+        return len(self.offsets_per_table[0])
+
+    @property
+    def total_lookups(self) -> int:
+        return int(sum(len(idx) for idx in self.indices_per_table))
+
+
+def generate_meta_like_trace(
+    config: WorkloadConfig,
+    distribution: Optional[TraceDistribution] = None,
+) -> List[TraceBatch]:
+    """Generate ``config.num_batches`` batches of Meta-like lookups.
+
+    Pooling factors vary per table (drawn once per table around the
+    configured mean, as in the Meta traces where some features have much
+    longer multi-hot lists than others).
+    """
+    model = config.model
+    distribution = distribution or TraceDistribution.from_name(config.distribution)
+    rng = np.random.default_rng(config.seed)
+    table_pooling = rng.poisson(config.pooling_factor, size=model.num_tables).clip(1, None)
+
+    batches: List[TraceBatch] = []
+    for _ in range(config.num_batches):
+        indices_per_table: List[np.ndarray] = []
+        offsets_per_table: List[np.ndarray] = []
+        for table in range(model.num_tables):
+            lengths = rng.poisson(table_pooling[table], size=config.batch_size).clip(1, None)
+            offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]]).astype(np.int64)
+            indices = generate_indices(
+                distribution,
+                count=int(lengths.sum()),
+                num_embeddings=model.num_embeddings,
+                rng=rng,
+                zipf_alpha=config.zipf_alpha,
+            )
+            indices_per_table.append(indices)
+            offsets_per_table.append(offsets)
+        batches.append(TraceBatch(indices_per_table=indices_per_table, offsets_per_table=offsets_per_table))
+    return batches
+
+
+__all__ = ["TraceBatch", "generate_meta_like_trace"]

@@ -1,0 +1,134 @@
+"""SLS workload container consumed by every simulated system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import ModelConfig, WorkloadConfig
+from repro.memsys.address_space import AddressSpace
+from repro.traces.meta import TraceBatch, generate_meta_like_trace
+from repro.traces.synthetic import TraceDistribution
+
+
+@dataclass
+class SLSRequest:
+    """One row-accumulation request: sum ``rows`` of ``table`` into one vector.
+
+    This is the unit of work the host hands to the SLS engine (one bag of one
+    sample on one table).  ``addresses`` are the byte addresses of every row
+    candidate in the shared embedding address space.
+    """
+
+    request_id: int
+    host_id: int
+    table: int
+    sample: int
+    rows: np.ndarray
+    addresses: np.ndarray
+    row_bytes: int
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.rows)
+
+    @property
+    def bytes_accessed(self) -> int:
+        return self.num_candidates * self.row_bytes
+
+
+@dataclass
+class SLSWorkload:
+    """A full SLS workload: requests plus the address space they live in."""
+
+    model: ModelConfig
+    address_space: AddressSpace
+    requests: List[SLSRequest]
+    batch_size: int
+    num_batches: int
+    distribution: str
+
+    def __iter__(self) -> Iterator[SLSRequest]:
+        return iter(self.requests)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def total_lookups(self) -> int:
+        return int(sum(r.num_candidates for r in self.requests))
+
+    @property
+    def total_bytes(self) -> int:
+        return int(sum(r.bytes_accessed for r in self.requests))
+
+    @property
+    def working_set_bytes(self) -> int:
+        return self.address_space.total_bytes
+
+    def unique_pages(self) -> int:
+        pages = set()
+        page_size = self.address_space.page_size
+        for request in self.requests:
+            pages.update((request.addresses // page_size).tolist())
+        return len(pages)
+
+
+def build_workload(
+    config: WorkloadConfig,
+    distribution: Optional[str] = None,
+    host_id: int = 0,
+    num_hosts: int = 1,
+) -> SLSWorkload:
+    """Build an :class:`SLSWorkload` from a :class:`~repro.config.WorkloadConfig`.
+
+    When ``num_hosts`` is greater than one, requests are assigned to hosts
+    round-robin by sample, matching the paper's multi-host experiments where
+    concurrent hosts issue batches against the same tables.
+    """
+    dist_name = distribution or config.distribution
+    dist = TraceDistribution.from_name(dist_name)
+    batches: List[TraceBatch] = generate_meta_like_trace(config, distribution=dist)
+    space = AddressSpace.for_model(config.model)
+    row_bytes = config.model.embedding_row_bytes
+
+    requests: List[SLSRequest] = []
+    request_id = 0
+    for batch in batches:
+        for table in range(batch.num_tables):
+            indices = batch.indices_per_table[table]
+            offsets = batch.offsets_per_table[table]
+            bounds = np.concatenate([offsets, [len(indices)]])
+            for sample in range(batch.batch_size):
+                start, end = int(bounds[sample]), int(bounds[sample + 1])
+                rows = indices[start:end]
+                if len(rows) == 0:
+                    continue
+                addresses = np.array(
+                    [space.row_address(table, int(r)) for r in rows], dtype=np.int64
+                )
+                requests.append(
+                    SLSRequest(
+                        request_id=request_id,
+                        host_id=(host_id + sample) % max(1, num_hosts),
+                        table=table,
+                        sample=sample,
+                        rows=rows.astype(np.int64),
+                        addresses=addresses,
+                        row_bytes=row_bytes,
+                    )
+                )
+                request_id += 1
+    return SLSWorkload(
+        model=config.model,
+        address_space=space,
+        requests=requests,
+        batch_size=config.batch_size,
+        num_batches=config.num_batches,
+        distribution=dist.value,
+    )
+
+
+__all__ = ["SLSRequest", "SLSWorkload", "build_workload"]

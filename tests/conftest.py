@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import DEFAULT_SYSTEM, RMC1, WorkloadConfig, scaled_model
+from repro.traces.workload import build_workload
+
+
+@pytest.fixture(scope="session")
+def tiny_model():
+    """A laptop-scale RMC1: 512 rows x 64 dims x 4 tables."""
+    return replace(scaled_model(RMC1, 512 / RMC1.num_embeddings), num_tables=4)
+
+
+@pytest.fixture(scope="session")
+def tiny_workload(tiny_model):
+    """A small but non-trivial SLS workload (hundreds of lookups)."""
+    return build_workload(
+        WorkloadConfig(
+            model=tiny_model, batch_size=4, num_batches=2, pooling_factor=8, seed=11
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_system(tiny_workload):
+    """A system config whose local DRAM holds ~25 % of the tiny workload."""
+    page_mgmt = replace(DEFAULT_SYSTEM.page_mgmt, migration_epoch_accesses=128)
+    return replace(
+        DEFAULT_SYSTEM,
+        local_dram_capacity_bytes=max(8192, tiny_workload.address_space.total_bytes // 4),
+        num_cxl_devices=4,
+        host_threads=4,
+        page_mgmt=page_mgmt,
+    )

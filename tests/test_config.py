@@ -1,0 +1,122 @@
+"""Tests for repro.config."""
+
+import pytest
+
+from repro.config import (
+    DDR4_TIMINGS,
+    DDR5_TIMINGS,
+    MODEL_CONFIGS,
+    RMC1,
+    RMC2,
+    RMC3,
+    RMC4,
+    DRAMConfig,
+    CXLConfig,
+    PIFSConfig,
+    SystemConfig,
+    WorkloadConfig,
+    scaled_model,
+)
+
+
+class TestDRAMTimings:
+    def test_table2_ddr5_values(self):
+        t = DDR5_TIMINGS
+        assert (t.cl, t.trcd, t.trp, t.tras) == (28, 28, 28, 52)
+        assert (t.trc, t.twr, t.trtp) == (79, 48, 12)
+        assert (t.tcwl, t.nrfc1, t.tck_ps) == (22, 30, 625)
+
+    def test_tck_ns(self):
+        assert DDR5_TIMINGS.tck_ns == pytest.approx(0.625)
+
+    def test_cycles_to_ns(self):
+        assert DDR5_TIMINGS.cycles_to_ns(2) == pytest.approx(1.25)
+
+    def test_row_hit_faster_than_conflict(self):
+        assert DDR5_TIMINGS.row_hit_cycles < DDR5_TIMINGS.row_closed_cycles
+        assert DDR5_TIMINGS.row_closed_cycles < DDR5_TIMINGS.row_conflict_cycles
+
+    def test_ddr4_slower_clock(self):
+        assert DDR4_TIMINGS.tck_ps > DDR5_TIMINGS.tck_ps
+
+
+class TestDRAMConfig:
+    def test_capacity(self):
+        cfg = DRAMConfig(channels=4, dimm_capacity_bytes=64 * 1024 ** 3)
+        assert cfg.capacity_bytes == 4 * 64 * 1024 ** 3
+
+    def test_total_banks(self):
+        cfg = DRAMConfig(channels=2, ranks_per_channel=2, banks_per_rank=16)
+        assert cfg.total_banks == 64
+
+    def test_peak_bandwidth(self):
+        cfg = DRAMConfig(channels=4, channel_bandwidth_gbps=38.4)
+        assert cfg.peak_bandwidth_gbps == pytest.approx(153.6)
+
+
+class TestModelConfigs:
+    @pytest.mark.parametrize("name", ["RMC1", "RMC2", "RMC3", "RMC4"])
+    def test_registry(self, name):
+        assert MODEL_CONFIGS[name].name == name
+
+    def test_table1_embedding_counts(self):
+        assert RMC1.num_embeddings == 16384
+        assert RMC2.num_embeddings == 131072
+        assert RMC3.num_embeddings == 1048576
+        assert RMC4.num_embeddings == 1048576
+
+    def test_table1_dimensions(self):
+        assert RMC1.embedding_dim == RMC2.embedding_dim == RMC3.embedding_dim == 64
+        assert RMC4.embedding_dim == 128
+
+    def test_table1_mlps(self):
+        assert RMC1.bottom_mlp == (256, 128, 128)
+        assert RMC4.top_mlp == (768, 384, 1)
+
+    def test_row_bytes(self):
+        assert RMC1.embedding_row_bytes == 256
+        assert RMC4.embedding_row_bytes == 512
+
+    def test_footprint_ordering(self):
+        assert RMC1.total_embedding_bytes < RMC2.total_embedding_bytes
+        assert RMC2.total_embedding_bytes < RMC3.total_embedding_bytes
+        assert RMC3.total_embedding_bytes < RMC4.total_embedding_bytes
+
+    def test_scaled_model(self):
+        scaled = scaled_model(RMC3, 0.01)
+        assert scaled.num_embeddings == int(RMC3.num_embeddings * 0.01)
+        assert scaled.embedding_dim == RMC3.embedding_dim
+
+    def test_scaled_model_never_empty(self):
+        assert scaled_model(RMC1, 1e-9).num_embeddings == 1
+
+
+class TestSystemConfig:
+    def test_defaults_match_table2(self):
+        cfg = SystemConfig()
+        assert cfg.cxl.access_penalty_ns == pytest.approx(100.0)
+        assert cfg.cxl.downstream_port_bandwidth_gbps == pytest.approx(64.0)
+        assert cfg.local_dram_capacity_bytes == 128 * 1024 ** 3
+
+    def test_pifs_defaults(self):
+        pifs = PIFSConfig()
+        assert pifs.process_core is True
+        assert pifs.out_of_order is True
+        assert pifs.on_switch_buffer.capacity_bytes == 512 * 1024
+        assert pifs.on_switch_buffer.policy == "htr"
+
+    def test_page_mgmt_defaults(self):
+        cfg = SystemConfig().page_mgmt
+        assert cfg.migrate_threshold == pytest.approx(0.35)
+        assert cfg.cold_age_threshold == pytest.approx(0.16)
+        assert cfg.migration_mode == "cacheline_block"
+
+    def test_workload_defaults(self):
+        wl = WorkloadConfig()
+        assert wl.batch_size == 8
+        assert wl.distribution == "meta"
+
+    def test_cxl_config_slots(self):
+        cxl = CXLConfig()
+        assert cxl.slot_bytes == 16
+        assert cxl.flit_bytes == 64

@@ -1,0 +1,185 @@
+"""Tests for the cost/power/energy models and the analysis helpers."""
+
+import pytest
+
+from repro.analysis.report import format_mapping, format_table
+from repro.analysis.stats import (
+    geometric_mean,
+    min_max_normalize,
+    normalize_to,
+    speedup,
+    standard_deviation,
+)
+from repro.baselines.gpu_ps import GPUParameterServer
+from repro.config import MODEL_CONFIGS, RMC1, RMC4
+from repro.cost.energy import EnergyModel
+from repro.cost.hardware_specs import HARDWARE_SPECS, spec
+from repro.cost.power_area import PIFS_BREAKDOWN, RECNMP_X8, PowerAreaModel
+from repro.cost.tco import TCOModel
+from repro.sls.result import SimResult
+
+
+class TestHardwareSpecs:
+    def test_table3_prices(self):
+        assert spec("server_cpu").price_usd == pytest.approx(4695.0)
+        assert spec("gpu").price_usd == pytest.approx(18900.0)
+        assert spec("ddr5_dimm").price_usd == pytest.approx(11.25)
+        assert spec("ddr4_dimm").price_usd == pytest.approx(4.90)
+
+    def test_unknown_spec(self):
+        with pytest.raises(KeyError):
+            spec("quantum_dimm")
+
+    def test_all_specs_well_formed(self):
+        for hardware in HARDWARE_SPECS.values():
+            assert hardware.tdp_watts > 0
+            assert hardware.price_usd > 0
+
+
+class TestPowerArea:
+    def test_fig18_component_values(self):
+        assert PIFS_BREAKDOWN["process_core"].power_mw == pytest.approx(9.3)
+        assert PIFS_BREAKDOWN["control_logic"].area_um2 == pytest.approx(73114.0)
+        assert PIFS_BREAKDOWN["on_switch_buffer"].area_mm2 == pytest.approx(2.38)
+
+    def test_power_reduction_matches_paper(self):
+        model = PowerAreaModel()
+        assert model.power_reduction_vs_recnmp() == pytest.approx(2.7, rel=0.05)
+
+    def test_area_reduction_matches_paper(self):
+        model = PowerAreaModel()
+        assert model.area_reduction_vs_recnmp() == pytest.approx(2.02, rel=0.05)
+
+    def test_recnmp_reference(self):
+        assert RECNMP_X8.power_mw == pytest.approx(75.4)
+
+
+class TestTCO:
+    def test_pifs_cheaper_than_gpu_systems(self):
+        tco = TCOModel(RMC4)
+        reports = tco.comparison()
+        assert reports["Ours"].total_usd < min(
+            reports[key].total_usd for key in reports if key != "Ours"
+        )
+
+    def test_cost_advantage_band(self):
+        # The paper reports 3.38x (RMC1) .. 2.53x (RMC4) vs a 1-GPU server.
+        small = TCOModel(RMC1).cost_advantage(num_gpus=1)
+        large = TCOModel(RMC4).cost_advantage(num_gpus=1)
+        assert 1.5 < large < 4.0
+        assert 1.5 < small < 5.0
+
+    def test_capex_grows_with_gpus(self):
+        tco = TCOModel(RMC4)
+        assert tco.gpu_parameter_server(4).capex_usd > tco.gpu_parameter_server(2).capex_usd
+
+    def test_opex_positive(self):
+        report = TCOModel(RMC2 := MODEL_CONFIGS["RMC2"]).pifs_rec()
+        assert report.opex_usd > 0
+        assert report.total_usd == pytest.approx(report.capex_usd + report.opex_usd)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            TCOModel(RMC4).gpu_parameter_server(0)
+        with pytest.raises(ValueError):
+            TCOModel(RMC4).pifs_rec(cxl_fraction=2.0)
+
+
+class TestGPUParameterServer:
+    def test_small_model_fits_in_hbm(self):
+        ps = GPUParameterServer(2, RMC1)
+        assert ps.hbm_resident_fraction == pytest.approx(1.0)
+
+    def test_large_model_overflows(self):
+        ps = GPUParameterServer(4, RMC4)
+        assert ps.hbm_resident_fraction < 0.2
+
+    def test_throughput_drops_with_model_size(self):
+        small = GPUParameterServer(4, RMC1).throughput_queries_per_us()
+        large = GPUParameterServer(4, RMC4).throughput_queries_per_us()
+        assert large < small
+
+    def test_more_gpus_more_throughput(self):
+        two = GPUParameterServer(2, RMC4).throughput_queries_per_us()
+        four = GPUParameterServer(4, RMC4).throughput_queries_per_us()
+        assert four > two
+
+    def test_power(self):
+        assert GPUParameterServer(4, RMC4).power_watts() == pytest.approx(360 + 4 * 300)
+
+    def test_invalid_gpu_count(self):
+        with pytest.raises(ValueError):
+            GPUParameterServer(0, RMC1)
+
+
+class TestEnergyModel:
+    def _result(self, system="PIFS-Rec", local=1000, cxl=500):
+        return SimResult(
+            system=system, total_ns=1e6, requests=100, lookups=local + cxl,
+            local_rows=local, cxl_rows=cxl,
+        )
+
+    def test_breakdown_components_positive(self):
+        breakdown = EnergyModel().breakdown(self._result())
+        assert breakdown.dram_mj > 0
+        assert breakdown.cxl_mj > 0
+        assert breakdown.total_mj == pytest.approx(
+            breakdown.dram_mj + breakdown.cxl_mj + breakdown.switch_logic_mj + breakdown.host_mj
+        )
+
+    def test_in_switch_flag_controls_host_energy(self):
+        model = EnergyModel()
+        in_switch = model.breakdown(self._result(), in_switch=True)
+        host_side = model.breakdown(self._result(), in_switch=False)
+        assert host_side.host_mj > in_switch.host_mj
+
+    def test_savings_positive_when_faster_and_leaner(self):
+        model = EnergyModel()
+        pifs = self._result()
+        pond = SimResult(system="Pond", total_ns=4e6, requests=100, lookups=1500,
+                         local_rows=300, cxl_rows=1200)
+        assert model.savings_vs(pifs, pond) > 0
+
+
+class TestStats:
+    def test_min_max_normalize(self):
+        normalized = min_max_normalize({"a": 2.0, "b": 4.0})
+        assert normalized == {"a": 0.5, "b": 1.0}
+
+    def test_min_max_empty_and_zero(self):
+        assert min_max_normalize({}) == {}
+        assert min_max_normalize({"a": 0.0}) == {"a": 0.0}
+
+    def test_normalize_to(self):
+        assert normalize_to({"a": 2.0, "b": 4.0}, "a") == {"a": 1.0, "b": 2.0}
+        with pytest.raises(KeyError):
+            normalize_to({"a": 1.0}, "z")
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        with pytest.raises(ZeroDivisionError):
+            speedup(1.0, 0.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_standard_deviation(self):
+        assert standard_deviation([2.0, 2.0, 2.0]) == 0.0
+        assert standard_deviation([0.0, 2.0]) == pytest.approx(1.0)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["long-name", 2.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "long-name" in lines[3]
+
+    def test_format_mapping(self):
+        text = format_mapping("title", {"x": 1.0})
+        assert text.startswith("title")
+        assert "x: 1.000" in text

@@ -1,0 +1,229 @@
+"""Tests for the DLRM pipeline (repro.dlrm)."""
+
+import numpy as np
+import pytest
+
+from repro.config import RMC1, scaled_model
+from repro.dlrm.embedding import EmbeddingBagCollection, EmbeddingTable
+from repro.dlrm.interaction import dot_feature_interaction, interaction_output_dim
+from repro.dlrm.mlp import MLP
+from repro.dlrm.model import DLRM, OperatorProfile, operator_profile
+from repro.dlrm.query import QueryBatch
+
+
+class TestEmbeddingTable:
+    def test_lookup_matches_weights(self):
+        table = EmbeddingTable(num_embeddings=100, dim=8, table_id=1)
+        rows = table.lookup([3, 7])
+        np.testing.assert_array_equal(rows, table.weights[[3, 7]])
+
+    def test_sls_sums_bags(self):
+        table = EmbeddingTable(50, 4)
+        indices = [1, 2, 3, 4, 5]
+        offsets = [0, 2]
+        pooled = table.sls(indices, offsets)
+        np.testing.assert_allclose(pooled[0], table.weights[[1, 2]].sum(axis=0), rtol=1e-6)
+        np.testing.assert_allclose(pooled[1], table.weights[[3, 4, 5]].sum(axis=0), rtol=1e-6)
+
+    def test_sls_with_weights(self):
+        table = EmbeddingTable(50, 4)
+        pooled = table.sls([1, 2], [0], weights=[0.5, 2.0])
+        expected = 0.5 * table.weights[1] + 2.0 * table.weights[2]
+        np.testing.assert_allclose(pooled[0], expected, rtol=1e-6)
+
+    def test_empty_bag_is_zero(self):
+        table = EmbeddingTable(50, 4)
+        pooled = table.sls([1], [0, 1])  # second bag empty
+        np.testing.assert_array_equal(pooled[1], np.zeros(4, dtype=np.float32))
+
+    def test_index_out_of_range(self):
+        table = EmbeddingTable(10, 4)
+        with pytest.raises(IndexError):
+            table.sls([10], [0])
+
+    def test_offsets_must_start_at_zero(self):
+        table = EmbeddingTable(10, 4)
+        with pytest.raises(ValueError):
+            table.sls([1, 2], [1])
+
+    def test_offsets_must_be_sorted(self):
+        table = EmbeddingTable(10, 4)
+        with pytest.raises(ValueError):
+            table.sls([1, 2, 3], [0, 2, 1])
+
+    def test_non_materialized_rejects_lookup(self):
+        table = EmbeddingTable(10, 4, materialize=False)
+        with pytest.raises(RuntimeError):
+            table.lookup([0])
+
+    def test_weights_misaligned(self):
+        table = EmbeddingTable(10, 4)
+        with pytest.raises(ValueError):
+            table.sls([1, 2], [0], weights=[1.0])
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            EmbeddingTable(0, 4)
+
+
+class TestEmbeddingBagCollection:
+    def test_build(self):
+        collection = EmbeddingBagCollection.build(num_tables=3, num_embeddings=20, dim=8)
+        assert len(collection) == 3
+        assert collection.total_bytes == 3 * 20 * 8 * 4
+
+    def test_sls_shape(self):
+        collection = EmbeddingBagCollection.build(2, 20, 8)
+        pooled = collection.sls([[1, 2, 3], [4, 5]], [[0, 2], [0, 1]])
+        assert pooled.shape == (2, 2, 8)
+
+    def test_mismatched_dims_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddingBagCollection([EmbeddingTable(10, 4), EmbeddingTable(10, 8)])
+
+    def test_mismatched_table_count(self):
+        collection = EmbeddingBagCollection.build(2, 20, 8)
+        with pytest.raises(ValueError):
+            collection.sls([[1]], [[0]])
+
+
+class TestMLP:
+    def test_output_shape(self):
+        mlp = MLP(input_dim=13, layer_sizes=(32, 8))
+        out = mlp(np.zeros((4, 13), dtype=np.float32))
+        assert out.shape == (4, 8)
+
+    def test_sigmoid_output_bounded(self):
+        mlp = MLP(4, (8, 1), sigmoid_output=True)
+        out = mlp(np.random.default_rng(0).normal(size=(16, 4)))
+        assert np.all(out > 0) and np.all(out < 1)
+
+    def test_relu_output_non_negative(self):
+        mlp = MLP(4, (8,))
+        out = mlp(np.random.default_rng(0).normal(size=(16, 4)))
+        assert np.all(out >= 0)
+
+    def test_1d_input_promoted(self):
+        mlp = MLP(4, (2,))
+        assert mlp(np.zeros(4, dtype=np.float32)).shape == (1, 2)
+
+    def test_wrong_input_dim(self):
+        mlp = MLP(4, (2,))
+        with pytest.raises(ValueError):
+            mlp(np.zeros((1, 5), dtype=np.float32))
+
+    def test_parameter_count(self):
+        mlp = MLP(4, (8, 2))
+        assert mlp.num_parameters == (4 * 8 + 8) + (8 * 2 + 2)
+
+    def test_flops_positive(self):
+        assert MLP(4, (8, 2)).flops_per_sample() == 2 * (4 * 8 + 8 * 2)
+
+
+class TestInteraction:
+    def test_output_dim(self):
+        dense = np.zeros((3, 8), dtype=np.float32)
+        sparse = np.zeros((3, 4, 8), dtype=np.float32)
+        out = dot_feature_interaction(dense, sparse)
+        assert out.shape == (3, interaction_output_dim(4, 8))
+
+    def test_contains_dense_passthrough(self):
+        dense = np.arange(8, dtype=np.float32)[None, :]
+        sparse = np.zeros((1, 2, 8), dtype=np.float32)
+        out = dot_feature_interaction(dense, sparse)
+        np.testing.assert_array_equal(out[0, :8], dense[0])
+
+    def test_dot_products_correct(self):
+        dense = np.ones((1, 2), dtype=np.float32)
+        sparse = np.full((1, 1, 2), 2.0, dtype=np.float32)
+        out = dot_feature_interaction(dense, sparse)
+        # single pair: dense . sparse = 4
+        assert out[0, -1] == pytest.approx(4.0)
+
+    def test_batch_mismatch(self):
+        with pytest.raises(ValueError):
+            dot_feature_interaction(np.zeros((2, 4)), np.zeros((3, 1, 4)))
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            dot_feature_interaction(np.zeros((2, 4)), np.zeros((2, 1, 8)))
+
+
+class TestQueryBatch:
+    def test_random_batch_consistent(self):
+        batch = QueryBatch.random(batch_size=8, num_tables=3, num_embeddings=100)
+        assert batch.batch_size == 8
+        assert batch.num_tables == 3
+        assert batch.total_lookups == sum(len(i) for i in batch.indices_per_table)
+        assert batch.pooling_factor() > 0
+
+    def test_offsets_validation(self):
+        with pytest.raises(ValueError):
+            QueryBatch(
+                dense=np.zeros((2, 4), dtype=np.float32),
+                indices_per_table=[np.array([1, 2])],
+                offsets_per_table=[np.array([1, 2])],
+            )
+
+    def test_reproducible(self):
+        a = QueryBatch.random(4, 2, 50, seed=3)
+        b = QueryBatch.random(4, 2, 50, seed=3)
+        np.testing.assert_array_equal(a.indices_per_table[0], b.indices_per_table[0])
+
+
+class TestDLRM:
+    @pytest.fixture(scope="class")
+    def model(self):
+        config = scaled_model(RMC1, 0.02)  # 327 rows
+        return DLRM(config, seed=1)
+
+    def test_forward_shape_and_range(self, model):
+        batch = QueryBatch.random(
+            batch_size=6,
+            num_tables=model.config.num_tables,
+            num_embeddings=model.config.num_embeddings,
+            seed=5,
+        )
+        ctr = model(batch)
+        assert ctr.shape == (6, 1)
+        assert np.all((ctr > 0) & (ctr < 1))
+
+    def test_table_count_mismatch(self, model):
+        batch = QueryBatch.random(2, model.config.num_tables + 1, 10)
+        with pytest.raises(ValueError):
+            model(batch)
+
+    def test_parameter_counts(self, model):
+        counts = model.parameter_counts()
+        assert counts["embeddings"] == (
+            model.config.num_tables * model.config.num_embeddings * model.config.embedding_dim
+        )
+        assert counts["bottom_mlp"] > 0 and counts["top_mlp"] > 0
+
+    def test_bottom_mlp_projects_to_embedding_dim(self, model):
+        assert model.bottom_mlp.output_dim == model.config.embedding_dim
+
+
+class TestOperatorProfile:
+    def test_fractions_sum_to_one(self):
+        profile = operator_profile(RMC1, batch_size=8)
+        assert profile.sls_fraction + profile.non_sls_fraction == pytest.approx(1.0)
+
+    def test_sls_fraction_grows_with_batch(self):
+        small = operator_profile(RMC2 := RMC1, 8)
+        large = operator_profile(RMC2, 256)
+        assert large.sls_fraction > small.sls_fraction
+
+    def test_end_to_end_speedup_amdahl(self):
+        profile = OperatorProfile(sls_fraction=0.8, non_sls_fraction=0.2)
+        assert profile.end_to_end_speedup(1.0) == pytest.approx(1.0)
+        assert profile.end_to_end_speedup(1e9) == pytest.approx(5.0, rel=1e-3)
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            OperatorProfile(sls_fraction=0.5, non_sls_fraction=0.6)
+
+    def test_invalid_speedup(self):
+        profile = operator_profile(RMC1, 8)
+        with pytest.raises(ValueError):
+            profile.end_to_end_speedup(0.0)

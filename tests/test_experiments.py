@@ -1,0 +1,156 @@
+"""Smoke tests for every experiment driver at the quick scale."""
+
+import pytest
+
+from repro.config import KIB
+from repro.experiments import characterization, fig12, fig13, fig14, fig15, fig16_17, fig18, tables
+from repro.experiments.common import QUICK_SCALE, EvaluationScale, evaluation_system, evaluation_workload
+
+
+@pytest.fixture(scope="module")
+def scale():
+    return QUICK_SCALE
+
+
+class TestCommon:
+    def test_models_scaled_consistently(self, scale):
+        assert scale.model("RMC1").num_embeddings < scale.model("RMC3").num_embeddings
+        assert scale.model("RMC4").embedding_dim == 128
+
+    def test_local_capacity_positive(self, scale):
+        assert scale.local_capacity_bytes() > 0
+
+    def test_workload_and_system_compose(self, scale):
+        workload = evaluation_workload("RMC1", scale)
+        system = evaluation_system(scale)
+        assert workload.total_lookups > 0
+        assert system.num_cxl_devices == scale.num_cxl_devices
+
+
+class TestTables:
+    def test_table1_has_four_models(self):
+        rows = tables.table1_models()
+        assert {r["name"] for r in rows} == {"RMC1", "RMC2", "RMC3", "RMC4"}
+
+    def test_table2_structure(self):
+        data = tables.table2_hardware()
+        assert data["dram"]["cl_rcd_rp_ras"] == (28, 28, 28, 52)
+        assert data["cxl"]["access_penalty_ns"] == 100.0
+
+    def test_table3_covers_all_specs(self):
+        assert len(tables.table3_specs()) == 7
+
+
+class TestCharacterization:
+    def test_fig5_structure_and_trends(self):
+        data = characterization.run_fig5(
+            table_sizes=(16384, 65536), embedding_dims=(64,), lookups_per_thread=32
+        )
+        assert set(data) == {"remote", "cxl", "interleave"}
+        for threading in ("batch", "table"):
+            # Spilling to remote/CXL costs bandwidth relative to local-only.
+            assert data["remote"][threading][64][16384] < 1.0
+            assert data["cxl"][threading][64][16384] < 1.0
+            # Interleaving beats relying on CXL alone.
+            assert data["interleave"][threading][64][16384] > 1.0
+
+    def test_fig6_shares_sum_to_one(self):
+        data = characterization.run_fig6(configs=((8, 32), (8, 64)), lookups_per_thread=32)
+        for entry in data.values():
+            assert entry["dimm"] + entry["cxl"] == pytest.approx(1.0)
+            assert entry["dimm"] > entry["cxl"] > 0.0
+
+    def test_invalid_threading_mode(self):
+        with pytest.raises(ValueError):
+            characterization.run_lookup_phase("local", "diagonal", 1024, 64)
+
+
+class TestFig12:
+    def test_fig12a_quick(self, scale):
+        data = fig12.run_fig12a(scale, systems=("pond", "pifs-rec"), models=("RMC4",))
+        assert data["RMC4"]["pifs-rec"] < data["RMC4"]["pond"]
+
+    def test_fig12b_quick(self, scale):
+        data = fig12.run_fig12b(scale, systems=("pond", "pifs-rec"), traces=("meta", "uniform"))
+        for trace in ("meta", "uniform"):
+            assert data[trace]["pifs-rec"] < data[trace]["pond"]
+
+    def test_fig12c_quick(self, scale):
+        data = fig12.run_fig12c(scale, systems=("pifs-rec",), device_counts=(2, 4), model="RMC4")
+        assert set(data) == {2, 4}
+
+    def test_fig12d_quick(self, scale):
+        data = fig12.run_fig12d(scale, systems=("pond",), multipliers=(1, 4), model="RMC4")
+        assert data[4]["pond"] <= data[1]["pond"]
+
+    def test_fig12e_quick(self, scale):
+        data = fig12.run_fig12e(scale, models=("RMC4",))
+        steps = data["RMC4"]
+        assert steps["PC/OoO/PM/OSB"] < steps["Baseline"]
+        assert list(steps) == list(fig12.ABLATION_STEPS)
+
+
+class TestFig13:
+    def test_fig13a_quick(self, scale):
+        data = fig13.run_fig13a(scale, thresholds=(0.35,), model="RMC4")
+        entry = data[0.35]
+        assert entry["latency_cacheline_block"] > 0
+        assert entry["migration_cost_page_block"] >= entry["migration_cost_cacheline_block"]
+
+    def test_fig13b_quick(self, scale):
+        data = fig13.run_fig13b(scale, model="RMC4", num_devices=4)
+        assert set(data["before"]) == set(data["after"])
+        assert data["std"][0] >= 0 and data["std"][1] >= 0
+
+    def test_fig13c_quick(self, scale):
+        data = fig13.run_fig13c(scale, switch_counts=(1, 2), batch_sizes=(8,), model="RMC4")
+        assert data[8][2] <= data[8][1] * 1.1
+
+    def test_fig13d_quick(self, scale):
+        data = fig13.run_fig13d(scale, thresholds=(0.16,), model="RMC4")
+        assert "TPP" in data
+        assert data["0.16"]["latency"] > 0
+
+
+class TestFig14And15:
+    def test_fig14_quick(self, scale):
+        data = fig14.run_fig14(scale, models=("RMC1",), host_counts=(1, 2), batch_sizes=(8,))
+        speedups = data["RMC1"][8]
+        assert speedups[2] >= speedups[1] * 0.95
+        assert all(v >= 1.0 for v in speedups.values())
+
+    def test_fig15_quick(self, scale):
+        data = fig15.run_fig15(
+            scale, buffer_sizes=(64 * KIB, 512 * KIB), policies=("htr",), model="RMC4"
+        )
+        small = data["htr"][64 * KIB]
+        large = data["htr"][512 * KIB]
+        assert large["hit_ratio"] >= small["hit_ratio"]
+        assert large["speedup"] >= 1.0
+
+
+class TestCostFigures:
+    def test_fig16_normalization(self):
+        data = fig16_17.run_fig16(models=("RMC4",))
+        totals = [v["total"] for v in data["RMC4"].values()]
+        assert max(totals) == pytest.approx(1.0)
+        assert data["RMC4"]["Ours"]["total"] < data["RMC4"]["X2"]["total"]
+
+    def test_fig17_crossover(self):
+        data = fig16_17.run_fig17()
+        assert data["RMC1"]["GPUX4"] > data["RMC1"]["PIFS-Rec"]
+        assert data["RMC4"]["PIFS-Rec"] > data["RMC4"]["GPUX4"]
+
+    def test_performance_per_watt_improves_with_model_size(self):
+        ppw = fig16_17.run_performance_per_watt()
+        assert ppw["RMC4"] > ppw["RMC1"]
+
+    def test_fig18_reductions(self):
+        data = fig18.run_fig18()
+        assert data["reductions"]["power_reduction_x"] == pytest.approx(2.7, rel=0.05)
+        assert data["reductions"]["area_reduction_x"] == pytest.approx(2.02, rel=0.05)
+
+    def test_energy_comparison(self, scale):
+        data = fig18.run_energy_comparison(scale, model="RMC1")
+        assert data["pifs_mj"] > 0 and data["pond_mj"] > 0
+        assert data["saving_fraction"] > 0.0

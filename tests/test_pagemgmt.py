@@ -1,0 +1,158 @@
+"""Tests for the page-management policies (repro.pagemgmt)."""
+
+import pytest
+
+from repro.config import GIB, PAGE_SIZE_BYTES
+from repro.memsys.node import MemoryNode, MemoryTier
+from repro.memsys.tiered import TieredMemorySystem
+from repro.pagemgmt.global_hotness import GlobalHotnessPolicy
+from repro.pagemgmt.migration import MigrationCostModel
+from repro.pagemgmt.regions import HostRegions
+from repro.pagemgmt.spreading import SpreadingPolicy
+
+
+def build_tiered(num_cxl=4, pages_per_node=16):
+    nodes = [MemoryNode(0, MemoryTier.LOCAL_DRAM, 1 * GIB, 90.0, 400.0)]
+    nodes += [MemoryNode(1 + i, MemoryTier.CXL, 1 * GIB, 190.0, 25.0) for i in range(num_cxl)]
+    tiered = TieredMemorySystem(nodes)
+    placement = {}
+    page = 0
+    for node in nodes:
+        for _ in range(pages_per_node):
+            placement[page] = node.node_id
+            page += 1
+    tiered.install_placement(placement)
+    return tiered
+
+
+class TestHostRegions:
+    def test_claim_and_release(self):
+        claims = {}
+        regions = HostRegions(host_id=0, global_claims=claims)
+        assert regions.claim(5)
+        assert regions.owns(5)
+        regions.release(5)
+        assert not regions.owns(5)
+        assert 5 not in claims
+
+    def test_claim_conflict_between_hosts(self):
+        claims = {}
+        host0 = HostRegions(0, global_claims=claims)
+        host1 = HostRegions(1, global_claims=claims)
+        assert host0.claim(7)
+        assert not host1.claim(7)
+        assert host1.num_private_pages == 0
+
+
+class TestGlobalHotness:
+    def test_promotes_hot_cxl_pages(self):
+        tiered = build_tiered()
+        hot_cxl_page = 20  # lives on a CXL node
+        for _ in range(50):
+            tiered.record_access(hot_cxl_page * PAGE_SIZE_BYTES)
+        policy = GlobalHotnessPolicy(cold_age_threshold=0.16, max_swaps_per_epoch=4)
+        outcome = policy.run_epoch(tiered)
+        assert outcome.promotions >= 1
+        assert tiered.node_of_page(hot_cxl_page).tier is MemoryTier.LOCAL_DRAM
+        assert outcome.cost_ns > 0
+
+    def test_no_swap_when_local_already_hot(self):
+        tiered = build_tiered()
+        for page in range(4):  # local pages
+            for _ in range(50):
+                tiered.record_access(page * PAGE_SIZE_BYTES)
+        policy = GlobalHotnessPolicy()
+        outcome = policy.run_epoch(tiered)
+        assert outcome.promotions == 0
+
+    def test_higher_threshold_means_fewer_swaps(self):
+        def run(threshold):
+            tiered = build_tiered()
+            for page in range(16, 24):
+                for _ in range(page):
+                    tiered.record_access(page * PAGE_SIZE_BYTES)
+            for page in range(4):
+                for _ in range(10):
+                    tiered.record_access(page * PAGE_SIZE_BYTES)
+            policy = GlobalHotnessPolicy(cold_age_threshold=threshold, max_swaps_per_epoch=8)
+            return policy.run_epoch(tiered).promotions
+
+        assert run(0.02) >= run(0.9)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            GlobalHotnessPolicy(cold_age_threshold=1.5)
+
+
+class TestSpreading:
+    def test_warm_node_detection(self):
+        tiered = build_tiered(num_cxl=4)
+        # Hammer node 1's pages only.
+        for page in range(16, 32):
+            for _ in range(20):
+                tiered.record_access(page * PAGE_SIZE_BYTES)
+        for page in range(32, 80):
+            tiered.record_access(page * PAGE_SIZE_BYTES)
+        policy = SpreadingPolicy(migrate_threshold=0.35)
+        warm = policy.find_warm_nodes(tiered)
+        assert warm == [1]
+
+    def test_rebalance_moves_pages_off_warm_node(self):
+        tiered = build_tiered(num_cxl=4)
+        for page in range(16, 32):
+            for _ in range(20):
+                tiered.record_access(page * PAGE_SIZE_BYTES)
+        for page in range(32, 80):
+            tiered.record_access(page * PAGE_SIZE_BYTES)
+        policy = SpreadingPolicy(migrate_threshold=0.35, max_migrations_per_epoch=4)
+        outcome = policy.rebalance(tiered)
+        assert outcome.migrations >= 1
+        assert outcome.cost_ns > 0
+        assert 1 in outcome.warm_nodes
+
+    def test_no_migration_when_balanced(self):
+        tiered = build_tiered(num_cxl=4)
+        for page in range(16, 80):
+            tiered.record_access(page * PAGE_SIZE_BYTES)
+        outcome = SpreadingPolicy().rebalance(tiered)
+        assert outcome.migrations == 0
+
+    def test_higher_threshold_triggers_more_easily(self):
+        low = SpreadingPolicy(migrate_threshold=0.10)
+        high = SpreadingPolicy(migrate_threshold=0.50)
+        assert high.warm_trigger_ratio() < low.warm_trigger_ratio()
+
+    def test_single_cxl_node_never_warm(self):
+        tiered = build_tiered(num_cxl=1)
+        for page in range(16, 32):
+            tiered.record_access(page * PAGE_SIZE_BYTES)
+        assert SpreadingPolicy().find_warm_nodes(tiered) == []
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SpreadingPolicy(migrate_threshold=0.0)
+
+
+class TestMigrationCostModel:
+    def test_cacheline_block_cheaper(self):
+        model = MigrationCostModel()
+        assert model.migration_cost_ns("cacheline_block") < model.migration_cost_ns("page_block")
+
+    def test_blocked_rows(self):
+        model = MigrationCostModel()
+        assert model.blocked_rows(64, "page_block") == 64
+        assert model.blocked_rows(64, "cacheline_block") == 1
+        assert model.blocked_rows(256, "cacheline_block") == 1
+
+    def test_overhead_ratio_exceeds_one(self):
+        model = MigrationCostModel()
+        ratio = model.overhead_ratio(row_bytes=64, access_probability=0.1)
+        assert ratio > 3.0  # the paper reports up to 5.1x
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            MigrationCostModel().migration_cost_ns("warp")
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            MigrationCostModel().query_visible_overhead_ns(64, "page_block", access_probability=2.0)

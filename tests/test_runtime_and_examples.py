@@ -1,0 +1,91 @@
+"""Tests for the user-facing runtime API and the example scripts."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.pifs.runtime import PIFSRuntime
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+
+class TestRuntimeAllocation:
+    def test_allocate_from_weights(self):
+        runtime = PIFSRuntime()
+        weights = np.random.default_rng(0).standard_normal((64, 16)).astype(np.float32)
+        handle = runtime.allocate_embedding_table(weights)
+        np.testing.assert_array_equal(runtime.table(handle).weights, weights)
+
+    def test_allocate_by_shape(self):
+        runtime = PIFSRuntime()
+        handle = runtime.allocate_embedding_table(num_embeddings=128, embedding_dim=32)
+        assert runtime.table(handle).num_embeddings == 128
+        assert runtime.num_tables == 1
+
+    def test_missing_shape_rejected(self):
+        with pytest.raises(ValueError):
+            PIFSRuntime().allocate_embedding_table()
+
+    def test_dim_mismatch_rejected(self):
+        runtime = PIFSRuntime()
+        runtime.allocate_embedding_table(num_embeddings=10, embedding_dim=16)
+        with pytest.raises(ValueError):
+            runtime.allocate_embedding_table(num_embeddings=10, embedding_dim=32)
+
+    def test_bad_weight_shape(self):
+        with pytest.raises(ValueError):
+            PIFSRuntime().allocate_embedding_table(np.zeros(10, dtype=np.float32))
+
+
+class TestRuntimeSLS:
+    @pytest.fixture(scope="class")
+    def runtime(self):
+        runtime = PIFSRuntime()
+        rng = np.random.default_rng(1)
+        for _ in range(2):
+            runtime.allocate_embedding_table(
+                rng.standard_normal((256, 32)).astype(np.float32)
+            )
+        return runtime
+
+    def test_single_table_sls_matches_numpy(self, runtime):
+        indices = [3, 5, 7, 11, 13]
+        offsets = [0, 2]
+        result = runtime.sls(0, indices, offsets)
+        table = runtime.table(0).weights
+        np.testing.assert_allclose(result.values[0, 0], table[[3, 5]].sum(axis=0), rtol=1e-5)
+        np.testing.assert_allclose(result.values[1, 0], table[[7, 11, 13]].sum(axis=0), rtol=1e-5)
+
+    def test_sls_returns_simulation(self, runtime):
+        result = runtime.sls(0, [1, 2, 3, 4], [0, 2])
+        assert result.latency_ns > 0
+        assert result.sim.lookups == 4
+        assert result.sim.system == "PIFS-Rec"
+
+    def test_multi_table_shape(self, runtime):
+        result = runtime.sls_multi([0, 1], [[1, 2], [3, 4]], [[0, 1], [0, 1]])
+        assert result.values.shape == (2, 2, 32)
+
+    def test_mismatched_arguments(self, runtime):
+        with pytest.raises(ValueError):
+            runtime.sls_multi([0, 1], [[1]], [[0]])
+
+    def test_empty_handles(self):
+        with pytest.raises(ValueError):
+            PIFSRuntime().sls_multi([], [], [])
+
+
+class TestExamples:
+    @pytest.mark.parametrize(
+        "script", ["quickstart.py", "dlrm_inference.py", "page_management_tuning.py"]
+    )
+    def test_example_runs(self, script, capsys, monkeypatch):
+        path = EXAMPLES_DIR / script
+        assert path.exists()
+        monkeypatch.setattr(sys, "argv", [str(path)])
+        runpy.run_path(str(path), run_name="__main__")
+        out = capsys.readouterr().out
+        assert len(out.strip()) > 0
