@@ -2,45 +2,41 @@
 
 Reproduces a mini version of Fig 12(a) (latency of Pond, Pond+PM, BEACON,
 RecNMP and PIFS-Rec on an RMC workload) and of Fig 16 (TCO of PIFS-Rec vs
-GPU parameter servers), printing the same rows the paper reports.
+GPU parameter servers), printing the same rows the paper reports.  The
+system grid is a single declarative sweep on the ``repro.api`` façade.
 
 Run with:  python examples/datacenter_comparison.py
 """
 
-from repro import MODEL_CONFIGS, create_system
+from repro import MODEL_CONFIGS, Simulation, Sweep
 from repro.analysis.report import format_table
 from repro.analysis.stats import min_max_normalize
 from repro.cost.tco import TCOModel
-from repro.experiments.common import DEFAULT_SCALE, evaluation_system, evaluation_workload
 
 SYSTEMS = ("pond", "pond+pm", "beacon", "recnmp", "pifs-rec")
 MODEL = "RMC2"
 
 
 def main() -> None:
-    workload = evaluation_workload(MODEL, DEFAULT_SCALE)
-    system_config = evaluation_system(DEFAULT_SCALE)
+    sweep = Sweep(over={"system": list(SYSTEMS)}, base=Simulation(model=MODEL))
+    results = sweep.run(parallel=True)
 
-    latencies = {}
-    details = {}
-    for name in SYSTEMS:
-        result = create_system(name, system_config).run(workload)
-        latencies[name] = result.total_ns
-        details[name] = result
+    latencies = {run.params["system"]: run.total_ns for run in results}
     normalized = min_max_normalize(latencies)
+    pifs = results.only(system="pifs-rec")
 
     rows = [
         [
-            name,
-            latencies[name],
-            normalized[name],
-            latencies[name] / latencies["pifs-rec"],
-            details[name].local_rows,
-            details[name].cxl_rows,
+            run.params["system"],
+            run.total_ns,
+            normalized[run.params["system"]],
+            run.total_ns / pifs.total_ns,
+            run.sim.local_rows,
+            run.sim.cxl_rows,
         ]
-        for name in SYSTEMS
+        for run in results
     ]
-    print(f"SLS latency on {MODEL} ({workload.total_lookups} lookups):")
+    print(f"SLS latency on {MODEL} ({results[0].sim.lookups} lookups):")
     print(format_table(
         ["system", "latency_ns", "normalized", "slowdown vs PIFS-Rec", "local rows", "CXL rows"],
         rows,

@@ -3,8 +3,9 @@
 Builds a scaled-down RMC1 model, runs real inference (bottom MLP ->
 embedding lookup -> feature interaction -> top MLP) to produce click-through
 rates, then replays the same embedding lookups on the PIFS-Rec simulator and
-on the Pond baseline to estimate the end-to-end speedup (the Fig 14
-methodology: SLS speedup weighted by the operator profile).
+on the Pond baseline — two ``Simulation`` sessions sharing one builder — to
+estimate the end-to-end speedup (the Fig 14 methodology: SLS speedup
+weighted by the operator profile).
 
 Run with:  python examples/dlrm_inference.py
 """
@@ -13,10 +14,9 @@ from dataclasses import replace
 
 import numpy as np
 
-from repro import DLRM, QueryBatch, RMC1, WorkloadConfig, build_workload, create_system
+from repro import DLRM, QueryBatch, RMC1, Simulation
 from repro.config import scaled_model
 from repro.dlrm.model import operator_profile
-from repro.experiments.common import DEFAULT_SCALE, evaluation_system
 
 BATCH = 16
 POOLING = 8
@@ -39,16 +39,20 @@ def main() -> None:
           f"{model_config.embedding_dim} dims x {model_config.num_tables} tables)")
     print(f"predicted CTR for the first 4 queries: {np.round(ctr[:4, 0], 4)}")
 
-    # Replay the embedding-lookup phase on the memory-system simulators.
-    workload = build_workload(
-        WorkloadConfig(model=model_config, batch_size=BATCH, pooling_factor=POOLING, num_batches=2)
+    # Replay the embedding-lookup phase on the memory-system simulators: one
+    # session builder, local DRAM sized to hold ~20% of the embedding space.
+    session = (
+        Simulation()
+        .model(model_config)
+        .batch_size(BATCH)
+        .pooling(POOLING)
+        .num_batches(2)
     )
-    system_config = evaluation_system(
-        DEFAULT_SCALE, local_capacity_bytes=workload.address_space.total_bytes // 5
-    )
-    pond = create_system("pond", system_config).run(workload)
-    pifs = create_system("pifs-rec", system_config).run(workload)
-    sls_speedup = pond.total_ns / pifs.total_ns
+    session.local_capacity(session.build_workload().working_set_bytes // 5)
+
+    pond = session.clone().system("pond").run()
+    pifs = session.clone().system("pifs-rec").run()
+    sls_speedup = pifs.speedup_over(pond)
 
     profile = operator_profile(model_config, BATCH, POOLING)
     print(f"SLS latency   Pond     : {pond.total_ns:,.0f} ns")

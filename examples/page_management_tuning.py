@@ -3,31 +3,27 @@
 Sweeps the embedding-migration threshold and the cold-age threshold of
 PIFS-Rec's software architecture on a fixed workload, printing the latency
 and migration-cost trade-off for both the OS page-block and the PIFS
-cache-line-block migration mechanisms.
+cache-line-block migration mechanisms.  Both grids are the declarative
+``Sweep``-backed drivers from ``repro.experiments.fig13``, run through the
+parallel engine.
 
 Run with:  python examples/page_management_tuning.py
 """
 
+from dataclasses import replace
+
 from repro.analysis.report import format_table
-from repro.experiments.common import DEFAULT_SCALE, EvaluationScale
+from repro.experiments.common import DEFAULT_SCALE
 from repro.experiments.fig13 import run_fig13a, run_fig13d
 
-SCALE = EvaluationScale(
-    model_scale=DEFAULT_SCALE.model_scale,
-    num_tables=DEFAULT_SCALE.num_tables,
-    batch_size=DEFAULT_SCALE.batch_size,
-    num_batches=DEFAULT_SCALE.num_batches,
-    pooling_factor=DEFAULT_SCALE.pooling_factor,
-    local_capacity_fraction=DEFAULT_SCALE.local_capacity_fraction,
-    host_threads=DEFAULT_SCALE.host_threads,
-    num_cxl_devices=DEFAULT_SCALE.num_cxl_devices,
-    migration_epoch_accesses=512,
-)
+#: The default evaluation scale with a shorter maintenance epoch, so the
+#: online policies act several times within the example's short run.
+SCALE = replace(DEFAULT_SCALE, migration_epoch_accesses=512)
 
 
 def main() -> None:
     print("Embedding-migration threshold sweep (Fig 13a):")
-    data = run_fig13a(SCALE, thresholds=(0.10, 0.20, 0.35, 0.50))
+    data = run_fig13a(SCALE, thresholds=(0.10, 0.20, 0.35, 0.50), parallel=True)
     rows = []
     for threshold, metrics in data.items():
         rows.append([
@@ -44,7 +40,7 @@ def main() -> None:
 
     print()
     print("Cold-age threshold sweep vs TPP (Fig 13d):")
-    data = run_fig13d(SCALE, thresholds=(0.04, 0.08, 0.16, 0.20))
+    data = run_fig13d(SCALE, thresholds=(0.04, 0.08, 0.16, 0.20), parallel=True)
     rows = [
         [name, metrics["latency"], f"{metrics['migration_cost']:.2%}"]
         for name, metrics in data.items()

@@ -3,14 +3,15 @@
 Registers two embedding tables with the runtime, runs a pooled lookup
 (SparseLengthsSum) through the simulated PIFS-Rec fabric, verifies the
 numerical result against a plain numpy reference, and prints the simulated
-latency breakdown.
+latency breakdown.  Closes with the fluent ``Simulation`` façade comparing
+PIFS-Rec against the Pond baseline on the standard evaluation workload.
 
 Run with:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import PIFSRuntime
+from repro import PIFSRuntime, Simulation
 
 NUM_EMBEDDINGS = 4096
 EMBEDDING_DIM = 64
@@ -51,6 +52,16 @@ def main() -> None:
     print(f"rows served from local DRAM: {sim.local_rows}")
     print(f"rows served from CXL pool  : {sim.cxl_rows}")
     print(f"on-switch buffer hit ratio : {sim.buffer_hit_ratio:.1%}")
+
+    # 5. The same experiment through the fluent simulation façade: one
+    #    session builder, cloned per system, on the quick evaluation scale.
+    session = Simulation().quick().model("RMC1").batch_size(BATCH)
+    pond = session.clone().system("pond").run()
+    pifs = session.clone().system("pifs-rec").run()
+    print()
+    print("fluent-session comparison on the evaluation workload (RMC1, quick):")
+    print(f"Pond    : {pond.total_ns:,.0f} ns")
+    print(f"PIFS-Rec: {pifs.total_ns:,.0f} ns  ({pifs.speedup_over(pond):.2f}x faster)")
 
 
 if __name__ == "__main__":

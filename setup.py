@@ -1,9 +1,46 @@
-"""Setup shim for environments without the `wheel` package.
+"""Packaging for the PIFS-Rec reproduction (src layout, setuptools)."""
 
-`pip install -e .` uses the PEP 517 path defined in pyproject.toml when
-available; this file keeps `python setup.py develop` working offline.
-"""
+import pathlib
+import re
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+ROOT = pathlib.Path(__file__).parent
+README = ROOT / "README.md"
+
+# Single-source the version from the package (without importing it, which
+# would require numpy at build time).
+VERSION = re.search(
+    r'^__version__ = "([^"]+)"',
+    (ROOT / "src" / "repro" / "__init__.py").read_text(encoding="utf-8"),
+    re.MULTILINE,
+).group(1)
+
+setup(
+    name="pifs-rec-repro",
+    version=VERSION,
+    description=(
+        "Functional simulator reproducing PIFS-Rec: Process-In-Fabric-Switch "
+        "for Large-Scale Recommendation System Inferences (MICRO 2024)"
+    ),
+    long_description=README.read_text(encoding="utf-8") if README.exists() else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "pifs-rec = repro.api.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+        "Topic :: System :: Hardware",
+    ],
+)

@@ -7,13 +7,24 @@ embedding (SLS) operations, the baselines the paper compares against, the
 page-management software architecture, and the cost/power models behind the
 paper's evaluation figures.
 
-Typical entry points:
+Typical entry points — the legacy explicit pipeline:
 
 >>> from repro import WorkloadConfig, RMC1, build_workload, PIFSRecSystem, DEFAULT_SYSTEM
 >>> workload = build_workload(WorkloadConfig(model=RMC1, batch_size=4, num_batches=1))
 >>> result = PIFSRecSystem(DEFAULT_SYSTEM).run(workload)
 >>> result.total_ns > 0
 True
+
+and the fluent :mod:`repro.api` session façade, which owns config
+derivation, system construction and workload building (``Sweep`` runs whole
+parameter grids, optionally in parallel; ``python -m repro`` is the CLI):
+
+>>> from repro import Simulation
+>>> run = Simulation("pifs-rec").model("RMC1").quick().batch_size(4).run()
+>>> run.total_ns > 0
+True
+>>> run.system
+'pifs-rec'
 """
 
 from repro.config import (
@@ -50,7 +61,18 @@ from repro.pifs.system import PIFSRecNoPM, PIFSRecSystem
 from repro.sls import SimResult
 from repro.traces import SLSWorkload, build_workload
 
-__version__ = "1.0.0"
+# Imported last: the façade's session layer builds on everything above.
+from repro.api import (
+    RunResult,
+    Simulation,
+    Sweep,
+    SweepResult,
+    UnknownSystemError,
+    available_systems,
+    register_system,
+)
+
+__version__ = "1.1.0"
 
 __all__ = [
     "DEFAULT_SYSTEM",
@@ -77,6 +99,13 @@ __all__ = [
     "RecNMPSystem",
     "TPPSystem",
     "create_system",
+    "RunResult",
+    "Simulation",
+    "Sweep",
+    "SweepResult",
+    "UnknownSystemError",
+    "available_systems",
+    "register_system",
     "DLRM",
     "EmbeddingBagCollection",
     "EmbeddingTable",

@@ -1,0 +1,95 @@
+"""Unified simulation façade for the PIFS-Rec reproduction.
+
+The public experiment surface of the package:
+
+* :class:`~repro.api.session.Simulation` — fluent session builder owning
+  config derivation, system construction and workload building::
+
+      Simulation("pifs-rec").model("RMC4").hosts(4).batch_size(64).run()
+
+* :func:`~repro.api.registry.register_system` — decorator-based pluggable
+  registry of evaluated systems (``create_system`` resolves names).
+* :class:`~repro.api.sweep.Sweep` — declarative parameter sweeps with a
+  multiprocessing engine and deterministic result ordering::
+
+      Sweep(over={"system": ["pond", "pifs-rec"], "batch_size": [8, 64]}).run(parallel=True)
+
+* :class:`~repro.api.results.RunResult` / ``SweepResult`` —
+  JSON-serializable result containers with speedup/normalize helpers.
+* ``python -m repro`` — the CLI (``run``, ``sweep``, ``compare``,
+  ``figures``) built on top of all of the above.
+
+Only :mod:`repro.api.registry` is imported eagerly: the registry decorator
+is consumed at class-definition time by the baseline modules, so this
+package initializer must not drag in the simulation engine (everything else
+resolves lazily via PEP 562).
+"""
+
+from __future__ import annotations
+
+from repro.api.registry import (
+    SYSTEM_FACTORIES,
+    DuplicateSystemError,
+    SystemFactory,
+    UnknownSystemError,
+    available_systems,
+    create_system,
+    register_system,
+    system_factory,
+    unregister_system,
+)
+
+_LAZY_EXPORTS = {
+    "RunResult": "repro.api.results",
+    "SweepResult": "repro.api.results",
+    "RunSpec": "repro.api.session",
+    "Simulation": "repro.api.session",
+    "execute_spec": "repro.api.session",
+    "spec_key": "repro.api.session",
+    "clear_cache": "repro.api.session",
+    "cache_size": "repro.api.session",
+    "AxisPoint": "repro.api.sweep",
+    "Sweep": "repro.api.sweep",
+    "point": "repro.api.sweep",
+    "run_grid": "repro.api.sweep",
+    "main": "repro.api.cli",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
+
+
+__all__ = [
+    "SYSTEM_FACTORIES",
+    "DuplicateSystemError",
+    "SystemFactory",
+    "UnknownSystemError",
+    "available_systems",
+    "create_system",
+    "register_system",
+    "system_factory",
+    "unregister_system",
+    "RunResult",
+    "SweepResult",
+    "RunSpec",
+    "Simulation",
+    "execute_spec",
+    "spec_key",
+    "clear_cache",
+    "cache_size",
+    "AxisPoint",
+    "Sweep",
+    "point",
+    "run_grid",
+    "main",
+]

@@ -1,0 +1,264 @@
+"""Command-line interface of the reproduction (``python -m repro``).
+
+Subcommands:
+
+* ``run`` — one simulation session: ``python -m repro run pifs-rec --quick``
+* ``sweep`` — a declarative grid: ``python -m repro sweep --system pond
+  --system pifs-rec --batch-size 8 --batch-size 64 --quick``
+* ``compare`` — every (or selected) system on one workload, normalized and
+  with speedups against a baseline
+* ``figures`` — regenerate every figure/table of the paper (subsumes the
+  old ``python -m repro.experiments.runner``)
+* ``systems`` — list the registered systems
+
+Also installed as the ``pifs-rec`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.api.registry import UnknownSystemError, available_systems
+from repro.api.results import SweepResult
+from repro.api.session import Simulation
+from repro.api.sweep import Sweep
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--quick", action="store_true", help="use the reduced test scale")
+
+
+def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--hosts", type=int, default=None, help="number of concurrent hosts")
+    parser.add_argument("--switches", type=int, default=None, help="number of fabric switches")
+    parser.add_argument("--devices", type=int, default=None, help="number of CXL memory devices")
+
+
+def _base_simulation(args: argparse.Namespace, system: str = "pifs-rec") -> Simulation:
+    sim = Simulation(system)
+    if args.quick:
+        sim.quick()
+    for setting in ("hosts", "switches", "devices"):
+        value = getattr(args, setting, None)
+        if value is not None:
+            sim.apply(**{setting: value})
+    if getattr(args, "num_batches", None) is not None:
+        sim.num_batches(args.num_batches)
+    return sim
+
+
+def _print_sweep(result: SweepResult, as_json: bool, metrics: Sequence[str]) -> None:
+    if as_json:
+        print(result.to_json(indent=2))
+    else:
+        print(result.table(metrics=metrics))
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    sim = _base_simulation(args, args.system).model(args.model)
+    if args.batch_size is not None:
+        sim.batch_size(args.batch_size)
+    if args.distribution is not None:
+        sim.distribution(args.distribution)
+    run = sim.run()
+    if args.json:
+        print(run.to_json(indent=2))
+        return 0
+    print(f"system        : {run.system}")
+    print(f"model         : {run.model}  (trace: {run.params['distribution']})")
+    print(
+        f"machine       : {run.params['hosts']} host(s), "
+        f"{run.params['switches']} switch(es), {run.params['devices']} CXL device(s)"
+    )
+    print(f"total latency : {run.total_ns:,.0f} ns for {run.sim.lookups} lookups")
+    print(f"per lookup    : {run.latency_per_lookup_ns:,.2f} ns")
+    print(f"local / CXL   : {run.sim.local_rows} / {run.sim.cxl_rows} rows")
+    if run.sim.buffer_hits or run.sim.buffer_misses:
+        print(f"buffer hits   : {run.sim.buffer_hit_ratio:.1%}")
+    if run.sim.migrations:
+        print(f"migrations    : {run.sim.migrations} ({run.sim.migration_cost_fraction:.2%} of time)")
+    return 0
+
+
+def _dedupe(values):
+    """Drop repeated axis values while preserving order."""
+    return list(dict.fromkeys(values))
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    over = {}
+    if args.system:
+        over["system"] = _dedupe(args.system)
+    if args.model:
+        over["model"] = _dedupe(args.model)
+    if args.batch_size:
+        over["batch_size"] = _dedupe(args.batch_size)
+    if args.distribution:
+        over["distribution"] = _dedupe(args.distribution)
+    if not over:
+        over = {"system": list(available_systems())}
+    result = Sweep(over, base=_base_simulation(args)).run(parallel=not args.serial, processes=args.jobs)
+    _print_sweep(result, args.json, metrics=("total_ns", "latency_per_lookup_ns"))
+    if not args.json and over.get("system") and len(over["system"]) > 1:
+        baseline_runs = result.where(system=over["system"][0])
+        print()
+        baseline_name = over["system"][0]
+        print(f"speedup over {baseline_name!r} at equal coordinates:")
+        for run in result:
+            if run.params["system"] == baseline_name:
+                continue
+            reference = next(
+                b for b in baseline_runs
+                if {k: v for k, v in b.params.items() if k != "system"}
+                == {k: v for k, v in run.params.items() if k != "system"}
+            )
+            coords = ", ".join(
+                f"{key}={value}" for key, value in run.params.items()
+                if key != "system" and len(result.axis_values(key)) > 1
+            )
+            print(f"  {run.params['system']:>14} [{coords}]: {run.speedup_over(reference):.2f}x")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    systems = _dedupe(args.system or available_systems())
+    if args.baseline not in systems:
+        systems = [args.baseline, *systems]
+    sim = _base_simulation(args).model(args.model)
+    if args.batch_size is not None:
+        sim.batch_size(args.batch_size)
+    result = Sweep({"system": systems}, base=sim).run(parallel=not args.serial, processes=args.jobs)
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0
+    baseline = result.only(system=args.baseline)
+    normalized = result.normalized("total_ns")
+    from repro.analysis.report import format_table
+
+    rows = [
+        [
+            run.params["system"],
+            run.total_ns,
+            norm,
+            baseline.total_ns / run.total_ns,
+            run.sim.local_rows,
+            run.sim.cxl_rows,
+        ]
+        for run, norm in zip(result, normalized)
+    ]
+    print(f"model {args.model}, batch {result[0].params['batch_size']}, "
+          f"{result[0].sim.lookups} lookups; speedup vs {args.baseline!r}:")
+    print(format_table(
+        ["system", "latency_ns", "normalized", "speedup", "local rows", "CXL rows"],
+        rows,
+        float_format="{:,.3f}",
+    ))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments import runner
+    from repro.experiments.common import DEFAULT_SCALE, QUICK_SCALE
+
+    scale = QUICK_SCALE if args.quick else DEFAULT_SCALE
+    runner.run_all(scale, parallel=not args.serial)
+    return 0
+
+
+def _cmd_systems(args: argparse.Namespace) -> int:
+    from repro.api.registry import system_factory
+
+    for name in available_systems():
+        factory = system_factory(name)
+        doc = (factory.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{name:>16}  {summary}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="PIFS-Rec reproduction: run simulations, sweeps and the paper's figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run one simulation session")
+    run.add_argument("system", help="registered system name (see 'systems')")
+    run.add_argument("--model", default="RMC1", help="RMC1..RMC4 (default: RMC1)")
+    run.add_argument("--batch-size", type=int, default=None)
+    run.add_argument("--num-batches", type=int, default=None)
+    run.add_argument("--distribution", default=None,
+                     help="meta | zipfian | normal | uniform | random")
+    _add_machine_arguments(run)
+    _add_scale_arguments(run)
+    run.add_argument("--json", action="store_true", help="print the RunResult as JSON")
+    run.set_defaults(func=_cmd_run)
+
+    sweep = subparsers.add_parser("sweep", help="run a declarative parameter sweep")
+    sweep.add_argument("--system", action="append", default=None,
+                       help="system axis value (repeatable)")
+    sweep.add_argument("--model", action="append", default=None,
+                       help="model axis value (repeatable)")
+    sweep.add_argument("--batch-size", type=int, action="append", default=None,
+                       help="batch-size axis value (repeatable)")
+    sweep.add_argument("--distribution", action="append", default=None,
+                       help="trace-distribution axis value (repeatable)")
+    sweep.add_argument("--num-batches", type=int, default=None)
+    _add_machine_arguments(sweep)
+    _add_scale_arguments(sweep)
+    sweep.add_argument("--serial", action="store_true", help="disable the process pool")
+    sweep.add_argument("--jobs", type=int, default=None, help="worker process count")
+    sweep.add_argument("--json", action="store_true", help="print the SweepResult as JSON")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    compare = subparsers.add_parser(
+        "compare", help="compare systems on one workload (normalized + speedups)"
+    )
+    compare.add_argument("--system", action="append", default=None,
+                         help="system to include (repeatable; default: all)")
+    compare.add_argument("--model", default="RMC4")
+    compare.add_argument("--batch-size", type=int, default=None)
+    compare.add_argument("--baseline", default="pond")
+    _add_machine_arguments(compare)
+    _add_scale_arguments(compare)
+    compare.add_argument("--serial", action="store_true")
+    compare.add_argument("--jobs", type=int, default=None)
+    compare.add_argument("--json", action="store_true")
+    compare.set_defaults(func=_cmd_compare)
+
+    figures = subparsers.add_parser(
+        "figures", help="regenerate every figure/table of the paper"
+    )
+    _add_scale_arguments(figures)
+    figures.add_argument("--serial", action="store_true", help="disable the process pool")
+    figures.set_defaults(func=_cmd_figures)
+
+    systems = subparsers.add_parser("systems", help="list the registered systems")
+    systems.set_defaults(func=_cmd_systems)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (UnknownSystemError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+
+
+__all__ = ["build_parser", "main"]

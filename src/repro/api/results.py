@@ -1,0 +1,218 @@
+"""JSON-serializable result containers for the simulation façade.
+
+A :class:`RunResult` wraps one :class:`~repro.sls.result.SimResult` together
+with the sweep coordinates that produced it (system, model, batch size, ...).
+A :class:`SweepResult` is an ordered collection of runs with the selection,
+normalization and tabulation helpers the experiment drivers are built from.
+Both round-trip through plain dicts (``to_dict`` / ``from_dict``), so sweep
+outputs can be cached to JSON and reloaded.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.sls.result import SimResult
+
+
+@dataclass
+class RunResult:
+    """One simulation run: its coordinates, its label, and the raw counters.
+
+    ``params`` holds the JSON-safe sweep coordinates (``{"system": "pond",
+    "model": "RMC4", "batch_size": 64}``); ``config_key`` is the stable hash
+    of the full run specification used by the result cache.
+    """
+
+    system: str
+    model: str
+    params: Dict[str, Any]
+    sim: SimResult
+    config_key: str = ""
+
+    # Convenience pass-throughs for the metrics every figure reads.
+    @property
+    def total_ns(self) -> float:
+        return self.sim.total_ns
+
+    @property
+    def latency_per_lookup_ns(self) -> float:
+        return self.sim.latency_per_lookup_ns
+
+    @property
+    def throughput_lookups_per_us(self) -> float:
+        return self.sim.throughput_lookups_per_us
+
+    def metric(self, name: str) -> float:
+        """Read a numeric metric by name from the run or its :class:`SimResult`."""
+        for holder in (self, self.sim):
+            value = getattr(holder, name, None)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return float(value)
+        raise AttributeError(f"unknown metric {name!r}")
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """How much faster this run is than ``other`` (latency ratio)."""
+        return self.sim.speedup_over(other.sim)
+
+    def matches(self, **coords: Any) -> bool:
+        """True when every given coordinate equals this run's coordinate."""
+        for key, value in coords.items():
+            if key == "system":
+                if self.system != value and self.params.get("system") != value:
+                    return False
+            elif key == "model":
+                if self.model != value and self.params.get("model") != value:
+                    return False
+            elif self.params.get(key) != value:
+                return False
+        return True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "system": self.system,
+            "model": self.model,
+            "params": dict(self.params),
+            "config_key": self.config_key,
+            "sim": self.sim.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        return cls(
+            system=str(data["system"]),
+            model=str(data["model"]),
+            params=dict(data.get("params") or {}),
+            sim=SimResult.from_dict(data["sim"]),
+            config_key=str(data.get("config_key", "")),
+        )
+
+    def to_json(self, **kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "RunResult":
+        return cls.from_dict(json.loads(payload))
+
+
+@dataclass
+class SweepResult:
+    """Ordered results of a parameter sweep (deterministic product order)."""
+
+    axes: List[Tuple[str, List[Any]]] = field(default_factory=list)
+    results: List[RunResult] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[RunResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index: int) -> RunResult:
+        return self.results[index]
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def where(self, **coords: Any) -> List[RunResult]:
+        """Every run whose coordinates match ``coords``."""
+        return [run for run in self.results if run.matches(**coords)]
+
+    def only(self, **coords: Any) -> RunResult:
+        """The single run matching ``coords`` (raises if 0 or >1 match)."""
+        matches = self.where(**coords)
+        if len(matches) != 1:
+            raise LookupError(f"expected exactly one run for {coords}, found {len(matches)}")
+        return matches[0]
+
+    def axis_values(self, axis: str) -> List[Any]:
+        """Distinct coordinate values of ``axis`` in first-seen order."""
+        for key, values in self.axes:
+            if key == axis:
+                return list(values)
+        seen: List[Any] = []
+        for run in self.results:
+            value = run.params.get(axis)
+            if value not in seen:
+                seen.append(value)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Shaping helpers used by the figure drivers
+    # ------------------------------------------------------------------
+    def pivot(
+        self, row_axis: str, col_axis: str, metric: str = "total_ns"
+    ) -> Dict[Any, Dict[Any, float]]:
+        """Nested ``{row: {col: metric}}`` dict over two sweep axes."""
+        table: Dict[Any, Dict[Any, float]] = {}
+        for row in self.axis_values(row_axis):
+            table[row] = {
+                col: self.only(**{row_axis: row, col_axis: col}).metric(metric)
+                for col in self.axis_values(col_axis)
+            }
+        return table
+
+    def values(self, metric: str = "total_ns") -> List[float]:
+        return [run.metric(metric) for run in self.results]
+
+    def speedups(self, baseline: "RunResult", metric: str = "total_ns") -> List[float]:
+        """Per-run speedup of ``metric`` relative to ``baseline`` (ratio)."""
+        reference = baseline.metric(metric)
+        return [reference / run.metric(metric) for run in self.results]
+
+    def normalized(self, metric: str = "total_ns") -> List[float]:
+        """Each run's metric divided by the sweep-wide maximum."""
+        values = self.values(metric)
+        peak = max(values) if values else 1.0
+        return [value / peak if peak else 0.0 for value in values]
+
+    def best(self, metric: str = "total_ns", minimize: bool = True) -> RunResult:
+        chooser = min if minimize else max
+        return chooser(self.results, key=lambda run: run.metric(metric))
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def table(self, metrics: Sequence[str] = ("total_ns",), float_format: str = "{:,.1f}") -> str:
+        """Aligned text table: one row per run, one column per coordinate."""
+        from repro.analysis.report import format_table
+
+        axis_names = [key for key, _ in self.axes] or sorted(
+            {key for run in self.results for key in run.params}
+        )
+        headers = [*axis_names, *metrics]
+        rows = []
+        for run in self.results:
+            rows.append(
+                [run.params.get(axis, "") for axis in axis_names]
+                + [run.metric(metric) for metric in metrics]
+            )
+        return format_table(headers, rows, float_format=float_format)
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "axes": [[key, list(values)] for key, values in self.axes],
+            "results": [run.to_dict() for run in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepResult":
+        return cls(
+            axes=[(str(key), list(values)) for key, values in data.get("axes") or []],
+            results=[RunResult.from_dict(entry) for entry in data.get("results") or []],
+        )
+
+    def to_json(self, **kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "SweepResult":
+        return cls.from_dict(json.loads(payload))
+
+
+__all__ = ["RunResult", "SweepResult"]

@@ -1,0 +1,652 @@
+"""Fluent simulation sessions.
+
+:class:`Simulation` is the single entry point that owns the whole
+config-derivation → system-construction → workload-building pipeline the
+experiment drivers, examples and CLI used to hand-wire::
+
+    from repro.api import Simulation
+
+    result = Simulation("pifs-rec").model("RMC4").hosts(4).batch_size(64).run()
+
+A session compiles to an immutable, picklable :class:`RunSpec`;
+:func:`execute_spec` turns a spec into a :class:`RunResult` and is the unit
+of work the parallel sweep engine ships to worker processes.  Results are
+cached by a stable hash of the spec (:func:`spec_key`), so repeated runs of
+an identical configuration are free.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import inspect
+import pickle
+import types
+from dataclasses import dataclass, fields, replace
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from repro.api.registry import SystemFactory, UnknownSystemError, system_factory
+from repro.api.results import RunResult
+from repro.config import DEFAULT_SYSTEM, ModelConfig, SystemConfig
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    QUICK_SCALE,
+    EvaluationScale,
+    evaluation_system,
+    evaluation_workload,
+)
+
+#: A config transform rewrites the derived :class:`SystemConfig` (e.g. to
+#: swap the on-switch buffer policy).  Must be picklable (module-level
+#: functions or callable class instances) to work with parallel sweeps.
+ConfigTransform = Callable[[SystemConfig], SystemConfig]
+
+SystemLike = Union[str, SystemFactory]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Immutable, picklable description of one simulation run."""
+
+    system: SystemLike = "pifs-rec"
+    model: Union[str, ModelConfig] = "RMC1"
+    scale: EvaluationScale = DEFAULT_SCALE
+    distribution: Optional[str] = None
+    batch_size: Optional[int] = None
+    num_batches: Optional[int] = None
+    pooling_factor: Optional[int] = None
+    num_hosts: int = 1
+    num_fabric_switches: int = 1
+    num_cxl_devices: Optional[int] = None
+    local_capacity_bytes: Optional[int] = None
+    base_config: SystemConfig = DEFAULT_SYSTEM
+    config_transforms: Tuple[ConfigTransform, ...] = ()
+    system_options: Tuple[Tuple[str, Any], ...] = ()
+
+
+def system_label(system: SystemLike) -> str:
+    """Display label of a system axis value (name string or factory)."""
+    if isinstance(system, str):
+        return system
+    label = getattr(system, "label", None)
+    if label:
+        return str(label)
+    name = getattr(system, "name", None)
+    if isinstance(name, str) and name:
+        return name
+    return getattr(system, "__name__", repr(system))
+
+
+def model_label(model: Union[str, ModelConfig]) -> str:
+    return model if isinstance(model, str) else model.name
+
+
+#: Object ids currently being tokenized — breaks reference cycles (e.g. a
+#: method using ``super()`` holds a ``__class__`` closure cell pointing back
+#: at the class being tokenized).
+_TOKEN_STACK: set = set()
+
+
+def _stable_token(value: Any) -> str:
+    """A deterministic string for hashing spec fields.
+
+    Never falls back to the default ``repr`` of an arbitrary object: that
+    embeds a memory address, which is both unstable across processes and —
+    worse — reusable after garbage collection, so two *different* configs
+    could silently share a cache key.  Objects are tokenized structurally
+    (type plus recursively tokenized state) instead.
+    """
+    marker = id(value)
+    if marker in _TOKEN_STACK:
+        return f"<cycle:{type(value).__qualname__}>"
+    _TOKEN_STACK.add(marker)
+    try:
+        return _stable_token_inner(value)
+    finally:
+        _TOKEN_STACK.discard(marker)
+
+
+def _stable_token_inner(value: Any) -> str:
+    if isinstance(value, functools.partial):
+        inner = ", ".join(
+            [_stable_token(value.func)]
+            + [_stable_token(a) for a in value.args]
+            + [f"{k}={_stable_token(v)}" for k, v in sorted(value.keywords.items())]
+        )
+        return f"partial({inner})"
+    if isinstance(value, (tuple, list)):
+        return "(" + ", ".join(_stable_token(item) for item in value) + ")"
+    if isinstance(value, dict):
+        # Sort by tokenized key so unorderable keys and dict insertion order
+        # cannot change the hash.
+        items = sorted((_stable_token(k), _stable_token(v)) for k, v in value.items())
+        return "{" + ", ".join(f"{k}: {v}" for k, v in items) + "}"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ", ".join(sorted(_stable_token(item) for item in value)) + "}"
+    if value is None or isinstance(value, (bool, int, float, complex, str, bytes)):
+        return repr(value)
+    if inspect.isclass(value):
+        return _class_token(value)
+    if inspect.isroutine(value):
+        # Qualname alone is not enough: two lambdas/closures from the same
+        # factory share it.  Fold in the bound receiver, closure cells,
+        # argument defaults and a body hash so distinct behavior hashes
+        # distinctly.
+        token = f"{getattr(value, '__module__', '?')}.{value.__qualname__}"
+        receiver = getattr(value, "__self__", None)
+        if receiver is not None:
+            token += f"<{_stable_token(receiver)}>"
+        closure = getattr(value, "__closure__", None)
+        if closure:
+            token += "[" + ", ".join(_stable_token(cell.cell_contents) for cell in closure) + "]"
+        defaults = getattr(value, "__defaults__", None)
+        if defaults:
+            token += "(" + ", ".join(_stable_token(item) for item in defaults) + ")"
+        code = getattr(value, "__code__", None)
+        if code is not None:
+            token += "#" + _code_token(code)
+        return token
+    cls = type(value)
+    state = getattr(value, "__dict__", None)
+    if state is None:
+        state = {name: getattr(value, name) for name in getattr(cls, "__slots__", ()) if hasattr(value, name)}
+    if state:
+        items = ", ".join(f"{key}={_stable_token(item)}" for key, item in sorted(state.items()))
+        return f"{cls.__module__}.{cls.__qualname__}({items})"
+    # No introspectable state (extension types like numpy arrays): hash the
+    # pickled content.  An object that cannot be pickled either has no
+    # stable token — raise so callers bypass the cache for this spec rather
+    # than risk two different configs sharing a key.
+    try:
+        payload = pickle.dumps(value, protocol=4)
+    except Exception as error:
+        raise TypeError(f"cannot derive a stable cache token for {value!r}") from error
+    return f"{cls.__module__}.{cls.__qualname__}~{hashlib.sha256(payload).hexdigest()[:12]}"
+
+
+def _class_token(cls: type) -> str:
+    """Token for a class: qualified name plus a hash of its own behavior.
+
+    Qualname alone is not enough — a notebook cell or parametrized factory
+    can re-define a class of the same name with different behavior (e.g. a
+    method closing over a parameter), and a name-only token would serve the
+    old class's cached results for the new one.
+    """
+    parts = [
+        f"{cls.__module__}.{cls.__qualname__}",
+        "(" + ", ".join(f"{base.__module__}.{base.__qualname__}" for base in cls.__bases__) + ")",
+    ]
+    for attr_name in sorted(vars(cls)):
+        if attr_name.startswith("__") and attr_name not in ("__init__", "__call__"):
+            continue
+        attr = inspect.getattr_static(cls, attr_name)
+        attr = getattr(attr, "__func__", attr)  # unwrap static/classmethods
+        try:
+            if inspect.isroutine(attr):
+                parts.append(f"{attr_name}:{_stable_token(attr)}")
+            elif attr is None or isinstance(attr, (bool, int, float, str, bytes, tuple)):
+                parts.append(f"{attr_name}={attr!r}")
+        except TypeError:
+            continue  # untokenizable attribute: skip rather than fail the class
+    digest = hashlib.sha256("|".join(parts).encode()).hexdigest()[:12]
+    return f"{cls.__module__}.{cls.__qualname__}#{digest}"
+
+
+def _code_token(code: types.CodeType) -> str:
+    """Hash a code object's behavior: bytecode, constants and names.
+
+    Bytecode alone is not enough — constants are referenced by index, so two
+    lambdas differing only in a literal share identical ``co_code``.
+    """
+    consts = ", ".join(
+        _code_token(const) if isinstance(const, types.CodeType) else _stable_token(const)
+        for const in code.co_consts
+    )
+    payload = "|".join((code.co_code.hex(), consts, ",".join(code.co_names)))
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+def _system_token(system: SystemLike) -> str:
+    """Token for the spec's system field.
+
+    Names are resolved to their registered factory so (a) a ``replace=True``
+    re-registration changes the cache key instead of silently serving the
+    previous factory's cached results, and (b) ``Simulation("pond")`` and
+    ``Simulation(PondSystem)`` share cached work.  Unknown names fall back
+    to the raw string — execution will raise the proper error.
+    """
+    if isinstance(system, str):
+        try:
+            return _stable_token(system_factory(system))
+        except UnknownSystemError:
+            return repr(system)
+    return _stable_token(system)
+
+
+def _cache_view(spec: RunSpec) -> RunSpec:
+    """Resolve defaulted fields so semantically equal specs hash equally.
+
+    ``distribution=None`` runs the same workload as ``distribution="meta"``
+    and ``batch_size=None`` the same as the scale's default — normalizing
+    before hashing lets e.g. fig12b's meta column hit fig12a's cache.
+    """
+    scale = spec.scale
+    return replace(
+        spec,
+        distribution=spec.distribution or "meta",
+        batch_size=scale.batch_size if spec.batch_size is None else spec.batch_size,
+        num_batches=scale.num_batches if spec.num_batches is None else spec.num_batches,
+        pooling_factor=(
+            scale.pooling_factor if spec.pooling_factor is None else spec.pooling_factor
+        ),
+        num_cxl_devices=(
+            scale.num_cxl_devices if spec.num_cxl_devices is None else spec.num_cxl_devices
+        ),
+        local_capacity_bytes=(
+            scale.local_capacity_bytes()
+            if spec.local_capacity_bytes is None
+            else spec.local_capacity_bytes
+        ),
+    )
+
+
+def spec_key(spec: RunSpec) -> str:
+    """Stable content hash of a :class:`RunSpec` (the result-cache key).
+
+    Raises :class:`TypeError` when the spec carries an object no stable
+    token can be derived for; use :func:`safe_spec_key` to bypass the cache
+    in that case.
+    """
+    spec = _cache_view(spec)
+    tokens = []
+    for spec_field in fields(RunSpec):
+        value = getattr(spec, spec_field.name)
+        token = _system_token(value) if spec_field.name == "system" else _stable_token(value)
+        tokens.append(f"{spec_field.name}={token}")
+    return hashlib.sha256("|".join(tokens).encode()).hexdigest()[:16]
+
+
+def safe_spec_key(spec: RunSpec) -> Optional[str]:
+    """:func:`spec_key`, or ``None`` when the spec is not stably hashable."""
+    try:
+        return spec_key(spec)
+    except TypeError:
+        return None
+
+
+def build_system_config(spec: RunSpec) -> SystemConfig:
+    """Derive the :class:`SystemConfig` for a spec."""
+    config = evaluation_system(
+        spec.scale,
+        num_cxl_devices=spec.num_cxl_devices,
+        num_fabric_switches=spec.num_fabric_switches,
+        num_hosts=spec.num_hosts,
+        local_capacity_bytes=spec.local_capacity_bytes,
+        base=spec.base_config,
+    )
+    for transform in spec.config_transforms:
+        config = transform(config)
+    return config
+
+
+def _workload_key(spec: RunSpec) -> Optional[str]:
+    """Hash of only the workload-determining spec fields (or ``None``)."""
+    view = _cache_view(spec)
+    parts = (
+        view.model,
+        view.scale,
+        view.distribution,
+        view.batch_size,
+        view.num_batches,
+        view.pooling_factor,
+        view.num_hosts,
+    )
+    try:
+        return hashlib.sha256(_stable_token(parts).encode()).hexdigest()[:16]
+    except TypeError:
+        return None
+
+
+def build_workload(spec: RunSpec):
+    """Build (or reuse) the seeded SLS workload for a spec.
+
+    Workloads are deterministic functions of a few spec fields and are
+    read-only during simulation (the seed drivers shared one workload
+    object across systems), so grid points differing only in machine or
+    system configuration share a single build instead of regenerating an
+    identical trace per run.
+    """
+    key = _workload_key(spec)
+    if key is not None:
+        hit = _WORKLOAD_CACHE.get(key)
+        if hit is not None:
+            return hit
+    workload = evaluation_workload(
+        spec.model,
+        spec.scale,
+        distribution=spec.distribution or "meta",
+        batch_size=spec.batch_size,
+        num_hosts=spec.num_hosts,
+        num_batches=spec.num_batches,
+        pooling_factor=spec.pooling_factor,
+    )
+    if key is not None:
+        _WORKLOAD_CACHE[key] = workload
+        while len(_WORKLOAD_CACHE) > _WORKLOAD_CACHE_MAX:
+            _WORKLOAD_CACHE.pop(next(iter(_WORKLOAD_CACHE)))
+    return workload
+
+
+def build_system(spec: RunSpec):
+    """Instantiate the (configured) system under evaluation for a spec."""
+    factory = spec.system if callable(spec.system) else system_factory(spec.system)
+    config = build_system_config(spec)
+    options = dict(spec.system_options)
+    return factory(config, **options) if options else factory(config)
+
+
+def spec_params(spec: RunSpec) -> Dict[str, Any]:
+    """JSON-safe coordinate dict recorded on the :class:`RunResult`."""
+    params: Dict[str, Any] = {
+        "system": system_label(spec.system),
+        "model": model_label(spec.model),
+        "batch_size": spec.scale.batch_size if spec.batch_size is None else spec.batch_size,
+        "distribution": spec.distribution or "meta",
+        "hosts": spec.num_hosts,
+        "switches": spec.num_fabric_switches,
+        "devices": (
+            spec.scale.num_cxl_devices if spec.num_cxl_devices is None else spec.num_cxl_devices
+        ),
+    }
+    if spec.local_capacity_bytes is not None:
+        params["local_capacity_bytes"] = spec.local_capacity_bytes
+    return params
+
+
+def execute_spec(spec: RunSpec, key: Optional[str] = None) -> RunResult:
+    """Run one spec end-to-end (workload build → system build → replay).
+
+    Module-level so :mod:`multiprocessing` can pickle it into sweep workers.
+    The cache key is computed *before* the run: stateful option objects
+    (e.g. page-management policies) mutate while simulating, and a post-run
+    hash would never match the lookup key of an identical fresh spec.
+    Callers that already hashed the spec pass ``key`` to skip re-hashing.
+    """
+    if key is None:
+        key = safe_spec_key(spec) or ""
+    # System first: an unknown name fails fast instead of after the
+    # (expensive) workload generation.
+    system = build_system(spec)
+    workload = build_workload(spec)
+    sim = system.run(workload)
+    return RunResult(
+        system=system_label(spec.system),
+        model=model_label(spec.model),
+        params=spec_params(spec),
+        sim=sim,
+        config_key=key,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Result and workload caches
+# ---------------------------------------------------------------------------
+_RESULT_CACHE: Dict[str, RunResult] = {}
+_WORKLOAD_CACHE: Dict[str, Any] = {}
+#: Simple FIFO bounds so a long-lived process sweeping many distinct
+#: configurations cannot grow the caches monotonically.
+_RESULT_CACHE_MAX = 512
+_WORKLOAD_CACHE_MAX = 64
+
+
+def public_copy(
+    result: RunResult, spec: RunSpec, coords: Optional[Dict[str, Any]] = None
+) -> RunResult:
+    """A caller-owned copy of a cached/stored run.
+
+    Mutating it (params *or* the SimResult's counters) must never reach
+    back into the cache, and the labels come from the *requesting* spec:
+    name- and factory-addressed sessions share a cache entry, so the
+    cached labels may belong to whichever form ran first.  ``coords`` are
+    overlaid on the params (the sweep engine's axis coordinates).
+    """
+    params = spec_params(spec)
+    if coords:
+        params.update(coords)
+    return RunResult(
+        system=system_label(spec.system),
+        model=model_label(spec.model),
+        params=params,
+        sim=result.sim.copy(),
+        config_key=result.config_key,
+    )
+
+
+def cached_result(key: Optional[str]) -> Optional[RunResult]:
+    if not key:
+        return None
+    return _RESULT_CACHE.get(key)
+
+
+def store_result(result: RunResult) -> None:
+    if result.config_key:
+        _RESULT_CACHE[result.config_key] = result
+        while len(_RESULT_CACHE) > _RESULT_CACHE_MAX:
+            _RESULT_CACHE.pop(next(iter(_RESULT_CACHE)))
+
+
+def clear_cache() -> None:
+    """Drop every cached :class:`RunResult` and workload (mainly for tests)."""
+    _RESULT_CACHE.clear()
+    _WORKLOAD_CACHE.clear()
+
+
+def cache_size() -> int:
+    return len(_RESULT_CACHE)
+
+
+class Simulation:
+    """Fluent builder for one simulation run.
+
+    Every setter returns ``self`` so sessions chain; :meth:`clone` gives an
+    independent copy (the sweep engine clones its base per grid point).
+    """
+
+    def __init__(self, system: SystemLike = "pifs-rec", **settings: Any) -> None:
+        self._spec = RunSpec(system=system)
+        self._memo_key: Optional[str] = None
+        self.apply(**settings)
+
+    # ------------------------------------------------------------------
+    # Fluent setters
+    # ------------------------------------------------------------------
+    def _set(self, **changes: Any) -> "Simulation":
+        self._spec = replace(self._spec, **changes)
+        self._memo_key = None
+        return self
+
+    def system(self, system: SystemLike) -> "Simulation":
+        """Select the system under evaluation: a registered name or factory."""
+        return self._set(system=system)
+
+    def model(self, model: Union[str, ModelConfig]) -> "Simulation":
+        """Select the DLRM model: an RMC name (scaled) or a full config.
+
+        Names are case-insensitive and validated eagerly so typos fail at
+        build time rather than deep inside the workload builder.
+        """
+        if isinstance(model, str):
+            from repro.config import MODEL_CONFIGS
+
+            name = model.upper()
+            if name not in MODEL_CONFIGS:
+                known = ", ".join(sorted(MODEL_CONFIGS))
+                raise ValueError(f"unknown model {model!r}; expected one of: {known}")
+            model = name
+        return self._set(model=model)
+
+    def scale(self, scale: Union[str, EvaluationScale]) -> "Simulation":
+        """Select the evaluation scale: ``"default"``, ``"quick"`` or custom."""
+        if isinstance(scale, str):
+            try:
+                scale = {"default": DEFAULT_SCALE, "quick": QUICK_SCALE}[scale.lower()]
+            except KeyError:
+                raise ValueError(f"unknown scale {scale!r}; expected 'default' or 'quick'") from None
+        return self._set(scale=scale)
+
+    def quick(self) -> "Simulation":
+        """Shorthand for ``.scale("quick")``."""
+        return self._set(scale=QUICK_SCALE)
+
+    def distribution(self, name: str) -> "Simulation":
+        """Select the trace distribution (meta, zipfian, normal, uniform, random)."""
+        return self._set(distribution=name)
+
+    def batch_size(self, batch_size: int) -> "Simulation":
+        return self._set(batch_size=int(batch_size))
+
+    def num_batches(self, num_batches: int) -> "Simulation":
+        return self._set(num_batches=int(num_batches))
+
+    def pooling(self, pooling_factor: int) -> "Simulation":
+        """Average bag size (lookups per sample per table)."""
+        return self._set(pooling_factor=int(pooling_factor))
+
+    def hosts(self, num_hosts: int) -> "Simulation":
+        """Number of concurrent hosts (applies to workload and machine)."""
+        return self._set(num_hosts=int(num_hosts))
+
+    def switches(self, num_switches: int) -> "Simulation":
+        return self._set(num_fabric_switches=int(num_switches))
+
+    def devices(self, num_devices: int) -> "Simulation":
+        return self._set(num_cxl_devices=int(num_devices))
+
+    def local_capacity(self, capacity_bytes: int) -> "Simulation":
+        return self._set(local_capacity_bytes=int(capacity_bytes))
+
+    def base_config(self, config: SystemConfig) -> "Simulation":
+        """Replace the :class:`SystemConfig` the scale derivation starts from."""
+        return self._set(base_config=config)
+
+    def configure(self, *transforms: ConfigTransform) -> "Simulation":
+        """Append transforms rewriting the derived :class:`SystemConfig`."""
+        return self._set(config_transforms=self._spec.config_transforms + tuple(transforms))
+
+    def options(self, **options: Any) -> "Simulation":
+        """Extra keyword arguments for the system factory (e.g. policies)."""
+        merged = dict(self._spec.system_options)
+        merged.update(options)
+        return self._set(system_options=tuple(sorted(merged.items(), key=lambda kv: kv[0])))
+
+    #: Aliases accepted by :meth:`apply` (and therefore by ``Sweep`` axes and
+    #: keyword construction) in addition to the method names themselves.
+    _ALIASES = {
+        "num_hosts": "hosts",
+        "num_fabric_switches": "switches",
+        "num_cxl_devices": "devices",
+        "local_capacity_bytes": "local_capacity",
+        "pooling_factor": "pooling",
+        "trace": "distribution",
+    }
+
+    #: The only methods :meth:`apply` may dispatch to — keeps sweep axes and
+    #: keyword construction from invoking non-setter methods like ``run``.
+    _SETTERS = frozenset({
+        "system", "model", "scale", "distribution", "batch_size", "num_batches",
+        "pooling", "hosts", "switches", "devices", "local_capacity",
+        "base_config", "configure", "options",
+    })
+
+    def apply(self, **settings: Any) -> "Simulation":
+        """Apply settings by name (``apply(model="RMC4", hosts=2)``)."""
+        for key, value in settings.items():
+            name = self._ALIASES.get(key, key)
+            if name not in self._SETTERS:
+                raise ValueError(f"unknown simulation setting {key!r}")
+            method = getattr(self, name)
+            if name == "options":
+                if not isinstance(value, dict):
+                    raise ValueError("'options' setting expects a dict")
+                method(**value)
+            elif name == "configure":
+                transforms = value if isinstance(value, (tuple, list)) else (value,)
+                method(*transforms)
+            else:
+                method(value)
+        return self
+
+    # ------------------------------------------------------------------
+    # Compilation and execution
+    # ------------------------------------------------------------------
+    def clone(self) -> "Simulation":
+        duplicate = Simulation.__new__(Simulation)
+        duplicate._spec = self._spec  # RunSpec is immutable; sharing is safe
+        duplicate._memo_key = self._memo_key
+        return duplicate
+
+    def spec(self) -> RunSpec:
+        return self._spec
+
+    def describe(self) -> Dict[str, Any]:
+        """The run's JSON-safe coordinates (without executing it)."""
+        return spec_params(self._spec)
+
+    def build_system_config(self) -> SystemConfig:
+        return build_system_config(self._spec)
+
+    def build_workload(self):
+        return build_workload(self._spec)
+
+    def build_system(self):
+        return build_system(self._spec)
+
+    def run(self, cache: bool = True) -> RunResult:
+        """Execute the session and return its :class:`RunResult`.
+
+        With ``cache=True`` (the default) an identical earlier run — same
+        config hash — is returned without re-simulating.
+        """
+        # The key is memoized per session state: stateful option objects
+        # (policies) mutate during a run, so hashing them again on a second
+        # .run() of the same session would miss the cache and re-simulate
+        # from dirty policy state.
+        if self._memo_key is None:
+            self._memo_key = safe_spec_key(self._spec) or ""
+        if cache:
+            hit = cached_result(self._memo_key)
+            if hit is not None:
+                return public_copy(hit, self._spec)
+        result = execute_spec(self._spec, key=self._memo_key)
+        if cache:
+            store_result(result)
+            # Hand out a copy so callers annotating the returned params or
+            # counters cannot poison the cached entry (the sweep engine
+            # does the same when overlaying axis coordinates).
+            return public_copy(result, self._spec)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        coords = ", ".join(f"{k}={v!r}" for k, v in self.describe().items())
+        return f"Simulation({coords})"
+
+
+__all__ = [
+    "ConfigTransform",
+    "RunSpec",
+    "Simulation",
+    "build_system",
+    "build_system_config",
+    "build_workload",
+    "cache_size",
+    "cached_result",
+    "clear_cache",
+    "execute_spec",
+    "public_copy",
+    "safe_spec_key",
+    "spec_key",
+    "spec_params",
+    "store_result",
+    "system_label",
+    "model_label",
+]

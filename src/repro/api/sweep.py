@@ -1,0 +1,233 @@
+"""Declarative parameter sweeps with a multiprocessing execution engine.
+
+A :class:`Sweep` expands a dict of axes into the cartesian product of grid
+points, configures one :class:`~repro.api.session.Simulation` per point, and
+executes them serially or across worker processes::
+
+    from repro.api import Simulation, Sweep
+
+    result = Sweep(
+        over={"system": ["pond", "pifs-rec"], "batch_size": [8, 64]},
+        base=Simulation().quick(),
+    ).run(parallel=True)
+    print(result.table())
+
+Axis keys name :class:`Simulation` settings (``system``, ``model``,
+``batch_size``, ``hosts``, ``devices``, ...).  An axis value may also be a
+:func:`point` bundling several settings under one coordinate label — e.g.
+the scale-out experiments grow hosts, switches and devices together::
+
+    Sweep(over={"fabric": [point(n, hosts=n, switches=n, devices=n)
+                           for n in (1, 2, 4)]})
+
+Results come back in deterministic product order (first axis outermost)
+regardless of which worker finished first, and parallel execution is
+byte-identical to serial because every run re-derives its seeded workload
+from the spec.  Runs are cached by config hash across sweeps.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from dataclasses import dataclass
+from itertools import product
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.results import RunResult, SweepResult
+from repro.config import ModelConfig
+from repro.api.session import (
+    RunSpec,
+    Simulation,
+    cached_result,
+    execute_spec,
+    model_label,
+    public_copy,
+    safe_spec_key,
+    store_result,
+    system_label,
+)
+
+
+@dataclass(frozen=True)
+class AxisPoint:
+    """One labeled grid point bundling several simulation settings."""
+
+    label: Any
+    settings: Tuple[Tuple[str, Any], ...]
+
+
+def point(label: Any, **settings: Any) -> AxisPoint:
+    """Build an :class:`AxisPoint` (see the module docstring)."""
+    return AxisPoint(label=label, settings=tuple(settings.items()))
+
+
+def _coordinate(value: Any) -> Any:
+    """The coordinate recorded in ``RunResult.params`` for an axis value."""
+    if isinstance(value, AxisPoint):
+        return value.label
+    if isinstance(value, ModelConfig):
+        return model_label(value)
+    if callable(value):
+        return system_label(value)
+    return value
+
+
+class Sweep:
+    """A declarative grid of simulation runs."""
+
+    def __init__(
+        self,
+        over: Mapping[str, Iterable[Any]],
+        base: Optional[Simulation] = None,
+        **base_settings: Any,
+    ) -> None:
+        if not over:
+            raise ValueError("a sweep needs at least one axis")
+        self._axes: List[Tuple[str, List[Any]]] = [
+            (str(key), list(values)) for key, values in over.items()
+        ]
+        for key, values in self._axes:
+            if not values:
+                raise ValueError(f"sweep axis {key!r} has no values")
+        self._base = (base or Simulation()).clone().apply(**base_settings)
+        self._compiled: Optional[Tuple[Any, Any, Any]] = None
+
+    # ------------------------------------------------------------------
+    # Grid expansion
+    # ------------------------------------------------------------------
+    @property
+    def axes(self) -> List[Tuple[str, List[Any]]]:
+        """Axes with coordinate labels (what the results are keyed by)."""
+        return [
+            (key, [_coordinate(value) for value in values]) for key, values in self._axes
+        ]
+
+    def __len__(self) -> int:
+        size = 1
+        for _, values in self._axes:
+            size *= len(values)
+        return size
+
+    def points(self) -> List[Dict[str, Any]]:
+        """Raw grid points in deterministic product order."""
+        keys = [key for key, _ in self._axes]
+        return [
+            dict(zip(keys, combo))
+            for combo in product(*(values for _, values in self._axes))
+        ]
+
+    def _apply_axis(self, sim: Simulation, key: str, value: Any) -> None:
+        if isinstance(value, AxisPoint):
+            sim.apply(**dict(value.settings))
+        else:
+            sim.apply(**{key: value})
+
+    def simulations(self) -> List[Tuple[Simulation, Dict[str, Any]]]:
+        """One configured (simulation, coordinates) pair per grid point."""
+        configured: List[Tuple[Simulation, Dict[str, Any]]] = []
+        for grid_point in self.points():
+            sim = self._base.clone()
+            coords: Dict[str, Any] = {}
+            for key, value in grid_point.items():
+                self._apply_axis(sim, key, value)
+                coords[key] = _coordinate(value)
+            configured.append((sim, coords))
+        return configured
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _compile(self):
+        """Configured sims, their specs, and cache keys — computed once.
+
+        Keys are frozen at first use: option objects carried on the specs
+        mutate while simulating, and recomputing keys per ``run()`` call
+        would make a sweep re-run miss its own cached results.
+        """
+        if self._compiled is None:
+            sims = self.simulations()
+            specs = [sim.spec() for sim, _ in sims]
+            keys = [safe_spec_key(spec) for spec in specs]
+            self._compiled = (sims, specs, keys)
+        return self._compiled
+
+    def run(
+        self,
+        parallel: bool = False,
+        processes: Optional[int] = None,
+        cache: bool = True,
+    ) -> SweepResult:
+        """Execute every grid point and return the ordered results.
+
+        ``parallel=True`` fans the uncached runs out over a process pool
+        (default size: CPU count capped at the number of runs).  Ordering
+        and values are identical to the serial path.
+        """
+        sims, specs, keys = self._compile()
+
+        slots: List[Optional[RunResult]] = [None] * len(specs)
+        pending: List[int] = []
+        for index, key in enumerate(keys):
+            hit = cached_result(key) if cache else None
+            if hit is not None:
+                slots[index] = hit
+            else:
+                pending.append(index)
+
+        # Execute with the keys frozen at compile time: stateful option
+        # objects (policies) mutate during the run, so a key recomputed
+        # later would drift and a re-run of this sweep would miss the cache.
+        fresh = self._execute(
+            [(specs[i], keys[i] or "") for i in pending], parallel, processes
+        )
+        for index, result in zip(pending, fresh):
+            slots[index] = result
+            if cache:
+                store_result(result)
+
+        results: List[RunResult] = []
+        for slot, spec, (_, coords) in zip(slots, specs, sims):
+            assert slot is not None
+            # Caller-owned copy from the requesting spec with this sweep's
+            # coordinates overlaid: axis keys (including labeled AxisPoints
+            # like "fabric") stay addressable, labels are deterministic
+            # regardless of cache warmth, and the cached copy is never
+            # mutated.
+            results.append(public_copy(slot, spec, coords))
+        return SweepResult(axes=self.axes, results=results)
+
+    @staticmethod
+    def _execute(
+        tasks: Sequence[Tuple[RunSpec, str]], parallel: bool, processes: Optional[int]
+    ) -> List[RunResult]:
+        if not tasks:
+            return []
+        workers = min(len(tasks), os.cpu_count() or 1) if processes is None else processes
+        if not parallel or workers <= 1 or len(tasks) == 1:
+            return [execute_spec(spec, key) for spec, key in tasks]
+        # ``fork`` skips re-importing the package in every worker, but is
+        # only reliably safe on Linux (macOS frameworks can crash after
+        # fork, which is why spawn is the platform default there).  Specs
+        # and ``execute_spec`` are module-level and picklable, so the
+        # spawn-based default contexts work everywhere else.
+        if sys.platform.startswith("linux"):
+            context = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - exercised on macOS/Windows hosts
+            context = multiprocessing.get_context()
+        with context.Pool(processes=workers) as pool:
+            return pool.starmap(execute_spec, list(tasks))
+
+
+def run_grid(
+    over: Mapping[str, Iterable[Any]],
+    base: Optional[Simulation] = None,
+    parallel: bool = False,
+    **base_settings: Any,
+) -> SweepResult:
+    """One-shot helper: build a :class:`Sweep` and run it."""
+    return Sweep(over, base=base, **base_settings).run(parallel=parallel)
+
+
+__all__ = ["AxisPoint", "Sweep", "point", "run_grid"]

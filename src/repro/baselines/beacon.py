@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List
 
+from repro.api.registry import register_system
 from repro.config import BufferConfig, SystemConfig
 from repro.memsys.tiered import TieredMemorySystem
 from repro.pifs.switch import PIFSSwitch, RowFetch
@@ -12,6 +13,7 @@ from repro.sls.engine import SLSSystem
 from repro.traces.workload import SLSRequest, SLSWorkload
 
 
+@register_system("beacon")
 class BeaconSystem(SLSSystem):
     """BEACON adapted to SLS (the paper's "BEACON-S").
 

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+from repro.api.registry import register_system
 from repro.config import SystemConfig
 from repro.memsys.tiered import TieredMemorySystem
 from repro.sls.engine import SLSSystem
 from repro.traces.workload import SLSRequest, SLSWorkload
 
 
+@register_system("pond")
 class PondSystem(SLSSystem):
     """Pond-style CXL memory pooling.
 

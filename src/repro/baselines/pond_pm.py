@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from repro.api.registry import register_system
 from repro.config import SystemConfig
 from repro.memsys.tiered import TieredMemorySystem
 from repro.pagemgmt.global_hotness import GlobalHotnessPolicy
@@ -12,6 +13,7 @@ from repro.sls.engine import SLSSystem
 from repro.traces.workload import SLSRequest, SLSWorkload
 
 
+@register_system("pond+pm")
 class PondPMSystem(SLSSystem):
     """Pond plus the software optimizations of §IV-B, without PIFS hardware.
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.api.registry import register_system
 from repro.config import KIB, BufferConfig, SystemConfig
 from repro.memsys.tiered import TieredMemorySystem
 from repro.pagemgmt.global_hotness import GlobalHotnessPolicy
@@ -13,6 +14,7 @@ from repro.sls.engine import SLSSystem
 from repro.traces.workload import SLSRequest, SLSWorkload
 
 
+@register_system("recnmp")
 class RecNMPSystem(SLSSystem):
     """RecNMP with the paper's memory setting.
 

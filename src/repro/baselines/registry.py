@@ -1,36 +1,31 @@
-"""Name-based construction of the evaluated systems."""
+"""Deprecated shim: the system registry moved to :mod:`repro.api.registry`.
+
+Systems now self-register with the :func:`repro.api.register_system`
+decorator instead of being listed in a hard-coded dict here.  This module
+re-exports the new surface so existing imports keep working:
+
+* :func:`create_system` — the old entry point (now raising
+  :class:`~repro.api.registry.UnknownSystemError`, a :class:`KeyError`
+  subclass, for unknown names);
+* ``SYSTEM_FACTORIES`` — a live read-only mapping view of the registry.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from repro.api.registry import (
+    SYSTEM_FACTORIES,
+    UnknownSystemError,
+    available_systems,
+    create_system,
+    register_system,
+    system_factory,
+)
 
-from repro.baselines.beacon import BeaconSystem
-from repro.baselines.pond import PondSystem
-from repro.baselines.pond_pm import PondPMSystem
-from repro.baselines.recnmp import RecNMPSystem
-from repro.baselines.tpp import TPPSystem
-from repro.config import SystemConfig
-from repro.pifs.system import PIFSRecNoPM, PIFSRecSystem
-from repro.sls.engine import SLSSystem
-
-SYSTEM_FACTORIES: Dict[str, Callable[[SystemConfig], SLSSystem]] = {
-    "pond": PondSystem,
-    "pond+pm": PondPMSystem,
-    "beacon": BeaconSystem,
-    "recnmp": RecNMPSystem,
-    "tpp": TPPSystem,
-    "pifs-rec": PIFSRecSystem,
-    "pifs-rec-nopm": PIFSRecNoPM,
-}
-
-
-def create_system(name: str, system_config: SystemConfig) -> SLSSystem:
-    """Instantiate a system by (case-insensitive) name."""
-    key = name.lower()
-    if key not in SYSTEM_FACTORIES:
-        valid = ", ".join(sorted(SYSTEM_FACTORIES))
-        raise KeyError(f"unknown system {name!r}; expected one of: {valid}")
-    return SYSTEM_FACTORIES[key](system_config)
-
-
-__all__ = ["SYSTEM_FACTORIES", "create_system"]
+__all__ = [
+    "SYSTEM_FACTORIES",
+    "UnknownSystemError",
+    "available_systems",
+    "create_system",
+    "register_system",
+    "system_factory",
+]

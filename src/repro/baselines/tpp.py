@@ -4,11 +4,13 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from repro.api.registry import register_system
 from repro.config import SystemConfig
 from repro.pagemgmt.global_hotness import GlobalHotnessPolicy
 from repro.pifs.system import PIFSRecSystem
 
 
+@register_system("tpp")
 class TPPSystem(PIFSRecSystem):
     """TPP's eager promotion policy running on the same hardware as PIFS-Rec.
 

@@ -345,6 +345,21 @@ class WorkloadConfig:
     seed: int = 2024
 
 
+def replace_page_mgmt(config: SystemConfig, **fields) -> SystemConfig:
+    """Copy ``config`` with fields of its page-management block replaced.
+
+    Usable with :func:`functools.partial` as a picklable config transform
+    for parameter sweeps: ``partial(replace_page_mgmt, migrate_threshold=0.2)``.
+    """
+    return replace(config, page_mgmt=replace(config.page_mgmt, **fields))
+
+
+def replace_buffer(config: SystemConfig, **fields) -> SystemConfig:
+    """Copy ``config`` with fields of the on-switch buffer replaced."""
+    buffer_cfg = replace(config.pifs.on_switch_buffer, **fields)
+    return replace(config, pifs=replace(config.pifs, on_switch_buffer=buffer_cfg))
+
+
 DEFAULT_SYSTEM = SystemConfig()
 DEFAULT_WORKLOAD = WorkloadConfig()
 
@@ -375,6 +390,8 @@ __all__ = [
     "PIFSConfig",
     "SystemConfig",
     "WorkloadConfig",
+    "replace_page_mgmt",
+    "replace_buffer",
     "DEFAULT_SYSTEM",
     "DEFAULT_WORKLOAD",
 ]

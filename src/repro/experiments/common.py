@@ -10,7 +10,7 @@ depends on.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from repro.config import (
     DEFAULT_SYSTEM,
@@ -83,22 +83,27 @@ QUICK_SCALE = EvaluationScale(
 
 
 def evaluation_workload(
-    model_name: str,
+    model_name: Union[str, ModelConfig],
     scale: EvaluationScale = DEFAULT_SCALE,
     distribution: str = "meta",
     batch_size: Optional[int] = None,
     num_hosts: int = 1,
+    num_batches: Optional[int] = None,
+    pooling_factor: Optional[int] = None,
 ) -> SLSWorkload:
     """Build the SLS workload for one model at the given scale.
 
-    ``num_hosts`` distributes the batch's requests across concurrent hosts
-    (used by the multi-host and multi-switch scaling experiments).
+    ``model_name`` is either a Table I name (``"RMC1"``..``"RMC4"``, scaled
+    by ``scale``) or a ready :class:`ModelConfig` used as-is.  ``num_hosts``
+    distributes the batch's requests across concurrent hosts (used by the
+    multi-host and multi-switch scaling experiments).
     """
+    model = model_name if isinstance(model_name, ModelConfig) else scale.model(model_name)
     config = WorkloadConfig(
-        model=scale.model(model_name),
-        batch_size=batch_size or scale.batch_size,
-        pooling_factor=scale.pooling_factor,
-        num_batches=scale.num_batches,
+        model=model,
+        batch_size=scale.batch_size if batch_size is None else batch_size,
+        pooling_factor=scale.pooling_factor if pooling_factor is None else pooling_factor,
+        num_batches=scale.num_batches if num_batches is None else num_batches,
         distribution=distribution,
         seed=scale.seed,
     )
@@ -119,8 +124,10 @@ def evaluation_system(
     )
     return replace(
         base,
-        local_dram_capacity_bytes=local_capacity_bytes or scale.local_capacity_bytes(),
-        num_cxl_devices=num_cxl_devices or scale.num_cxl_devices,
+        local_dram_capacity_bytes=(
+            scale.local_capacity_bytes() if local_capacity_bytes is None else local_capacity_bytes
+        ),
+        num_cxl_devices=scale.num_cxl_devices if num_cxl_devices is None else num_cxl_devices,
         num_fabric_switches=num_fabric_switches,
         num_hosts=num_hosts,
         host_threads=scale.host_threads,

@@ -1,6 +1,8 @@
 """Fig 12: the main HW/SW co-evaluation (§VI-C1 .. §VI-C4).
 
-Five panels:
+Five panels, each expressed as a declarative :class:`~repro.api.Sweep` over
+the evaluation grid (``parallel=True`` fans the grid out over worker
+processes with identical results):
 
 * (a) normalized latency per scheme across the RMC1-RMC4 models,
 * (b) per trace distribution (Meta, Zipfian, Normal, Uniform, Random),
@@ -12,13 +14,12 @@ Five panels:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
-from repro.baselines import create_system
+from repro.api import Simulation, Sweep, point
 from repro.config import BufferConfig, SystemConfig
-from repro.experiments.common import DEFAULT_SCALE, EvaluationScale, evaluation_system, evaluation_workload
+from repro.experiments.common import DEFAULT_SCALE, EvaluationScale
 from repro.pifs.system import PIFSRecSystem
-from repro.sls.result import SimResult
 
 #: The schemes of Fig 12 (a)-(d), in the paper's order.
 FIG12_SYSTEMS = ("pond", "pond+pm", "beacon", "recnmp", "pifs-rec")
@@ -29,22 +30,18 @@ FIG12_DEVICE_COUNTS = (2, 4, 8, 16)
 FIG12_DRAM_MULTIPLIERS = (1, 2, 4)
 
 
-def _run(name: str, system_config: SystemConfig, workload) -> SimResult:
-    return create_system(name, system_config).run(workload)
-
-
 def run_fig12a(
     scale: EvaluationScale = DEFAULT_SCALE,
     systems: Sequence[str] = FIG12_SYSTEMS,
     models: Sequence[str] = FIG12_MODELS,
+    parallel: bool = False,
 ) -> Dict[str, Dict[str, float]]:
     """Latency (ns) per model per system: ``{model: {system: total_ns}}``."""
-    results: Dict[str, Dict[str, float]] = {}
-    system_config = evaluation_system(scale)
-    for model in models:
-        workload = evaluation_workload(model, scale)
-        results[model] = {name: _run(name, system_config, workload).total_ns for name in systems}
-    return results
+    sweep = Sweep(
+        over={"model": list(models), "system": list(systems)},
+        base=Simulation(scale=scale),
+    )
+    return sweep.run(parallel=parallel).pivot("model", "system")
 
 
 def run_fig12b(
@@ -52,14 +49,14 @@ def run_fig12b(
     systems: Sequence[str] = FIG12_SYSTEMS,
     traces: Sequence[str] = FIG12_TRACES,
     model: str = "RMC4",
+    parallel: bool = False,
 ) -> Dict[str, Dict[str, float]]:
     """Latency per trace distribution: ``{trace: {system: total_ns}}``."""
-    results: Dict[str, Dict[str, float]] = {}
-    system_config = evaluation_system(scale)
-    for trace in traces:
-        workload = evaluation_workload(model, scale, distribution=trace)
-        results[trace] = {name: _run(name, system_config, workload).total_ns for name in systems}
-    return results
+    sweep = Sweep(
+        over={"distribution": list(traces), "system": list(systems)},
+        base=Simulation(scale=scale, model=model),
+    )
+    return sweep.run(parallel=parallel).pivot("distribution", "system")
 
 
 def run_fig12c(
@@ -67,14 +64,14 @@ def run_fig12c(
     systems: Sequence[str] = FIG12_SYSTEMS,
     device_counts: Sequence[int] = FIG12_DEVICE_COUNTS,
     model: str = "RMC4",
+    parallel: bool = False,
 ) -> Dict[int, Dict[str, float]]:
     """Latency vs number of CXL memory devices."""
-    results: Dict[int, Dict[str, float]] = {}
-    workload = evaluation_workload(model, scale)
-    for count in device_counts:
-        system_config = evaluation_system(scale, num_cxl_devices=count)
-        results[count] = {name: _run(name, system_config, workload).total_ns for name in systems}
-    return results
+    sweep = Sweep(
+        over={"devices": list(device_counts), "system": list(systems)},
+        base=Simulation(scale=scale, model=model),
+    )
+    return sweep.run(parallel=parallel).pivot("devices", "system")
 
 
 def run_fig12d(
@@ -82,19 +79,21 @@ def run_fig12d(
     systems: Sequence[str] = FIG12_SYSTEMS,
     multipliers: Sequence[int] = FIG12_DRAM_MULTIPLIERS,
     model: str = "RMC4",
+    parallel: bool = False,
 ) -> Dict[int, Dict[str, float]]:
     """Latency vs local DRAM capacity (x1 = the scaled 128 GB equivalent)."""
-    results: Dict[int, Dict[str, float]] = {}
-    workload = evaluation_workload(model, scale)
     base_capacity = scale.local_capacity_bytes()
-    for multiplier in multipliers:
-        system_config = evaluation_system(
-            scale, local_capacity_bytes=base_capacity * multiplier
-        )
-        results[multiplier] = {
-            name: _run(name, system_config, workload).total_ns for name in systems
-        }
-    return results
+    sweep = Sweep(
+        over={
+            "capacity_x": [
+                point(multiplier, local_capacity=base_capacity * multiplier)
+                for multiplier in multipliers
+            ],
+            "system": list(systems),
+        },
+        base=Simulation(scale=scale, model=model),
+    )
+    return sweep.run(parallel=parallel).pivot("capacity_x", "system")
 
 
 # ----------------------------------------------------------------------
@@ -103,39 +102,50 @@ def run_fig12d(
 ABLATION_STEPS = ("Baseline", "PC", "PC/OoO", "PC/OoO/PM", "PC/OoO/PM/OSB")
 
 
+class _AblationVariant:
+    """Picklable factory: PIFS-Rec with a cumulative subset of features."""
+
+    def __init__(self, label: str, out_of_order: bool, page_management: bool, buffer_on: bool) -> None:
+        self.label = label
+        self.out_of_order = out_of_order
+        self.page_management = page_management
+        self.buffer_on = buffer_on
+
+    def __call__(self, config: SystemConfig) -> PIFSRecSystem:
+        buffer_cfg = (
+            config.pifs.on_switch_buffer
+            if self.buffer_on
+            else BufferConfig(policy="none", capacity_bytes=0)
+        )
+        pifs_cfg = replace(config.pifs, out_of_order=self.out_of_order, on_switch_buffer=buffer_cfg)
+        return PIFSRecSystem(replace(config, pifs=pifs_cfg), page_management=self.page_management)
+
+
+#: The cumulative feature steps of Fig 12 (e): ``Baseline`` is Pond; ``PC``
+#: adds the in-switch process core; the rest add OoO, PM and the buffer.
+ABLATION_FACTORIES = {
+    "Baseline": "pond",
+    "PC": _AblationVariant("PC", out_of_order=False, page_management=False, buffer_on=False),
+    "PC/OoO": _AblationVariant("PC/OoO", out_of_order=True, page_management=False, buffer_on=False),
+    "PC/OoO/PM": _AblationVariant("PC/OoO/PM", out_of_order=True, page_management=True, buffer_on=False),
+    "PC/OoO/PM/OSB": _AblationVariant("PC/OoO/PM/OSB", out_of_order=True, page_management=True, buffer_on=True),
+}
+
+
 def run_fig12e(
     scale: EvaluationScale = DEFAULT_SCALE,
     models: Sequence[str] = FIG12_MODELS,
+    parallel: bool = False,
 ) -> Dict[str, Dict[str, float]]:
-    """Ablation: cumulative PIFS-Rec features over the Pond baseline.
-
-    ``Baseline`` is Pond; ``PC`` adds the in-switch process core (no OoO, no
-    buffer, no PM); the remaining steps cumulatively add out-of-order
-    accumulation, page management, and the on-switch buffer.
-    """
-    results: Dict[str, Dict[str, float]] = {}
-    base_system = evaluation_system(scale)
-    no_buffer = BufferConfig(policy="none", capacity_bytes=0)
-
-    def pifs_variant(out_of_order: bool, page_management: bool, buffer_on: bool) -> PIFSRecSystem:
-        pifs_cfg = replace(
-            base_system.pifs,
-            out_of_order=out_of_order,
-            on_switch_buffer=base_system.pifs.on_switch_buffer if buffer_on else no_buffer,
-        )
-        cfg = replace(base_system, pifs=pifs_cfg)
-        return PIFSRecSystem(cfg, page_management=page_management)
-
-    for model in models:
-        workload = evaluation_workload(model, scale)
-        row: Dict[str, float] = {}
-        row["Baseline"] = create_system("pond", base_system).run(workload).total_ns
-        row["PC"] = pifs_variant(False, False, False).run(workload).total_ns
-        row["PC/OoO"] = pifs_variant(True, False, False).run(workload).total_ns
-        row["PC/OoO/PM"] = pifs_variant(True, True, False).run(workload).total_ns
-        row["PC/OoO/PM/OSB"] = pifs_variant(True, True, True).run(workload).total_ns
-        results[model] = row
-    return results
+    """Ablation: cumulative PIFS-Rec features over the Pond baseline."""
+    sweep = Sweep(
+        over={
+            "model": list(models),
+            "ablation": [point(step, system=ABLATION_FACTORIES[step]) for step in ABLATION_STEPS],
+        },
+        base=Simulation(scale=scale),
+    )
+    return sweep.run(parallel=parallel).pivot("model", "ablation")
 
 
 def main() -> None:
@@ -162,6 +172,7 @@ __all__ = [
     "FIG12_DEVICE_COUNTS",
     "FIG12_DRAM_MULTIPLIERS",
     "ABLATION_STEPS",
+    "ABLATION_FACTORIES",
     "run_fig12a",
     "run_fig12b",
     "run_fig12c",

@@ -6,18 +6,23 @@
 * (c) latency vs fabric-switch count for different batch sizes;
 * (d) cold-age-threshold sweep for the hot/cold page swapping policy,
   compared against TPP.
+
+The parameter grids are :class:`~repro.api.Sweep` declarations; the
+threshold axes use config transforms plus policy options carried on the
+:class:`~repro.api.Simulation` session.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Dict, List, Sequence
+from functools import partial
+from typing import Dict, Sequence
 
 from repro.analysis.stats import standard_deviation
-from repro.baselines import create_system
-from repro.experiments.common import DEFAULT_SCALE, EvaluationScale, evaluation_system, evaluation_workload
-from repro.pagemgmt.spreading import SpreadingPolicy
+from repro.api import Simulation, Sweep, point
+from repro.config import replace_page_mgmt
+from repro.experiments.common import DEFAULT_SCALE, EvaluationScale
 from repro.pagemgmt.global_hotness import GlobalHotnessPolicy
+from repro.pagemgmt.spreading import SpreadingPolicy
 from repro.pifs.system import PIFSRecSystem
 
 MIGRATION_THRESHOLDS = (0.10, 0.20, 0.35, 0.50)
@@ -30,29 +35,54 @@ def run_fig13a(
     scale: EvaluationScale = DEFAULT_SCALE,
     thresholds: Sequence[float] = MIGRATION_THRESHOLDS,
     model: str = "RMC4",
+    parallel: bool = False,
 ) -> Dict[float, Dict[str, float]]:
     """Migration-threshold sweep.
 
     For each threshold returns the normalizable SLS latency plus the
     migration cost fraction under both migration mechanisms.
     """
+    sweep = Sweep(
+        over={
+            "threshold": [
+                point(
+                    threshold,
+                    configure=partial(replace_page_mgmt, migrate_threshold=threshold),
+                    options={"spreading_policy": SpreadingPolicy(migrate_threshold=threshold)},
+                )
+                for threshold in thresholds
+            ],
+            "mode": [
+                point(mode, configure=partial(replace_page_mgmt, migration_mode=mode))
+                for mode in ("page_block", "cacheline_block")
+            ],
+        },
+        base=Simulation("pifs-rec", scale=scale, model=model),
+    )
+    result = sweep.run(parallel=parallel)
     results: Dict[float, Dict[str, float]] = {}
-    workload = evaluation_workload(model, scale)
     for threshold in thresholds:
         entry: Dict[str, float] = {}
         for mode in ("page_block", "cacheline_block"):
-            base = evaluation_system(scale)
-            cfg = replace(
-                base,
-                page_mgmt=replace(base.page_mgmt, migrate_threshold=threshold, migration_mode=mode),
-            )
-            system = PIFSRecSystem(cfg, spreading_policy=SpreadingPolicy(migrate_threshold=threshold))
-            result = system.run(workload)
-            entry[f"latency_{mode}"] = result.total_ns
-            entry[f"migration_cost_{mode}"] = result.migration_cost_fraction
-            entry[f"migrations_{mode}"] = float(result.migrations)
+            run = result.only(threshold=threshold, mode=mode)
+            entry[f"latency_{mode}"] = run.total_ns
+            entry[f"migration_cost_{mode}"] = run.sim.migration_cost_fraction
+            entry[f"migrations_{mode}"] = float(run.sim.migrations)
         results[threshold] = entry
     return results
+
+
+class _BlockedPlacementPIFS(PIFSRecSystem):
+    """PIFS hardware without PM, starting from a block-allocated spill.
+
+    Whole tables land on individual CXL devices, which is the unbalanced
+    "before PM" starting point of Fig 13 (b).
+    """
+
+    name = "PIFS-Rec (before PM)"
+
+    def build_placement(self, wl):
+        return self.place_capacity_order(wl, interleave_spill=False)
 
 
 def run_fig13b(
@@ -65,30 +95,16 @@ def run_fig13b(
     Returns ``{"before": {device: freq}, "after": {...}, "std": {...}}``
     where frequencies are percentages of the busiest device (before).
     """
-    workload = evaluation_workload(model, scale)
-    system_config = evaluation_system(scale, num_cxl_devices=num_devices)
-
-    class _BlockedPlacementPIFS(PIFSRecSystem):
-        """PIFS hardware without PM, starting from a block-allocated spill.
-
-        Whole tables land on individual CXL devices, which is the unbalanced
-        "before PM" starting point of Fig 13 (b).
-        """
-
-        name = "PIFS-Rec (before PM)"
-
-        def build_placement(self, wl):
-            return self.place_capacity_order(wl, interleave_spill=False)
-
-    before = _BlockedPlacementPIFS(system_config, page_management=False).run(workload)
-    after = PIFSRecSystem(system_config, page_management=True).run(workload)
+    base = Simulation(scale=scale, model=model, devices=num_devices)
+    before = base.clone().system(_BlockedPlacementPIFS).options(page_management=False).run()
+    after = base.clone().system("pifs-rec").options(page_management=True).run()
 
     def relative(counts: Dict[int, int]) -> Dict[int, float]:
         peak = max(counts.values()) if counts else 1
         return {device: 100.0 * count / peak for device, count in sorted(counts.items())}
 
-    before_rel = relative(before.device_access_counts)
-    after_rel = relative(after.device_access_counts)
+    before_rel = relative(before.sim.device_access_counts)
+    after_rel = relative(after.sim.device_access_counts)
     return {
         "before": before_rel,
         "after": after_rel,
@@ -104,61 +120,63 @@ def run_fig13c(
     switch_counts: Sequence[int] = SWITCH_COUNTS,
     batch_sizes: Sequence[int] = SWITCH_BATCHES,
     model: str = "RMC4",
+    parallel: bool = False,
 ) -> Dict[int, Dict[int, float]]:
     """Latency vs fabric-switch count per batch size: ``{batch: {count: ns}}``.
 
     Each fabric switch brings one host and a proportional share of the CXL
-    devices, as in the paper's scale-up experiment.
+    devices, as in the paper's scale-up experiment; the batch is shared
+    between the hosts.
     """
-    results: Dict[int, Dict[int, float]] = {}
-    for batch in batch_sizes:
-        per_batch: Dict[int, float] = {}
-        for count in switch_counts:
-            # One host and one local CXL memory device per fabric switch; the
-            # batch is shared between the hosts.
-            workload = evaluation_workload(model, scale, batch_size=batch, num_hosts=count)
-            system_config = evaluation_system(
-                scale,
-                num_cxl_devices=count,
-                num_fabric_switches=count,
-                num_hosts=count,
-            )
-            result = PIFSRecSystem(system_config).run(workload)
-            per_batch[count] = result.total_ns
-        results[batch] = per_batch
-    return results
+    sweep = Sweep(
+        over={
+            "batch_size": list(batch_sizes),
+            "fabric": [
+                point(count, hosts=count, switches=count, devices=count)
+                for count in switch_counts
+            ],
+        },
+        base=Simulation("pifs-rec", scale=scale, model=model),
+    )
+    return sweep.run(parallel=parallel).pivot("batch_size", "fabric")
 
 
 def run_fig13d(
     scale: EvaluationScale = DEFAULT_SCALE,
     thresholds: Sequence[float] = COLD_AGE_THRESHOLDS,
     model: str = "RMC4",
+    parallel: bool = False,
 ) -> Dict[str, Dict[str, float]]:
     """Cold-age-threshold sweep vs TPP.
 
     Returns ``{"TPP": {...}, "0.04": {...}, ...}`` with latency and migration
     cost fraction per configuration.
     """
-    workload = evaluation_workload(model, scale)
-    results: Dict[str, Dict[str, float]] = {}
-
-    tpp_result = create_system("tpp", evaluation_system(scale)).run(workload)
-    results["TPP"] = {
-        "latency": tpp_result.total_ns,
-        "migration_cost": tpp_result.migration_cost_fraction,
-    }
-    for threshold in thresholds:
-        base = evaluation_system(scale)
-        cfg = replace(base, page_mgmt=replace(base.page_mgmt, cold_age_threshold=threshold))
-        system = PIFSRecSystem(
-            cfg, hotness_policy=GlobalHotnessPolicy(cold_age_threshold=threshold)
-        )
-        result = system.run(workload)
-        results[f"{threshold:.2f}"] = {
-            "latency": result.total_ns,
-            "migration_cost": result.migration_cost_fraction,
+    sweep = Sweep(
+        over={
+            "config": [
+                point("TPP", system="tpp"),
+                *(
+                    point(
+                        f"{threshold:.2f}",
+                        system="pifs-rec",
+                        configure=partial(replace_page_mgmt, cold_age_threshold=threshold),
+                        options={"hotness_policy": GlobalHotnessPolicy(cold_age_threshold=threshold)},
+                    )
+                    for threshold in thresholds
+                ),
+            ],
+        },
+        base=Simulation(scale=scale, model=model),
+    )
+    result = sweep.run(parallel=parallel)
+    return {
+        run.params["config"]: {
+            "latency": run.total_ns,
+            "migration_cost": run.sim.migration_cost_fraction,
         }
-    return results
+        for run in result
+    }
 
 
 def main() -> None:

@@ -2,18 +2,18 @@
 
 The end-to-end speedup is obtained by weighting the SLS speedup measured on
 the simulator with the non-SLS operator fraction of each model (bottom/top
-MLP and feature interaction are not accelerated by PIFS-Rec).
+MLP and feature interaction are not accelerated by PIFS-Rec).  The
+model × batch × host-count grid and the Pond baseline grid are both
+:class:`~repro.api.Sweep` declarations.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Sequence
 
-from repro.baselines import create_system
+from repro.api import Simulation, Sweep, point
 from repro.dlrm.model import operator_profile
-from repro.experiments.common import DEFAULT_SCALE, EvaluationScale, evaluation_system, evaluation_workload
-from repro.pifs.system import PIFSRecSystem
-from repro.traces.workload import build_workload
+from repro.experiments.common import DEFAULT_SCALE, EvaluationScale
 
 HOST_COUNTS = (1, 2, 4, 8)
 BATCH_SIZES = (8, 64, 256)
@@ -25,35 +25,44 @@ def run_fig14(
     models: Sequence[str] = FIG14_MODELS,
     host_counts: Sequence[int] = HOST_COUNTS,
     batch_sizes: Sequence[int] = BATCH_SIZES,
+    parallel: bool = False,
 ) -> Dict[str, Dict[int, Dict[int, float]]]:
     """End-to-end speedup of PIFS-Rec over Pond: ``{model: {batch: {hosts: x}}}``.
 
     ``hosts = 1`` corresponds to the "Host" point of Fig 14 (the baseline
     parameter server handling the whole batch itself).
     """
+    baselines = Sweep(
+        over={"model": list(models), "batch_size": list(batch_sizes)},
+        base=Simulation("pond", scale=scale),
+    ).run(parallel=parallel)
+    grid = Sweep(
+        over={
+            "model": list(models),
+            "batch_size": list(batch_sizes),
+            "fabric": [
+                # One shared fabric switch; every extra host brings enough
+                # CXL devices to keep the per-host share constant.
+                point(hosts, hosts=hosts, switches=1,
+                      devices=max(scale.num_cxl_devices, hosts))
+                for hosts in host_counts
+            ],
+        },
+        base=Simulation("pifs-rec", scale=scale),
+    ).run(parallel=parallel)
+
     results: Dict[str, Dict[int, Dict[int, float]]] = {}
     for model_name in models:
         model_results: Dict[int, Dict[int, float]] = {}
         for batch in batch_sizes:
-            per_hosts: Dict[int, float] = {}
             profile = operator_profile(
                 scale.model(model_name), batch, pooling_factor=scale.pooling_factor
             )
-            baseline_workload = evaluation_workload(model_name, scale, batch_size=batch)
-            baseline = create_system("pond", evaluation_system(scale)).run(baseline_workload)
+            baseline = baselines.only(model=model_name, batch_size=batch)
+            per_hosts: Dict[int, float] = {}
             for hosts in host_counts:
-                workload = evaluation_workload(
-                    model_name, scale, batch_size=batch, num_hosts=hosts
-                )
-                system_config = evaluation_system(
-                    scale,
-                    num_hosts=hosts,
-                    num_fabric_switches=1,
-                    num_cxl_devices=max(scale.num_cxl_devices, hosts),
-                )
-                result = PIFSRecSystem(system_config).run(workload)
-                sls_speedup = baseline.total_ns / result.total_ns
-                per_hosts[hosts] = profile.end_to_end_speedup(sls_speedup)
+                run = grid.only(model=model_name, batch_size=batch, fabric=hosts)
+                per_hosts[hosts] = profile.end_to_end_speedup(run.speedup_over(baseline))
             model_results[batch] = per_hosts
         results[model_name] = model_results
     return results

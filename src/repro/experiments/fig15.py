@@ -1,16 +1,24 @@
-"""Fig 15: on-switch buffer capacity and replacement-policy sweep (§VI-C5)."""
+"""Fig 15: on-switch buffer capacity and replacement-policy sweep (§VI-C5).
+
+The policy × capacity grid is a :class:`~repro.api.Sweep` whose axes are
+config transforms rewriting the :class:`~repro.config.BufferConfig`; the
+no-buffer baseline is a plain :class:`~repro.api.Simulation` session.
+"""
 
 from __future__ import annotations
 
-from dataclasses import replace
+from functools import partial
 from typing import Dict, Sequence
 
-from repro.config import KIB, BufferConfig
-from repro.experiments.common import DEFAULT_SCALE, EvaluationScale, evaluation_system, evaluation_workload
-from repro.pifs.system import PIFSRecSystem
+from repro.api import Simulation, Sweep, point
+from repro.config import KIB, replace_buffer
+from repro.experiments.common import DEFAULT_SCALE, EvaluationScale
 
 BUFFER_SIZES = (64 * KIB, 128 * KIB, 256 * KIB, 512 * KIB, 1024 * KIB)
 POLICIES = ("htr", "lru", "fifo")
+
+#: Config transform disabling the on-switch buffer entirely.
+_no_buffer = partial(replace_buffer, policy="none", capacity_bytes=0)
 
 
 def run_fig15(
@@ -18,6 +26,7 @@ def run_fig15(
     buffer_sizes: Sequence[int] = BUFFER_SIZES,
     policies: Sequence[str] = POLICIES,
     model: str = "RMC4",
+    parallel: bool = False,
 ) -> Dict[str, Dict[int, Dict[str, float]]]:
     """Speedup over the no-buffer configuration and hit ratio per policy/size.
 
@@ -25,30 +34,32 @@ def run_fig15(
     The sweep disables page management so the buffer sees the full embedding
     reuse stream, matching the paper's isolation of the caching effect.
     """
-    workload = evaluation_workload(model, scale)
-    base_system = evaluation_system(scale)
+    base = Simulation("pifs-rec", scale=scale, model=model).options(page_management=False)
+    baseline = base.clone().configure(_no_buffer).run()
 
-    no_buffer_cfg = replace(
-        base_system, pifs=replace(base_system.pifs, on_switch_buffer=BufferConfig(policy="none", capacity_bytes=0))
-    )
-    baseline = PIFSRecSystem(no_buffer_cfg, page_management=False).run(workload)
+    grid = Sweep(
+        over={
+            "policy": [
+                point(policy, configure=partial(replace_buffer, policy=policy))
+                for policy in policies
+            ],
+            "capacity": [
+                point(capacity, configure=partial(replace_buffer, capacity_bytes=capacity))
+                for capacity in buffer_sizes
+            ],
+        },
+        base=base,
+    ).run(parallel=parallel)
 
     results: Dict[str, Dict[int, Dict[str, float]]] = {}
     for policy in policies:
         per_policy: Dict[int, Dict[str, float]] = {}
         for capacity in buffer_sizes:
-            cfg = replace(
-                base_system,
-                pifs=replace(
-                    base_system.pifs,
-                    on_switch_buffer=BufferConfig(policy=policy, capacity_bytes=capacity),
-                ),
-            )
-            result = PIFSRecSystem(cfg, page_management=False).run(workload)
+            run = grid.only(policy=policy, capacity=capacity)
             per_policy[capacity] = {
-                "speedup": baseline.total_ns / result.total_ns,
-                "hit_ratio": result.buffer_hit_ratio,
-                "latency": result.total_ns,
+                "speedup": baseline.total_ns / run.total_ns,
+                "hit_ratio": run.sim.buffer_hit_ratio,
+                "latency": run.total_ns,
             }
         results[policy] = per_policy
     return results

@@ -1,8 +1,9 @@
 """Run every experiment and print a compact report.
 
-``python -m repro.experiments.runner --quick`` regenerates every figure and
-table of the paper at a reduced scale; dropping ``--quick`` uses the default
-evaluation scale used by the benchmark suite.
+Subsumed by the package CLI: ``python -m repro figures --quick`` is the
+canonical entry point (it calls :func:`run_all` and adds a parallel sweep
+engine).  ``python -m repro.experiments.runner --quick`` keeps working and
+produces the same report.
 """
 
 from __future__ import annotations
@@ -23,8 +24,12 @@ def _print_header(title: str) -> None:
     print("=" * 72)
 
 
-def run_all(scale: EvaluationScale) -> Dict[str, object]:
-    """Run every experiment; returns the raw data keyed by experiment id."""
+def run_all(scale: EvaluationScale, parallel: bool = False) -> Dict[str, object]:
+    """Run every experiment; returns the raw data keyed by experiment id.
+
+    ``parallel=True`` fans each figure's sweep out over worker processes;
+    the reported numbers are identical to the serial path.
+    """
     data: Dict[str, object] = {}
 
     _print_header("Table I / II / III")
@@ -49,7 +54,7 @@ def run_all(scale: EvaluationScale) -> Dict[str, object]:
     ))
 
     _print_header("Fig 12 (a) — models x systems")
-    fig12a = fig12.run_fig12a(scale)
+    fig12a = fig12.run_fig12a(scale, parallel=parallel)
     data["fig12a"] = fig12a
     rows = []
     for model, by_system in fig12a.items():
@@ -58,7 +63,7 @@ def run_all(scale: EvaluationScale) -> Dict[str, object]:
     print(format_table(["model", "system", "latency_ns", "normalized"], rows))
 
     _print_header("Fig 12 (b) — trace distributions (RMC4)")
-    fig12b = fig12.run_fig12b(scale)
+    fig12b = fig12.run_fig12b(scale, parallel=parallel)
     data["fig12b"] = fig12b
     rows = []
     for trace, by_system in fig12b.items():
@@ -67,11 +72,11 @@ def run_all(scale: EvaluationScale) -> Dict[str, object]:
     print(format_table(["trace", "system", "normalized latency"], rows))
 
     _print_header("Fig 12 (c) — memory device count")
-    data["fig12c"] = fig12.run_fig12c(scale)
+    data["fig12c"] = fig12.run_fig12c(scale, parallel=parallel)
     _print_header("Fig 12 (d) — DRAM capacity")
-    data["fig12d"] = fig12.run_fig12d(scale)
+    data["fig12d"] = fig12.run_fig12d(scale, parallel=parallel)
     _print_header("Fig 12 (e) — ablation")
-    fig12e = fig12.run_fig12e(scale, models=("RMC1", "RMC4"))
+    fig12e = fig12.run_fig12e(scale, models=("RMC1", "RMC4"), parallel=parallel)
     data["fig12e"] = fig12e
     rows = []
     for model, steps in fig12e.items():
@@ -79,16 +84,16 @@ def run_all(scale: EvaluationScale) -> Dict[str, object]:
     print(format_table(["model", "step", "latency_ns"], rows))
 
     _print_header("Fig 13 — page management & scale-out")
-    data["fig13a"] = fig13.run_fig13a(scale)
+    data["fig13a"] = fig13.run_fig13a(scale, parallel=parallel)
     data["fig13b"] = fig13.run_fig13b(scale, num_devices=8)
-    data["fig13c"] = fig13.run_fig13c(scale, switch_counts=(1, 2, 4), batch_sizes=(8, 64))
-    data["fig13d"] = fig13.run_fig13d(scale)
+    data["fig13c"] = fig13.run_fig13c(scale, switch_counts=(1, 2, 4), batch_sizes=(8, 64), parallel=parallel)
+    data["fig13d"] = fig13.run_fig13d(scale, parallel=parallel)
 
     _print_header("Fig 14 — multi-host end-to-end speedup")
-    data["fig14"] = fig14.run_fig14(scale, host_counts=(1, 2, 4), batch_sizes=(8, 64))
+    data["fig14"] = fig14.run_fig14(scale, host_counts=(1, 2, 4), batch_sizes=(8, 64), parallel=parallel)
 
     _print_header("Fig 15 — on-switch buffer")
-    data["fig15"] = fig15.run_fig15(scale)
+    data["fig15"] = fig15.run_fig15(scale, parallel=parallel)
 
     _print_header("Fig 16 / 17 — TCO and throughput")
     data["fig16"] = fig16_17.run_fig16()
@@ -105,9 +110,10 @@ def run_all(scale: EvaluationScale) -> Dict[str, object]:
 def main() -> None:
     parser = argparse.ArgumentParser(description="Run all PIFS-Rec reproduction experiments")
     parser.add_argument("--quick", action="store_true", help="use the reduced test scale")
+    parser.add_argument("--parallel", action="store_true", help="use the parallel sweep engine")
     args = parser.parse_args()
     scale = QUICK_SCALE if args.quick else DEFAULT_SCALE
-    run_all(scale)
+    run_all(scale, parallel=args.parallel)
 
 
 if __name__ == "__main__":

@@ -100,6 +100,10 @@ class MultiSwitchCoordinator:
         """The CNV bit read during configuration (§IV-C2)."""
         return self._cnv[switch_id]
 
+    def hop_latency_ns(self, src: int, dst: int) -> float:
+        """Inter-switch hop latency between two switches of the fabric."""
+        return self._topology.hop_latency_ns(src, dst)
+
     def partition_rows(self, row_switches: Sequence[int]) -> Dict[int, int]:
         """Count row candidates per owning switch."""
         counts: Dict[int, int] = {}

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Optional
 
+from repro.api.registry import register_system
 from repro.config import SystemConfig
 from repro.cxl.topology import FabricTopology
 from repro.memsys.tiered import TieredMemorySystem
@@ -17,6 +18,7 @@ from repro.sls.engine import SLSSystem
 from repro.traces.workload import SLSRequest, SLSWorkload
 
 
+@register_system("pifs-rec")
 class PIFSRecSystem(SLSSystem):
     """The full PIFS-Rec design (§IV).
 
@@ -139,7 +141,7 @@ class PIFSRecSystem(SLSSystem):
                 # Sub-sum produced at the remote switch travels back to the
                 # home switch (inter-switch hops in both directions for the
                 # forwarded instructions and the returning partial result).
-                hop_ns = 2 * self.coordinator._topology.hop_latency_ns(home_switch_id, switch_id)
+                hop_ns = 2 * self.coordinator.hop_latency_ns(home_switch_id, switch_id)
                 finish = outcome.result_ready_ns + hop_ns
             finishes.append(finish)
         return max(finishes)
@@ -162,6 +164,7 @@ class PIFSRecSystem(SLSSystem):
         return cost * 0.05
 
 
+@register_system("pifs-rec-nopm")
 class PIFSRecNoPM(PIFSRecSystem):
     """PIFS-Rec hardware without the software page management (ablation)."""
 

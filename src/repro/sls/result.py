@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Dict, Mapping
 
 
 @dataclass
@@ -75,6 +75,37 @@ class SimResult:
         if self.total_ns == 0:
             raise ZeroDivisionError("cannot compute speedup of a zero-latency result")
         return other.total_ns / self.total_ns
+
+    def copy(self) -> "SimResult":
+        """An independent copy (fresh counter dicts)."""
+        return replace(
+            self,
+            device_access_counts=dict(self.device_access_counts),
+            extra=dict(self.extra),
+        )
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation (``json.dumps``-safe)."""
+        data = asdict(self)
+        # JSON object keys are strings; stringify so dumps/loads round-trips.
+        data["device_access_counts"] = {
+            str(device): count for device, count in self.device_access_counts.items()
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SimResult":
+        """Rebuild a :class:`SimResult` from :meth:`to_dict` output."""
+        known = {f.name for f in fields(cls)}
+        payload = {key: value for key, value in data.items() if key in known}
+        payload["device_access_counts"] = {
+            int(device): int(count)
+            for device, count in dict(payload.get("device_access_counts") or {}).items()
+        }
+        return cls(**payload)
 
 
 __all__ = ["SimResult"]
