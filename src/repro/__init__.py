@@ -58,8 +58,9 @@ from repro.baselines import (
 from repro.dlrm import DLRM, EmbeddingBagCollection, EmbeddingTable, QueryBatch
 from repro.pifs import PIFSRuntime, PIFSSwitch
 from repro.pifs.system import PIFSRecNoPM, PIFSRecSystem
-from repro.sls import SimResult
+from repro.sls import LatencyStats, SimResult
 from repro.traces import SLSWorkload, build_workload
+from repro.serve import ServeConfig, ServeResult
 
 # Imported last: the façade's session layer builds on everything above.
 from repro.api import (
@@ -114,6 +115,9 @@ __all__ = [
     "PIFSSwitch",
     "PIFSRecSystem",
     "PIFSRecNoPM",
+    "LatencyStats",
+    "ServeConfig",
+    "ServeResult",
     "SimResult",
     "SLSWorkload",
     "build_workload",

@@ -43,8 +43,13 @@ _LAZY_EXPORTS = {
     "RunResult": "repro.api.results",
     "SweepResult": "repro.api.results",
     "RunSpec": "repro.api.session",
+    "ServeEvaluator": "repro.api.session",
     "Simulation": "repro.api.session",
+    "execute_serve_spec": "repro.api.session",
     "execute_spec": "repro.api.session",
+    "ServeConfig": "repro.serve.server",
+    "ServeResult": "repro.serve.metrics",
+    "SLASweepResult": "repro.serve.metrics",
     "spec_key": "repro.api.session",
     "clear_cache": "repro.api.session",
     "cache_size": "repro.api.session",
@@ -82,7 +87,12 @@ __all__ = [
     "RunResult",
     "SweepResult",
     "RunSpec",
+    "ServeConfig",
+    "ServeEvaluator",
+    "ServeResult",
+    "SLASweepResult",
     "Simulation",
+    "execute_serve_spec",
     "execute_spec",
     "spec_key",
     "clear_cache",

@@ -5,6 +5,10 @@ Subcommands:
 * ``run`` — one simulation session: ``python -m repro run pifs-rec --quick``
 * ``sweep`` — a declarative grid: ``python -m repro sweep --system pond
   --system pifs-rec --batch-size 8 --batch-size 64 --quick``
+* ``serve`` — online open-loop serving with tail-latency metrics:
+  ``python -m repro serve pifs-rec --qps 2e5 --arrival poisson --sla-ms 5``
+  (``--all --smoke`` is the CI guard: one short session per registered
+  system, failing on unknown systems or non-finite percentiles)
 * ``compare`` — every (or selected) system on one workload, normalized and
   with speedups against a baseline
 * ``figures`` — regenerate every figure/table of the paper (subsumes the
@@ -83,6 +87,120 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if run.sim.migrations:
         print(f"migrations    : {run.sim.migrations} ({run.sim.migration_cost_fraction:.2%} of time)")
     return 0
+
+
+#: Default comparison set for ``python -m repro serve`` with no systems named.
+DEFAULT_SERVE_SYSTEMS = ("pifs-rec", "pond", "beacon")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import math
+
+    from repro.analysis.report import format_table
+
+    if args.all:
+        systems = list(available_systems())
+    elif args.system:
+        systems = _dedupe(args.system)
+    else:
+        systems = list(DEFAULT_SERVE_SYSTEMS)
+    if args.smoke:
+        args.quick = True
+    sla_ns = args.sla_ms * 1e6 if args.sla_ms is not None else None
+
+    serve_kwargs = dict(
+        arrival=args.arrival,
+        max_batch_size=args.max_batch,
+        max_wait_ns=args.max_wait_us * 1e3,
+        seed=args.seed,
+        sla_ns=sla_ns,
+    )
+    results = []
+    failures = []
+    for name in systems:
+        sim = _base_simulation(args, name).model(args.model)
+        try:
+            result = sim.serve(args.qps, **serve_kwargs)
+        except Exception as error:  # smoke mode reports every broken system
+            if not args.smoke:
+                raise
+            failures.append(f"{name}: {type(error).__name__}: {error}")
+            continue
+        if not result.latency.is_finite():
+            failures.append(f"{name}: non-finite latency percentile")
+            continue
+        results.append((name, result))
+
+    sla_sweeps = {}
+    if args.find_max_qps:
+        if sla_ns is None:
+            print("error: --find-max-qps requires --sla-ms", file=sys.stderr)
+            return 2
+        bounds = (args.qps_min, args.qps_max)
+        for name in systems:
+            sweep = (
+                _base_simulation(args, name)
+                .model(args.model)
+                .sla_sweep(
+                    sla_ns,
+                    bounds,
+                    arrival=args.arrival,
+                    max_batch_size=args.max_batch,
+                    max_wait_ns=args.max_wait_us * 1e3,
+                    seed=args.seed,
+                )
+            )
+            if not math.isfinite(sweep.max_sustainable_qps):
+                failures.append(f"{name}: non-finite sustainable QPS")
+                continue
+            sla_sweeps[name] = sweep
+
+    if args.json:
+        import json
+
+        payload = {"results": [result.to_dict() for _, result in results]}
+        if sla_sweeps:
+            payload["sla_sweeps"] = {
+                name: sweep.to_dict() for name, sweep in sla_sweeps.items()
+            }
+        print(json.dumps(payload, indent=2))
+    else:
+        rows = [
+            [
+                name,
+                result.latency.p50_ns,
+                result.latency.p95_ns,
+                result.latency.p99_ns,
+                result.goodput_qps,
+                result.sla_attainment,
+                result.max_queue_depth,
+            ]
+            for name, result in results
+        ]
+        print(
+            f"open-loop serving: model {args.model}, {args.qps:,.0f} qps offered, "
+            f"{args.arrival} arrivals, batch<= {args.max_batch}, "
+            f"max wait {args.max_wait_us:,.0f} us"
+            + (f", SLA {args.sla_ms} ms" if args.sla_ms is not None else "")
+        )
+        print(format_table(
+            ["system", "p50_ns", "p95_ns", "p99_ns", "goodput_qps", "sla_attain", "max_queue"],
+            rows,
+        ))
+        if sla_sweeps:
+            print()
+            print(f"max sustainable QPS under a {args.sla_ms} ms p99 budget:")
+            print(format_table(
+                ["system", "max_qps", "probes"],
+                [
+                    [name, sweep.max_sustainable_qps, len(sweep.probes)]
+                    for name, sweep in sla_sweeps.items()
+                ],
+            ))
+
+    for failure in failures:
+        print(f"serve failure: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _dedupe(values):
@@ -219,6 +337,36 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", type=int, default=None, help="worker process count")
     sweep.add_argument("--json", action="store_true", help="print the SweepResult as JSON")
     sweep.set_defaults(func=_cmd_sweep)
+
+    serve = subparsers.add_parser(
+        "serve", help="online open-loop serving with tail-latency SLA metrics"
+    )
+    serve.add_argument("system", nargs="*", default=[],
+                       help=f"systems to serve (default: {' '.join(DEFAULT_SERVE_SYSTEMS)})")
+    serve.add_argument("--all", action="store_true", help="serve every registered system")
+    serve.add_argument("--smoke", action="store_true",
+                       help="CI guard: quick scale, keep going past failures, exit 1 on any")
+    serve.add_argument("--qps", type=float, default=2e5, help="offered load (requests/s)")
+    serve.add_argument("--arrival", default="poisson",
+                       help="constant | poisson | bursty | mmpp | diurnal")
+    serve.add_argument("--sla-ms", type=float, default=None, help="latency SLA in ms")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="dynamic batcher max batch size")
+    serve.add_argument("--max-wait-us", type=float, default=100.0,
+                       help="dynamic batcher max wait in us")
+    serve.add_argument("--seed", type=int, default=None, help="arrival-process seed")
+    serve.add_argument("--model", default="RMC1", help="RMC1..RMC4 (default: RMC1)")
+    serve.add_argument("--num-batches", type=int, default=None)
+    serve.add_argument("--find-max-qps", action="store_true",
+                       help="binary-search max sustainable QPS under --sla-ms")
+    serve.add_argument("--qps-min", type=float, default=1e4,
+                       help="lower QPS bound of --find-max-qps")
+    serve.add_argument("--qps-max", type=float, default=2e6,
+                       help="upper QPS bound of --find-max-qps")
+    _add_machine_arguments(serve)
+    _add_scale_arguments(serve)
+    serve.add_argument("--json", action="store_true", help="print ServeResults as JSON")
+    serve.set_defaults(func=_cmd_serve)
 
     compare = subparsers.add_parser(
         "compare", help="compare systems on one workload (normalized + speedups)"

@@ -20,6 +20,7 @@ from __future__ import annotations
 import functools
 import hashlib
 import inspect
+import os
 import pickle
 import types
 from dataclasses import dataclass, fields, replace
@@ -363,6 +364,41 @@ def spec_params(spec: RunSpec) -> Dict[str, Any]:
     return params
 
 
+def execute_serve_spec(spec: RunSpec, config: "ServeConfig") -> "ServeResult":
+    """Run one open-loop serving session for a spec (module-level, picklable).
+
+    The serving counterpart of :func:`execute_spec`: builds the system and
+    the seeded workload, then drives the system through the
+    :mod:`repro.serve` loop instead of the closed-loop replay.  Serving
+    results are not cached — the metrics depend on the arrival seed and QPS
+    in addition to the spec, and sessions are cheap relative to sweeps.
+    """
+    from repro.serve.server import serve as _serve
+
+    system = build_system(spec)
+    workload = build_workload(spec)
+    return _serve(system, workload, config)
+
+
+class ServeEvaluator:
+    """Picklable ``qps -> ServeResult`` callable used by the SLA sweep.
+
+    Sweep probes only read the summary statistics, so the per-request
+    record list is dropped before the result crosses a process boundary —
+    it scales with the workload and would otherwise be pickled back from
+    every parallel grid evaluation.
+    """
+
+    def __init__(self, spec: RunSpec, config: "ServeConfig") -> None:
+        self.spec = spec
+        self.config = config
+
+    def __call__(self, qps: float) -> "ServeResult":
+        result = execute_serve_spec(self.spec, replace(self.config, qps=float(qps)))
+        result.records = None
+        return result
+
+
 def execute_spec(spec: RunSpec, key: Optional[str] = None) -> RunResult:
     """Run one spec end-to-end (workload build → system build → replay).
 
@@ -626,6 +662,110 @@ class Simulation:
             return public_copy(result, self._spec)
         return result
 
+    # ------------------------------------------------------------------
+    # Online serving terminals
+    # ------------------------------------------------------------------
+    def _serve_config(
+        self,
+        qps: float,
+        arrival: str,
+        max_batch_size: int,
+        max_wait_ns: float,
+        seed: Optional[int],
+        sla_ns: Optional[float],
+    ) -> "ServeConfig":
+        from repro.serve.server import ServeConfig
+
+        return ServeConfig(
+            qps=float(qps),
+            arrival=arrival,
+            max_batch_size=int(max_batch_size),
+            max_wait_ns=float(max_wait_ns),
+            seed=self._spec.scale.seed if seed is None else int(seed),
+            sla_ns=sla_ns,
+        )
+
+    def serve(
+        self,
+        qps: float,
+        *,
+        arrival: str = "poisson",
+        max_batch_size: int = 8,
+        max_wait_ns: float = 100_000.0,
+        seed: Optional[int] = None,
+        sla_ns: Optional[float] = None,
+    ) -> "ServeResult":
+        """Serve this session's workload open-loop at ``qps`` requests/s.
+
+        The online counterpart of :meth:`run`: requests arrive via the
+        named arrival process, queue per host, are dynamically batched and
+        serviced on the host thread lanes; the result carries the latency
+        percentiles (p50..p99.9), goodput and queue-depth metrics instead
+        of only the aggregate completion time.  The arrival seed defaults
+        to the evaluation scale's seed, so identical sessions reproduce
+        identical metrics.
+        """
+        config = self._serve_config(qps, arrival, max_batch_size, max_wait_ns, seed, sla_ns)
+        return execute_serve_spec(self._spec, config)
+
+    def sla_sweep(
+        self,
+        sla_ns: float,
+        qps_bounds: Tuple[float, float],
+        *,
+        percentile: str = "p99",
+        grid_points: int = 4,
+        refine_iters: int = 8,
+        parallel: bool = False,
+        processes: Optional[int] = None,
+        arrival: str = "poisson",
+        max_batch_size: int = 8,
+        max_wait_ns: float = 100_000.0,
+        seed: Optional[int] = None,
+    ) -> "SLASweepResult":
+        """Max sustainable QPS whose ``percentile`` latency meets ``sla_ns``.
+
+        A geometric QPS grid brackets the saturation point, then a binary
+        search refines it.  ``parallel=True`` fans the independent grid
+        evaluations out over worker processes; the returned numbers are
+        identical to the serial path (the refinement stage is sequential
+        either way).
+        """
+        from repro.serve.metrics import sla_sweep as _sla_sweep
+
+        config = self._serve_config(
+            qps_bounds[0], arrival, max_batch_size, max_wait_ns, seed, sla_ns
+        )
+        evaluator = ServeEvaluator(self._spec, config)
+        if not parallel:
+            return _sla_sweep(
+                evaluator,
+                sla_ns,
+                qps_bounds,
+                percentile=percentile,
+                grid_points=grid_points,
+                refine_iters=refine_iters,
+            )
+        import multiprocessing
+        import sys as _sys
+
+        workers = min(grid_points, os.cpu_count() or 1) if processes is None else processes
+        context = (
+            multiprocessing.get_context("fork")
+            if _sys.platform.startswith("linux")
+            else multiprocessing.get_context()
+        )
+        with context.Pool(processes=max(1, workers)) as pool:
+            return _sla_sweep(
+                evaluator,
+                sla_ns,
+                qps_bounds,
+                percentile=percentile,
+                grid_points=grid_points,
+                refine_iters=refine_iters,
+                map_fn=pool.map,
+            )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         coords = ", ".join(f"{k}={v!r}" for k, v in self.describe().items())
         return f"Simulation({coords})"
@@ -634,6 +774,7 @@ class Simulation:
 __all__ = [
     "ConfigTransform",
     "RunSpec",
+    "ServeEvaluator",
     "Simulation",
     "build_system",
     "build_system_config",
@@ -641,6 +782,7 @@ __all__ = [
     "cache_size",
     "cached_result",
     "clear_cache",
+    "execute_serve_spec",
     "execute_spec",
     "public_copy",
     "safe_spec_key",

@@ -1,0 +1,154 @@
+"""Latency-vs-QPS curves: tail latency of every system under open-loop load.
+
+The paper's figures compare systems by closed-loop completion time; this
+experiment compares them the way production recommendation serving is
+judged — p50/p95/p99 latency and goodput as the offered QPS grows — and
+reports the maximum QPS each system sustains under a p99 latency budget.
+Each (system, qps) point is an independent :func:`repro.api.session.
+execute_serve_spec` call, so the grid fans out over worker processes
+exactly like the closed-loop sweeps.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.api.session import ServeEvaluator, Simulation
+from repro.experiments.common import DEFAULT_SCALE, EvaluationScale
+from repro.serve.metrics import ServeResult
+from repro.serve.server import ServeConfig
+
+#: PIFS-Rec against the host-centric and CXL-only baselines.
+CURVE_SYSTEMS = ("pond", "beacon", "recnmp", "pifs-rec")
+#: Offered-load axis (requests/s), spanning underload to saturation.
+QPS_VALUES = (1e5, 2e5, 4e5, 8e5, 1.6e6)
+#: The serving-loop knobs shared by every point of the figure.
+SERVE_SETTINGS = dict(arrival="poisson", max_batch_size=8, max_wait_ns=20_000.0)
+
+
+def _simulation(system: str, scale: EvaluationScale, model: str, num_batches: int) -> Simulation:
+    return Simulation(system, scale=scale).model(model).num_batches(num_batches)
+
+
+def run_latency_curves(
+    scale: EvaluationScale = DEFAULT_SCALE,
+    systems: Sequence[str] = CURVE_SYSTEMS,
+    qps_values: Sequence[float] = QPS_VALUES,
+    model: str = "RMC1",
+    num_batches: int = 8,
+    parallel: bool = False,
+) -> Dict[str, Dict[float, Dict[str, float]]]:
+    """Latency metrics per system per offered QPS: ``{system: {qps: {...}}}``.
+
+    Each cell reports ``p50_ns``/``p95_ns``/``p99_ns``, ``goodput_qps`` and
+    ``achieved_qps``.  ``parallel=True`` evaluates the (system × qps) grid
+    across worker processes with results identical to the serial path.
+    """
+    tasks = []
+    for system in systems:
+        sim = _simulation(system, scale, model, num_batches)
+        config = ServeConfig(qps=float(qps_values[0]), seed=scale.seed, **SERVE_SETTINGS)
+        evaluator = ServeEvaluator(sim.spec(), config)
+        tasks.extend((evaluator, float(qps)) for qps in qps_values)
+
+    if parallel and len(tasks) > 1:
+        context = (
+            multiprocessing.get_context("fork")
+            if sys.platform.startswith("linux")
+            else multiprocessing.get_context()
+        )
+        workers = min(len(tasks), os.cpu_count() or 1)
+        with context.Pool(processes=workers) as pool:
+            outcomes = pool.starmap(_evaluate, tasks)
+    else:
+        outcomes = [_evaluate(evaluator, qps) for evaluator, qps in tasks]
+
+    curves: Dict[str, Dict[float, Dict[str, float]]] = {}
+    cursor = iter(outcomes)
+    for system in systems:
+        curves[system] = {float(qps): _summary(next(cursor)) for qps in qps_values}
+    return curves
+
+
+def _evaluate(evaluator: ServeEvaluator, qps: float) -> ServeResult:
+    """Module-level so the process pool can pickle the task."""
+    return evaluator(qps)
+
+
+def _summary(result: ServeResult) -> Dict[str, float]:
+    return {
+        "p50_ns": result.latency.p50_ns,
+        "p95_ns": result.latency.p95_ns,
+        "p99_ns": result.latency.p99_ns,
+        "goodput_qps": result.goodput_qps,
+        "achieved_qps": result.achieved_qps,
+    }
+
+
+def run_max_sustainable_qps(
+    sla_ns: float = 50_000.0,
+    scale: EvaluationScale = DEFAULT_SCALE,
+    systems: Sequence[str] = CURVE_SYSTEMS,
+    qps_bounds: Tuple[float, float] = (5e4, 5e6),
+    model: str = "RMC1",
+    num_batches: int = 8,
+    grid_points: int = 4,
+    refine_iters: int = 6,
+    parallel: bool = False,
+) -> Dict[str, float]:
+    """Max QPS each system sustains under a p99 budget of ``sla_ns``."""
+    sustained: Dict[str, float] = {}
+    for system in systems:
+        sweep = _simulation(system, scale, model, num_batches).sla_sweep(
+            sla_ns,
+            qps_bounds,
+            grid_points=grid_points,
+            refine_iters=refine_iters,
+            parallel=parallel,
+            **SERVE_SETTINGS,
+        )
+        sustained[system] = sweep.max_sustainable_qps
+    return sustained
+
+
+def main(parallel: bool = False, scale: Optional[EvaluationScale] = None) -> None:
+    from repro.analysis.report import format_table
+
+    scale = scale or DEFAULT_SCALE
+    curves = run_latency_curves(scale, parallel=parallel)
+    rows = []
+    for system, by_qps in curves.items():
+        for qps, metrics in by_qps.items():
+            rows.append([
+                system,
+                qps,
+                metrics["p50_ns"],
+                metrics["p95_ns"],
+                metrics["p99_ns"],
+                metrics["goodput_qps"],
+            ])
+    print(format_table(
+        ["system", "offered_qps", "p50_ns", "p95_ns", "p99_ns", "goodput_qps"], rows
+    ))
+    sustained = run_max_sustainable_qps(scale=scale, parallel=parallel)
+    print()
+    print("max sustainable QPS under a 50 us p99 budget:")
+    print(format_table(
+        ["system", "max_qps"], [[system, qps] for system, qps in sustained.items()]
+    ))
+
+
+if __name__ == "__main__":
+    main()
+
+
+__all__ = [
+    "CURVE_SYSTEMS",
+    "QPS_VALUES",
+    "run_latency_curves",
+    "run_max_sustainable_qps",
+    "main",
+]

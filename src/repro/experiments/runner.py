@@ -13,7 +13,17 @@ from typing import Callable, Dict
 
 from repro.analysis.report import format_table
 from repro.analysis.stats import min_max_normalize
-from repro.experiments import characterization, fig12, fig13, fig14, fig15, fig16_17, fig18, tables
+from repro.experiments import (
+    characterization,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16_17,
+    fig18,
+    latency_curves,
+    tables,
+)
 from repro.experiments.common import DEFAULT_SCALE, QUICK_SCALE, EvaluationScale
 
 
@@ -103,6 +113,14 @@ def run_all(scale: EvaluationScale, parallel: bool = False) -> Dict[str, object]
     fig18.main()
     data["fig18"] = fig18.run_fig18()
     data["energy"] = fig18.run_energy_comparison(scale)
+
+    _print_header("Latency vs QPS — online serving")
+    data["latency_curves"] = latency_curves.run_latency_curves(scale, parallel=parallel)
+    rows = []
+    for system, by_qps in data["latency_curves"].items():
+        for qps, metrics in by_qps.items():
+            rows.append([system, qps, metrics["p50_ns"], metrics["p99_ns"], metrics["goodput_qps"]])
+    print(format_table(["system", "offered_qps", "p50_ns", "p99_ns", "goodput_qps"], rows))
 
     return data
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+import numpy as np
+
 from repro.config import PAGE_SIZE_BYTES, ModelConfig
 from repro.memsys.page import page_id_of
 
@@ -65,6 +67,19 @@ class AddressSpace:
         if not 0 <= row < self.num_embeddings:
             raise ValueError(f"row {row} out of range [0, {self.num_embeddings})")
         return table * self.table_stride + row * self.row_bytes
+
+    def row_addresses(self, table: int, rows: np.ndarray) -> np.ndarray:
+        """Byte addresses of every row in ``rows`` (vectorized ``row_address``).
+
+        One bounds check over the whole array replaces the per-row Python
+        loop; the hot workload builder calls this once per (batch, table).
+        """
+        if not 0 <= table < self.num_tables:
+            raise ValueError(f"table {table} out of range [0, {self.num_tables})")
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size and (int(rows.min()) < 0 or int(rows.max()) >= self.num_embeddings):
+            raise ValueError(f"row index out of range [0, {self.num_embeddings})")
+        return table * self.table_stride + rows * self.row_bytes
 
     def page_of_row(self, table: int, row: int) -> int:
         """Page id containing ``row`` of ``table``."""

@@ -1,0 +1,64 @@
+"""Online request serving: open-loop arrivals, batching, tail-latency SLAs.
+
+The paper's closed-loop replay answers "how long does this trace take";
+this subsystem answers the question production serving is judged on —
+"what latency distribution does the system deliver at a target QPS":
+
+* :mod:`repro.serve.arrivals` — seeded open-loop arrival processes
+  (constant, Poisson, bursty MMPP, diurnal);
+* :mod:`repro.serve.queue` / :mod:`repro.serve.batcher` — per-host
+  admission queues and the max-size/max-wait dynamic batcher;
+* :mod:`repro.serve.server` — the event-driven serving loop driving any
+  registered :class:`~repro.sls.engine.SLSSystem`;
+* :mod:`repro.serve.metrics` — latency percentiles, goodput, queue-depth
+  timelines, and the SLA sweep (max sustainable QPS under a budget).
+
+Entry points: ``Simulation(...).serve(qps=2e5, arrival="poisson")`` from
+the api façade, or ``python -m repro serve`` on the command line.
+"""
+
+from repro.serve.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    ConstantArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    UnknownArrivalError,
+    arrival_process,
+    available_arrivals,
+)
+from repro.serve.batcher import Batch, BatchPolicy, DynamicBatcher
+from repro.serve.metrics import (
+    RequestRecord,
+    SLAProbe,
+    SLASweepResult,
+    ServeResult,
+    sla_sweep,
+    summarize,
+)
+from repro.serve.queue import AdmissionQueue, QueuedRequest
+from repro.serve.server import ServeConfig, serve
+
+__all__ = [
+    "AdmissionQueue",
+    "ArrivalProcess",
+    "Batch",
+    "BatchPolicy",
+    "BurstyArrivals",
+    "ConstantArrivals",
+    "DiurnalArrivals",
+    "DynamicBatcher",
+    "PoissonArrivals",
+    "QueuedRequest",
+    "RequestRecord",
+    "SLAProbe",
+    "SLASweepResult",
+    "ServeConfig",
+    "ServeResult",
+    "UnknownArrivalError",
+    "arrival_process",
+    "available_arrivals",
+    "serve",
+    "sla_sweep",
+    "summarize",
+]

@@ -1,0 +1,214 @@
+"""Deterministic open-loop arrival processes.
+
+An arrival process stamps every request of a workload with an arrival time
+in nanoseconds.  All processes are seeded and fully deterministic: the same
+``(process, num_requests, qps, seed)`` tuple produces a byte-identical
+``int64`` schedule, which is what makes serving experiments reproducible
+and lets the SLA sweep compare runs across QPS points.
+
+Four shapes cover the serving scenarios of the paper's setting:
+
+* ``constant`` — one request every ``1/qps`` seconds (ignores the seed);
+* ``poisson`` — memoryless arrivals, the standard open-loop load model;
+* ``bursty`` — a two-state Markov-modulated Poisson process (MMPP-2)
+  alternating between a high-rate burst state and a quiet state while
+  keeping the long-run average at the target QPS;
+* ``diurnal`` — a non-homogeneous Poisson process whose rate follows a
+  sinusoidal day/night cycle around the target QPS (thinning method).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Tuple, Type
+
+import numpy as np
+
+NS_PER_S = 1_000_000_000.0
+
+
+class UnknownArrivalError(ValueError):
+    """Raised when an arrival-process name is not registered."""
+
+    def __init__(self, name: str, known: Tuple[str, ...]) -> None:
+        self.name = name
+        self.known = known
+        super().__init__(
+            f"unknown arrival process {name!r}; expected one of: {', '.join(known)}"
+        )
+
+
+@dataclass(frozen=True)
+class ArrivalProcess(ABC):
+    """Base class: generates monotone non-decreasing arrival stamps (ns)."""
+
+    name = "base"
+
+    def arrival_times_ns(self, num_requests: int, qps: float, seed: int) -> np.ndarray:
+        """Arrival time of each of ``num_requests`` requests, in ns.
+
+        The schedule starts at the first inter-arrival gap (not 0), is
+        monotone non-decreasing, and is returned as ``int64`` so equality
+        across runs is exact.
+        """
+        if num_requests < 0:
+            raise ValueError("num_requests must be non-negative")
+        if qps <= 0:
+            raise ValueError("qps must be positive")
+        if num_requests == 0:
+            return np.zeros(0, dtype=np.int64)
+        gaps_ns = self._gaps_ns(num_requests, qps, np.random.default_rng(seed))
+        times = np.cumsum(np.maximum(gaps_ns, 0.0))
+        return np.rint(times).astype(np.int64)
+
+    @abstractmethod
+    def _gaps_ns(self, count: int, qps: float, rng: np.random.Generator) -> np.ndarray:
+        """Inter-arrival gaps in ns (float; clipped and rounded by the base)."""
+
+
+@dataclass(frozen=True)
+class ConstantArrivals(ArrivalProcess):
+    """Perfectly paced arrivals: one request every ``1/qps`` seconds."""
+
+    name = "constant"
+
+    def _gaps_ns(self, count: int, qps: float, rng: np.random.Generator) -> np.ndarray:
+        return np.full(count, NS_PER_S / qps)
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals: i.i.d. exponential inter-arrival gaps."""
+
+    name = "poisson"
+
+    def _gaps_ns(self, count: int, qps: float, rng: np.random.Generator) -> np.ndarray:
+        return rng.exponential(scale=NS_PER_S / qps, size=count)
+
+
+@dataclass(frozen=True)
+class BurstyArrivals(ArrivalProcess):
+    """MMPP-2: bursts at ``burst_ratio``× the base rate, quiet phases below it.
+
+    The fraction of time spent bursting (``burst_fraction``) and the quiet
+    rate are balanced so the long-run average rate stays at the target QPS:
+    ``f * burst + (1 - f) * quiet = 1``.  State holding times are
+    exponential with mean ``mean_state_requests`` arrivals per visit.
+    """
+
+    name = "bursty"
+    burst_ratio: float = 4.0
+    burst_fraction: float = 0.2
+    mean_state_requests: float = 32.0
+
+    def __post_init__(self) -> None:
+        if self.burst_ratio <= 1.0:
+            raise ValueError("burst_ratio must exceed 1")
+        if not 0.0 < self.burst_fraction < 1.0:
+            raise ValueError("burst_fraction must be in (0, 1)")
+        quiet = (1.0 - self.burst_fraction * self.burst_ratio) / (1.0 - self.burst_fraction)
+        if quiet <= 0.0:
+            raise ValueError("burst_ratio * burst_fraction must stay below 1")
+
+    def _gaps_ns(self, count: int, qps: float, rng: np.random.Generator) -> np.ndarray:
+        quiet_ratio = (1.0 - self.burst_fraction * self.burst_ratio) / (1.0 - self.burst_fraction)
+        # Holding times are exponential in *time* and sized so a burst visit
+        # carries ~mean_state_requests arrivals and the expected time share
+        # in the burst state is exactly burst_fraction — which pins the
+        # long-run average rate at the target QPS.
+        burst_hold_ns = self.mean_state_requests * NS_PER_S / (qps * self.burst_ratio)
+        quiet_hold_ns = burst_hold_ns * (1.0 - self.burst_fraction) / self.burst_fraction
+
+        gaps = np.empty(count)
+        produced = 0
+        bursting = rng.random() < self.burst_fraction
+        remaining_ns = rng.exponential(burst_hold_ns if bursting else quiet_hold_ns)
+        carried_ns = 0.0  # time since the last arrival, across state switches
+        while produced < count:
+            rate = qps * (self.burst_ratio if bursting else quiet_ratio)
+            gap = rng.exponential(NS_PER_S / rate)
+            if gap <= remaining_ns:
+                remaining_ns -= gap
+                gaps[produced] = carried_ns + gap
+                carried_ns = 0.0
+                produced += 1
+            else:
+                # State switches mid-gap; the exponential is memoryless, so
+                # the residual is redrawn at the new state's rate.
+                carried_ns += remaining_ns
+                bursting = not bursting
+                remaining_ns = rng.exponential(burst_hold_ns if bursting else quiet_hold_ns)
+        return gaps
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidal day/night load: rate ``qps * (1 + amplitude*sin(2πt/T))``.
+
+    Implemented by thinning a homogeneous Poisson process at the peak rate,
+    so the schedule is exact (no rate-function discretization) yet fully
+    deterministic under the seed.
+    """
+
+    name = "diurnal"
+    amplitude: float = 0.5
+    period_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        if self.period_s <= 0.0:
+            raise ValueError("period_s must be positive")
+
+    def _gaps_ns(self, count: int, qps: float, rng: np.random.Generator) -> np.ndarray:
+        peak = qps * (1.0 + self.amplitude)
+        period_ns = self.period_s * NS_PER_S
+        gaps = np.empty(count)
+        now_ns = 0.0
+        last_ns = 0.0
+        produced = 0
+        while produced < count:
+            now_ns += rng.exponential(NS_PER_S / peak)
+            rate = qps * (1.0 + self.amplitude * math.sin(2.0 * math.pi * now_ns / period_ns))
+            if rng.random() * peak <= rate:
+                gaps[produced] = now_ns - last_ns
+                last_ns = now_ns
+                produced += 1
+        return gaps
+
+
+_PROCESSES: Dict[str, Type[ArrivalProcess]] = {
+    cls.name: cls
+    for cls in (ConstantArrivals, PoissonArrivals, BurstyArrivals, DiurnalArrivals)
+}
+#: MMPP is the textbook name for the bursty process.
+_PROCESSES["mmpp"] = BurstyArrivals
+
+
+def available_arrivals() -> Tuple[str, ...]:
+    """Sorted names of every registered arrival process."""
+    return tuple(sorted(_PROCESSES))
+
+
+def arrival_process(name: str, **options: float) -> ArrivalProcess:
+    """Build an arrival process by (case-insensitive) name."""
+    try:
+        cls = _PROCESSES[str(name).lower()]
+    except KeyError:
+        raise UnknownArrivalError(name, available_arrivals()) from None
+    return cls(**options)
+
+
+__all__ = [
+    "NS_PER_S",
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "ConstantArrivals",
+    "DiurnalArrivals",
+    "PoissonArrivals",
+    "UnknownArrivalError",
+    "arrival_process",
+    "available_arrivals",
+]

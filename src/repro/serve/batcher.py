@@ -1,0 +1,111 @@
+"""Dynamic batching of queued requests before dispatch.
+
+The batcher implements the standard serving trade-off between batch
+efficiency and queueing delay with two knobs:
+
+* ``max_batch_size`` — a batch dispatches the moment it fills;
+* ``max_wait_ns`` — a partial batch dispatches when its *oldest* request
+  has waited this long (the timer fires at ``arrival + max_wait_ns``).
+
+Boundary semantics (pinned by tests): an arrival at exactly the timer
+deadline is admitted into the waiting batch; the timer only fires strictly
+after the deadline has passed.  ``max_wait_ns = 0`` therefore batches only
+simultaneous arrivals (identical nanosecond stamps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.serve.queue import AdmissionQueue, QueuedRequest
+from repro.traces.workload import SLSRequest
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """The two dispatch triggers of the dynamic batcher."""
+
+    max_batch_size: int = 8
+    max_wait_ns: float = 100_000.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if self.max_wait_ns < 0:
+            raise ValueError("max_wait_ns must be non-negative")
+
+
+@dataclass
+class Batch:
+    """One dispatched batch: the requests and their admission stamps."""
+
+    host_id: int
+    index: int
+    dispatch_ns: float
+    entries: List[QueuedRequest] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def requests(self) -> List[SLSRequest]:
+        return [entry.request for entry in self.entries]
+
+    @property
+    def queue_wait_ns(self) -> List[float]:
+        """Admission-to-dispatch wait of every request in the batch."""
+        return [self.dispatch_ns - entry.arrival_ns for entry in self.entries]
+
+
+class DynamicBatcher:
+    """Groups one host's queued requests into batches (see module docs).
+
+    Drive it with the host's arrivals in time order: :meth:`poll` first (it
+    fires any timer that expired strictly before the new arrival), then
+    :meth:`offer`; finish the stream with :meth:`close`.
+    """
+
+    def __init__(self, policy: BatchPolicy, queue: AdmissionQueue) -> None:
+        self.policy = policy
+        self.queue = queue
+        self.dispatched = 0
+
+    def _dispatch(self, dispatch_ns: float) -> Batch:
+        entries = self.queue.pop_batch(self.policy.max_batch_size, dispatch_ns)
+        batch = Batch(
+            host_id=self.queue.host_id,
+            index=self.dispatched,
+            dispatch_ns=dispatch_ns,
+            entries=entries,
+        )
+        self.dispatched += 1
+        return batch
+
+    def poll(self, now_ns: float) -> List[Batch]:
+        """Dispatch every batch whose wait timer expired before ``now_ns``."""
+        batches: List[Batch] = []
+        while True:
+            deadline = self.queue.deadline_ns(self.policy.max_wait_ns)
+            if deadline is None or deadline >= now_ns:
+                return batches
+            batches.append(self._dispatch(deadline))
+
+    def offer(self, request: SLSRequest, now_ns: int) -> List[Batch]:
+        """Admit one arrival; returns the batch it completed, if any."""
+        batches = self.poll(now_ns)
+        self.queue.push(request, now_ns)
+        if self.queue.depth >= self.policy.max_batch_size:
+            batches.append(self._dispatch(now_ns))
+        return batches
+
+    def close(self) -> List[Batch]:
+        """End of the arrival stream: flush the remainder at its deadline."""
+        batches: List[Batch] = []
+        while self.queue.depth:
+            deadline = self.queue.deadline_ns(self.policy.max_wait_ns)
+            batches.append(self._dispatch(deadline))
+        return batches
+
+
+__all__ = ["Batch", "BatchPolicy", "DynamicBatcher"]

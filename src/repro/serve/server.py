@@ -1,0 +1,137 @@
+"""Event-driven open-loop serving of an SLS workload.
+
+The serving loop stands between the arrival processes and the simulated
+systems: requests arrive open-loop (the arrival process does not wait for
+completions), wait in per-host admission queues, are grouped by the dynamic
+batcher, and are then serviced on the host's thread lanes by any registered
+:class:`~repro.sls.engine.SLSSystem` through the engine's per-request
+``service_request`` hook.  Every request's enqueue → dispatch → complete
+timestamps are recorded and folded into a :class:`ServeResult`.
+
+The whole pipeline is deterministic: arrivals are seeded, batching is a
+pure function of the arrival schedule, and batches are serviced in global
+``(dispatch, host, sequence)`` order so the shared device models see one
+well-defined access order regardless of Python iteration details.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.serve.arrivals import arrival_process
+from repro.serve.batcher import Batch, BatchPolicy, DynamicBatcher
+from repro.serve.metrics import RequestRecord, ServeResult, summarize
+from repro.serve.queue import AdmissionQueue
+from repro.sls.engine import SLSSystem
+from repro.traces.workload import SLSWorkload
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of one serving session (picklable, usable as a sweep unit)."""
+
+    qps: float
+    arrival: str = "poisson"
+    max_batch_size: int = 8
+    max_wait_ns: float = 100_000.0
+    seed: int = 2024
+    sla_ns: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.qps <= 0:
+            raise ValueError("qps must be positive")
+        if self.sla_ns is not None and self.sla_ns <= 0:
+            raise ValueError("sla_ns must be positive")
+
+    @property
+    def policy(self) -> BatchPolicy:
+        return BatchPolicy(max_batch_size=self.max_batch_size, max_wait_ns=self.max_wait_ns)
+
+
+def serve(system: SLSSystem, workload: SLSWorkload, config: ServeConfig) -> ServeResult:
+    """Serve ``workload`` on ``system`` under ``config`` and return metrics.
+
+    The workload's requests arrive in order at the times stamped by the
+    configured arrival process; each request is admitted to its host's
+    queue, batched, and serviced on that host's earliest-free thread lane
+    (requests within a batch run back-to-back on one lane, matching the
+    closed-loop engine's one-bag-per-thread model).
+    """
+    process = arrival_process(config.arrival)
+    arrivals = process.arrival_times_ns(len(workload.requests), config.qps, config.seed)
+
+    num_hosts = max(1, system.system.num_hosts)
+    threads_per_host = max(1, system.system.host_threads)
+
+    system.begin_session(workload)
+
+    # Admission: per-host queue + batcher, fed in global arrival order
+    # (the schedule is sorted, so each host sees its own arrivals in order).
+    queues = {host: AdmissionQueue(host) for host in range(num_hosts)}
+    batchers = {
+        host: DynamicBatcher(config.policy, queues[host]) for host in range(num_hosts)
+    }
+    all_batches: List[Batch] = []
+    for request, arrival_ns in zip(workload.requests, arrivals):
+        host = request.host_id % num_hosts
+        all_batches.extend(batchers[host].offer(request, int(arrival_ns)))
+    for host in range(num_hosts):
+        all_batches.extend(batchers[host].close())
+
+    # Service: globally ordered by dispatch time so the shared backend
+    # models (DRAM banks, switch ports) see a deterministic access order.
+    all_batches.sort(key=lambda batch: (batch.dispatch_ns, batch.host_id, batch.index))
+    lanes: Dict[int, List[float]] = {
+        host: [0.0] * threads_per_host for host in range(num_hosts)
+    }
+    records: List[RequestRecord] = []
+    for batch in all_batches:
+        lane_times = lanes[batch.host_id]
+        lane = min(range(threads_per_host), key=lambda i: (lane_times[i], i))
+        cursor = max(batch.dispatch_ns, lane_times[lane])
+        for entry in batch.entries:
+            started = cursor
+            cursor = system.service_request(entry.request, started, batch.host_id)
+            records.append(
+                RequestRecord(
+                    request_id=entry.request.request_id,
+                    host_id=batch.host_id,
+                    lane=lane,
+                    arrival_ns=entry.arrival_ns,
+                    dispatch_ns=batch.dispatch_ns,
+                    start_ns=started,
+                    complete_ns=cursor,
+                    lookups=entry.request.num_candidates,
+                )
+            )
+        lane_times[lane] = cursor
+
+    records.sort(key=lambda record: record.request_id)
+    total_ns = max((record.complete_ns for record in records), default=0.0)
+    sim = system.finish_session(total_ns)
+
+    active_queues = {h: q for h, q in queues.items() if q.admitted}
+    mean_depth = (
+        sum(queue.mean_depth() for queue in active_queues.values()) / len(active_queues)
+        if active_queues
+        else 0.0
+    )
+    return summarize(
+        system.name,
+        records,
+        qps=config.qps,
+        arrival=config.arrival,
+        max_batch_size=config.max_batch_size,
+        max_wait_ns=config.max_wait_ns,
+        seed=config.seed,
+        sla_ns=config.sla_ns,
+        batches=len(all_batches),
+        queue_depth_timelines={h: q.timeline for h, q in active_queues.items()},
+        mean_queue_depth=mean_depth,
+        max_queue_depth=max((q.max_depth for q in active_queues.values()), default=0),
+        sim=sim,
+    )
+
+
+__all__ = ["ServeConfig", "serve"]

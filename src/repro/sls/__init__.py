@@ -8,6 +8,6 @@ detailed counters.
 """
 
 from repro.sls.engine import MemoryBackends, SLSSystem
-from repro.sls.result import SimResult
+from repro.sls.result import LatencyStats, SimResult, percentile
 
-__all__ = ["MemoryBackends", "SLSSystem", "SimResult"]
+__all__ = ["MemoryBackends", "SLSSystem", "LatencyStats", "SimResult", "percentile"]

@@ -133,8 +133,13 @@ class SLSSystem(ABC):
     # ------------------------------------------------------------------
     # Workload execution
     # ------------------------------------------------------------------
-    def run(self, workload: SLSWorkload) -> SimResult:
-        """Replay ``workload`` on this system and return the result."""
+    def begin_session(self, workload: SLSWorkload) -> None:
+        """Reset state and build backends/placement for ``workload``.
+
+        Factored out of :meth:`run` so an online serving loop can drive the
+        system request by request (:meth:`service_request`) instead of
+        replaying the whole workload closed-loop.
+        """
         self.workload = workload
         self._counters = {
             "local_rows": 0,
@@ -151,6 +156,37 @@ class SLSSystem(ABC):
         )
         self.tiered = self.build_placement(workload)
         self.prepare(workload)
+
+    def service_request(
+        self, request: SLSRequest, start_ns: float, host_id: Optional[int] = None
+    ) -> float:
+        """Serve one request at ``start_ns``; return its completion time (ns).
+
+        The per-request counterpart of :meth:`run`: callers own the clock
+        (arrival/queueing/batching policy) and get back the finish time of
+        this request alone instead of only workload aggregates.  Page-
+        management maintenance triggered by the epoch counter lands on the
+        serving lane — the caller's next dispatch on this lane starts after
+        the stall — rather than stalling every lane the way the closed-loop
+        replay does.  :meth:`begin_session` must have been called.
+        """
+        num_hosts = max(1, self.system.num_hosts)
+        host = request.host_id % num_hosts if host_id is None else host_id
+        finish_ns = self.process_request(request, start_ns, host)
+        self._lookups_since_maintenance += request.num_candidates
+        epoch = max(1, self.system.page_mgmt.migration_epoch_accesses)
+        if self._lookups_since_maintenance >= epoch:
+            self._lookups_since_maintenance = 0
+            finish_ns += self.maintenance(finish_ns)
+        return finish_ns
+
+    def finish_session(self, total_ns: float) -> SimResult:
+        """Assemble the :class:`SimResult` for the session ended at ``total_ns``."""
+        return self._build_result(self.workload, total_ns)
+
+    def run(self, workload: SLSWorkload) -> SimResult:
+        """Replay ``workload`` on this system and return the result."""
+        self.begin_session(workload)
 
         num_hosts = max(1, self.system.num_hosts)
         threads_per_host = max(1, self.system.host_threads)
@@ -175,7 +211,7 @@ class SLSSystem(ABC):
                     lanes = [lane + stall_ns for lane in lanes]
 
         total_ns = max(lanes) if lanes else 0.0
-        return self._build_result(workload, total_ns)
+        return self.finish_session(total_ns)
 
     # ------------------------------------------------------------------
     # Hooks

@@ -2,8 +2,94 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import asdict, dataclass, field, fields, replace
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional, Sequence
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``samples`` (linear interpolation).
+
+    Implements the same estimator as ``numpy.percentile``'s default
+    (``linear`` / Hyndman-Fan type 7): rank ``(n - 1) * q / 100``
+    interpolated between the two nearest order statistics.  Kept dependency
+    -light here so :class:`LatencyStats` does not pull numpy into the
+    result layer.
+    """
+    return _percentile_of_sorted(sorted(float(value) for value in samples), q)
+
+
+def _percentile_of_sorted(ordered: Sequence[float], q: float) -> float:
+    """:func:`percentile` for already-sorted samples (no re-sort per call)."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile {q} out of range [0, 100]")
+    if not ordered:
+        raise ValueError("cannot take a percentile of zero samples")
+    rank = (len(ordered) - 1) * (q / 100.0)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Distribution summary of per-request latencies (online serving).
+
+    All values are nanoseconds.  ``count == 0`` means "no samples" and all
+    summary fields are zero; every constructor keeps the fields finite so a
+    non-finite percentile always indicates a real serving-path bug (the CI
+    smoke job checks :meth:`is_finite` for every registered system).
+    """
+
+    count: int = 0
+    mean_ns: float = 0.0
+    min_ns: float = 0.0
+    max_ns: float = 0.0
+    p50_ns: float = 0.0
+    p90_ns: float = 0.0
+    p95_ns: float = 0.0
+    p99_ns: float = 0.0
+    p999_ns: float = 0.0
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+        ordered = sorted(float(value) for value in samples)
+        if not ordered:
+            return cls()
+        return cls(
+            count=len(ordered),
+            mean_ns=sum(ordered) / len(ordered),
+            min_ns=ordered[0],
+            max_ns=ordered[-1],
+            p50_ns=_percentile_of_sorted(ordered, 50.0),
+            p90_ns=_percentile_of_sorted(ordered, 90.0),
+            p95_ns=_percentile_of_sorted(ordered, 95.0),
+            p99_ns=_percentile_of_sorted(ordered, 99.0),
+            p999_ns=_percentile_of_sorted(ordered, 99.9),
+        )
+
+    def quantile(self, label: str) -> float:
+        """Look up a summary field by short label (``"p99"``, ``"mean"``...)."""
+        name = label if label.endswith("_ns") else f"{label}_ns"
+        if name not in {f.name for f in fields(self)}:
+            raise ValueError(f"unknown latency quantile {label!r}")
+        return getattr(self, name)
+
+    def is_finite(self) -> bool:
+        return all(
+            math.isfinite(getattr(self, f.name)) for f in fields(self) if f.name != "count"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "LatencyStats":
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
 
 
 @dataclass
@@ -31,6 +117,9 @@ class SimResult:
     bytes_to_host: int = 0
     device_access_counts: Dict[int, int] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Per-request latency distribution; populated by the online serving
+    #: loop (closed-loop replay reports only the aggregate ``total_ns``).
+    latency: Optional[LatencyStats] = None
 
     def __post_init__(self) -> None:
         if self.total_ns < 0:
@@ -94,6 +183,8 @@ class SimResult:
         data["device_access_counts"] = {
             str(device): count for device, count in self.device_access_counts.items()
         }
+        # asdict already flattened the LatencyStats dataclass into a dict
+        # (or left None); nothing further to do for ``latency``.
         return data
 
     @classmethod
@@ -105,7 +196,10 @@ class SimResult:
             int(device): int(count)
             for device, count in dict(payload.get("device_access_counts") or {}).items()
         }
+        latency = payload.get("latency")
+        if latency is not None and not isinstance(latency, LatencyStats):
+            payload["latency"] = LatencyStats.from_dict(latency)
         return cls(**payload)
 
 
-__all__ = ["SimResult"]
+__all__ = ["LatencyStats", "SimResult", "percentile"]

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -56,11 +57,15 @@ class SLSWorkload:
     def __len__(self) -> int:
         return len(self.requests)
 
-    @property
+    # ``total_lookups``/``total_bytes`` are summed once and cached: requests
+    # are immutable after construction and the online serving loop reads
+    # these per-tick, so recomputing the full sums on every access would put
+    # an O(requests) walk on the serving hot path.
+    @cached_property
     def total_lookups(self) -> int:
         return int(sum(r.num_candidates for r in self.requests))
 
-    @property
+    @cached_property
     def total_bytes(self) -> int:
         return int(sum(r.bytes_accessed for r in self.requests))
 
@@ -69,11 +74,11 @@ class SLSWorkload:
         return self.address_space.total_bytes
 
     def unique_pages(self) -> int:
-        pages = set()
+        if not self.requests:
+            return 0
         page_size = self.address_space.page_size
-        for request in self.requests:
-            pages.update((request.addresses // page_size).tolist())
-        return len(pages)
+        addresses = np.concatenate([request.addresses for request in self.requests])
+        return int(np.unique(addresses // page_size).size)
 
 
 def build_workload(
@@ -98,24 +103,25 @@ def build_workload(
     request_id = 0
     for batch in batches:
         for table in range(batch.num_tables):
-            indices = batch.indices_per_table[table]
+            indices = batch.indices_per_table[table].astype(np.int64)
             offsets = batch.offsets_per_table[table]
             bounds = np.concatenate([offsets, [len(indices)]])
+            # One vectorized address computation per (batch, table); the
+            # per-bag arrays below are views into it.
+            table_addresses = space.row_addresses(table, indices)
             for sample in range(batch.batch_size):
                 start, end = int(bounds[sample]), int(bounds[sample + 1])
                 rows = indices[start:end]
                 if len(rows) == 0:
                     continue
-                addresses = np.array(
-                    [space.row_address(table, int(r)) for r in rows], dtype=np.int64
-                )
+                addresses = table_addresses[start:end]
                 requests.append(
                     SLSRequest(
                         request_id=request_id,
                         host_id=(host_id + sample) % max(1, num_hosts),
                         table=table,
                         sample=sample,
-                        rows=rows.astype(np.int64),
+                        rows=rows,
                         addresses=addresses,
                         row_bytes=row_bytes,
                     )
