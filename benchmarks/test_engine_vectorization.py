@@ -1,0 +1,144 @@
+"""Engine vectorization benchmark: scalar oracle vs. the batched engine.
+
+Replays the Fig 12 evaluation workload (the default evaluation scale, RMC2,
+meta trace) on every Fig 12 scheme with both engines, asserts the results
+are numerically identical, pins the speedup floors, and records the first
+``BENCH_engine_vectorization.json`` baseline so later PRs can track the
+performance trajectory.
+
+Two floors are pinned:
+
+* the **host-centric** schemes (Pond, Pond+PM, BEACON) — whose replay loop
+  was pure per-lookup Python overhead — must aggregate to >= 5x;
+* the **full Fig 12 grid** (adding RecNMP and PIFS-Rec, whose scalar paths
+  are structurally leaner, so their headroom is smaller) must aggregate to
+  >= 3x.
+
+Set ``REPRO_BENCH_SMOKE=1`` (the CI docs job does) for a shorter replay
+with relaxed floors and no baseline file.
+"""
+
+import json
+import os
+import pathlib
+import platform
+import time
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.api.session import Simulation, clear_cache
+from repro.experiments.common import DEFAULT_SCALE
+from repro.experiments.fig12 import FIG12_SYSTEMS
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+#: More batches than the figure sweeps so per-session fixed costs (kernel
+#: construction, placement profiling) amortize the way long replays do.
+NUM_BATCHES = 4 if SMOKE else 16
+MODEL = "RMC2"
+HOST_CENTRIC = ("pond", "pond+pm", "beacon")
+HOST_CENTRIC_FLOOR = 3.0 if SMOKE else 5.0
+FULL_GRID_FLOOR = 2.0 if SMOKE else 3.0
+REPEATS = 2 if SMOKE else 3
+
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine_vectorization.json"
+
+
+def _session(name, engine):
+    sim = Simulation(name).model(MODEL).scale(DEFAULT_SCALE).num_batches(NUM_BATCHES)
+    if engine != "scalar":
+        sim.engine(engine)
+    return sim
+
+
+def _best_of(repeats, system, workload):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = system.run(workload)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _replay_grid():
+    rows = []
+    for name in FIG12_SYSTEMS:
+        clear_cache()
+        workload = _session(name, "scalar").build_workload()
+        scalar_system = _session(name, "scalar").build_system()
+        vector_system = _session(name, "vector").build_system()
+        scalar_s, scalar_result = _best_of(REPEATS, scalar_system, workload)
+        vector_s, vector_result = _best_of(REPEATS, vector_system, workload)
+        assert vector_system._vector is not None, f"{name}: vector context missing"
+        assert scalar_result.to_dict() == vector_result.to_dict(), (
+            f"{name}: vector engine diverged from the scalar oracle"
+        )
+        rows.append(
+            {
+                "system": name,
+                "lookups": scalar_result.lookups,
+                "scalar_ms": scalar_s * 1e3,
+                "vector_ms": vector_s * 1e3,
+                "speedup": scalar_s / vector_s,
+            }
+        )
+    return rows
+
+
+def test_engine_vectorization(benchmark):
+    rows = run_once(benchmark, _replay_grid)
+
+    scalar_total = sum(row["scalar_ms"] for row in rows)
+    vector_total = sum(row["vector_ms"] for row in rows)
+    host_scalar = sum(r["scalar_ms"] for r in rows if r["system"] in HOST_CENTRIC)
+    host_vector = sum(r["vector_ms"] for r in rows if r["system"] in HOST_CENTRIC)
+    full_speedup = scalar_total / vector_total
+    host_speedup = host_scalar / host_vector
+
+    print()
+    print(format_table(
+        ["system", "lookups", "scalar_ms", "vector_ms", "speedup"],
+        [[r["system"], r["lookups"], r["scalar_ms"], r["vector_ms"], r["speedup"]] for r in rows],
+        float_format="{:,.2f}",
+    ))
+    print(f"host-centric aggregate ({', '.join(HOST_CENTRIC)}): {host_speedup:.2f}x")
+    print(f"full fig12 grid aggregate: {full_speedup:.2f}x")
+
+    if not SMOKE:
+        BASELINE_PATH.write_text(json.dumps(
+            {
+                "benchmark": "engine_vectorization",
+                "description": "fig12-scale replay (model RMC2, meta trace, "
+                f"{NUM_BATCHES} batches at the default evaluation scale), "
+                "scalar vs vector engine, best of "
+                f"{REPEATS} runs each",
+                "recorded_unix": int(time.time()),
+                "host": {
+                    "python": platform.python_version(),
+                    "machine": platform.machine(),
+                    "system": platform.system(),
+                },
+                "entries": rows,
+                "aggregate": {
+                    "host_centric_systems": list(HOST_CENTRIC),
+                    "host_centric_speedup": host_speedup,
+                    "full_grid_speedup": full_speedup,
+                },
+                "floors": {
+                    "host_centric": HOST_CENTRIC_FLOOR,
+                    "full_grid": FULL_GRID_FLOOR,
+                },
+            },
+            indent=2,
+        ) + "\n")
+
+    # The host-centric replay loop was pure interpreter overhead: the batched
+    # engine must clear 5x there.  RecNMP/PIFS-Rec spend real work in shared
+    # policy/buffer code, so the full-grid floor is lower.
+    assert host_speedup >= HOST_CENTRIC_FLOOR, (
+        f"host-centric replay speedup {host_speedup:.2f}x below the "
+        f"{HOST_CENTRIC_FLOOR}x floor"
+    )
+    assert full_speedup >= FULL_GRID_FLOOR, (
+        f"full-grid replay speedup {full_speedup:.2f}x below the {FULL_GRID_FLOOR}x floor"
+    )

@@ -31,20 +31,43 @@ from repro.api.sweep import Sweep
 
 
 def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--quick", action="store_true", help="use the reduced test scale")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run at the reduced 'quick' evaluation scale (smaller models, "
+        "fewer batches; seconds instead of minutes)",
+    )
 
 
 def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--hosts", type=int, default=None, help="number of concurrent hosts")
-    parser.add_argument("--switches", type=int, default=None, help="number of fabric switches")
-    parser.add_argument("--devices", type=int, default=None, help="number of CXL memory devices")
+    parser.add_argument(
+        "--hosts", type=int, default=None, metavar="N",
+        help="concurrent hosts sharing the CXL pool (default: 1)",
+    )
+    parser.add_argument(
+        "--switches", type=int, default=None, metavar="N",
+        help="fabric switches; hosts and devices are spread across them (default: 1)",
+    )
+    parser.add_argument(
+        "--devices", type=int, default=None, metavar="N",
+        help="CXL Type 3 memory devices behind the switches (default: 4)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["scalar", "vector"],
+        default=None,
+        help="replay engine: 'scalar' walks the device models per lookup "
+        "(the oracle), 'vector' resolves lookup batches as numpy arrays "
+        "through flattened kernels — numerically identical, several times "
+        "faster (default: scalar)",
+    )
 
 
 def _base_simulation(args: argparse.Namespace, system: str = "pifs-rec") -> Simulation:
     sim = Simulation(system)
     if args.quick:
         sim.quick()
-    for setting in ("hosts", "switches", "devices"):
+    for setting in ("hosts", "switches", "devices", "engine"):
         value = getattr(args, setting, None)
         if value is not None:
             sim.apply(**{setting: value})
@@ -74,6 +97,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(run.to_json(indent=2))
         return 0
     print(f"system        : {run.system}")
+    if run.params.get("engine"):
+        print(f"engine        : {run.params['engine']}")
     print(f"model         : {run.model}  (trace: {run.params['distribution']})")
     print(
         f"machine       : {run.params['hosts']} host(s), "
@@ -303,94 +328,171 @@ def _cmd_systems(args: argparse.Namespace) -> int:
 # Parser
 # ---------------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
+    raw = argparse.RawDescriptionHelpFormatter
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="PIFS-Rec reproduction: run simulations, sweeps and the paper's figures.",
+        description="PIFS-Rec reproduction: run simulations, sweeps, online serving "
+        "sessions and the paper's figures.",
+        epilog="Use 'python -m repro <command> --help' for per-command options and "
+        "examples.  Also installed as the 'pifs-rec' console script.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    run = subparsers.add_parser("run", help="run one simulation session")
-    run.add_argument("system", help="registered system name (see 'systems')")
-    run.add_argument("--model", default="RMC1", help="RMC1..RMC4 (default: RMC1)")
-    run.add_argument("--batch-size", type=int, default=None)
-    run.add_argument("--num-batches", type=int, default=None)
-    run.add_argument("--distribution", default=None,
-                     help="meta | zipfian | normal | uniform | random")
+    run = subparsers.add_parser(
+        "run",
+        help="run one closed-loop simulation session",
+        description="Replay one SLS workload on one registered system and print the "
+        "resulting latency, per-lookup cost and local/CXL row split.",
+        epilog="examples:\n"
+        "  python -m repro run pifs-rec --quick\n"
+        "  python -m repro run pond --model RMC4 --batch-size 64 --engine vector\n"
+        "  python -m repro run recnmp --distribution zipfian --json",
+        formatter_class=raw,
+    )
+    run.add_argument("system", help="registered system name (list them with 'systems')")
+    run.add_argument("--model", default="RMC1", metavar="RMC",
+                     help="DLRM model from Table I: RMC1..RMC4 (default: RMC1)")
+    run.add_argument("--batch-size", type=int, default=None, metavar="N",
+                     help="queries per inference batch (default: the scale's setting)")
+    run.add_argument("--num-batches", type=int, default=None, metavar="N",
+                     help="number of batches replayed (default: the scale's setting)")
+    run.add_argument("--distribution", default=None, metavar="NAME",
+                     help="trace distribution: meta | zipfian | normal | uniform | random "
+                     "(default: meta)")
     _add_machine_arguments(run)
     _add_scale_arguments(run)
     run.add_argument("--json", action="store_true", help="print the RunResult as JSON")
     run.set_defaults(func=_cmd_run)
 
-    sweep = subparsers.add_parser("sweep", help="run a declarative parameter sweep")
-    sweep.add_argument("--system", action="append", default=None,
-                       help="system axis value (repeatable)")
-    sweep.add_argument("--model", action="append", default=None,
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a declarative parameter sweep (cartesian grid)",
+        description="Expand the repeatable axis flags into a cartesian grid, execute "
+        "every point (in parallel by default, cached by config hash) and print an "
+        "aligned table plus speedups against the first system axis value.",
+        epilog="examples:\n"
+        "  python -m repro sweep --system pond --system pifs-rec --batch-size 8 "
+        "--batch-size 64 --quick\n"
+        "  python -m repro sweep --model RMC1 --model RMC4 --engine vector --json",
+        formatter_class=raw,
+    )
+    sweep.add_argument("--system", action="append", default=None, metavar="NAME",
+                       help="system axis value (repeatable; default: every registered system)")
+    sweep.add_argument("--model", action="append", default=None, metavar="RMC",
                        help="model axis value (repeatable)")
-    sweep.add_argument("--batch-size", type=int, action="append", default=None,
+    sweep.add_argument("--batch-size", type=int, action="append", default=None, metavar="N",
                        help="batch-size axis value (repeatable)")
-    sweep.add_argument("--distribution", action="append", default=None,
+    sweep.add_argument("--distribution", action="append", default=None, metavar="NAME",
                        help="trace-distribution axis value (repeatable)")
-    sweep.add_argument("--num-batches", type=int, default=None)
+    sweep.add_argument("--num-batches", type=int, default=None, metavar="N",
+                       help="batches replayed at every grid point")
     _add_machine_arguments(sweep)
     _add_scale_arguments(sweep)
-    sweep.add_argument("--serial", action="store_true", help="disable the process pool")
-    sweep.add_argument("--jobs", type=int, default=None, help="worker process count")
+    sweep.add_argument("--serial", action="store_true",
+                       help="evaluate the grid in-process instead of the worker pool "
+                       "(results are identical either way)")
+    sweep.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker process count (default: one per grid point, capped "
+                       "at the CPU count)")
     sweep.add_argument("--json", action="store_true", help="print the SweepResult as JSON")
     sweep.set_defaults(func=_cmd_sweep)
 
     serve = subparsers.add_parser(
-        "serve", help="online open-loop serving with tail-latency SLA metrics"
+        "serve",
+        help="online open-loop serving with tail-latency SLA metrics",
+        description="Serve the workload open-loop: requests arrive on a seeded "
+        "arrival process at --qps, queue per host, are dynamically batched and "
+        "serviced on the host thread lanes.  Reports latency percentiles "
+        "(p50..p99.9), goodput, SLA attainment and queue depths per system.",
+        epilog="examples:\n"
+        "  python -m repro serve pifs-rec pond --qps 2e5 --sla-ms 5 --quick\n"
+        "  python -m repro serve --all --smoke --qps 3e5 --sla-ms 1   # CI guard\n"
+        "  python -m repro serve pifs-rec --find-max-qps --sla-ms 2 --quick",
+        formatter_class=raw,
     )
     serve.add_argument("system", nargs="*", default=[],
                        help=f"systems to serve (default: {' '.join(DEFAULT_SERVE_SYSTEMS)})")
     serve.add_argument("--all", action="store_true", help="serve every registered system")
     serve.add_argument("--smoke", action="store_true",
                        help="CI guard: quick scale, keep going past failures, exit 1 on any")
-    serve.add_argument("--qps", type=float, default=2e5, help="offered load (requests/s)")
-    serve.add_argument("--arrival", default="poisson",
-                       help="constant | poisson | bursty | mmpp | diurnal")
-    serve.add_argument("--sla-ms", type=float, default=None, help="latency SLA in ms")
-    serve.add_argument("--max-batch", type=int, default=8,
-                       help="dynamic batcher max batch size")
-    serve.add_argument("--max-wait-us", type=float, default=100.0,
-                       help="dynamic batcher max wait in us")
-    serve.add_argument("--seed", type=int, default=None, help="arrival-process seed")
-    serve.add_argument("--model", default="RMC1", help="RMC1..RMC4 (default: RMC1)")
-    serve.add_argument("--num-batches", type=int, default=None)
+    serve.add_argument("--qps", type=float, default=2e5, metavar="QPS",
+                       help="offered load in requests/s (default: 2e5)")
+    serve.add_argument("--arrival", default="poisson", metavar="NAME",
+                       help="arrival process: constant | poisson | bursty | mmpp | diurnal "
+                       "(default: poisson)")
+    serve.add_argument("--sla-ms", type=float, default=None, metavar="MS",
+                       help="latency SLA in milliseconds (enables SLA attainment)")
+    serve.add_argument("--max-batch", type=int, default=8, metavar="N",
+                       help="dynamic batcher max batch size (default: 8)")
+    serve.add_argument("--max-wait-us", type=float, default=100.0, metavar="US",
+                       help="dynamic batcher max wait in microseconds (default: 100)")
+    serve.add_argument("--seed", type=int, default=None, metavar="SEED",
+                       help="arrival-process seed (default: the scale's seed)")
+    serve.add_argument("--model", default="RMC1", metavar="RMC",
+                       help="DLRM model: RMC1..RMC4 (default: RMC1)")
+    serve.add_argument("--num-batches", type=int, default=None, metavar="N",
+                       help="batches in the served workload")
     serve.add_argument("--find-max-qps", action="store_true",
-                       help="binary-search max sustainable QPS under --sla-ms")
-    serve.add_argument("--qps-min", type=float, default=1e4,
-                       help="lower QPS bound of --find-max-qps")
-    serve.add_argument("--qps-max", type=float, default=2e6,
-                       help="upper QPS bound of --find-max-qps")
+                       help="binary-search the max sustainable QPS under --sla-ms")
+    serve.add_argument("--qps-min", type=float, default=1e4, metavar="QPS",
+                       help="lower QPS bound of --find-max-qps (default: 1e4)")
+    serve.add_argument("--qps-max", type=float, default=2e6, metavar="QPS",
+                       help="upper QPS bound of --find-max-qps (default: 2e6)")
     _add_machine_arguments(serve)
     _add_scale_arguments(serve)
     serve.add_argument("--json", action="store_true", help="print ServeResults as JSON")
     serve.set_defaults(func=_cmd_serve)
 
     compare = subparsers.add_parser(
-        "compare", help="compare systems on one workload (normalized + speedups)"
+        "compare",
+        help="compare systems on one workload (normalized + speedups)",
+        description="Run every (or the selected) registered system on one identical "
+        "workload and print absolute latency, min-max normalized latency and the "
+        "speedup over --baseline.",
+        epilog="examples:\n"
+        "  python -m repro compare --quick\n"
+        "  python -m repro compare --system pond --system pifs-rec --model RMC4 "
+        "--baseline pond --engine vector",
+        formatter_class=raw,
     )
-    compare.add_argument("--system", action="append", default=None,
-                         help="system to include (repeatable; default: all)")
-    compare.add_argument("--model", default="RMC4")
-    compare.add_argument("--batch-size", type=int, default=None)
-    compare.add_argument("--baseline", default="pond")
+    compare.add_argument("--system", action="append", default=None, metavar="NAME",
+                         help="system to include (repeatable; default: all registered)")
+    compare.add_argument("--model", default="RMC4", metavar="RMC",
+                         help="DLRM model: RMC1..RMC4 (default: RMC4)")
+    compare.add_argument("--batch-size", type=int, default=None, metavar="N",
+                         help="queries per inference batch")
+    compare.add_argument("--baseline", default="pond", metavar="NAME",
+                         help="system speedups are computed against (default: pond)")
     _add_machine_arguments(compare)
     _add_scale_arguments(compare)
-    compare.add_argument("--serial", action="store_true")
-    compare.add_argument("--jobs", type=int, default=None)
-    compare.add_argument("--json", action="store_true")
+    compare.add_argument("--serial", action="store_true",
+                         help="evaluate in-process instead of the worker pool")
+    compare.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker process count")
+    compare.add_argument("--json", action="store_true", help="print the SweepResult as JSON")
     compare.set_defaults(func=_cmd_compare)
 
     figures = subparsers.add_parser(
-        "figures", help="regenerate every figure/table of the paper"
+        "figures",
+        help="regenerate every figure/table of the paper",
+        description="Re-run the full evaluation pipeline (Fig 5-18 plus the tables) "
+        "at the default or --quick scale, printing each figure's data series.",
+        epilog="example:\n  python -m repro figures --quick --serial",
+        formatter_class=raw,
     )
     _add_scale_arguments(figures)
     figures.add_argument("--serial", action="store_true", help="disable the process pool")
     figures.set_defaults(func=_cmd_figures)
 
-    systems = subparsers.add_parser("systems", help="list the registered systems")
+    systems = subparsers.add_parser(
+        "systems",
+        help="list the registered systems",
+        description="List every system registered with @register_system (built-ins "
+        "and plugins) together with the first line of its docstring.  These names "
+        "are what 'run', 'sweep', 'serve' and 'compare' accept.",
+        epilog="example:\n  python -m repro systems",
+        formatter_class=raw,
+    )
     systems.set_defaults(func=_cmd_systems)
 
     return parser

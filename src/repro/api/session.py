@@ -63,6 +63,7 @@ class RunSpec:
     base_config: SystemConfig = DEFAULT_SYSTEM
     config_transforms: Tuple[ConfigTransform, ...] = ()
     system_options: Tuple[Tuple[str, Any], ...] = ()
+    engine: str = "scalar"
 
 
 def system_label(system: SystemLike) -> str:
@@ -343,7 +344,14 @@ def build_system(spec: RunSpec):
     factory = spec.system if callable(spec.system) else system_factory(spec.system)
     config = build_system_config(spec)
     options = dict(spec.system_options)
-    return factory(config, **options) if options else factory(config)
+    system = factory(config, **options) if options else factory(config)
+    if spec.engine != "scalar":
+        # Third-party factories may return duck-typed systems without the
+        # engine knob; only SLSSystem descendants know how to switch.
+        set_engine = getattr(system, "set_engine", None)
+        if set_engine is not None:
+            set_engine(spec.engine)
+    return system
 
 
 def spec_params(spec: RunSpec) -> Dict[str, Any]:
@@ -361,6 +369,8 @@ def spec_params(spec: RunSpec) -> Dict[str, Any]:
     }
     if spec.local_capacity_bytes is not None:
         params["local_capacity_bytes"] = spec.local_capacity_bytes
+    if spec.engine != "scalar":
+        params["engine"] = spec.engine
     return params
 
 
@@ -575,6 +585,20 @@ class Simulation:
         merged.update(options)
         return self._set(system_options=tuple(sorted(merged.items(), key=lambda kv: kv[0])))
 
+    def engine(self, engine: str) -> "Simulation":
+        """Select the replay engine: ``"scalar"`` (oracle) or ``"vector"``.
+
+        The vector engine resolves lookup batches as numpy arrays and times
+        them through flattened kernels; results are numerically identical
+        for every built-in system, several times faster.  Validated eagerly
+        so typos fail at session-build time.
+        """
+        from repro.sls.engine import ENGINES
+
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of: {', '.join(ENGINES)}")
+        return self._set(engine=engine)
+
     #: Aliases accepted by :meth:`apply` (and therefore by ``Sweep`` axes and
     #: keyword construction) in addition to the method names themselves.
     _ALIASES = {
@@ -591,7 +615,7 @@ class Simulation:
     _SETTERS = frozenset({
         "system", "model", "scale", "distribution", "batch_size", "num_batches",
         "pooling", "hosts", "switches", "devices", "local_capacity",
-        "base_config", "configure", "options",
+        "base_config", "configure", "options", "engine",
     })
 
     def apply(self, **settings: Any) -> "Simulation":

@@ -25,6 +25,7 @@ class BeaconSystem(SLSSystem):
     """
 
     name = "BEACON"
+    supports_vector_engine = True
 
     #: Latency of the extra memory-translation logic BEACON needs per row.
     ADDRESS_TRANSLATION_NS = 20.0
@@ -62,6 +63,37 @@ class BeaconSystem(SLSSystem):
         )
         # The host still pays a small cost to pick up the result.
         return outcome.host_notified_ns + self.HOST_CXL_OVERHEAD_NS
+
+    def process_request_vector(self, request: SLSRequest, start_ns: float, host_id: int) -> float:
+        """The in-switch accumulation flow on pre-resolved batches."""
+        ctx = self._vector
+        begin, end = ctx.bounds[request.request_id]
+        node, node_offset = ctx.nodes_window(begin, end)
+        node_device = ctx.node_device
+        page_slice = ctx.page[begin:end]
+        addr = ctx.addr
+        cch, cfb, crow = ctx.cch, ctx.cfb, ctx.crow
+        # Every row is recorded at issue time: bulk-update the buffered
+        # counters in C instead of three dict operations per row.
+        ctx.page_counts.update(page_slice)
+        ctx.page_last.update(dict.fromkeys(page_slice, start_ns))
+        rows = []
+        append = rows.append
+        for k in range(begin, end):
+            append((addr[k], node_device[node[k - node_offset]], cch[k], cfb[k], crow[k]))
+        self._counters["cxl_rows"] += len(rows)
+
+        kernel = ctx.switch_kernels[0]
+        port_transfer = ctx.port_transfer[host_id][0]
+        _, notified = kernel.accumulate(
+            port_transfer,
+            rows,
+            ctx.dev_access_switch,
+            start_ns,
+            per_row_overhead_ns=self.ADDRESS_TRANSLATION_NS,
+            notify_host=True,
+        )
+        return notified + self.HOST_CXL_OVERHEAD_NS
 
 
 __all__ = ["BeaconSystem"]

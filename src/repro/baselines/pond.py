@@ -19,6 +19,7 @@ class PondSystem(SLSSystem):
     """
 
     name = "Pond"
+    supports_vector_engine = True
 
     def __init__(self, system: SystemConfig) -> None:
         super().__init__(system, use_pifs_switch=False)
@@ -28,6 +29,9 @@ class PondSystem(SLSSystem):
 
     def process_request(self, request: SLSRequest, start_ns: float, host_id: int) -> float:
         return self.host_accumulate_bag(request.addresses, start_ns, host_id)
+
+    def process_request_vector(self, request: SLSRequest, start_ns: float, host_id: int) -> float:
+        return self.host_accumulate_bag_vector(request, start_ns, host_id)
 
 
 __all__ = ["PondSystem"]

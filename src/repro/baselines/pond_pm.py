@@ -24,6 +24,7 @@ class PondPMSystem(SLSSystem):
     """
 
     name = "Pond+PM"
+    supports_vector_engine = True
 
     def __init__(self, system: SystemConfig) -> None:
         # The OS has no migration controller: force page-block migration.
@@ -41,6 +42,9 @@ class PondPMSystem(SLSSystem):
 
     def process_request(self, request: SLSRequest, start_ns: float, host_id: int) -> float:
         return self.host_accumulate_bag(request.addresses, start_ns, host_id)
+
+    def process_request_vector(self, request: SLSRequest, start_ns: float, host_id: int) -> float:
+        return self.host_accumulate_bag_vector(request, start_ns, host_id)
 
     def maintenance(self, now_ns: float) -> float:
         row_bytes = self.backends.row_bytes

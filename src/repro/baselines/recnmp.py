@@ -33,6 +33,7 @@ class RecNMPSystem(SLSSystem):
     """
 
     name = "RecNMP"
+    supports_vector_engine = True
 
     #: Per-row latency of the DIMM-side accumulate unit.
     NMP_ACCUMULATE_NS = 1.0
@@ -143,6 +144,115 @@ class RecNMPSystem(SLSSystem):
         local_done = self._nmp_accumulate(local, start_ns)
         remote_done = self._nmp_cxl_accumulate(remote, start_ns, host_id)
         return max(local_done, remote_done)
+
+    # ------------------------------------------------------------------
+    # Vector-engine twin
+    # ------------------------------------------------------------------
+    def prepare_vector(self, ctx) -> None:
+        self._rank_cache_kernel = self._rank_cache.batch_kernel()
+        ctx.extra_kernels.append(self._rank_cache_kernel)
+
+    def process_request_vector(self, request: SLSRequest, start_ns: float, host_id: int) -> float:
+        """The NMP request flow on pre-resolved batches (same arithmetic)."""
+        ctx = self._vector
+        begin, end = ctx.bounds[request.request_id]
+        node, node_offset = ctx.nodes_window(begin, end)
+        node_is_local = ctx.node_is_local
+        node_device = ctx.node_device
+        page_slice = ctx.page[begin:end]
+        addr = ctx.addr
+        counters = self._counters
+        # Every row is recorded at the request issue time: bulk-update the
+        # buffered counters in C instead of per-row dict arithmetic.
+        ctx.page_counts.update(page_slice)
+        ctx.page_last.update(dict.fromkeys(page_slice, start_ns))
+        cache = self._rank_cache_kernel
+        lookup = cache.lookup
+        insert = cache.insert
+        hit_ns = self._rank_cache.hit_latency_ns()
+        accumulate_ns = self.NMP_ACCUMULATE_NS
+        hits = 0
+        misses = 0
+
+        local_ks: List[int] = []
+        local_append = local_ks.append
+        by_device: dict = {}
+        for k in range(begin, end):
+            node_id = node[k - node_offset]
+            if node_is_local[node_id]:
+                local_append(k)
+            else:
+                device_id = node_device[node_id]
+                bucket = by_device.get(device_id)
+                if bucket is None:
+                    by_device[device_id] = [k]
+                else:
+                    bucket.append(k)
+
+        # Local rows: DIMM-side NMP with the RankCache, all issued together.
+        local_done = start_ns
+        if local_ks:
+            lch, lfb, lrow = ctx.lch, ctx.lfb, ctx.lrow
+            dram_access = ctx.local_access[0]  # the scalar path uses host 0's DIMMs
+            issue = start_ns + self.NMP_COMMAND_NS
+            last_row = issue
+            for k in local_ks:
+                if lookup(addr[k]):
+                    hits += 1
+                    ready = issue + hit_ns
+                else:
+                    misses += 1
+                    ready = dram_access(lch[k], lfb[k], lrow[k], issue)
+                    insert(addr[k])
+                done = ready + accumulate_ns
+                if done > last_row:
+                    last_row = done
+            counters["local_rows"] += len(local_ks)
+            local_done = last_row + self.NMP_RESULT_NS
+
+        # Remote rows: NMP inside the CXL expanders, one partial per device.
+        remote_done = start_ns
+        if by_device:
+            cch, cfb, crow = ctx.cch, ctx.cfb, ctx.crow
+            controller_penalty = self.system.cxl.access_penalty_ns / 2.0
+            slot_bytes = self.system.cxl.slot_bytes
+            row_bytes = ctx.row_bytes
+            cxl_overhead = self.HOST_CXL_OVERHEAD_NS
+            remote_rows = 0
+            best = None
+            for device_id, ks in by_device.items():
+                device_kernel = ctx.device_kernels[device_id]
+                link_transfer = device_kernel.link_transfer
+                dram_access = device_kernel.dram.access
+                switch_id = ctx.device_switch[device_id]
+                port_transfer = ctx.port_transfer[host_id][switch_id]
+                forward_ns = ctx.forward_ns[switch_id]
+                last_row = start_ns
+                remote_rows += len(ks)
+                for k in ks:
+                    command_at_switch = port_transfer(slot_bytes, start_ns) + forward_ns
+                    command_at_dimm = link_transfer(slot_bytes, command_at_switch) + controller_penalty
+                    if lookup(addr[k]):
+                        hits += 1
+                        ready = command_at_dimm + hit_ns
+                    else:
+                        misses += 1
+                        ready = dram_access(cch[k], cfb[k], crow[k], command_at_dimm)
+                        insert(addr[k])
+                    done = ready + accumulate_ns
+                    if done > last_row:
+                        last_row = done
+                result_at_switch = link_transfer(row_bytes, last_row)
+                result_at_host = port_transfer(row_bytes, result_at_switch)
+                finish = result_at_host + cxl_overhead
+                if best is None or finish > best:
+                    best = finish
+            counters["cxl_rows"] += remote_rows
+            remote_done = best + len(by_device) * self.HOST_ACCUMULATE_NS_PER_ROW
+
+        counters["buffer_hits"] += hits
+        counters["buffer_misses"] += misses
+        return local_done if local_done > remote_done else remote_done
 
     def maintenance(self, now_ns: float) -> float:
         if not self.page_management:

@@ -1,11 +1,17 @@
-"""CXL Type 3 memory expander."""
+"""CXL Type 3 memory expander.
+
+The scalar access path lives in :meth:`CXLType3Device.access`; the batched
+engine uses :class:`CXLDeviceKernel`, which flattens the device's link,
+controller-penalty, bias-table and DRAM state into closures that replay the
+same arithmetic without the per-access object walk.
+"""
 
 from __future__ import annotations
 
 from repro.config import CACHE_LINE_BYTES, CXLConfig, DRAMConfig
-from repro.cxl.bias_table import BiasTable
+from repro.cxl.bias_table import BiasMode, BiasTable
 from repro.cxl.link import CXLLink
-from repro.dram.device import DRAMDevice, DRAMStats
+from repro.dram.device import DRAMDevice, DRAMKernel, DRAMStats
 
 
 class CXLType3Device:
@@ -105,6 +111,10 @@ class CXLType3Device:
         response_done = self._link.transfer(bytes_requested, media_done)
         return response_done
 
+    def batch_kernel(self, bytes_requested: int) -> "CXLDeviceKernel":
+        """A flattened read-timing kernel over this device (batch engine)."""
+        return CXLDeviceKernel(self, bytes_requested)
+
     def dram_stats(self) -> DRAMStats:
         return self._dram.stats()
 
@@ -115,4 +125,199 @@ class CXLType3Device:
         self._writes = 0
 
 
-__all__ = ["CXLType3Device"]
+class CXLDeviceKernel:
+    """Flattened read path of one :class:`CXLType3Device`.
+
+    Two access closures are exposed, mirroring the two ``from_switch``
+    flavours of the scalar path:
+
+    * ``access_host(channel, flat_bank, row, arrival)`` — requester is the
+      host behind the fabric switch (no bias-table penalty);
+    * ``access_switch(channel, flat_bank, row, address, arrival)`` — the
+      requester sits in the switch (PIFS process core), so the bias table
+      is consulted for ``address``.
+
+    DRAM coordinates come from the device mapping's ``decode_flat_batch``.
+    All arithmetic matches :meth:`CXLType3Device.access` exactly.
+    """
+
+    def __init__(self, device: CXLType3Device, bytes_requested: int) -> None:
+        self._device = device
+        self._bytes_requested = bytes_requested
+        self.dram = device.dram.batch_kernel(bytes_requested)
+        self.access_host, self.access_switch, self.link_transfer, self._snapshot = self._build()
+
+    @property
+    def mapping(self):
+        return self._device.dram.controller.mapping
+
+    def _build(self):
+        device = self._device
+        link = device.link
+        bandwidth = link.bandwidth_gbps
+        propagation = link.propagation_ns
+        # Per-constant divisions match the scalar per-transfer divisions.
+        request_serialization = CACHE_LINE_BYTES / bandwidth
+        response_serialization = self._bytes_requested / bandwidth
+        access_bytes = CACHE_LINE_BYTES + self._bytes_requested
+        # The DRAM read block below is inlined from DRAMKernel.access (kept
+        # in sync with it; the engine equivalence suite guards both): one
+        # closure call per device access instead of three.
+        dram = self.dram
+        bank_open = dram.bank_open
+        bank_ready = dram.bank_ready
+        bank_hits = dram.bank_hits
+        bank_misses = dram.bank_misses
+        bank_conflicts = dram.bank_conflicts
+        bus_free = dram.bus_free
+        dram_busy_ns = dram.busy_ns
+        dram_accesses = dram.accesses
+        dram_box = dram.controller_box
+        hit_ns = dram.hit_ns
+        miss_ns = dram.miss_ns
+        conflict_ns = dram.conflict_ns
+        recovery_ns = dram.recovery_ns
+        burst_time = dram.burst_time
+        dram_overhead = dram.overhead_ns
+        penalty = device._controller_penalty_ns
+        bias = device.bias_table
+        granularity = bias.granularity_bytes
+        default_pen = 0.0 if bias._default is BiasMode.DEVICE else bias.HOST_BIAS_PENALTY_NS
+        region_pen = {
+            region: (0.0 if mode is BiasMode.DEVICE else bias.HOST_BIAS_PENALTY_NS)
+            for region, mode in bias._entries.items()
+        }
+        uniform_bias = not region_pen
+        busy_until = link.busy_until_ns
+        queued = 0.0
+        nbytes = 0
+        transfers = 0
+        reads = 0
+
+        def access_host(channel: int, flat_bank: int, row: int, arrival_ns: float) -> float:
+            nonlocal busy_until, queued, nbytes, transfers, reads
+            reads += 1
+            # Request crosses the downstream link ...
+            begin = arrival_ns if arrival_ns > busy_until else busy_until
+            queued += begin - arrival_ns
+            busy_until = begin + request_serialization
+            # ... then the device controller; the scalar path adds the (zero)
+            # host-side bias penalty after it, and x + 0.0 == x for the
+            # non-negative timestamps here.
+            media_start = busy_until + propagation + penalty + 0.0
+            # --- inlined DRAMKernel.access ---
+            ready_at = bank_ready[flat_bank]
+            start = media_start if media_start > ready_at else ready_at
+            open_row = bank_open[flat_bank]
+            if open_row == row:
+                latency = hit_ns
+                bank_hits[flat_bank] += 1
+            elif open_row < 0:
+                latency = miss_ns
+                bank_misses[flat_bank] += 1
+            else:
+                latency = conflict_ns
+                bank_conflicts[flat_bank] += 1
+            data_ready = start + latency
+            bank_open[flat_bank] = row
+            bank_ready[flat_bank] = data_ready + recovery_ns
+            bus = bus_free[channel]
+            start_burst = data_ready if data_ready > bus else bus
+            media_done = start_burst + burst_time
+            bus_free[channel] = media_done
+            dram_busy_ns[channel] += burst_time
+            dram_accesses[channel] += 1
+            media_done += dram_overhead
+            dram_box[0] += 1
+            dram_box[1] += media_done - media_start
+            if media_done > dram_box[2]:
+                dram_box[2] = media_done
+            # --- end inlined block ---
+            # Response crosses the link back to the switch.
+            begin = media_done if media_done > busy_until else busy_until
+            queued += begin - media_done
+            busy_until = begin + response_serialization
+            nbytes += access_bytes
+            transfers += 2
+            return busy_until + propagation
+
+        def access_switch(
+            channel: int, flat_bank: int, row: int, address: int, arrival_ns: float
+        ) -> float:
+            nonlocal busy_until, queued, nbytes, transfers, reads
+            reads += 1
+            if uniform_bias:
+                bias_penalty = default_pen
+            else:
+                bias_penalty = region_pen.get(address // granularity, default_pen)
+            begin = arrival_ns if arrival_ns > busy_until else busy_until
+            queued += begin - arrival_ns
+            busy_until = begin + request_serialization
+            media_start = busy_until + propagation + penalty + bias_penalty
+            # --- inlined DRAMKernel.access (see access_host) ---
+            ready_at = bank_ready[flat_bank]
+            start = media_start if media_start > ready_at else ready_at
+            open_row = bank_open[flat_bank]
+            if open_row == row:
+                latency = hit_ns
+                bank_hits[flat_bank] += 1
+            elif open_row < 0:
+                latency = miss_ns
+                bank_misses[flat_bank] += 1
+            else:
+                latency = conflict_ns
+                bank_conflicts[flat_bank] += 1
+            data_ready = start + latency
+            bank_open[flat_bank] = row
+            bank_ready[flat_bank] = data_ready + recovery_ns
+            bus = bus_free[channel]
+            start_burst = data_ready if data_ready > bus else bus
+            media_done = start_burst + burst_time
+            bus_free[channel] = media_done
+            dram_busy_ns[channel] += burst_time
+            dram_accesses[channel] += 1
+            media_done += dram_overhead
+            dram_box[0] += 1
+            dram_box[1] += media_done - media_start
+            if media_done > dram_box[2]:
+                dram_box[2] = media_done
+            # --- end inlined block ---
+            begin = media_done if media_done > busy_until else busy_until
+            queued += begin - media_done
+            busy_until = begin + response_serialization
+            nbytes += access_bytes
+            transfers += 2
+            return busy_until + propagation
+
+        def link_transfer(bytes_count: int, start_ns: float) -> float:
+            """Raw link transfer for flows that bypass the device controller
+            (RecNMP's in-expander NMP path uses link and media separately)."""
+            nonlocal busy_until, queued, nbytes, transfers
+            serialization = bytes_count / bandwidth
+            begin = start_ns if start_ns > busy_until else busy_until
+            queued += begin - start_ns
+            busy_until = begin + serialization
+            nbytes += bytes_count
+            transfers += 1
+            return busy_until + propagation
+
+        def snapshot():
+            return busy_until, queued, nbytes, transfers, reads
+
+        return access_host, access_switch, link_transfer, snapshot
+
+    def sync(self) -> None:
+        """Write counters, link and DRAM state back into the device."""
+        busy_until, queued, nbytes, transfers, reads = self._snapshot()
+        device = self._device
+        device._reads += reads
+        link = device.link
+        link._busy_until_ns = busy_until
+        link._queued_ns += queued
+        link._bytes_transferred += nbytes
+        link._transfers += transfers
+        self.dram.sync()
+        self.access_host, self.access_switch, self.link_transfer, self._snapshot = self._build()
+
+
+__all__ = ["CXLType3Device", "CXLDeviceKernel"]

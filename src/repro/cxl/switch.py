@@ -176,6 +176,10 @@ class FabricSwitch:
     def device_port_id(self, device_id: int) -> int:
         return self._device_ports[device_id]
 
+    def batch_kernel(self, row_bytes: int) -> "FabricSwitchKernel":
+        """A flattened forwarding kernel over this switch (batch engine)."""
+        return FabricSwitchKernel(self, row_bytes)
+
     def reset(self) -> None:
         for device in self._devices.values():
             device.reset()
@@ -184,4 +188,119 @@ class FabricSwitch:
         self._forwarded_requests = 0
 
 
-__all__ = ["FabricSwitch", "SwitchPort"]
+class SwitchPortKernel:
+    """Flattened host-read path through one upstream port of one switch.
+
+    ``host_read(device_access, channel, flat_bank, row, issue_ns)`` performs
+    the scalar :meth:`FabricSwitch.host_read` arithmetic — upstream command
+    flit, forwarding latency, device access (the ``access_host`` closure of
+    a :class:`~repro.cxl.device.CXLDeviceKernel`), upstream data return —
+    with the port-link state held in locals.  ``transfer`` exposes the raw
+    upstream link for flows that serialize other message types on the same
+    port (the PIFS instruction stream).
+    """
+
+    def __init__(self, switch: FabricSwitch, port: SwitchPort, row_bytes: int, forwarded_cell) -> None:
+        self._link = port.link
+        self._row_bytes = row_bytes
+        self._flit_bytes = switch.config.flit_bytes
+        self._forward_ns = type(switch).FORWARD_LATENCY_NS
+        self._forwarded = forwarded_cell
+        self.transfer, self.host_read, self._snapshot = self._build()
+
+    def _build(self):
+        link = self._link
+        bandwidth = link.bandwidth_gbps
+        propagation = link.propagation_ns
+        flit_bytes = self._flit_bytes
+        row_bytes = self._row_bytes
+        # The scalar path divides per transfer; dividing the same constants
+        # once yields the identical doubles.
+        flit_serialization = flit_bytes / bandwidth
+        row_serialization = row_bytes / bandwidth
+        read_bytes = flit_bytes + row_bytes
+        forward_ns = self._forward_ns
+        forwarded = self._forwarded
+        busy_until = link.busy_until_ns
+        queued = 0.0
+        nbytes = 0
+        transfers = 0
+
+        def transfer(bytes_count: int, start_ns: float) -> float:
+            nonlocal busy_until, queued, nbytes, transfers
+            serialization = bytes_count / bandwidth
+            begin = start_ns if start_ns > busy_until else busy_until
+            queued += begin - start_ns
+            busy_until = begin + serialization
+            nbytes += bytes_count
+            transfers += 1
+            return busy_until + propagation
+
+        def host_read(device_access, channel: int, flat_bank: int, row: int, issue_ns: float) -> float:
+            nonlocal busy_until, queued, nbytes, transfers
+            forwarded[0] += 1
+            # Upstream command flit, then the switch forwarding latency.
+            begin = issue_ns if issue_ns > busy_until else busy_until
+            queued += begin - issue_ns
+            busy_until = begin + flit_serialization
+            at_switch = busy_until + propagation + forward_ns
+            # Device access (includes the downstream link both ways).
+            data_at_switch = device_access(channel, flat_bank, row, at_switch)
+            # Response data back over the upstream link.
+            begin = data_at_switch if data_at_switch > busy_until else busy_until
+            queued += begin - data_at_switch
+            busy_until = begin + row_serialization
+            nbytes += read_bytes
+            transfers += 2
+            return busy_until + propagation
+
+        def snapshot():
+            return busy_until, queued, nbytes, transfers
+
+        return transfer, host_read, snapshot
+
+    def sync(self) -> None:
+        busy_until, queued, nbytes, transfers = self._snapshot()
+        link = self._link
+        link._busy_until_ns = busy_until
+        link._queued_ns += queued
+        link._bytes_transferred += nbytes
+        link._transfers += transfers
+        self.transfer, self.host_read, self._snapshot = self._build()
+
+
+class FabricSwitchKernel:
+    """Flattened kernel over one fabric switch and its upstream ports.
+
+    Owns one :class:`SwitchPortKernel` per upstream port (created lazily via
+    :meth:`port_kernel`) and the forwarded-request counter they share.
+    Device kernels are owned by the caller (devices may be reachable from
+    several switches' bookkeeping structures).
+    """
+
+    def __init__(self, switch: FabricSwitch, row_bytes: int) -> None:
+        self._switch = switch
+        self._row_bytes = row_bytes
+        self._forwarded = [0]
+        self._port_kernels: Dict[int, SwitchPortKernel] = {}
+
+    @property
+    def switch(self) -> FabricSwitch:
+        return self._switch
+
+    def port_kernel(self, port: SwitchPort) -> SwitchPortKernel:
+        kernel = self._port_kernels.get(port.port_id)
+        if kernel is None:
+            kernel = SwitchPortKernel(self._switch, port, self._row_bytes, self._forwarded)
+            self._port_kernels[port.port_id] = kernel
+        return kernel
+
+    def sync(self) -> None:
+        """Write port-link state and the forwarded counter back to the switch."""
+        self._switch._forwarded_requests += self._forwarded[0]
+        self._forwarded[0] = 0
+        for kernel in self._port_kernels.values():
+            kernel.sync()
+
+
+__all__ = ["FabricSwitch", "FabricSwitchKernel", "SwitchPort", "SwitchPortKernel"]

@@ -1,4 +1,10 @@
-"""Input batches for DLRM inference."""
+"""Input batches for DLRM inference.
+
+A query batch bundles the dense features with the per-table sparse index
+lists (indices + offsets, the EmbeddingBag calling convention) that the
+model's embedding stage consumes; helpers build batches from the trace
+generators.
+"""
 
 from __future__ import annotations
 

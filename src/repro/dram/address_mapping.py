@@ -10,6 +10,9 @@ assume.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
 
 from repro.config import CACHE_LINE_BYTES, DRAMConfig
 
@@ -61,6 +64,44 @@ class AddressMapping:
     def lines_per_row(self) -> int:
         """Number of cache lines that fit in one DRAM row."""
         return self._lines_per_row
+
+    def decode_batch(
+        self, addresses: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`decode`: five arrays (channel, rank, bank, row,
+        column) for a whole batch of byte addresses.
+
+        Integer-exact against the scalar path; this is the resolution stage
+        of the vectorized engine (one numpy pass instead of one
+        :class:`DecodedAddress` object per access).
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if addresses.size and int(addresses.min()) < 0:
+            raise ValueError("addresses must be non-negative")
+        cfg = self._config
+        line = addresses // CACHE_LINE_BYTES
+        channel = line % cfg.channels
+        line = line // cfg.channels
+        column = line % self._lines_per_row
+        line = line // self._lines_per_row
+        bank = line % cfg.banks_per_rank
+        line = line // cfg.banks_per_rank
+        rank = line % cfg.ranks_per_channel
+        row = line // cfg.ranks_per_channel
+        return channel, rank, bank, row, column
+
+    def decode_flat_batch(self, addresses: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batch-decode to the flattened coordinates of the timing kernels.
+
+        Returns ``(channel, flat_bank, row)`` where ``flat_bank`` indexes the
+        kernel's single bank-state array:
+        ``channel * (ranks_per_channel * banks_per_rank) + rank * banks_per_rank + bank``.
+        """
+        cfg = self._config
+        channel, rank, bank, row, _ = self.decode_batch(addresses)
+        banks_per_channel = cfg.ranks_per_channel * cfg.banks_per_rank
+        flat_bank = channel * banks_per_channel + rank * cfg.banks_per_rank + bank
+        return channel, flat_bank, row
 
 
 __all__ = ["AddressMapping", "DecodedAddress"]

@@ -1,4 +1,10 @@
-"""Per-bank row-buffer state machine."""
+"""Per-bank row-buffer state machine.
+
+Each bank tracks its open row and next-ready time; accesses are classified
+as row hits, misses (closed bank) or conflicts (other row open) and timed
+from the :class:`~repro.config.DRAMTimings` cycle counts.  The vectorized
+engine flattens this state into :class:`~repro.dram.device.DRAMKernel`.
+"""
 
 from __future__ import annotations
 

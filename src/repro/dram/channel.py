@@ -46,6 +46,11 @@ class Channel:
     def bus_free_ns(self) -> float:
         return self._bus_free_ns
 
+    @property
+    def burst_ns(self) -> float:
+        """Bus occupancy of one cache-line burst (used by the batch kernel)."""
+        return self._burst_ns
+
     def _bank(self, rank: int, bank: int) -> Bank:
         return self._banks[rank * self._config.banks_per_rank + bank]
 

@@ -1,8 +1,21 @@
-"""A complete DRAM device (one memory node's media)."""
+"""A complete DRAM device (one memory node's media).
+
+Besides the scalar :meth:`DRAMDevice.access` path, this module provides the
+batched timing kernel of the vectorized engine (:class:`DRAMKernel`): the
+device's bank/bus/controller state is flattened into plain lists once, a
+closure services accesses with pure local-variable arithmetic, and
+:meth:`DRAMKernel.sync` writes the evolved state and statistics back into
+the ``Bank``/``Channel``/``DRAMController`` objects.  The kernel performs
+exactly the arithmetic of the scalar path in the same order, so finish
+times are bit-identical.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
 
 from repro.config import CACHE_LINE_BYTES, DRAMConfig
 from repro.dram.controller import DRAMController
@@ -64,6 +77,15 @@ class DRAMDevice:
             bytes_requested=bytes_requested,
         )
 
+    def batch_kernel(self, bytes_requested: int = CACHE_LINE_BYTES) -> "DRAMKernel":
+        """A flattened read-timing kernel over this device's state.
+
+        The kernel owns the state until :meth:`DRAMKernel.sync` is called;
+        interleaving scalar :meth:`access` calls with kernel accesses before
+        the sync is unsupported.
+        """
+        return DRAMKernel(self, bytes_requested)
+
     def stats(self) -> DRAMStats:
         """Return aggregate statistics since the last reset."""
         busy = sum(channel.busy_ns for channel in self._controller.channels)
@@ -80,4 +102,161 @@ class DRAMDevice:
         self._controller.reset()
 
 
-__all__ = ["DRAMDevice", "DRAMStats"]
+class DRAMKernel:
+    """Flattened read-path timing kernel over one :class:`DRAMDevice`.
+
+    ``access(channel, flat_bank, row, arrival_ns)`` is a closure bound to
+    plain list state (open row / next-ready per bank, bus-free per channel)
+    and to timing constants precomputed with the exact scalar expressions,
+    so each call is a handful of local float operations instead of the
+    controller → channel → bank object walk.  Coordinates come from
+    :meth:`~repro.dram.address_mapping.AddressMapping.decode_flat_batch`.
+    """
+
+    def __init__(self, device: DRAMDevice, bytes_requested: int = CACHE_LINE_BYTES) -> None:
+        self._device = device
+        self._controller = device.controller
+        self._channels = self._controller.channels
+        config = self._controller.config
+        timings = config.timings
+        self._banks_per_channel = config.ranks_per_channel * config.banks_per_rank
+        self._bytes_requested = bytes_requested
+        self._bursts = max(1, (bytes_requested + CACHE_LINE_BYTES - 1) // CACHE_LINE_BYTES)
+        # Flattened state, exposed so composing kernels (the CXL device
+        # kernel) can inline the read arithmetic without a call per access.
+        self._banks = []
+        self.bank_open: list = []
+        self.bank_ready: list = []
+        self.bank_hits: list = []
+        self.bank_misses: list = []
+        self.bank_conflicts: list = []
+        for channel in self._channels:
+            for bank in channel.banks:
+                self._banks.append(bank)
+                self.bank_open.append(-1 if bank.open_row is None else bank.open_row)
+                self.bank_ready.append(bank.next_ready_ns)
+                self.bank_hits.append(0)
+                self.bank_misses.append(0)
+                self.bank_conflicts.append(0)
+        self.bus_free = [channel.bus_free_ns for channel in self._channels]
+        self.busy_ns = [0.0 for _ in self._channels]
+        self.accesses = [0 for _ in self._channels]
+        #: [requests, total latency, last finish] — a mutable box so fused
+        #: closures in other kernels can update the controller aggregates.
+        self.controller_box = [0, 0.0, self._controller.last_finish_ns]
+        # Constants, computed with the scalar path's own expressions so the
+        # floating-point values are identical.
+        self.hit_ns = timings.cycles_to_ns(timings.row_hit_cycles)
+        self.miss_ns = timings.cycles_to_ns(timings.row_closed_cycles)
+        self.conflict_ns = timings.cycles_to_ns(timings.row_conflict_cycles)
+        self.recovery_ns = timings.cycles_to_ns(timings.trtp) * 0.25
+        self.burst_time = self._channels[0].burst_ns * self._bursts
+        self.overhead_ns = type(self._controller).CONTROLLER_OVERHEAD_NS
+        self.access = self._build()
+
+    @property
+    def mapping(self):
+        return self._controller.mapping
+
+    def _build(self):
+        bank_open = self.bank_open
+        bank_ready = self.bank_ready
+        bank_hits = self.bank_hits
+        bank_misses = self.bank_misses
+        bank_conflicts = self.bank_conflicts
+        bus_free = self.bus_free
+        busy_ns = self.busy_ns
+        accesses = self.accesses
+        box = self.controller_box
+        hit_ns = self.hit_ns
+        miss_ns = self.miss_ns
+        conflict_ns = self.conflict_ns
+        recovery_ns = self.recovery_ns
+        burst_time = self.burst_time
+        overhead = self.overhead_ns
+
+        def access(channel_index: int, flat_bank: int, row: int, arrival_ns: float) -> float:
+            """Read ``bytes_requested`` at (channel, bank, row); returns finish."""
+            ready_at = bank_ready[flat_bank]
+            start = arrival_ns if arrival_ns > ready_at else ready_at
+            open_row = bank_open[flat_bank]
+            if open_row == row:
+                latency = hit_ns
+                bank_hits[flat_bank] += 1
+            elif open_row < 0:
+                latency = miss_ns
+                bank_misses[flat_bank] += 1
+            else:
+                latency = conflict_ns
+                bank_conflicts[flat_bank] += 1
+            data_ready = start + latency
+            bank_open[flat_bank] = row
+            bank_ready[flat_bank] = data_ready + recovery_ns
+            bus = bus_free[channel_index]
+            start_burst = data_ready if data_ready > bus else bus
+            finish = start_burst + burst_time
+            bus_free[channel_index] = finish
+            busy_ns[channel_index] += burst_time
+            accesses[channel_index] += 1
+            finish += overhead
+            box[0] += 1
+            box[1] += finish - arrival_ns
+            if finish > box[2]:
+                box[2] = finish
+            return finish
+
+        return access
+
+    def access_batch(self, addresses: np.ndarray, arrival_ns) -> np.ndarray:
+        """Service a batch of reads in order; returns per-access finish times.
+
+        ``arrival_ns`` is a scalar (all requests arrive together) or one
+        arrival per address.  Equivalent to the scalar
+        ``DRAMDevice.access`` loop, with the decode done as one numpy pass.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        channel, flat_bank, row = self.mapping.decode_flat_batch(addresses)
+        arrivals = np.broadcast_to(
+            np.asarray(arrival_ns, dtype=np.float64), addresses.shape
+        )
+        access = self.access
+        finishes = [
+            access(ch, fb, rw, at)
+            for ch, fb, rw, at in zip(
+                channel.tolist(), flat_bank.tolist(), row.tolist(), arrivals.tolist()
+            )
+        ]
+        return np.asarray(finishes, dtype=np.float64)
+
+    def sync(self) -> None:
+        """Write the kernel's evolved state and statistics back to the device."""
+        for i, bank in enumerate(self._banks):
+            bank._open_row = None if self.bank_open[i] < 0 else self.bank_open[i]
+            bank._next_ready_ns = self.bank_ready[i]
+            bank._hits += self.bank_hits[i]
+            bank._misses += self.bank_misses[i]
+            bank._conflicts += self.bank_conflicts[i]
+            self.bank_hits[i] = 0
+            self.bank_misses[i] = 0
+            self.bank_conflicts[i] = 0
+        bytes_per_access = self._bursts * CACHE_LINE_BYTES
+        for i, channel in enumerate(self._channels):
+            channel._bus_free_ns = self.bus_free[i]
+            channel._busy_ns += self.busy_ns[i]
+            channel._bytes_transferred += self.accesses[i] * bytes_per_access
+            self.busy_ns[i] = 0.0
+            self.accesses[i] = 0
+        controller = self._controller
+        box = self.controller_box
+        controller._requests += box[0]
+        controller._total_latency_ns += box[1]
+        if box[2] > controller._last_finish_ns:
+            controller._last_finish_ns = box[2]
+        # Zero the deltas (state lists stay live — fused closures in other
+        # kernels hold references to them) so a later sync cannot
+        # double-count the statistics flushed above.
+        box[0] = 0
+        box[1] = 0.0
+
+
+__all__ = ["DRAMDevice", "DRAMKernel", "DRAMStats"]

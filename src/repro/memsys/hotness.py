@@ -27,6 +27,28 @@ class AccessTracker:
         self._counts[key] += weight
         self._total += weight
 
+    def record_many(self, keys: Iterable[int]) -> None:
+        """Record one access per key in ``keys`` (the batched :meth:`record`).
+
+        Exactly equivalent to ``for key in keys: self.record(key)`` — counts,
+        totals and the counter's insertion order (which breaks ties in
+        :meth:`hottest`/:meth:`coldest`) all match the scalar loop — but the
+        counting happens in C via ``Counter.update``.
+        """
+        if not isinstance(keys, (list, tuple)):
+            keys = list(keys)
+        self._counts.update(keys)
+        self._total += len(keys)
+
+    def record_counts(self, counts: Dict[int, int]) -> None:
+        """Merge pre-aggregated ``{key: count}`` pairs into the tracker.
+
+        Used by the vectorized engine to flush access counts buffered over a
+        batch; equivalent to ``record(key, count)`` per pair.
+        """
+        self._counts.update(counts)
+        self._total += sum(counts.values())
+
     def count(self, key: int) -> int:
         return self._counts.get(key, 0)
 

@@ -4,6 +4,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Sequence, Tuple
+
+import numpy as np
 
 from repro.config import CACHE_LINE_BYTES, PAGE_SIZE_BYTES
 
@@ -85,10 +88,59 @@ class MemoryNode:
         self.busy_until_ns = begin + serialization
         return begin + serialization + self.base_latency_ns
 
+    def serve_batch(self, start_ns: Sequence[float], bytes_requested: int = CACHE_LINE_BYTES) -> np.ndarray:
+        """Serve a batch of accesses; returns the per-access finish times.
+
+        Semantically identical to calling :meth:`serve` once per entry of
+        ``start_ns`` in order (the shared-bandwidth serialization chains
+        through the batch), with the per-call overhead paid once.
+        """
+        starts = [float(s) for s in np.asarray(start_ns, dtype=np.float64)]
+        serialization = bytes_requested / self.bandwidth_gbps
+        base = self.base_latency_ns
+        busy = self.busy_until_ns
+        finishes = []
+        append = finishes.append
+        for start in starts:
+            begin = start if start > busy else busy
+            busy = begin + serialization
+            append(busy + base)
+        self.access_count += len(starts)
+        self.bytes_served += bytes_requested * len(starts)
+        self.busy_until_ns = busy
+        return np.asarray(finishes, dtype=np.float64)
+
     def reset_counters(self) -> None:
         self.access_count = 0
         self.bytes_served = 0
         self.busy_until_ns = 0.0
 
 
-__all__ = ["MemoryNode", "MemoryTier"]
+def placement_arrays(
+    nodes: Sequence[MemoryNode], device_of=None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched placement-resolution tables for a node set.
+
+    Returns ``(is_local, device_id)`` arrays indexed by node id:
+    ``is_local[node]`` is True for the local-DRAM tier, and
+    ``device_id[node]`` holds the CXL device behind a CXL node or ``-1``
+    for non-CXL tiers.  ``device_of`` maps a CXL node id to its device id —
+    pass the owning engine's mapping (``SLSSystem.node_to_device``) so the
+    convention stays defined in one place; the default is that mapping's
+    ``node_id - 1`` layout.  Combined with
+    :meth:`TieredMemorySystem.node_id_table` this resolves whole lookup
+    batches to (tier, device) with two numpy gathers.
+    """
+    size = max(node.node_id for node in nodes) + 1 if nodes else 0
+    is_local = np.zeros(size, dtype=bool)
+    device_id = np.full(size, -1, dtype=np.int64)
+    for node in nodes:
+        is_local[node.node_id] = node.tier is MemoryTier.LOCAL_DRAM
+        if node.tier is MemoryTier.CXL:
+            device_id[node.node_id] = (
+                device_of(node.node_id) if device_of is not None else node.node_id - 1
+            )
+    return is_local, device_id
+
+
+__all__ = ["MemoryNode", "MemoryTier", "placement_arrays"]

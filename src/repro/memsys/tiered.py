@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.config import CACHE_LINE_BYTES, PAGE_SIZE_BYTES
 from repro.memsys.hotness import AccessTracker
 from repro.memsys.node import MemoryNode, MemoryTier
@@ -75,6 +77,12 @@ class TieredMemorySystem:
         }
         self._migration_stats = MigrationStats()
         self._migration_log: List[MigrationRecord] = []
+        # Placement generation: bumped whenever any page changes node, so
+        # batched resolvers can cache the dense page table and invalidate it
+        # only when a migration/placement actually happened.
+        self._generation = 0
+        self._table_cache: Optional[np.ndarray] = None
+        self._table_cache_generation = -1
 
     # ------------------------------------------------------------------
     # Construction / placement
@@ -119,6 +127,7 @@ class TieredMemorySystem:
                 raise ValueError(f"page {page_id} already placed")
             self._nodes[node_id].allocate(self._page_size)
             self._pages[page_id] = Page(page_id=page_id, node_id=node_id)
+        self._generation += 1
 
     def place_page(self, page_id: int, node_id: int) -> Page:
         """Place a single page (used by tests and incremental allocation)."""
@@ -154,6 +163,95 @@ class TieredMemorySystem:
     def node_access_counts(self) -> Dict[int, int]:
         """Access counts per node since the last counter reset."""
         return {node_id: node.access_count for node_id, node in self._nodes.items()}
+
+    # ------------------------------------------------------------------
+    # Batched lookup / access recording (the vectorized-engine fast path)
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Monotonic placement version; changes iff some page changed node."""
+        return self._generation
+
+    def node_id_table(self) -> np.ndarray:
+        """Dense ``page id -> node id`` array (int64; ``-1`` for unplaced).
+
+        The array is cached and rebuilt only when the placement
+        :attr:`generation` changes, so batched resolvers can gather node ids
+        for whole address batches with one numpy indexing operation instead
+        of a dict lookup per access.
+        """
+        if self._table_cache is None or self._table_cache_generation != self._generation:
+            size = (max(self._pages) + 1) if self._pages else 0
+            table = np.full(size, -1, dtype=np.int64)
+            if size:
+                page_ids = np.fromiter(self._pages.keys(), dtype=np.int64, count=len(self._pages))
+                node_ids = np.fromiter(
+                    (page.node_id for page in self._pages.values()),
+                    dtype=np.int64,
+                    count=len(self._pages),
+                )
+                table[page_ids] = node_ids
+            self._table_cache = table
+            self._table_cache_generation = self._generation
+        return self._table_cache
+
+    def node_ids_of_pages(self, page_ids: np.ndarray) -> np.ndarray:
+        """Node ids currently holding each page of ``page_ids`` (vectorized).
+
+        Raises :class:`KeyError` for unplaced pages, like the scalar
+        :meth:`node_of_page` dict lookup would.
+        """
+        table = self.node_id_table()
+        page_ids = np.asarray(page_ids)
+        if page_ids.size and (
+            int(page_ids.min()) < 0 or int(page_ids.max()) >= table.shape[0]
+        ):
+            out_of_range = page_ids[(page_ids < 0) | (page_ids >= table.shape[0])]
+            raise KeyError(int(out_of_range[0]))
+        resolved = table[page_ids]
+        if resolved.size and resolved.min() < 0:
+            missing = int(page_ids[np.argmin(resolved)])
+            raise KeyError(missing)
+        return resolved
+
+    def node_ids_of_addresses(self, addresses: np.ndarray) -> np.ndarray:
+        """Node ids currently holding each byte address (vectorized)."""
+        return self.node_ids_of_pages(np.asarray(addresses) // self._page_size)
+
+    def record_accesses(self, addresses: np.ndarray, now_ns: float = 0.0) -> None:
+        """Record one access per address, all timestamped ``now_ns``.
+
+        Equivalent to ``for a in addresses: self.record_access(a, now_ns)``
+        (per-page counts, per-node trackers and node counters all match the
+        scalar loop exactly), with the aggregation done by numpy.
+        """
+        page_ids = np.asarray(addresses) // self._page_size
+        unique, counts = np.unique(page_ids, return_counts=True)
+        page_counts = dict(zip(unique.tolist(), counts.tolist()))
+        self.apply_access_counts(page_counts, dict.fromkeys(page_counts, now_ns))
+
+    def apply_access_counts(
+        self, page_counts: Dict[int, int], last_access_ns: Dict[int, float]
+    ) -> None:
+        """Flush pre-aggregated access counts into pages/trackers/nodes.
+
+        ``page_counts`` maps page id to the number of accesses recorded since
+        the last flush and ``last_access_ns`` to the timestamp of the most
+        recent one.  The counts must have been gathered under the *current*
+        placement (no migration between gather and flush) — the vectorized
+        engine guarantees this by flushing before every maintenance pass.
+        """
+        nodes = self._nodes
+        trackers = self._node_access
+        per_node: Dict[int, Dict[int, int]] = {}
+        for page_id, count in page_counts.items():
+            page = self._pages[page_id]
+            page.access_count += count
+            page.last_access_ns = last_access_ns[page_id]
+            per_node.setdefault(page.node_id, {})[page_id] = count
+        for node_id, counts in per_node.items():
+            trackers[node_id].record_counts(counts)
+            nodes[node_id].access_count += sum(counts.values())
 
     # ------------------------------------------------------------------
     # Migration
@@ -207,6 +305,7 @@ class TieredMemorySystem:
         src.release(self._page_size)
         page.node_id = dst_node_id
         page.migrations += 1
+        self._generation += 1
         self._migration_stats.record(cost, blocked)
         record = MigrationRecord(page_id, src_node_id, dst_node_id, cost, mode)
         self._migration_log.append(record)
@@ -225,6 +324,7 @@ class TieredMemorySystem:
         a.node_id, b.node_id = node_b, node_a
         a.migrations += 1
         b.migrations += 1
+        self._generation += 1
         cost = self.migration_cost_ns()
         blocked = self.blocked_rows_per_migration(row_bytes)
         records = [
@@ -248,8 +348,13 @@ class TieredMemorySystem:
             page.access_count = 0
 
     def decay_hotness(self, factor: float = 0.5) -> None:
+        # Inline Page.decay (validating the factor once, not per page): the
+        # epoch decay walks every page and the per-page method call was a
+        # measurable slice of maintenance on both engines.
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError("decay factor must be in [0, 1]")
         for page in self._pages.values():
-            page.decay(factor)
+            page.access_count = int(page.access_count * factor)
         for tracker in self._node_access.values():
             tracker.decay(factor)
 

@@ -51,15 +51,18 @@ class GlobalHotnessPolicy:
         self, tiered: TieredMemorySystem
     ) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int]]]:
         """Return (local pages coldest-first, CXL pages hottest-first)."""
+        local_ids = {node.node_id for node in tiered.nodes_by_tier(MemoryTier.LOCAL_DRAM)}
+        cxl_ids = {node.node_id for node in tiered.nodes_by_tier(MemoryTier.CXL)}
         local_pages: List[Tuple[int, int]] = []
         cxl_pages: List[Tuple[int, int]] = []
+        local_append = local_pages.append
+        cxl_append = cxl_pages.append
         for page in tiered.pages():
-            node = tiered.node(page.node_id)
-            entry = (page.page_id, page.access_count)
-            if node.tier is MemoryTier.LOCAL_DRAM:
-                local_pages.append(entry)
-            elif node.tier is MemoryTier.CXL:
-                cxl_pages.append(entry)
+            node_id = page.node_id
+            if node_id in local_ids:
+                local_append((page.page_id, page.access_count))
+            elif node_id in cxl_ids:
+                cxl_append((page.page_id, page.access_count))
         local_pages.sort(key=lambda e: e[1])
         cxl_pages.sort(key=lambda e: e[1], reverse=True)
         return local_pages, cxl_pages

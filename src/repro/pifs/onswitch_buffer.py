@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import heapq
 from collections import OrderedDict, deque
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.config import BufferConfig
 from repro.memsys.hotness import AccessTracker
@@ -34,6 +35,11 @@ class OnSwitchBuffer:
         self._capacity_rows = max(0, config.capacity_bytes // row_bytes)
         self._entries: "OrderedDict[int, int]" = OrderedDict()  # address -> insertion order
         self._fifo: Deque[int] = deque()
+        # HTR eviction heap: (count-at-push, insertion-seq, address) triples.
+        # Profiler counts only grow between curations, so pushed counts are
+        # lower bounds and the classic lazy-update scheme finds the exact
+        # (count, insertion-order) minimum the linear scan used to select.
+        self._heap: List[Tuple[int, int, int]] = []
         self._profiler = AccessTracker()
         self._hits = 0
         self._misses = 0
@@ -113,6 +119,10 @@ class OnSwitchBuffer:
             if not self._evict_for(address):
                 return
         self._entries[address] = self._insertions
+        if self._config.policy == "htr":
+            heapq.heappush(
+                self._heap, (self._profiler.count(address), self._insertions, address)
+            )
         self._insertions += 1
         if self._config.policy == "fifo":
             self._fifo.append(address)
@@ -137,21 +147,58 @@ class OnSwitchBuffer:
             self._evictions += 1
             return True
         # HTR: evict the coldest resident row, but only if the incoming row is
-        # at least as hot — otherwise keep the current curation.
-        coldest_addr = None
-        coldest_count = None
-        for addr in self._entries:
-            count = self._profiler.count(addr)
-            if coldest_count is None or count < coldest_count:
-                coldest_addr, coldest_count = addr, count
-        incoming_count = self._profiler.count(incoming)
-        if coldest_addr is None:
+        # at least as hot — otherwise keep the current curation.  The victim
+        # the original linear scan selected is the first minimal-count entry
+        # in insertion order, i.e. the lexicographic minimum of
+        # (count, insertion-seq) — which the lazy heap yields in O(log n)
+        # amortized instead of an O(n) profiler scan per eviction.
+        if not self._entries:
             return True
+        top = self._heap_top()
+        if top is None:
+            return True
+        coldest_count, _, coldest_addr = top
+        incoming_count = self._profiler.count(incoming)
         if incoming_count >= (coldest_count or 0):
+            heapq.heappop(self._heap)
             del self._entries[coldest_addr]
             self._evictions += 1
             return True
         return False
+
+    def _heap_top(self) -> Optional[Tuple[int, int, int]]:
+        """The exact (count, seq, address) minimum over resident entries.
+
+        Pops stale heap entries (evicted or re-curated addresses) and
+        refreshes entries whose profiler count grew since they were pushed.
+        Counts never shrink between curations, so a fresh top is a true
+        global minimum.
+        """
+        heap = self._heap
+        entries = self._entries
+        counts = self._profiler._counts
+        entry_seq = entries.get
+        rebuilt = False
+        while True:
+            while heap:
+                count, seq, address = heap[0]
+                if entry_seq(address) != seq:
+                    heapq.heappop(heap)
+                    continue
+                current = counts[address]
+                if current != count:
+                    heapq.heapreplace(heap, (current, seq, address))
+                    continue
+                return heap[0]
+            if rebuilt or not entries:
+                return None
+            self._rebuild_heap()
+            rebuilt = True
+
+    def _rebuild_heap(self) -> None:
+        counts = self._profiler._counts
+        self._heap = [(counts[address], seq, address) for address, seq in self._entries.items()]
+        heapq.heapify(self._heap)
 
     def _curate(self) -> None:
         """Re-curate the HTR buffer to hold the hottest recorded rows."""
@@ -166,10 +213,102 @@ class OnSwitchBuffer:
             if len(self._entries) < self._capacity_rows:
                 self._entries[addr] = self._insertions
                 self._insertions += 1
+        self._rebuild_heap()
 
     def reset_stats(self) -> None:
         self._hits = 0
         self._misses = 0
 
+    def batch_kernel(self) -> "BufferKernel":
+        """A flattened lookup/insert kernel over this buffer (batch engine)."""
+        return BufferKernel(self)
 
-__all__ = ["OnSwitchBuffer"]
+
+class BufferKernel:
+    """Flattened ``lookup``/``insert`` over one :class:`OnSwitchBuffer`.
+
+    The closures operate directly on the buffer's own ``OrderedDict`` and
+    profiler counter (so HTR curation and eviction decisions are the
+    buffer's own code), while the hit/miss/interval counters live in locals
+    until :meth:`sync`.  Behaviour is identical to the scalar methods,
+    including the HTR re-curation trigger position inside ``lookup``.
+    """
+
+    def __init__(self, buffer: OnSwitchBuffer) -> None:
+        self._buffer = buffer
+        self.lookup, self.insert, self._snapshot = self._build()
+
+    def _build(self):
+        buffer = self._buffer
+        entries = buffer._entries
+        move_to_end = entries.move_to_end
+        profiler_counts = buffer._profiler._counts
+        policy = buffer._config.policy
+        capacity = buffer._capacity_rows
+        disabled = policy == "none" or capacity == 0
+        is_lru = policy == "lru"
+        is_htr = policy == "htr"
+        is_fifo = policy == "fifo"
+        htr_interval = buffer._config.htr_interval
+        hits = 0
+        misses = 0
+        recorded = 0
+        since_curate = buffer._accesses_since_curate
+
+        def lookup(address: int) -> bool:
+            nonlocal hits, misses, recorded, since_curate
+            profiler_counts[address] += 1
+            recorded += 1
+            since_curate += 1
+            if disabled:
+                misses += 1
+                return False
+            hit = address in entries
+            if hit:
+                hits += 1
+                if is_lru:
+                    move_to_end(address)
+            else:
+                misses += 1
+            if is_htr and since_curate >= htr_interval:
+                buffer._curate()
+                since_curate = 0
+            return hit
+
+        heappush = heapq.heappush
+
+        def insert(address: int) -> None:
+            if disabled:
+                return
+            if address in entries:
+                if is_lru:
+                    move_to_end(address)
+                return
+            if len(entries) >= capacity:
+                if not buffer._evict_for(address):
+                    return
+            seq = buffer._insertions
+            entries[address] = seq
+            if is_htr:
+                heappush(buffer._heap, (profiler_counts[address], seq, address))
+            buffer._insertions += 1
+            if is_fifo:
+                buffer._fifo.append(address)
+
+        def snapshot():
+            return hits, misses, recorded, since_curate
+
+        return lookup, insert, snapshot
+
+    def sync(self) -> None:
+        """Fold the buffered counters back into the buffer object."""
+        hits, misses, recorded, since_curate = self._snapshot()
+        buffer = self._buffer
+        buffer._hits += hits
+        buffer._misses += misses
+        buffer._profiler._total += recorded
+        buffer._accesses_since_curate = since_curate
+        self.lookup, self.insert, self._snapshot = self._build()
+
+
+__all__ = ["OnSwitchBuffer", "BufferKernel"]

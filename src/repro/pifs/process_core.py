@@ -80,6 +80,55 @@ class ProcessCore:
     def active_sumtags(self) -> int:
         return len(self._acr)
 
+    # Precomputed per-event latencies for the batched switch kernel.  The
+    # expressions are the scalar paths' own (cycle-count times cycle period),
+    # so the floating-point values match exactly.
+    @property
+    def configure_ns(self) -> float:
+        """Latency of decoding one configuration instruction."""
+        return self._config.decode_cycles * self.cycle_ns
+
+    @property
+    def register_fetch_ns(self) -> float:
+        """Latency of decoding + repacking one data-fetch instruction."""
+        return (self._config.decode_cycles + self._config.repack_cycles) * self.cycle_ns
+
+    @property
+    def element_ns(self) -> float:
+        """Busy time of accumulating one row element with no context switch.
+
+        The sequential engine flows (one sumtag in flight per switch) never
+        switch accumulation contexts mid-stream, so every element costs the
+        base accumulate latency in both the in-order and out-of-order
+        engines.
+        """
+        return float(self._config.accumulate_cycles_per_element) * self.cycle_ns
+
+    def apply_accumulation_batch(
+        self,
+        accumulations: int,
+        elements: int,
+        last_retire_ns: float,
+    ) -> None:
+        """Fold the bookkeeping of ``accumulations`` completed in-switch
+        accumulations (``elements`` rows in total) into the core's counters.
+
+        The batched switch kernel performs the timing inline and leaves the
+        ACR/ingress registry in their between-accumulation state (empty), so
+        only the statistics and the earliest-free watermark need updating.
+        """
+        self._stats.decoded_instructions += accumulations + elements
+        self._stats.repacked_instructions += elements
+        self._stats.configured_sumtags += accumulations
+        self._stats.completed_sumtags += accumulations
+        accumulator_stats = self._accumulator.stats
+        accumulator_stats.elements += elements
+        accumulator_stats.busy_cycles += (
+            float(self._config.accumulate_cycles_per_element) * elements
+        )
+        if last_retire_ns > self._earliest_free_ns:
+            self._earliest_free_ns = last_retire_ns
+
     def acr_entry(self, sumtag: int) -> Optional[ACREntry]:
         return self._acr.get(sumtag)
 

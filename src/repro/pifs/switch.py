@@ -22,9 +22,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import CXLConfig, PIFSConfig
 from repro.cxl.protocol import CXLCacheD2H, MemOpcode
-from repro.cxl.switch import FabricSwitch, SwitchPort
+from repro.cxl.switch import FabricSwitch, FabricSwitchKernel, SwitchPort
 from repro.pifs.fm_endpoint import FMEndpointExtension
-from repro.pifs.instructions import PIFSInstruction, repack_instruction
+from repro.pifs.instructions import PIFSInstruction, encode_vector_size, repack_instruction
 from repro.pifs.onswitch_buffer import OnSwitchBuffer
 from repro.pifs.process_core import ProcessCore
 
@@ -209,6 +209,10 @@ class PIFSSwitch(FabricSwitch):
             writeback=writeback,
         )
 
+    def batch_kernel(self, row_bytes: int) -> "PIFSSwitchKernel":
+        """A flattened accumulate kernel over this switch (batch engine)."""
+        return PIFSSwitchKernel(self, row_bytes)
+
     def reset(self) -> None:
         super().reset()
         self.process_core.reset()
@@ -216,4 +220,122 @@ class PIFSSwitch(FabricSwitch):
         self.buffer.reset_stats()
 
 
-__all__ = ["PIFSSwitch", "RowFetch", "AccumulationOutcome"]
+class PIFSSwitchKernel(FabricSwitchKernel):
+    """Flattened in-switch accumulation path of one :class:`PIFSSwitch`.
+
+    :meth:`accumulate` replays the scalar :meth:`PIFSSwitch.accumulate` flow
+    — configuration flit, per-row fetch instruction on the upstream link,
+    FM-endpoint profiling, on-switch buffer lookup, device fetch on a miss,
+    accumulate-logic busy time, result writeback — using the port/device/
+    buffer kernels and plain float arithmetic.  Timing and all observable
+    state (buffer contents and statistics, device counters, process-core
+    statistics, sumtag sequence) match the scalar path exactly; the
+    transient ACR/ingress-registry entries, which every scalar accumulation
+    creates and retires before returning, are elided.
+    """
+
+    def __init__(self, switch: PIFSSwitch, row_bytes: int) -> None:
+        super().__init__(switch, row_bytes)
+        # Fail on unsupported row sizes exactly like the scalar instruction
+        # builder would.
+        encode_vector_size(row_bytes)
+        if not switch.compute_enabled:
+            raise RuntimeError(f"switch {switch.name} has no process core (CNV=0)")
+        if switch.process_core.config.acr_capacity < 1:
+            # A zero-capacity ACR back-pressures every configuration; the
+            # flattened path assumes the (universal) >= 1 case.
+            raise RuntimeError("vectorized accumulate requires ACR capacity >= 1")
+        self.buffer = switch.buffer.batch_kernel()
+        core = switch.process_core
+        self._configure_ns = core.configure_ns
+        self._register_fetch_ns = core.register_fetch_ns
+        self._element_ns = core.element_ns
+        self._hit_latency_ns = switch.buffer.hit_latency_ns()
+        self._slot_bytes = switch.config.slot_bytes
+        self._flit_bytes = switch.config.flit_bytes
+        self._fm_counts = switch.fm_extension.address_profiler._counts
+        self._fm_io = switch.fm_extension.io_access_counters
+        self._fm_recorded = 0
+        self._next_sumtag = switch._next_sumtag
+        self._accumulations = 0
+        self._elements = 0
+        self._last_retire_ns = 0.0
+
+    def accumulate(
+        self,
+        port_transfer,
+        rows: Sequence[Tuple[int, int, int, int, int]],
+        device_access,
+        issue_ns: float,
+        per_row_overhead_ns: float = 0.0,
+        notify_host: bool = True,
+    ) -> Tuple[float, float]:
+        """One in-switch accumulation over pre-resolved ``rows``.
+
+        ``rows`` are ``(address, device_id, channel, flat_bank, dram_row)``
+        tuples, ``port_transfer`` the issuing host port's upstream-link
+        closure and ``device_access`` the per-device ``access_switch``
+        closures indexed by device id.  Returns ``(result_ready_ns,
+        host_notified_ns)``.
+        """
+        if not rows:
+            raise ValueError("accumulate() needs at least one row")
+        # Step 1: sumtag allocation + configuration instruction.
+        self._next_sumtag = (self._next_sumtag + 1) % 512
+        configured_ns = port_transfer(self._flit_bytes, issue_ns) + self._configure_ns
+        # Steps 2-4: per-row fetch, buffer/device data path, accumulation.
+        slot_bytes = self._slot_bytes
+        register_ns = self._register_fetch_ns
+        element_ns = self._element_ns
+        hit_ns = self._hit_latency_ns
+        fm_counts = self._fm_counts
+        fm_io = self._fm_io
+        lookup = self.buffer.lookup
+        insert = self.buffer.insert
+        last_done = configured_ns
+        recorded = 0
+        for address, device_id, channel, flat_bank, dram_row in rows:
+            instr_at_switch = port_transfer(slot_bytes, configured_ns)
+            ready_to_issue = instr_at_switch + register_ns
+            ready_to_issue += per_row_overhead_ns
+            fm_counts[address] += 1
+            recorded += 1
+            fm_io[device_id] = fm_io.get(device_id, 0) + 1
+            if lookup(address):
+                data_ready = ready_to_issue + hit_ns
+            else:
+                data_ready = device_access[device_id](
+                    channel, flat_bank, dram_row, address, ready_to_issue
+                )
+                insert(address)
+            done = data_ready + element_ns
+            if done > last_done:
+                last_done = done
+        self._fm_recorded += recorded
+        self._accumulations += 1
+        self._elements += len(rows)
+        if last_done > self._last_retire_ns:
+            self._last_retire_ns = last_done
+        # Step 5: result writeback to the host's reserved address.
+        if notify_host:
+            notified = port_transfer(self._row_bytes, last_done)
+        else:
+            notified = last_done
+        return last_done, notified
+
+    def sync(self) -> None:
+        """Fold buffered statistics back into the switch's components."""
+        super().sync()
+        switch = self._switch
+        switch._next_sumtag = self._next_sumtag
+        switch.fm_extension.address_profiler._total += self._fm_recorded
+        self._fm_recorded = 0
+        switch.process_core.apply_accumulation_batch(
+            self._accumulations, self._elements, self._last_retire_ns
+        )
+        self._accumulations = 0
+        self._elements = 0
+        self.buffer.sync()
+
+
+__all__ = ["PIFSSwitch", "PIFSSwitchKernel", "RowFetch", "AccumulationOutcome"]

@@ -4,10 +4,13 @@ Every evaluated system — Pond, Pond+PM, BEACON-S, RecNMP, TPP and PIFS-Rec —
 implements the :class:`~repro.sls.engine.SLSSystem` interface: it prepares a
 page placement for a workload, then processes each row-accumulation request
 and returns a :class:`~repro.sls.result.SimResult` with total latency and
-detailed counters.
+detailed counters.  Workloads replay on one of two engines
+(:data:`~repro.sls.engine.ENGINES`): the scalar oracle, or the vectorized
+fast path of :mod:`repro.sls.vector` — numerically identical, several times
+faster.
 """
 
-from repro.sls.engine import MemoryBackends, SLSSystem
+from repro.sls.engine import ENGINES, MemoryBackends, SLSSystem
 from repro.sls.result import LatencyStats, SimResult, percentile
 
-__all__ = ["MemoryBackends", "SLSSystem", "LatencyStats", "SimResult", "percentile"]
+__all__ = ["ENGINES", "MemoryBackends", "SLSSystem", "LatencyStats", "SimResult", "percentile"]

@@ -10,9 +10,22 @@ The engine provides:
   helpers (capacity-order, hotness-based, CXL-only), the timing helpers for
   host-side local and CXL accesses, and the page-management maintenance hook
   invoked every ``migration_epoch_accesses`` lookups.
+
+Two execution engines replay a workload (:meth:`SLSSystem.set_engine`):
+
+* ``"scalar"`` (default) — every lookup walks the full object stack; this
+  is the reference implementation and the oracle.
+* ``"vector"`` — lookups are resolved as numpy batches and timed through
+  the flattened layer kernels (:mod:`repro.sls.vector`), producing
+  numerically identical results several times faster.  Built-in systems
+  implement :meth:`SLSSystem.process_request_vector`; systems that do not
+  opt in (``supports_vector_engine`` stays False) silently keep the scalar
+  path.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from abc import ABC, abstractmethod
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -105,6 +118,10 @@ class MemoryBackends:
             switch.reset()
 
 
+#: The recognised execution engines (see :meth:`SLSSystem.set_engine`).
+ENGINES = ("scalar", "vector")
+
+
 class SLSSystem(ABC):
     """Base class for every evaluated SLS system."""
 
@@ -119,6 +136,12 @@ class SLSSystem(ABC):
     #: Outstanding-miss capacity of one host thread (limits host-side MLP).
     HOST_MLP = 4
 
+    #: Whether this system implements :meth:`process_request_vector`.  A
+    #: subclass that overrides :meth:`process_request` must either provide a
+    #: matching vector twin or reset this to False — otherwise the vector
+    #: engine would replay the parent's request flow.
+    supports_vector_engine = False
+
     def __init__(self, system: SystemConfig, use_pifs_switch: bool = False) -> None:
         self.system = system
         self.use_pifs_switch = use_pifs_switch
@@ -129,6 +152,25 @@ class SLSSystem(ABC):
         self._counters: Dict[str, float] = {}
         self._migration_cost_ns = 0.0
         self._lookups_since_maintenance = 0
+        self.engine = "scalar"
+        self._vector = None
+        self._vector_fallback_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Engine selection
+    # ------------------------------------------------------------------
+    def set_engine(self, engine: str) -> "SLSSystem":
+        """Select the replay engine: ``"scalar"`` (oracle) or ``"vector"``.
+
+        Takes effect at the next :meth:`begin_session`/:meth:`run`.  The
+        vector engine produces numerically identical results for every
+        system that opts in via ``supports_vector_engine``; systems that do
+        not are executed on the scalar path regardless of the knob.
+        """
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of: {', '.join(ENGINES)}")
+        self.engine = engine
+        return self
 
     # ------------------------------------------------------------------
     # Workload execution
@@ -156,6 +198,17 @@ class SLSSystem(ABC):
         )
         self.tiered = self.build_placement(workload)
         self.prepare(workload)
+        self._vector = None
+        self._vector_fallback_reason = None
+        if self.engine == "vector" and self.supports_vector_engine:
+            from repro.sls.vector import VectorContext, VectorUnsupportedError
+
+            try:
+                self._vector = VectorContext(self, workload)
+            except VectorUnsupportedError as error:
+                # The scalar path supports everything; remember why the fast
+                # path was unavailable for introspection.
+                self._vector_fallback_reason = str(error)
 
     def service_request(
         self, request: SLSRequest, start_ns: float, host_id: Optional[int] = None
@@ -172,16 +225,24 @@ class SLSSystem(ABC):
         """
         num_hosts = max(1, self.system.num_hosts)
         host = request.host_id % num_hosts if host_id is None else host_id
-        finish_ns = self.process_request(request, start_ns, host)
+        vector = self._vector
+        if vector is not None and vector.owns(request):
+            finish_ns = self.process_request_vector(request, start_ns, host)
+        else:
+            finish_ns = self.process_request(request, start_ns, host)
         self._lookups_since_maintenance += request.num_candidates
         epoch = max(1, self.system.page_mgmt.migration_epoch_accesses)
         if self._lookups_since_maintenance >= epoch:
             self._lookups_since_maintenance = 0
+            if vector is not None:
+                vector.flush_tiered()
             finish_ns += self.maintenance(finish_ns)
         return finish_ns
 
     def finish_session(self, total_ns: float) -> SimResult:
         """Assemble the :class:`SimResult` for the session ended at ``total_ns``."""
+        if self._vector is not None:
+            self._vector.flush_all()
         return self._build_result(self.workload, total_ns)
 
     def run(self, workload: SLSWorkload) -> SimResult:
@@ -196,16 +257,20 @@ class SLSSystem(ABC):
         # own threads (lanes) independently of the global request order.
         host_cursor = [0] * num_hosts
 
+        vector = self._vector
+        process = self.process_request if vector is None else self.process_request_vector
         for i, request in enumerate(workload.requests):
             host_id = request.host_id % num_hosts
             lane_index = host_id * threads_per_host + (host_cursor[host_id] % threads_per_host)
             host_cursor[host_id] += 1
             start_ns = lanes[lane_index]
-            finish_ns = self.process_request(request, start_ns, host_id)
+            finish_ns = process(request, start_ns, host_id)
             lanes[lane_index] = finish_ns
             self._lookups_since_maintenance += request.num_candidates
             if self._lookups_since_maintenance >= epoch:
                 self._lookups_since_maintenance = 0
+                if vector is not None:
+                    vector.flush_tiered()
                 stall_ns = self.maintenance(max(lanes))
                 if stall_ns > 0:
                     lanes = [lane + stall_ns for lane in lanes]
@@ -226,6 +291,25 @@ class SLSSystem(ABC):
     @abstractmethod
     def process_request(self, request: SLSRequest, start_ns: float, host_id: int) -> float:
         """Process one row-accumulation request; return its finish time."""
+
+    def process_request_vector(self, request: SLSRequest, start_ns: float, host_id: int) -> float:
+        """Vector-engine twin of :meth:`process_request`.
+
+        Only invoked when a :class:`~repro.sls.vector.VectorContext` is
+        active (``supports_vector_engine`` and ``engine="vector"``).  The
+        default delegates to the scalar path so partial overrides stay
+        correct.
+        """
+        return self.process_request(request, start_ns, host_id)
+
+    def prepare_vector(self, ctx) -> None:
+        """Hook: register system-specific kernels on a fresh vector context.
+
+        Called at the end of :class:`~repro.sls.vector.VectorContext`
+        construction; systems with private caches (e.g. RecNMP's rank
+        cache) build their flattened kernels here and append them to
+        ``ctx.extra_kernels`` so they are synced with the rest.
+        """
 
     def maintenance(self, now_ns: float) -> float:
         """Periodic page-management work; returns the stall imposed on lanes."""
@@ -275,11 +359,17 @@ class SLSSystem(ABC):
         return max(0, self.system.local_dram_capacity_bytes // PAGE_SIZE_BYTES)
 
     def _profile_page_hotness(self, workload: SLSWorkload) -> AccessTracker:
-        """Count page accesses across the whole workload (profiling pass)."""
+        """Count page accesses across the whole workload (profiling pass).
+
+        Vectorized: one numpy pass over the concatenated addresses and one
+        C-level counter update, preserving the scalar loop's counts *and*
+        first-occurrence insertion order (the tie-breaker of
+        ``AccessTracker.hottest``), so placements are unchanged.
+        """
         tracker = AccessTracker()
-        for request in workload.requests:
-            for address in request.addresses:
-                tracker.record(page_id_of(int(address)))
+        if workload.requests:
+            addresses = np.concatenate([request.addresses for request in workload.requests])
+            tracker.record_many((addresses // PAGE_SIZE_BYTES).tolist())
         return tracker
 
     def place_capacity_order(
@@ -392,6 +482,70 @@ class SLSSystem(ABC):
             cursor = group_finish + len(group) * self.HOST_ACCUMULATE_NS_PER_ROW
         return cursor
 
+    def host_accumulate_bag_vector(self, request: SLSRequest, start_ns: float, host_id: int) -> float:
+        """Vector-engine twin of :meth:`host_accumulate_bag`.
+
+        The request's addresses were resolved to (page, node, DRAM
+        coordinates) at session start; the MLP-group timing below runs on
+        the flattened kernels with the exact scalar arithmetic, and the
+        page/node access-recording side effects are buffered on the context
+        for the pre-maintenance flush.
+        """
+        ctx = self._vector
+        begin, end = ctx.bounds[request.request_id]
+        node, node_offset = ctx.nodes_window(begin, end)
+        page = ctx.page
+        node_is_local = ctx.node_is_local
+        node_device = ctx.node_device
+        lch, lfb, lrow = ctx.lch, ctx.lfb, ctx.lrow
+        cch, cfb, crow = ctx.cch, ctx.cfb, ctx.crow
+        dram_access = ctx.local_access[host_id % ctx.num_local_drams]
+        host_reads = ctx.port_host_read[host_id]
+        dev_access = ctx.dev_access_host
+        device_switch = ctx.device_switch
+        page_last = ctx.page_last
+        local_overhead = self.HOST_LOCAL_OVERHEAD_NS
+        cxl_overhead = self.HOST_CXL_OVERHEAD_NS
+        accumulate_ns = self.HOST_ACCUMULATE_NS_PER_ROW
+        mlp = self.HOST_MLP
+
+        # Counts are timestamp-free: one C-level bulk update for the bag.
+        ctx.page_counts.update(page[begin:end])
+        local_rows = 0
+        cxl_rows = 0
+        cursor = start_ns
+        index = begin
+        while index < end:
+            group_end = index + mlp
+            if group_end > end:
+                group_end = end
+            group_finish = cursor
+            for k in range(index, group_end):
+                page_last[page[k]] = cursor
+                node_id = node[k - node_offset]
+                if node_is_local[node_id]:
+                    local_rows += 1
+                    finish = dram_access(lch[k], lfb[k], lrow[k], cursor) + local_overhead
+                else:
+                    cxl_rows += 1
+                    device_id = node_device[node_id]
+                    finish = (
+                        host_reads[device_switch[device_id]](
+                            dev_access[device_id], cch[k], cfb[k], crow[k], cursor
+                        )
+                        + cxl_overhead
+                    )
+                if finish > group_finish:
+                    group_finish = finish
+            cursor = group_finish + (group_end - index) * accumulate_ns
+            index = group_end
+
+        counters = self._counters
+        counters["local_rows"] += local_rows
+        counters["cxl_rows"] += cxl_rows
+        counters["bytes_to_host"] += cxl_rows * ctx.row_bytes
+        return cursor
+
     # ------------------------------------------------------------------
     # Result assembly
     # ------------------------------------------------------------------
@@ -432,4 +586,4 @@ class SLSSystem(ABC):
         )
 
 
-__all__ = ["MemoryBackends", "SLSSystem"]
+__all__ = ["ENGINES", "MemoryBackends", "SLSSystem"]

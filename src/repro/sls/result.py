@@ -1,4 +1,11 @@
-"""Simulation result records."""
+"""Simulation result records.
+
+:class:`SimResult` is the canonical outcome of one replayed workload —
+total latency, per-tier row counts, buffer/migration/stall accounting and
+derived metrics — with dict/JSON round-tripping so sweeps and the CLI can
+serialize results losslessly.  Both execution engines (scalar and vector)
+produce numerically identical instances for the same run.
+"""
 
 from __future__ import annotations
 

@@ -1,0 +1,245 @@
+"""Vectorized session context for the batch simulation engine.
+
+The scalar engine resolves and times every lookup through the full object
+stack (tiered page table → device models → switch/link objects), costing
+dozens of Python calls per row.  The vectorized engine keeps the *scalar
+path as the oracle* and restructures the work in two stages:
+
+1. **Batched resolution** — at session start every request's addresses are
+   concatenated and resolved with a handful of numpy passes: page ids,
+   DRAM coordinates under both the local-DDR5 and the CXL-DDR4 mappings
+   (placement-independent, computed once), and — per placement generation —
+   the page → node gather through
+   :meth:`~repro.memsys.tiered.TieredMemorySystem.node_id_table`.
+2. **Flattened timing kernels** — the stateful per-access arithmetic runs
+   through the layer kernels (:class:`~repro.dram.device.DRAMKernel`,
+   :class:`~repro.cxl.device.CXLDeviceKernel`,
+   :class:`~repro.cxl.switch.SwitchPortKernel`,
+   :class:`~repro.pifs.switch.PIFSSwitchKernel`), closures over plain local
+   state that perform exactly the scalar arithmetic in the same order, so
+   every finish time is bit-identical to the scalar engine.
+
+Access-counter side effects (page/node hotness feeding the page-management
+policies) are buffered in plain dicts and flushed through
+:meth:`~repro.memsys.tiered.TieredMemorySystem.apply_access_counts` before
+every maintenance pass and at session end, preserving every placement
+decision the scalar engine would make.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.memsys.node import placement_arrays
+
+
+class VectorUnsupportedError(RuntimeError):
+    """The session's configuration has no vectorized fast path.
+
+    Raised during :class:`VectorContext` construction (e.g. a row size the
+    enhanced-instruction format cannot encode); the engine falls back to the
+    scalar path, which supports everything.
+    """
+
+
+class VectorContext:
+    """Per-session resolution arrays and timing kernels for one system."""
+
+    def __init__(self, system, workload) -> None:
+        self.system = system
+        self.workload = workload
+        self.tiered = system.tiered
+        backends = system.backends
+        self.backends = backends
+        self.row_bytes = backends.row_bytes
+        self.requests = workload.requests
+
+        # ------------------------------------------------------------------
+        # Stage 1: batched address resolution over the whole workload.
+        # ------------------------------------------------------------------
+        if self.requests:
+            addresses = np.concatenate([request.addresses for request in self.requests])
+        else:
+            addresses = np.zeros(0, dtype=np.int64)
+        addresses = addresses.astype(np.int64, copy=False)
+        lengths = [len(request.addresses) for request in self.requests]
+        ends = np.cumsum(lengths) if lengths else np.zeros(0, dtype=np.int64)
+        starts = ends - np.asarray(lengths, dtype=np.int64) if lengths else ends
+        self.bounds: List[Tuple[int, int]] = list(zip(starts.tolist(), ends.tolist()))
+
+        self.addr: List[int] = addresses.tolist()
+        self._page_np = addresses // self.tiered.page_size
+        self.page: List[int] = self._page_np.tolist()
+
+        local_mapping = backends.local_dram.controller.mapping
+        lch, lfb, lrow = local_mapping.decode_flat_batch(addresses)
+        self.lch, self.lfb, self.lrow = lch.tolist(), lfb.tolist(), lrow.tolist()
+        cxl_mapping = backends.devices[0].dram.controller.mapping
+        cch, cfb, crow = cxl_mapping.decode_flat_batch(addresses)
+        self.cch, self.cfb, self.crow = cch.tolist(), cfb.tolist(), crow.tolist()
+
+        # Placement tables (node id -> tier / device) and the lazily
+        # re-gathered page -> node list.
+        is_local, node_device = placement_arrays(self.tiered.nodes(), system.node_to_device)
+        self.node_is_local: List[bool] = is_local.tolist()
+        self.node_device: List[int] = node_device.tolist()
+        self._window: List[int] = []
+        self._window_start = 0
+        self._window_end = 0
+        self._node_generation = -1
+
+        # ------------------------------------------------------------------
+        # Stage 2: flattened timing kernels over the backend state.
+        # ------------------------------------------------------------------
+        row_bytes = self.row_bytes
+        try:
+            self.local_dram_kernels = [
+                dram.batch_kernel(row_bytes) for dram in backends.local_dram_per_host
+            ]
+            self.device_kernels = [
+                device.batch_kernel(row_bytes) for device in backends.devices
+            ]
+            # PIFSSwitch.batch_kernel returns the accumulate-capable kernel;
+            # the base FabricSwitch kernel only forwards host reads.
+            self.switch_kernels = [
+                switch.batch_kernel(row_bytes) for switch in backends.switches
+            ]
+        except (ValueError, RuntimeError) as error:
+            raise VectorUnsupportedError(str(error)) from error
+
+        num_hosts = max(1, system.system.num_hosts)
+        self.num_hosts = num_hosts
+        self.num_local_drams = len(self.local_dram_kernels)
+        self.device_switch: List[int] = [
+            backends.device_switch[device_id] for device_id in range(len(backends.devices))
+        ]
+        self.home_switch: List[int] = [
+            backends.host_home_switch[host_id] for host_id in range(num_hosts)
+        ]
+        self.forward_ns: List[float] = [
+            type(switch).FORWARD_LATENCY_NS for switch in backends.switches
+        ]
+        self._port_kernels = [
+            [
+                self.switch_kernels[switch_id].port_kernel(
+                    backends.host_ports[(host_id, switch_id)]
+                )
+                for switch_id in range(len(backends.switches))
+            ]
+            for host_id in range(num_hosts)
+        ]
+        #: Extra per-system kernels registered via ``prepare_vector`` (e.g.
+        #: RecNMP's rank cache); synced together with the layer kernels.
+        self.extra_kernels: List = []
+
+        # Buffered access-recording side effects (flushed before maintenance).
+        # A Counter so uniform-timestamp paths can record whole requests with
+        # one C-level ``update`` instead of per-row dict arithmetic.
+        self.page_counts: Counter = Counter()
+        self.page_last: Dict[int, float] = {}
+
+        self._bind_closures()
+        system.prepare_vector(self)
+
+    # ------------------------------------------------------------------
+    # Resolution accessors
+    # ------------------------------------------------------------------
+    def owns(self, request) -> bool:
+        """True when ``request`` is this session's workload entry."""
+        request_id = request.request_id
+        return (
+            0 <= request_id < len(self.requests)
+            and self.requests[request_id] is request
+        )
+
+    #: Gather granularity of the node window (lookups, not bytes): large
+    #: enough to amortize the numpy gather, small enough that the frequent
+    #: migration epochs of the page-managed systems do not re-gather the
+    #: whole remaining workload every epoch.
+    NODE_WINDOW = 8192
+
+    def nodes_window(self, begin: int, end: int) -> Tuple[List[int], int]:
+        """Node ids for resolved positions ``[begin, end)`` as ``(list, offset)``.
+
+        Returns a window list whose index ``k - offset`` holds the node id of
+        resolved position ``k``.  The window is re-gathered through the dense
+        page table when the placement generation changes or the request
+        leaves the cached range; the closed-loop replay consumes positions in
+        order, so each epoch re-gathers one window rather than the full
+        workload.
+        """
+        if (
+            self.tiered.generation != self._node_generation
+            or begin < self._window_start
+            or end > self._window_end
+        ):
+            span = end - begin
+            block = span if span > self.NODE_WINDOW else self.NODE_WINDOW
+            stop = begin + block
+            total = len(self.page)
+            if stop > total:
+                stop = total
+            table = self.tiered.node_id_table()
+            self._window = table[self._page_np[begin:stop]].tolist()
+            self._window_start = begin
+            self._window_end = stop
+            self._node_generation = self.tiered.generation
+        return self._window, self._window_start
+
+    def nodes(self) -> List[int]:
+        """Current node id for every resolved address (full gather).
+
+        Convenience/testing accessor; the request paths use the windowed
+        :meth:`nodes_window`.
+        """
+        table = self.tiered.node_id_table()
+        return table[self._page_np].tolist()
+
+    # ------------------------------------------------------------------
+    # Closure binding / state flushing
+    # ------------------------------------------------------------------
+    def _bind_closures(self) -> None:
+        """(Re)export the kernels' bound closures as flat lists.
+
+        Kernels re-arm their closures on :meth:`sync`, so the exported lists
+        are refreshed after every full flush.
+        """
+        self.local_access = [kernel.access for kernel in self.local_dram_kernels]
+        self.dev_access_host = [kernel.access_host for kernel in self.device_kernels]
+        self.dev_access_switch = [kernel.access_switch for kernel in self.device_kernels]
+        self.port_host_read = [
+            [port.host_read for port in ports] for ports in self._port_kernels
+        ]
+        self.port_transfer = [
+            [port.transfer for port in ports] for ports in self._port_kernels
+        ]
+
+    def flush_tiered(self) -> None:
+        """Flush buffered access counts into the tiered memory system.
+
+        Must run before anything reads page/node hotness — the engine calls
+        it ahead of every maintenance pass and at session end.
+        """
+        if self.page_counts:
+            self.tiered.apply_access_counts(self.page_counts, self.page_last)
+            self.page_counts = Counter()
+            self.page_last = {}
+
+    def flush_all(self) -> None:
+        """Flush counters and write every kernel's state back to the models."""
+        self.flush_tiered()
+        for kernel in self.local_dram_kernels:
+            kernel.sync()
+        for kernel in self.device_kernels:
+            kernel.sync()
+        for kernel in self.switch_kernels:
+            kernel.sync()
+        for kernel in self.extra_kernels:
+            kernel.sync()
+        self._bind_closures()
+
+
+__all__ = ["VectorContext", "VectorUnsupportedError"]

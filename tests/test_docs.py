@@ -1,0 +1,86 @@
+"""Documentation health: markdown links resolve, CLI --help is informative.
+
+Run by the CI docs job (and tier-1): a broken relative link in README or
+docs/, or a subcommand whose ``--help`` loses its examples/descriptions,
+fails here rather than silently rotting.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.api.cli import build_parser
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: [text](target) — excluding images; targets may carry #anchors.
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+SUBCOMMANDS = ("run", "sweep", "serve", "compare", "figures", "systems")
+
+
+def _markdown_files():
+    files = sorted(ROOT.glob("*.md")) + sorted((ROOT / "docs").glob("*.md"))
+    assert files, "no markdown files found"
+    return files
+
+
+class TestMarkdownLinks:
+    def test_docs_tree_exists(self):
+        assert (ROOT / "docs" / "ARCHITECTURE.md").is_file()
+        assert (ROOT / "docs" / "PERFORMANCE.md").is_file()
+
+    @pytest.mark.parametrize("path", _markdown_files(), ids=lambda p: str(p.relative_to(ROOT)))
+    def test_relative_links_resolve(self, path):
+        broken = []
+        for target in _LINK.findall(path.read_text(encoding="utf-8")):
+            if "://" in target or target.startswith(("mailto:", "#")):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append(target)
+        assert not broken, f"broken relative links in {path.name}: {broken}"
+
+
+class TestCLIHelp:
+    @pytest.fixture(scope="class")
+    def parser(self):
+        return build_parser()
+
+    def test_every_subcommand_registered(self, parser):
+        actions = {
+            name
+            for action in parser._actions
+            if hasattr(action, "choices") and action.choices
+            for name in action.choices
+        }
+        assert set(SUBCOMMANDS) <= actions
+
+    @pytest.mark.parametrize("command", SUBCOMMANDS)
+    def test_help_renders_and_describes(self, command, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit) as excinfo:
+            parser.parse_args([command, "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert f"python -m repro {command}" in out
+        # Every help screen must explain itself beyond the usage line.
+        assert len(out.splitlines()) > 8, f"'{command} --help' is too terse"
+
+    @pytest.mark.parametrize("command", ["run", "sweep", "compare", "serve"])
+    def test_engine_knob_documented(self, command, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([command, "--help"])
+        out = capsys.readouterr().out
+        assert "--engine" in out
+        assert "vector" in out
+
+    @pytest.mark.parametrize("command", ["run", "sweep", "serve", "compare"])
+    def test_examples_present(self, command, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([command, "--help"])
+        out = capsys.readouterr().out
+        assert "examples:" in out, f"'{command} --help' lost its examples section"

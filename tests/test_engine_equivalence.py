@@ -1,0 +1,367 @@
+"""Scalar ↔ vector engine equivalence.
+
+The vector engine is only allowed to be *faster* — never different.  These
+tests pin, for every registered system, that the batched engine produces a
+:class:`~repro.sls.result.SimResult` numerically identical to the scalar
+oracle (closed-loop replay *and* the online serving path), and that the
+backend models are left in the same observable state (device counters, DRAM
+statistics, buffer contents, page hotness).  A hypothesis sweep varies the
+workload shape so the equivalence is a property, not a golden value.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.registry import available_systems, create_system
+from repro.api.session import Simulation, RunSpec, build_system, clear_cache
+from repro.config import DEFAULT_SYSTEM, RMC1, WorkloadConfig, scaled_model
+from repro.dram.device import DRAMDevice
+from repro.memsys.hotness import AccessTracker
+from repro.memsys.node import MemoryNode, MemoryTier, placement_arrays
+from repro.memsys.tiered import TieredMemorySystem
+from repro.serve.server import ServeConfig, serve
+from repro.sls.engine import ENGINES, SLSSystem
+from repro.traces.workload import build_workload
+
+ALL_SYSTEMS = ("pond", "pond+pm", "beacon", "recnmp", "tpp", "pifs-rec", "pifs-rec-nopm")
+
+
+def _run(name, system_config, workload, engine):
+    system = create_system(name, system_config).set_engine(engine)
+    result = system.run(workload)
+    return system, result
+
+
+def _backend_fingerprint(system: SLSSystem) -> dict:
+    """Observable backend/memory state after a session (for exact equality)."""
+    backends = system.backends
+    state = {
+        "devices": [
+            (device.reads, device.writes, device.link.bytes_transferred,
+             device.link.transfers, device.link.busy_until_ns,
+             device.link.total_queue_delay_ns)
+            for device in backends.devices
+        ],
+        "device_dram": [
+            (device.dram.controller.requests,
+             device.dram.controller.average_latency_ns(),
+             device.dram.controller.row_buffer_hit_rate(),
+             device.dram.controller.last_finish_ns)
+            for device in backends.devices
+        ],
+        "local_dram": [
+            (dram.controller.requests, dram.controller.average_latency_ns(),
+             dram.controller.row_buffer_hit_rate(), dram.controller.last_finish_ns)
+            for dram in backends.local_dram_per_host
+        ],
+        "switch_forwarded": [switch.forwarded_requests for switch in backends.switches],
+        "ports": sorted(
+            (key, port.link.bytes_transferred, port.link.transfers,
+             port.link.busy_until_ns, port.link.total_queue_delay_ns)
+            for key, port in backends.host_ports.items()
+        ),
+        "pages": [
+            (page.page_id, page.node_id, page.access_count, page.last_access_ns)
+            for page in system.tiered.pages()
+        ],
+        "node_access": {
+            node.node_id: system.tiered.node_access_tracker(node.node_id).as_dict()
+            for node in system.tiered.nodes()
+        },
+    }
+    from repro.pifs.switch import PIFSSwitch
+
+    for switch in backends.switches:
+        if isinstance(switch, PIFSSwitch):
+            stats = switch.process_core.stats
+            state.setdefault("pifs", []).append(
+                (switch.buffer.hits, switch.buffer.misses, switch.buffer.evictions,
+                 switch.buffer.occupancy, sorted(switch.buffer._entries),
+                 stats.decoded_instructions, stats.repacked_instructions,
+                 stats.configured_sumtags, stats.completed_sumtags,
+                 switch.process_core.accumulator.stats.elements,
+                 switch.process_core.accumulator.stats.busy_cycles,
+                 switch._next_sumtag,
+                 sorted(switch.fm_extension.io_access_counters.items()))
+            )
+    return state
+
+
+@pytest.fixture(scope="module")
+def multi_workload(tiny_model):
+    """A two-host workload (exercises per-host lanes, ports and drams)."""
+    return build_workload(
+        WorkloadConfig(model=tiny_model, batch_size=4, num_batches=2, pooling_factor=8, seed=13),
+        num_hosts=2,
+    )
+
+
+class TestClosedLoopEquivalence:
+    @pytest.mark.parametrize("name", ALL_SYSTEMS)
+    def test_simresult_identical(self, name, tiny_workload, tiny_system):
+        scalar_system, scalar = _run(name, tiny_system, tiny_workload, "scalar")
+        vector_system, vector = _run(name, tiny_system, tiny_workload, "vector")
+        assert vector_system._vector is not None, "vector context was not built"
+        assert scalar.to_dict() == vector.to_dict()
+
+    @pytest.mark.parametrize("name", ALL_SYSTEMS)
+    def test_backend_state_identical(self, name, tiny_workload, tiny_system):
+        scalar_system, _ = _run(name, tiny_system, tiny_workload, "scalar")
+        vector_system, _ = _run(name, tiny_system, tiny_workload, "vector")
+        assert _backend_fingerprint(scalar_system) == _backend_fingerprint(vector_system)
+
+    @pytest.mark.parametrize("name", ["pifs-rec", "pond", "recnmp"])
+    def test_multi_host_multi_switch(self, name, multi_workload, tiny_system):
+        config = replace(tiny_system, num_hosts=2, num_fabric_switches=2)
+        scalar_system, scalar = _run(name, config, multi_workload, "scalar")
+        vector_system, vector = _run(name, config, multi_workload, "vector")
+        assert scalar.to_dict() == vector.to_dict()
+        assert _backend_fingerprint(scalar_system) == _backend_fingerprint(vector_system)
+
+    @pytest.mark.parametrize("distribution", ["zipfian", "uniform", "random"])
+    def test_distributions(self, distribution, tiny_model, tiny_system):
+        workload = build_workload(
+            WorkloadConfig(
+                model=tiny_model, batch_size=4, num_batches=2,
+                pooling_factor=8, seed=7, distribution=distribution,
+            )
+        )
+        for name in ("pond", "pifs-rec"):
+            _, scalar = _run(name, tiny_system, workload, "scalar")
+            _, vector = _run(name, tiny_system, workload, "vector")
+            assert scalar.to_dict() == vector.to_dict()
+
+
+@given(
+    batch_size=st.integers(min_value=1, max_value=6),
+    pooling=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**16),
+    name=st.sampled_from(["pond", "beacon", "recnmp", "pifs-rec"]),
+)
+@settings(max_examples=12, deadline=None)
+def test_equivalence_property(batch_size, pooling, seed, name):
+    """Engine equivalence holds across workload shapes, not one golden trace."""
+    model = replace(scaled_model(RMC1, 256 / RMC1.num_embeddings), num_tables=3)
+    workload = build_workload(
+        WorkloadConfig(
+            model=model, batch_size=batch_size, num_batches=1,
+            pooling_factor=pooling, seed=seed,
+        )
+    )
+    config = replace(
+        DEFAULT_SYSTEM,
+        local_dram_capacity_bytes=max(8192, model.table_bytes),
+        num_cxl_devices=2,
+        host_threads=2,
+        page_mgmt=replace(DEFAULT_SYSTEM.page_mgmt, migration_epoch_accesses=64),
+    )
+    _, scalar = _run(name, config, workload, "scalar")
+    _, vector = _run(name, config, workload, "vector")
+    assert scalar.to_dict() == vector.to_dict()
+
+
+class TestServeEquivalence:
+    @pytest.mark.parametrize("name", ALL_SYSTEMS)
+    def test_serve_records_identical(self, name, tiny_workload, tiny_system):
+        config = ServeConfig(qps=3e5, arrival="poisson", max_batch_size=4, seed=11)
+        scalar = serve(create_system(name, tiny_system).set_engine("scalar"), tiny_workload, config)
+        vector = serve(create_system(name, tiny_system).set_engine("vector"), tiny_workload, config)
+        assert scalar.latency.to_dict() == vector.latency.to_dict()
+        assert scalar.sim.to_dict() == vector.sim.to_dict()
+        assert [r.complete_ns for r in scalar.records] == [r.complete_ns for r in vector.records]
+        assert [r.start_ns for r in scalar.records] == [r.start_ns for r in vector.records]
+
+    def test_simulation_serve_terminal(self):
+        clear_cache()
+        scalar = Simulation("pifs-rec").quick().serve(2e5, seed=3)
+        clear_cache()
+        vector = Simulation("pifs-rec").quick().engine("vector").serve(2e5, seed=3)
+        assert scalar.latency.to_dict() == vector.latency.to_dict()
+        assert scalar.goodput_qps == vector.goodput_qps
+
+
+class TestEngineKnob:
+    def test_set_engine_validates(self, tiny_system):
+        system = create_system("pond", tiny_system)
+        with pytest.raises(ValueError, match="unknown engine"):
+            system.set_engine("warp")
+        assert system.set_engine("vector") is system
+        assert system.engine == "vector"
+
+    def test_simulation_engine_validates(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            Simulation("pond").engine("warp")
+
+    def test_engines_constant(self):
+        assert ENGINES == ("scalar", "vector")
+
+    def test_spec_key_distinguishes_engines(self):
+        from repro.api.session import spec_key
+
+        scalar_key = spec_key(RunSpec(system="pond"))
+        vector_key = spec_key(RunSpec(system="pond", engine="vector"))
+        assert scalar_key != vector_key
+
+    def test_build_system_applies_engine(self):
+        system = build_system(RunSpec(system="pond", engine="vector"))
+        assert system.engine == "vector"
+
+    def test_params_record_engine(self):
+        clear_cache()
+        run = Simulation("pond").quick().engine("vector").run()
+        assert run.params["engine"] == "vector"
+        clear_cache()
+        scalar_run = Simulation("pond").quick().run()
+        assert "engine" not in scalar_run.params
+
+    def test_sweep_axis(self):
+        from repro.api.sweep import Sweep
+
+        clear_cache()
+        result = Sweep(
+            over={"engine": ["scalar", "vector"]},
+            base=Simulation("pond").quick(),
+        ).run(parallel=False)
+        assert len(result) == 2
+        assert result[0].total_ns == result[1].total_ns
+
+    def test_unsupported_system_falls_back_to_scalar(self, tiny_workload, tiny_system):
+        class Stubborn(SLSSystem):
+            name = "stubborn"
+
+            def build_placement(self, workload):
+                return self.place_capacity_order(workload)
+
+            def process_request(self, request, start_ns, host_id):
+                return self.host_accumulate_bag(request.addresses, start_ns, host_id)
+
+        assert Stubborn.supports_vector_engine is False
+        system = Stubborn(tiny_system).set_engine("vector")
+        result = system.run(tiny_workload)
+        assert system._vector is None  # no context: scalar path served the run
+        reference = Stubborn(tiny_system).run(tiny_workload)
+        assert result.to_dict() == reference.to_dict()
+
+
+class TestBatchedPrimitives:
+    """The layer-level batch kernels against their scalar counterparts."""
+
+    def test_dram_kernel_access_batch(self):
+        rng = np.random.default_rng(5)
+        addresses = rng.integers(0, 1 << 24, size=256, dtype=np.int64)
+        scalar_device = DRAMDevice(DEFAULT_SYSTEM.cxl_dram)
+        batch_device = DRAMDevice(DEFAULT_SYSTEM.cxl_dram)
+        expected = [scalar_device.access(int(a), 0.0, bytes_requested=256) for a in addresses]
+        kernel = batch_device.batch_kernel(256)
+        got = kernel.access_batch(addresses, 0.0)
+        kernel.sync()
+        assert got.tolist() == expected
+        assert batch_device.stats().__dict__ == scalar_device.stats().__dict__
+
+    def test_decode_batch_matches_scalar(self):
+        from repro.dram.address_mapping import AddressMapping
+
+        mapping = AddressMapping(DEFAULT_SYSTEM.local_dram)
+        rng = np.random.default_rng(9)
+        addresses = rng.integers(0, 1 << 30, size=512, dtype=np.int64)
+        ch, rank, bank, row, col = mapping.decode_batch(addresses)
+        for i, address in enumerate(addresses.tolist()):
+            decoded = mapping.decode(address)
+            assert (decoded.channel, decoded.rank, decoded.bank, decoded.row, decoded.column) == (
+                ch[i], rank[i], bank[i], row[i], col[i],
+            )
+
+    def test_link_kernel_matches_scalar(self):
+        from repro.cxl.link import CXLLink
+
+        scalar_link = CXLLink(64.0)
+        batch_link = CXLLink(64.0)
+        kernel = batch_link.batch_kernel()
+        starts = [0.0, 1.0, 1.5, 100.0, 100.0]
+        expected = [scalar_link.transfer(64, s) for s in starts]
+        got = [kernel.transfer(64, s) for s in starts]
+        kernel.sync()
+        assert got == expected
+        assert batch_link.busy_until_ns == scalar_link.busy_until_ns
+        assert batch_link.total_queue_delay_ns == scalar_link.total_queue_delay_ns
+        assert batch_link.transfers == scalar_link.transfers
+
+    def test_record_accesses_matches_scalar_loop(self):
+        def fresh():
+            tiered = TieredMemorySystem(
+                [
+                    MemoryNode(0, MemoryTier.LOCAL_DRAM, 1 << 20, 90.0, 38.4),
+                    MemoryNode(1, MemoryTier.CXL, 1 << 20, 190.0, 25.6),
+                ]
+            )
+            tiered.install_placement({0: 0, 1: 1, 2: 1})
+            return tiered
+
+        addresses = np.array([0, 100, 4096, 8191, 8200, 100], dtype=np.int64)
+        scalar = fresh()
+        for address in addresses.tolist():
+            scalar.record_access(int(address), 42.0)
+        batched = fresh()
+        batched.record_accesses(addresses, 42.0)
+        for page_id in (0, 1, 2):
+            assert scalar.page(page_id).access_count == batched.page(page_id).access_count
+            assert scalar.page(page_id).last_access_ns == batched.page(page_id).last_access_ns
+        assert scalar.node_access_counts() == batched.node_access_counts()
+        for node_id in (0, 1):
+            assert (
+                scalar.node_access_tracker(node_id).as_dict()
+                == batched.node_access_tracker(node_id).as_dict()
+            )
+
+    def test_node_id_table_tracks_generation(self):
+        tiered = TieredMemorySystem(
+            [
+                MemoryNode(0, MemoryTier.LOCAL_DRAM, 1 << 20, 90.0, 38.4),
+                MemoryNode(1, MemoryTier.CXL, 1 << 20, 190.0, 25.6),
+            ]
+        )
+        tiered.install_placement({0: 0, 1: 1})
+        table = tiered.node_id_table()
+        assert table.tolist() == [0, 1]
+        generation = tiered.generation
+        tiered.migrate_page(0, 1)
+        assert tiered.generation > generation
+        assert tiered.node_id_table().tolist() == [1, 1]
+        with pytest.raises(KeyError):
+            tiered.node_ids_of_pages(np.array([7]))
+
+    def test_placement_arrays(self):
+        nodes = [
+            MemoryNode(0, MemoryTier.LOCAL_DRAM, 1 << 20, 90.0, 38.4),
+            MemoryNode(1, MemoryTier.CXL, 1 << 20, 190.0, 25.6),
+            MemoryNode(2, MemoryTier.CXL, 1 << 20, 190.0, 25.6),
+        ]
+        is_local, device = placement_arrays(nodes)
+        assert is_local.tolist() == [True, False, False]
+        assert device.tolist() == [-1, 0, 1]
+
+    def test_node_serve_batch_matches_scalar(self):
+        scalar_node = MemoryNode(0, MemoryTier.LOCAL_DRAM, 1 << 20, 90.0, 38.4)
+        batch_node = MemoryNode(0, MemoryTier.LOCAL_DRAM, 1 << 20, 90.0, 38.4)
+        starts = [0.0, 0.5, 10.0, 10.0, 3.0]
+        expected = [scalar_node.serve(s, bytes_requested=128) for s in starts]
+        got = batch_node.serve_batch(starts, bytes_requested=128)
+        assert got.tolist() == expected
+        assert batch_node.busy_until_ns == scalar_node.busy_until_ns
+        assert batch_node.access_count == scalar_node.access_count
+
+    def test_access_tracker_record_many(self):
+        scalar_tracker = AccessTracker()
+        bulk_tracker = AccessTracker()
+        keys = [3, 1, 3, 2, 1, 3]
+        for key in keys:
+            scalar_tracker.record(key)
+        bulk_tracker.record_many(keys)
+        assert scalar_tracker.as_dict() == bulk_tracker.as_dict()
+        assert scalar_tracker.total == bulk_tracker.total
+        # Insertion order (the hottest/coldest tie-breaker) is preserved too.
+        assert list(scalar_tracker.keys()) == list(bulk_tracker.keys())
