@@ -13,6 +13,8 @@ Subcommands:
   with speedups against a baseline
 * ``figures`` — regenerate every figure/table of the paper (subsumes the
   old ``python -m repro.experiments.runner``)
+* ``bench`` — run the performance benchmark suite and record/update the
+  ``BENCH_*.json`` baselines (``--smoke`` for the relaxed CI mode)
 * ``systems`` — list the registered systems
 
 Also installed as the ``pifs-rec`` console script.
@@ -313,6 +315,70 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The perf-benchmark files ``bench`` knows by short name, in run order.
+BENCH_SUITES = {
+    "engine": "test_engine_vectorization.py",
+    "serve": "test_serve_vector.py",
+    "sweep": "test_sweep_scaling.py",
+    "workload": "test_workload_vectorization.py",
+}
+
+
+def _bench_directory():
+    """Locate the repository's ``benchmarks/`` directory (or ``None``).
+
+    The benchmarks are part of the source checkout, not the installed
+    package: look next to the current working directory first, then
+    relative to this file (``src/repro/api/cli.py`` → repo root).
+    """
+    import pathlib
+
+    candidates = (
+        pathlib.Path.cwd() / "benchmarks",
+        pathlib.Path(__file__).resolve().parents[3] / "benchmarks",
+    )
+    for candidate in candidates:
+        if (candidate / "conftest.py").is_file():
+            return candidate
+    return None
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    try:
+        import pytest
+    except ImportError:  # pragma: no cover - dev-only dependency
+        print(
+            "error: the bench subcommand needs pytest and pytest-benchmark "
+            "(pip install pytest pytest-benchmark)",
+            file=sys.stderr,
+        )
+        return 2
+    bench_dir = _bench_directory()
+    if bench_dir is None:
+        print(
+            "error: benchmarks/ directory not found — run from a source "
+            "checkout of the repository",
+            file=sys.stderr,
+        )
+        return 2
+    if args.smoke:
+        os.environ["REPRO_BENCH_SMOKE"] = "1"
+    smoke = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+    if args.all:
+        targets = [str(bench_dir)]
+    else:
+        suites = _dedupe(args.suite) if args.suite else list(BENCH_SUITES)
+        targets = [str(bench_dir / BENCH_SUITES[suite]) for suite in suites]
+    mode = "smoke mode (relaxed floors, no baselines recorded)" if smoke else (
+        "recording mode (BENCH_*.json baselines will be updated)"
+    )
+    print(f"running benchmarks in {mode}")
+    return int(pytest.main([*targets, "-q", "-s"]))
+
+
 def _cmd_systems(args: argparse.Namespace) -> int:
     from repro.api.registry import system_factory
 
@@ -483,6 +549,46 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_arguments(figures)
     figures.add_argument("--serial", action="store_true", help="disable the process pool")
     figures.set_defaults(func=_cmd_figures)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the performance benchmarks and record BENCH_*.json baselines",
+        description="Run the perf benchmark suite (engine vectorization, fabric "
+        "kernels, serve path, sweep scaling, workload build) under pytest.  "
+        "Outside smoke mode every suite pins its speedup floors and "
+        "records/updates the BENCH_*.json baseline files at the repository "
+        "root.  Honors REPRO_BENCH_SMOKE=1 (same as --smoke): shorter runs, "
+        "relaxed floors, no baselines written.",
+        epilog="examples:\n"
+        "  python -m repro bench                      # full run, updates BENCH_*.json\n"
+        "  python -m repro bench --smoke              # CI guard\n"
+        "  python -m repro bench --suite serve --suite sweep\n"
+        "  python -m repro bench --all                # also the paper-figure suite",
+        formatter_class=raw,
+    )
+    bench.add_argument(
+        "--suite",
+        action="append",
+        choices=sorted(BENCH_SUITES),
+        default=None,
+        metavar="NAME",
+        help="perf suite to run (repeatable): "
+        + " | ".join(sorted(BENCH_SUITES))
+        + " (default: all four)",
+    )
+    bench.add_argument(
+        "--all",
+        action="store_true",
+        help="run the entire benchmarks/ directory (adds the per-figure "
+        "regeneration suites; takes minutes)",
+    )
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smoke mode: sets REPRO_BENCH_SMOKE=1 (short runs, relaxed "
+        "floors, baselines untouched)",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     systems = subparsers.add_parser(
         "systems",

@@ -65,6 +65,16 @@ class DuplicateSystemError(ValueError):
 
 
 _REGISTRY: Dict[str, SystemFactory] = {}
+#: Bumped on every (un)registration.  Long-lived consumers that snapshot
+#: registry state — the persistent sweep worker pool forks with the
+#: registry baked in — compare generations to know when their snapshot is
+#: stale and must be rebuilt.
+_GENERATION = 0
+
+
+def registry_generation() -> int:
+    """Monotonic counter of registry mutations (see ``_GENERATION``)."""
+    return _GENERATION
 #: The names this package itself registers (and therefore guarantees are
 #: always resolvable); user/plugin registrations are never snapshotted.
 _BUILTIN_NAMES = ("pond", "pond+pm", "beacon", "recnmp", "tpp", "pifs-rec", "pifs-rec-nopm")
@@ -111,8 +121,10 @@ def register_system(
                         f"{getattr(existing, '__name__', existing)!r}; "
                         "pass replace=True to override"
                     )
+        global _GENERATION
         for key in keys:
             _REGISTRY[key] = target
+        _GENERATION += 1
         return target
 
     if factory is not None:
@@ -128,10 +140,12 @@ def unregister_system(name: str) -> None:
     the registry cannot be left broken for the process; to change a
     built-in's behavior, use ``register_system(..., replace=True)``.
     """
+    global _GENERATION
     factory = _REGISTRY.pop(str(name).lower(), None)
     if factory is not None:
         for alias in [key for key, value in _REGISTRY.items() if value is factory]:
             del _REGISTRY[alias]
+        _GENERATION += 1
 
 
 def _ensure_builtins() -> None:
@@ -213,6 +227,7 @@ __all__ = [
     "UnknownSystemError",
     "DuplicateSystemError",
     "register_system",
+    "registry_generation",
     "unregister_system",
     "system_factory",
     "create_system",

@@ -24,7 +24,7 @@ import os
 import pickle
 import types
 from dataclasses import dataclass, fields, replace
-from typing import Any, Callable, Dict, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
 
 from repro.api.registry import SystemFactory, UnknownSystemError, system_factory
 from repro.api.results import RunResult
@@ -291,8 +291,13 @@ def build_system_config(spec: RunSpec) -> SystemConfig:
     return config
 
 
-def _workload_key(spec: RunSpec) -> Optional[str]:
-    """Hash of only the workload-determining spec fields (or ``None``)."""
+def workload_key(spec: RunSpec) -> Optional[str]:
+    """Hash of only the workload-determining spec fields (or ``None``).
+
+    Two specs with equal keys replay the identical seeded workload — the
+    workload cache and the sweep engine's chunked scheduling (grid points
+    sharing a workload are executed by the same worker) both key on it.
+    """
     view = _cache_view(spec)
     parts = (
         view.model,
@@ -309,6 +314,10 @@ def _workload_key(spec: RunSpec) -> Optional[str]:
         return None
 
 
+#: Backwards-compatible private alias (pre-existing internal name).
+_workload_key = workload_key
+
+
 def build_workload(spec: RunSpec):
     """Build (or reuse) the seeded SLS workload for a spec.
 
@@ -318,7 +327,7 @@ def build_workload(spec: RunSpec):
     system configuration share a single build instead of regenerating an
     identical trace per run.
     """
-    key = _workload_key(spec)
+    key = workload_key(spec)
     if key is not None:
         hit = _WORKLOAD_CACHE.get(key)
         if hit is not None:
@@ -333,10 +342,43 @@ def build_workload(spec: RunSpec):
         pooling_factor=spec.pooling_factor,
     )
     if key is not None:
-        _WORKLOAD_CACHE[key] = workload
-        while len(_WORKLOAD_CACHE) > _WORKLOAD_CACHE_MAX:
-            _WORKLOAD_CACHE.pop(next(iter(_WORKLOAD_CACHE)))
+        seed_workload_cache(key, workload)
     return workload
+
+
+def cached_workload(key: Optional[str]):
+    """The workload cached under ``key``, or ``None``."""
+    if not key:
+        return None
+    return _WORKLOAD_CACHE.get(key)
+
+
+def seed_workload_cache(key: str, workload) -> None:
+    """Install a pre-built workload under its :func:`workload_key`.
+
+    The sweep engine ships parent-built workloads into its persistent
+    workers with the chunk they belong to, so no worker ever re-derives a
+    trace the parent (or an earlier sweep) already built.
+    """
+    _WORKLOAD_CACHE[key] = workload
+    while len(_WORKLOAD_CACHE) > _WORKLOAD_CACHE_MAX:
+        _WORKLOAD_CACHE.pop(next(iter(_WORKLOAD_CACHE)))
+
+
+def execute_chunk(
+    tasks: Sequence[Tuple[RunSpec, str]],
+    shared_workload_key: Optional[str] = None,
+    shared_workload: Any = None,
+) -> list:
+    """Execute a same-workload chunk of specs in one worker round trip.
+
+    Module-level and picklable (the unit the persistent sweep pool ships).
+    When the parent attaches the chunk's shared workload, it is installed
+    into the worker's cache first so every spec in the chunk reuses it.
+    """
+    if shared_workload_key and shared_workload is not None:
+        seed_workload_cache(shared_workload_key, shared_workload)
+    return [execute_spec(spec, key) for spec, key in tasks]
 
 
 def build_system(spec: RunSpec):
@@ -770,25 +812,22 @@ class Simulation:
                 grid_points=grid_points,
                 refine_iters=refine_iters,
             )
-        import multiprocessing
-        import sys as _sys
+        # The independent grid evaluations borrow the persistent sweep
+        # worker pool — no fork per sla_sweep() call, and the workers'
+        # workload caches carry over between sweeps.
+        from repro.api.sweep import worker_pool
 
         workers = min(grid_points, os.cpu_count() or 1) if processes is None else processes
-        context = (
-            multiprocessing.get_context("fork")
-            if _sys.platform.startswith("linux")
-            else multiprocessing.get_context()
+        pool = worker_pool().get(max(1, workers))
+        return _sla_sweep(
+            evaluator,
+            sla_ns,
+            qps_bounds,
+            percentile=percentile,
+            grid_points=grid_points,
+            refine_iters=refine_iters,
+            map_fn=pool.map,
         )
-        with context.Pool(processes=max(1, workers)) as pool:
-            return _sla_sweep(
-                evaluator,
-                sla_ns,
-                qps_bounds,
-                percentile=percentile,
-                grid_points=grid_points,
-                refine_iters=refine_iters,
-                map_fn=pool.map,
-            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         coords = ", ".join(f"{k}={v!r}" for k, v in self.describe().items())
@@ -805,9 +844,13 @@ __all__ = [
     "build_workload",
     "cache_size",
     "cached_result",
+    "cached_workload",
     "clear_cache",
+    "execute_chunk",
     "execute_serve_spec",
     "execute_spec",
+    "seed_workload_cache",
+    "workload_key",
     "public_copy",
     "safe_spec_key",
     "spec_key",

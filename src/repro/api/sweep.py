@@ -22,12 +22,20 @@ the scale-out experiments grow hosts, switches and devices together::
 
 Results come back in deterministic product order (first axis outermost)
 regardless of which worker finished first, and parallel execution is
-byte-identical to serial because every run re-derives its seeded workload
+byte-identical to serial because every run derives its seeded workload
 from the spec.  Runs are cached by config hash across sweeps.
+
+Parallel grids execute on a process-wide **persistent worker pool**
+(:func:`worker_pool`): grid points are scheduled as chunks grouped by
+workload key, each chunk ships (or derives) its trace exactly once, and
+the pool — with its workers' workload caches — survives across ``run()``
+calls, so a sequence of sweeps pays pool startup once and never
+re-derives a workload the process has already built.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import sys
@@ -41,13 +49,91 @@ from repro.api.session import (
     RunSpec,
     Simulation,
     cached_result,
+    cached_workload,
+    execute_chunk,
     execute_spec,
     model_label,
     public_copy,
     safe_spec_key,
+    seed_workload_cache,
     store_result,
     system_label,
+    workload_key,
 )
+
+
+def _pool_context():
+    # ``fork`` skips re-importing the package in every worker, but is only
+    # reliably safe on Linux (macOS frameworks can crash after fork, which
+    # is why spawn is the platform default there).  Specs and the executor
+    # functions are module-level and picklable, so the spawn-based default
+    # contexts work everywhere else.
+    if sys.platform.startswith("linux"):
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()  # pragma: no cover - macOS/Windows
+
+
+class WorkerPool:
+    """Persistent, reusable worker pool for parallel sweep execution.
+
+    The previous engine forked a fresh pool inside every ``Sweep.run``
+    call and tore it down with the grid: every sweep re-paid pool startup,
+    and the workers' workload/result caches died with them.  This pool is
+    created on first parallel use and then shared by every later sweep
+    (and SLA-sweep grid stage) in the process.  It is transparently
+    rebuilt when a larger pool is requested or when the system registry
+    changed since the workers were created — forked workers bake in the
+    registry, so a name registered afterwards would not resolve in a stale
+    worker.
+    """
+
+    def __init__(self) -> None:
+        self._pool = None
+        self._size = 0
+        self._generation = -1
+
+    def get(self, workers: int):
+        """A live pool with at least ``workers`` processes."""
+        from repro.api.registry import registry_generation
+
+        generation = registry_generation()
+        if self._pool is None or self._size < workers or self._generation != generation:
+            self.shutdown()
+            self._pool = _pool_context().Pool(processes=workers)
+            self._size = workers
+            self._generation = generation
+        return self._pool
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def active(self) -> bool:
+        return self._pool is not None
+
+    def shutdown(self) -> None:
+        """Terminate the pool (idempotent); the next ``get`` starts fresh."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._size = 0
+            self._generation = -1
+
+
+#: The process-wide persistent pool (see :class:`WorkerPool`).
+_WORKER_POOL = WorkerPool()
+atexit.register(_WORKER_POOL.shutdown)
+
+
+def worker_pool() -> WorkerPool:
+    """The process-wide persistent sweep pool."""
+    return _WORKER_POOL
+
+
+def shutdown_worker_pool() -> None:
+    """Tear down the persistent sweep pool (tests, embedders, benchmarks)."""
+    _WORKER_POOL.shutdown()
 
 
 @dataclass(frozen=True)
@@ -158,12 +244,20 @@ class Sweep:
         parallel: bool = False,
         processes: Optional[int] = None,
         cache: bool = True,
+        reuse_pool: bool = True,
     ) -> SweepResult:
         """Execute every grid point and return the ordered results.
 
-        ``parallel=True`` fans the uncached runs out over a process pool
-        (default size: CPU count capped at the number of runs).  Ordering
-        and values are identical to the serial path.
+        ``parallel=True`` fans the uncached runs out over the persistent
+        worker pool (default size: CPU count capped at the number of
+        runs): grid points are scheduled as chunks grouped by workload
+        key — every chunk's trace is derived (or fetched from the
+        cross-run cache) once and shared by all its runs — and the pool
+        itself survives across ``run()`` calls, so repeated sweeps pay
+        neither pool startup nor workload re-derivation.  Ordering and
+        values are identical to the serial path.  ``reuse_pool=False``
+        restores the legacy fork-per-call pool (mainly for benchmarking
+        the engines against each other).
         """
         sims, specs, keys = self._compile()
 
@@ -180,7 +274,7 @@ class Sweep:
         # objects (policies) mutate during the run, so a key recomputed
         # later would drift and a re-run of this sweep would miss the cache.
         fresh = self._execute(
-            [(specs[i], keys[i] or "") for i in pending], parallel, processes
+            [(specs[i], keys[i] or "") for i in pending], parallel, processes, reuse_pool
         )
         for index, result in zip(pending, fresh):
             slots[index] = result
@@ -199,25 +293,101 @@ class Sweep:
         return SweepResult(axes=self.axes, results=results)
 
     @staticmethod
+    def _chunk_by_workload(
+        tasks: Sequence[Tuple[RunSpec, str]], workers: int = 1
+    ) -> List[Tuple[List[int], Optional[str]]]:
+        """Group task indices into dispatch chunks sharing one workload.
+
+        Returns ``(indices, workload_key)`` pairs in deterministic
+        first-occurrence order; specs whose workload is not stably
+        hashable get singleton chunks with key ``None``.  When grouping
+        produces fewer chunks than ``workers`` — a systems-only sweep
+        collapses into a single workload group — the largest chunks are
+        split (each part still ships the same shared workload) so the
+        pool stays fully occupied.
+        """
+        chunks: List[Tuple[List[int], Optional[str]]] = []
+        by_key: Dict[str, List[int]] = {}
+        for index, (spec, _) in enumerate(tasks):
+            key = workload_key(spec)
+            if key is None:
+                chunks.append(([index], None))
+                continue
+            bucket = by_key.get(key)
+            if bucket is None:
+                bucket = [index]
+                by_key[key] = bucket
+                chunks.append((bucket, key))
+            else:
+                bucket.append(index)
+        # Subdivide until every worker can get a chunk (or chunks are all
+        # singletons).  Splitting is deterministic: always the largest
+        # chunk, earliest first on ties, halved in place.
+        target = min(workers, len(tasks))
+        while len(chunks) < target:
+            position = max(
+                range(len(chunks)), key=lambda i: (len(chunks[i][0]), -i)
+            )
+            indices, key = chunks[position]
+            if len(indices) <= 1:
+                break
+            middle = (len(indices) + 1) // 2
+            chunks[position : position + 1] = [
+                (indices[:middle], key),
+                (indices[middle:], key),
+            ]
+        return chunks
+
+    @staticmethod
     def _execute(
-        tasks: Sequence[Tuple[RunSpec, str]], parallel: bool, processes: Optional[int]
+        tasks: Sequence[Tuple[RunSpec, str]],
+        parallel: bool,
+        processes: Optional[int],
+        reuse_pool: bool = True,
     ) -> List[RunResult]:
         if not tasks:
             return []
         workers = min(len(tasks), os.cpu_count() or 1) if processes is None else processes
         if not parallel or workers <= 1 or len(tasks) == 1:
             return [execute_spec(spec, key) for spec, key in tasks]
-        # ``fork`` skips re-importing the package in every worker, but is
-        # only reliably safe on Linux (macOS frameworks can crash after
-        # fork, which is why spawn is the platform default there).  Specs
-        # and ``execute_spec`` are module-level and picklable, so the
-        # spawn-based default contexts work everywhere else.
-        if sys.platform.startswith("linux"):
-            context = multiprocessing.get_context("fork")
-        else:  # pragma: no cover - exercised on macOS/Windows hosts
-            context = multiprocessing.get_context()
-        with context.Pool(processes=workers) as pool:
-            return pool.starmap(execute_spec, list(tasks))
+        if not reuse_pool:
+            # Legacy engine: a fresh fork-per-call pool, one task per IPC
+            # round trip, no workload sharing.  Kept as the benchmark
+            # comparator and as an escape hatch.
+            with _pool_context().Pool(processes=workers) as pool:
+                return pool.starmap(execute_spec, list(tasks))
+
+        from collections import Counter
+
+        chunks = Sweep._chunk_by_workload(tasks, workers)
+        chunks_per_key = Counter(key for _, key in chunks if key is not None)
+        pool = _WORKER_POOL.get(workers)
+        grants = []
+        for indices, chunk_key in chunks:
+            chunk_tasks = [tasks[i] for i in indices]
+            # The chunk's workload travels with it when the parent already
+            # holds it (free — warmed by an earlier sweep or serial run) or
+            # when several runs share it, in which case one parent build
+            # replaces a per-worker derivation each and warms the
+            # cross-run cache.  A cold singleton derives in its worker, in
+            # parallel with the other chunks.
+            shared = cached_workload(chunk_key)
+            if (
+                shared is None
+                and chunk_key is not None
+                and (len(indices) > 1 or chunks_per_key[chunk_key] > 1)
+            ):
+                from repro.api.session import build_workload
+
+                shared = build_workload(chunk_tasks[0][0])
+            grants.append(
+                pool.apply_async(execute_chunk, (chunk_tasks, chunk_key, shared))
+            )
+        results: List[Optional[RunResult]] = [None] * len(tasks)
+        for (indices, _), grant in zip(chunks, grants):
+            for index, result in zip(indices, grant.get()):
+                results[index] = result
+        return results  # type: ignore[return-value]
 
 
 def run_grid(
@@ -230,4 +400,12 @@ def run_grid(
     return Sweep(over, base=base, **base_settings).run(parallel=parallel)
 
 
-__all__ = ["AxisPoint", "Sweep", "point", "run_grid"]
+__all__ = [
+    "AxisPoint",
+    "Sweep",
+    "WorkerPool",
+    "point",
+    "run_grid",
+    "shutdown_worker_pool",
+    "worker_pool",
+]

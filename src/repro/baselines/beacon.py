@@ -68,26 +68,24 @@ class BeaconSystem(SLSSystem):
         """The in-switch accumulation flow on pre-resolved batches."""
         ctx = self._vector
         begin, end = ctx.bounds[request.request_id]
-        node, node_offset = ctx.nodes_window(begin, end)
-        node_device = ctx.node_device
+        # CXL-only placement: the precomputed split is the whole bag.
+        _, remote_ks, remote_devs, _ = ctx.split(begin, end)
         page_slice = ctx.page[begin:end]
-        addr = ctx.addr
-        cch, cfb, crow = ctx.cch, ctx.cfb, ctx.crow
         # Every row is recorded at issue time: bulk-update the buffered
         # counters in C instead of three dict operations per row.
-        ctx.page_counts.update(page_slice)
+        ctx.pending_pages.extend(page_slice)
         ctx.page_last.update(dict.fromkeys(page_slice, start_ns))
-        rows = []
-        append = rows.append
-        for k in range(begin, end):
-            append((addr[k], node_device[node[k - node_offset]], cch[k], cfb[k], crow[k]))
-        self._counters["cxl_rows"] += len(rows)
+        self._counters["cxl_rows"] += len(remote_ks)
 
-        kernel = ctx.switch_kernels[0]
-        port_transfer = ctx.port_transfer[host_id][0]
-        _, notified = kernel.accumulate(
-            port_transfer,
-            rows,
+        _, notified = ctx.switch_kernels[0].accumulate(
+            ctx.port_transfer[host_id][0],
+            ctx.port_stream[host_id][0],
+            remote_ks,
+            remote_devs,
+            ctx.addr,
+            ctx.cch,
+            ctx.cfb,
+            ctx.crow,
             ctx.dev_access_switch,
             start_ns,
             per_row_overhead_ns=self.ADDRESS_TRANSLATION_NS,

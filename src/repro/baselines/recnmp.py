@@ -151,43 +151,57 @@ class RecNMPSystem(SLSSystem):
     def prepare_vector(self, ctx) -> None:
         self._rank_cache_kernel = self._rank_cache.batch_kernel()
         ctx.extra_kernels.append(self._rank_cache_kernel)
+        # Route table, built once per session: for every (host, device) the
+        # bound closures a remote NMP burst needs — device link, device
+        # DRAM, the host's upstream port on the device's switch — plus the
+        # switch forwarding latency.  Closures stay live until the session's
+        # final sync, so the request loop pays one list index per bucket.
+        self._nmp_routes = [
+            [
+                (
+                    kernel.link_transfer,
+                    kernel.link_transfer_seq,
+                    kernel.dram.access,
+                    ctx.port_transfer[host_id][switch_id],
+                    ctx.port_stream[host_id][switch_id],
+                    ctx.forward_ns[switch_id],
+                )
+                for kernel, switch_id in zip(ctx.device_kernels, ctx.device_switch)
+            ]
+            for host_id in range(ctx.num_hosts)
+        ]
 
     def process_request_vector(self, request: SLSRequest, start_ns: float, host_id: int) -> float:
         """The NMP request flow on pre-resolved batches (same arithmetic)."""
         ctx = self._vector
         begin, end = ctx.bounds[request.request_id]
-        node, node_offset = ctx.nodes_window(begin, end)
-        node_is_local = ctx.node_is_local
-        node_device = ctx.node_device
+        local_ks, remote_ks, remote_devs, _ = ctx.split(begin, end)
         page_slice = ctx.page[begin:end]
         addr = ctx.addr
         counters = self._counters
         # Every row is recorded at the request issue time: bulk-update the
         # buffered counters in C instead of per-row dict arithmetic.
-        ctx.page_counts.update(page_slice)
+        ctx.pending_pages.extend(page_slice)
         ctx.page_last.update(dict.fromkeys(page_slice, start_ns))
         cache = self._rank_cache_kernel
-        lookup = cache.lookup
+        # The RankCache is LRU: the profiler feed is bulk-recorded once per
+        # bag (every row is probed exactly once) and the per-row probe skips
+        # it — bit-identical buffer and profiler state, ~half the dict work.
+        probe = cache.probe
         insert = cache.insert
+        cache.record(addr[begin:end])
         hit_ns = self._rank_cache.hit_latency_ns()
         accumulate_ns = self.NMP_ACCUMULATE_NS
         hits = 0
         misses = 0
 
-        local_ks: List[int] = []
-        local_append = local_ks.append
         by_device: dict = {}
-        for k in range(begin, end):
-            node_id = node[k - node_offset]
-            if node_is_local[node_id]:
-                local_append(k)
+        for j, k in enumerate(remote_ks):
+            bucket = by_device.get(remote_devs[j])
+            if bucket is None:
+                by_device[remote_devs[j]] = [k]
             else:
-                device_id = node_device[node_id]
-                bucket = by_device.get(device_id)
-                if bucket is None:
-                    by_device[device_id] = [k]
-                else:
-                    bucket.append(k)
+                bucket.append(k)
 
         # Local rows: DIMM-side NMP with the RankCache, all issued together.
         local_done = start_ns
@@ -196,15 +210,22 @@ class RecNMPSystem(SLSSystem):
             dram_access = ctx.local_access[0]  # the scalar path uses host 0's DIMMs
             issue = start_ns + self.NMP_COMMAND_NS
             last_row = issue
+            # Hits all finish at the same issue-anchored time — fold their
+            # timing in once; per hit row only the cache probe runs.
+            any_hit = False
             for k in local_ks:
-                if lookup(addr[k]):
-                    hits += 1
-                    ready = issue + hit_ns
+                if probe(addr[k]):
+                    any_hit = True
                 else:
                     misses += 1
                     ready = dram_access(lch[k], lfb[k], lrow[k], issue)
                     insert(addr[k])
-                done = ready + accumulate_ns
+                    done = ready + accumulate_ns
+                    if done > last_row:
+                        last_row = done
+            if any_hit:
+                hits += len(local_ks) - misses
+                done = (issue + hit_ns) + accumulate_ns
                 if done > last_row:
                     last_row = done
             counters["local_rows"] += len(local_ks)
@@ -220,28 +241,46 @@ class RecNMPSystem(SLSSystem):
             cxl_overhead = self.HOST_CXL_OVERHEAD_NS
             remote_rows = 0
             best = None
+            routes = self._nmp_routes[host_id]
             for device_id, ks in by_device.items():
-                device_kernel = ctx.device_kernels[device_id]
-                link_transfer = device_kernel.link_transfer
-                dram_access = device_kernel.dram.access
-                switch_id = ctx.device_switch[device_id]
-                port_transfer = ctx.port_transfer[host_id][switch_id]
-                forward_ns = ctx.forward_ns[switch_id]
+                link_transfer, link_seq, dram_access, port_transfer, port_stream, forward_ns = routes[
+                    device_id
+                ]
+                count = len(ks)
+                remote_rows += count
+                # The per-row NMP commands are all issued at start_ns: one
+                # stream call crosses the upstream port, one sequenced call
+                # the device link — the same serialization chains as the
+                # per-row transfers (the port and device links never
+                # interleave within one device's burst).
+                commands_at_dimm = link_seq(
+                    slot_bytes, port_stream(slot_bytes, start_ns, count), forward_ns
+                )
                 last_row = start_ns
-                remote_rows += len(ks)
-                for k in ks:
-                    command_at_switch = port_transfer(slot_bytes, start_ns) + forward_ns
-                    command_at_dimm = link_transfer(slot_bytes, command_at_switch) + controller_penalty
-                    if lookup(addr[k]):
-                        hits += 1
-                        ready = command_at_dimm + hit_ns
+                # Cache hits finish in command order (the device-link chain
+                # is non-decreasing): the last hit stands in for all of
+                # them, so per hit row only the probe runs.
+                last_hit = -1
+                bucket_misses = 0
+                for i in range(count):
+                    k = ks[i]
+                    if probe(addr[k]):
+                        last_hit = i
                     else:
-                        misses += 1
-                        ready = dram_access(cch[k], cfb[k], crow[k], command_at_dimm)
+                        bucket_misses += 1
+                        ready = dram_access(
+                            cch[k], cfb[k], crow[k], commands_at_dimm[i] + controller_penalty
+                        )
                         insert(addr[k])
-                    done = ready + accumulate_ns
+                        done = ready + accumulate_ns
+                        if done > last_row:
+                            last_row = done
+                if last_hit >= 0:
+                    done = ((commands_at_dimm[last_hit] + controller_penalty) + hit_ns) + accumulate_ns
                     if done > last_row:
                         last_row = done
+                hits += count - bucket_misses
+                misses += bucket_misses
                 result_at_switch = link_transfer(row_bytes, last_row)
                 result_at_host = port_transfer(row_bytes, result_at_switch)
                 finish = result_at_host + cxl_overhead

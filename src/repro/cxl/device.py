@@ -145,7 +145,13 @@ class CXLDeviceKernel:
         self._device = device
         self._bytes_requested = bytes_requested
         self.dram = device.dram.batch_kernel(bytes_requested)
-        self.access_host, self.access_switch, self.link_transfer, self._snapshot = self._build()
+        (
+            self.access_host,
+            self.access_switch,
+            self.link_transfer,
+            self.link_transfer_seq,
+            self._snapshot,
+        ) = self._build()
 
     @property
     def mapping(self):
@@ -301,10 +307,35 @@ class CXLDeviceKernel:
             transfers += 1
             return busy_until + propagation
 
+        def link_transfer_seq(bytes_count: int, starts, offset_ns: float = 0.0) -> list:
+            """One raw link transfer per ``starts[i] + offset_ns``, in order.
+
+            Batch counterpart of calling ``link_transfer`` once per start;
+            same arithmetic, so arrivals and link state are bit-identical
+            (RecNMP's per-device NMP command bursts use it, with
+            ``offset_ns`` carrying the switch forwarding latency)."""
+            nonlocal busy_until, queued, nbytes, transfers
+            serialization = bytes_count / bandwidth
+            arrivals = []
+            append = arrivals.append
+            busy = busy_until
+            wait = queued
+            for arrival in starts:
+                start_ns = arrival + offset_ns
+                begin = start_ns if start_ns > busy else busy
+                wait += begin - start_ns
+                busy = begin + serialization
+                append(busy + propagation)
+            busy_until = busy
+            queued = wait
+            nbytes += bytes_count * len(starts)
+            transfers += len(starts)
+            return arrivals
+
         def snapshot():
             return busy_until, queued, nbytes, transfers, reads
 
-        return access_host, access_switch, link_transfer, snapshot
+        return access_host, access_switch, link_transfer, link_transfer_seq, snapshot
 
     def sync(self) -> None:
         """Write counters, link and DRAM state back into the device."""
@@ -317,7 +348,13 @@ class CXLDeviceKernel:
         link._bytes_transferred += nbytes
         link._transfers += transfers
         self.dram.sync()
-        self.access_host, self.access_switch, self.link_transfer, self._snapshot = self._build()
+        (
+            self.access_host,
+            self.access_switch,
+            self.link_transfer,
+            self.link_transfer_seq,
+            self._snapshot,
+        ) = self._build()
 
 
 __all__ = ["CXLType3Device", "CXLDeviceKernel"]

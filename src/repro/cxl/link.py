@@ -103,12 +103,14 @@ class LinkKernel:
     ``SwitchPortKernel`` and ``CXLDeviceKernel`` inline the same block (they
     must share closure state with their fused read paths) — keep all three
     in sync; the engine equivalence suite pins each against the scalar
-    oracle.
+    oracle.  The same applies to the sequenced loop: :meth:`transfer_seq`
+    here is the reference for ``SwitchPortKernel.transfer_stream`` (fixed
+    start) and ``CXLDeviceKernel.link_transfer_seq`` (offset starts).
     """
 
     def __init__(self, link: CXLLink) -> None:
         self._link = link
-        self.transfer, self._snapshot = self._build()
+        self.transfer, self.transfer_seq, self._snapshot = self._build()
 
     def _build(self):
         link = self._link
@@ -129,10 +131,35 @@ class LinkKernel:
             transfers += 1
             return busy_until + propagation
 
+        def transfer_seq(bytes_count: int, starts, offset_ns: float = 0.0) -> list:
+            """One equal-size transfer per ``starts[i] + offset_ns``, in order.
+
+            Batch counterpart of calling ``transfer`` once per start time;
+            the loop body is the exact ``transfer`` arithmetic, so arrival
+            times and link state are bit-identical.
+            """
+            nonlocal busy_until, queued, nbytes, transfers
+            serialization = bytes_count / bandwidth
+            arrivals = []
+            append = arrivals.append
+            busy = busy_until
+            wait = queued
+            for arrival in starts:
+                start_ns = arrival + offset_ns
+                begin = start_ns if start_ns > busy else busy
+                wait += begin - start_ns
+                busy = begin + serialization
+                append(busy + propagation)
+            busy_until = busy
+            queued = wait
+            nbytes += bytes_count * len(starts)
+            transfers += len(starts)
+            return arrivals
+
         def snapshot():
             return busy_until, queued, nbytes, transfers
 
-        return transfer, snapshot
+        return transfer, transfer_seq, snapshot
 
     def sync(self) -> None:
         """Write the kernel's state and counters back into the link."""
@@ -142,7 +169,7 @@ class LinkKernel:
         link._queued_ns += queued
         link._bytes_transferred += nbytes
         link._transfers += transfers
-        self.transfer, self._snapshot = self._build()
+        self.transfer, self.transfer_seq, self._snapshot = self._build()
 
 
 __all__ = ["CXLLink", "LinkKernel"]

@@ -206,7 +206,7 @@ class SwitchPortKernel:
         self._flit_bytes = switch.config.flit_bytes
         self._forward_ns = type(switch).FORWARD_LATENCY_NS
         self._forwarded = forwarded_cell
-        self.transfer, self.host_read, self._snapshot = self._build()
+        self.transfer, self.transfer_stream, self.host_read, self._snapshot = self._build()
 
     def _build(self):
         link = self._link
@@ -236,6 +236,31 @@ class SwitchPortKernel:
             transfers += 1
             return busy_until + propagation
 
+        def transfer_stream(bytes_count: int, start_ns: float, count: int) -> list:
+            """``count`` equal-size transfers all issued at ``start_ns``.
+
+            One call replaces ``count`` ``transfer`` calls (the PIFS
+            instruction stream, RecNMP's NMP command bursts); the loop body
+            is the exact ``transfer`` arithmetic, so the returned arrival
+            times are bit-identical.
+            """
+            nonlocal busy_until, queued, nbytes, transfers
+            serialization = bytes_count / bandwidth
+            arrivals = []
+            append = arrivals.append
+            busy = busy_until
+            wait = queued
+            for _ in range(count):
+                begin = start_ns if start_ns > busy else busy
+                wait += begin - start_ns
+                busy = begin + serialization
+                append(busy + propagation)
+            busy_until = busy
+            queued = wait
+            nbytes += bytes_count * count
+            transfers += count
+            return arrivals
+
         def host_read(device_access, channel: int, flat_bank: int, row: int, issue_ns: float) -> float:
             nonlocal busy_until, queued, nbytes, transfers
             forwarded[0] += 1
@@ -257,7 +282,7 @@ class SwitchPortKernel:
         def snapshot():
             return busy_until, queued, nbytes, transfers
 
-        return transfer, host_read, snapshot
+        return transfer, transfer_stream, host_read, snapshot
 
     def sync(self) -> None:
         busy_until, queued, nbytes, transfers = self._snapshot()
@@ -266,7 +291,7 @@ class SwitchPortKernel:
         link._queued_ns += queued
         link._bytes_transferred += nbytes
         link._transfers += transfers
-        self.transfer, self.host_read, self._snapshot = self._build()
+        self.transfer, self.transfer_stream, self.host_read, self._snapshot = self._build()
 
 
 class FabricSwitchKernel:

@@ -24,6 +24,10 @@ class FabricTopology:
         self._num_switches = num_switches
         self._config = cxl_config
         self._edges: Dict[int, set] = {i: set() for i in range(num_switches)}
+        #: (src, dst) -> hop latency, the route table built lazily from the
+        #: BFS below and reused for every request of the session; mutating
+        #: the connectivity invalidates it.
+        self._hop_latency_cache: Dict[Tuple[int, int], float] = {}
         if fully_connected:
             for a in range(num_switches):
                 for b in range(num_switches):
@@ -42,6 +46,7 @@ class FabricTopology:
             raise ValueError("cannot link a switch to itself")
         self._edges[a].add(b)
         self._edges[b].add(a)
+        self._hop_latency_cache.clear()
 
     def neighbors(self, switch_id: int) -> List[int]:
         self._validate(switch_id)
@@ -76,8 +81,18 @@ class FabricTopology:
         raise ValueError(f"switches {src} and {dst} are not connected")
 
     def hop_latency_ns(self, src: int, dst: int) -> float:
-        """Latency contributed by inter-switch hops between two switches."""
-        return self.hop_count(src, dst) * self._config.inter_switch_hop_ns
+        """Latency contributed by inter-switch hops between two switches.
+
+        The underlying BFS runs once per (src, dst) pair; the forwarding
+        layer reads this per remote accumulation, so the answer comes from
+        the route table after the first lookup.
+        """
+        key = (src, dst)
+        cached = self._hop_latency_cache.get(key)
+        if cached is None:
+            cached = self.hop_count(src, dst) * self._config.inter_switch_hop_ns
+            self._hop_latency_cache[key] = cached
+        return cached
 
     def _validate(self, switch_id: int) -> None:
         if not 0 <= switch_id < self._num_switches:

@@ -207,6 +207,89 @@ class DRAMKernel:
 
         return access
 
+    def mlp_bag(self, mlp: int, overhead_ns: float, accumulate_ns: float):
+        """Fused MLP-grouped bag accumulation over this device (one call/bag).
+
+        Returns ``bag(ks, lch, lfb, lrow, start_ns, page, page_last)``: the
+        exact per-row loop of the PIFS local accumulation — rows issued in
+        ``mlp``-sized groups, each group's finish is the max over its
+        per-row DRAM accesses plus ``overhead_ns``, the group then pays the
+        SIMD ``accumulate_ns`` per row, and every row stamps its page's
+        last-access time at the group cursor — with the DRAM bank/bus state
+        *and* the loop in one closure, so a whole bag costs one Python
+        call.  Built once per session; arithmetic and iteration order are
+        identical to calling :attr:`access` per row.
+        """
+        bank_open = self.bank_open
+        bank_ready = self.bank_ready
+        bank_hits = self.bank_hits
+        bank_misses = self.bank_misses
+        bank_conflicts = self.bank_conflicts
+        bus_free = self.bus_free
+        busy_ns = self.busy_ns
+        accesses = self.accesses
+        box = self.controller_box
+        hit_ns = self.hit_ns
+        miss_ns = self.miss_ns
+        conflict_ns = self.conflict_ns
+        recovery_ns = self.recovery_ns
+        burst_time = self.burst_time
+        dram_overhead = self.overhead_ns
+
+        def bag(ks, lch, lfb, lrow, start_ns, page, page_last):
+            count = len(ks)
+            cursor = start_ns
+            finish = start_ns
+            index = 0
+            while index < count:
+                group_end = index + mlp
+                if group_end > count:
+                    group_end = count
+                group_finish = cursor
+                for position in range(index, group_end):
+                    k = ks[position]
+                    page_last[page[k]] = cursor
+                    flat_bank = lfb[k]
+                    # --- inlined DRAMKernel.access ---
+                    ready_at = bank_ready[flat_bank]
+                    start = cursor if cursor > ready_at else ready_at
+                    open_row = bank_open[flat_bank]
+                    row = lrow[k]
+                    if open_row == row:
+                        latency = hit_ns
+                        bank_hits[flat_bank] += 1
+                    elif open_row < 0:
+                        latency = miss_ns
+                        bank_misses[flat_bank] += 1
+                    else:
+                        latency = conflict_ns
+                        bank_conflicts[flat_bank] += 1
+                    data_ready = start + latency
+                    bank_open[flat_bank] = row
+                    bank_ready[flat_bank] = data_ready + recovery_ns
+                    channel = lch[k]
+                    bus = bus_free[channel]
+                    start_burst = data_ready if data_ready > bus else bus
+                    media_done = start_burst + burst_time
+                    bus_free[channel] = media_done
+                    busy_ns[channel] += burst_time
+                    accesses[channel] += 1
+                    media_done += dram_overhead
+                    box[0] += 1
+                    box[1] += media_done - cursor
+                    if media_done > box[2]:
+                        box[2] = media_done
+                    # --- end inlined block ---
+                    done = media_done + overhead_ns
+                    if done > group_finish:
+                        group_finish = done
+                cursor = group_finish
+                finish = group_finish + (group_end - index) * accumulate_ns
+                index = group_end
+            return finish
+
+        return bag
+
     def access_batch(self, addresses: np.ndarray, arrival_ns) -> np.ndarray:
         """Service a batch of reads in order; returns per-access finish times.
 

@@ -101,7 +101,11 @@ class MultiSwitchCoordinator:
         return self._cnv[switch_id]
 
     def hop_latency_ns(self, src: int, dst: int) -> float:
-        """Inter-switch hop latency between two switches of the fabric."""
+        """Inter-switch hop latency between two switches of the fabric.
+
+        Served from the topology's route table — the BFS behind it runs
+        once per (src, dst) pair per session, not once per request.
+        """
         return self._topology.hop_latency_ns(src, dst)
 
     def partition_rows(self, row_switches: Sequence[int]) -> Dict[int, int]:

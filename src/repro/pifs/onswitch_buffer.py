@@ -232,11 +232,20 @@ class BufferKernel:
     buffer's own code), while the hit/miss/interval counters live in locals
     until :meth:`sync`.  Behaviour is identical to the scalar methods,
     including the HTR re-curation trigger position inside ``lookup``.
+
+    Policies that never *read* the profiler mid-stream (LRU, FIFO, none —
+    only HTR consults counts for eviction and curation) additionally get a
+    ``probe``/``record`` pair: ``probe`` is ``lookup`` minus the per-row
+    profiler increment, and ``record`` folds a whole batch of addresses
+    into the profiler with one C-level counter update.  A
+    ``probe``+``record`` sequence leaves bit-identical buffer, profiler
+    and counter state; for HTR ``probe`` is ``None`` and callers use the
+    exact ``lookup``.
     """
 
     def __init__(self, buffer: OnSwitchBuffer) -> None:
         self._buffer = buffer
-        self.lookup, self.insert, self._snapshot = self._build()
+        self.lookup, self.probe, self.record, self.insert, self._snapshot = self._build()
 
     def _build(self):
         buffer = self._buffer
@@ -275,6 +284,35 @@ class BufferKernel:
                 since_curate = 0
             return hit
 
+        def probe(address: int) -> bool:
+            """``lookup`` without the profiler increment (LRU/FIFO/none only)."""
+            nonlocal hits, misses
+            if disabled:
+                misses += 1
+                return False
+            if address in entries:
+                hits += 1
+                if is_lru:
+                    move_to_end(address)
+                return True
+            misses += 1
+            return False
+
+        pending: list = []
+        pending_extend = pending.extend
+
+        def record(addresses) -> None:
+            """Queue the profiler increments ``probe`` skipped, folded at sync.
+
+            Non-HTR policies never read the profiler mid-session, so the
+            counts can accumulate as a flat list (C-level ``extend``) and
+            hit the Counter once.
+            """
+            nonlocal recorded, since_curate
+            pending_extend(addresses)
+            recorded += len(addresses)
+            since_curate += len(addresses)
+
         heappush = heapq.heappush
 
         def insert(address: int) -> None:
@@ -296,9 +334,18 @@ class BufferKernel:
                 buffer._fifo.append(address)
 
         def snapshot():
+            if pending:
+                profiler_counts.update(pending)
+                del pending[:]
             return hits, misses, recorded, since_curate
 
-        return lookup, insert, snapshot
+        # HTR reads profiler counts on every eviction/curation decision, so
+        # only the exact per-row lookup preserves its behaviour.
+        if is_htr:
+            probe_out = record_out = None
+        else:
+            probe_out, record_out = probe, record
+        return lookup, probe_out, record_out, insert, snapshot
 
     def sync(self) -> None:
         """Fold the buffered counters back into the buffer object."""
@@ -308,7 +355,7 @@ class BufferKernel:
         buffer._misses += misses
         buffer._profiler._total += recorded
         buffer._accesses_since_curate = since_curate
-        self.lookup, self.insert, self._snapshot = self._build()
+        self.lookup, self.probe, self.record, self.insert, self._snapshot = self._build()
 
 
 __all__ = ["OnSwitchBuffer", "BufferKernel"]

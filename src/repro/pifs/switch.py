@@ -264,56 +264,91 @@ class PIFSSwitchKernel(FabricSwitchKernel):
     def accumulate(
         self,
         port_transfer,
-        rows: Sequence[Tuple[int, int, int, int, int]],
+        port_stream,
+        ks: Sequence[int],
+        devs: Sequence[int],
+        addr: Sequence[int],
+        cch: Sequence[int],
+        cfb: Sequence[int],
+        crow: Sequence[int],
         device_access,
         issue_ns: float,
         per_row_overhead_ns: float = 0.0,
         notify_host: bool = True,
     ) -> Tuple[float, float]:
-        """One in-switch accumulation over pre-resolved ``rows``.
+        """One in-switch accumulation over pre-resolved row positions.
 
-        ``rows`` are ``(address, device_id, channel, flat_bank, dram_row)``
-        tuples, ``port_transfer`` the issuing host port's upstream-link
-        closure and ``device_access`` the per-device ``access_switch``
-        closures indexed by device id.  Returns ``(result_ready_ns,
-        host_notified_ns)``.
+        ``ks`` are resolved workload positions indexing the session columns
+        ``addr``/``cch``/``cfb``/``crow`` (address and CXL-DRAM coordinates)
+        and ``devs`` the owning device id aligned with ``ks``;
+        ``port_transfer``/``port_stream`` are the issuing host port's
+        upstream-link closures and ``device_access`` the per-device
+        ``access_switch`` closures indexed by device id.  Returns
+        ``(result_ready_ns, host_notified_ns)``.
+
+        The whole fetch-instruction stream crosses the upstream link in a
+        single ``port_stream`` call (every instruction is issued at
+        ``configured_ns``), the FM address profile — never read during an
+        accumulation — is folded in with one bulk counter update, and
+        buffer hits skip their timing arithmetic entirely (their finish
+        times are monotone in instruction order, so the last hit stands in
+        for all of them), leaving per hit row only the buffer probe.
         """
-        if not rows:
+        count = len(ks)
+        if not count:
             raise ValueError("accumulate() needs at least one row")
         # Step 1: sumtag allocation + configuration instruction.
         self._next_sumtag = (self._next_sumtag + 1) % 512
         configured_ns = port_transfer(self._flit_bytes, issue_ns) + self._configure_ns
-        # Steps 2-4: per-row fetch, buffer/device data path, accumulation.
-        slot_bytes = self._slot_bytes
+        # Step 2: the fetch-instruction stream, pipelined on the upstream
+        # link — all issued at configured_ns, so one stream call replays the
+        # per-instruction serialization exactly.
+        arrivals = port_stream(self._slot_bytes, configured_ns, count)
+        # FM address profiling is read only between sessions: one bulk update.
+        addresses = [addr[k] for k in ks]
+        self._fm_counts.update(addresses)
+        self._fm_recorded += count
+        fm_io = self._fm_io
+        fm_io_get = fm_io.get
+        # Steps 3-4: per-row buffer/device data path and accumulation.
         register_ns = self._register_fetch_ns
         element_ns = self._element_ns
         hit_ns = self._hit_latency_ns
-        fm_counts = self._fm_counts
-        fm_io = self._fm_io
         lookup = self.buffer.lookup
         insert = self.buffer.insert
         last_done = configured_ns
-        recorded = 0
-        for address, device_id, channel, flat_bank, dram_row in rows:
-            instr_at_switch = port_transfer(slot_bytes, configured_ns)
-            ready_to_issue = instr_at_switch + register_ns
-            ready_to_issue += per_row_overhead_ns
-            fm_counts[address] += 1
-            recorded += 1
-            fm_io[device_id] = fm_io.get(device_id, 0) + 1
+        # Buffer hits finish in instruction order (the arrival chain on the
+        # serializing upstream link is non-decreasing), so only the last
+        # hit's finish time has to be materialized — per hit row the loop
+        # below does the buffer probe and nothing else.
+        last_hit = -1
+        for i in range(count):
+            address = addresses[i]
+            device_id = devs[i]
+            fm_io[device_id] = fm_io_get(device_id, 0) + 1
             if lookup(address):
-                data_ready = ready_to_issue + hit_ns
+                last_hit = i
             else:
+                k = ks[i]
+                # The scalar path adds the register latency and the per-row
+                # overhead (BEACON's address translation) as separate sums.
                 data_ready = device_access[device_id](
-                    channel, flat_bank, dram_row, address, ready_to_issue
+                    cch[k],
+                    cfb[k],
+                    crow[k],
+                    address,
+                    (arrivals[i] + register_ns) + per_row_overhead_ns,
                 )
                 insert(address)
-            done = data_ready + element_ns
+                done = data_ready + element_ns
+                if done > last_done:
+                    last_done = done
+        if last_hit >= 0:
+            done = ((arrivals[last_hit] + register_ns) + per_row_overhead_ns + hit_ns) + element_ns
             if done > last_done:
                 last_done = done
-        self._fm_recorded += recorded
         self._accumulations += 1
-        self._elements += len(rows)
+        self._elements += count
         if last_done > self._last_retire_ns:
             self._last_retire_ns = last_done
         # Step 5: result writeback to the host's reserved address.

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.api.registry import register_system
 from repro.config import SystemConfig
@@ -150,6 +150,18 @@ class PIFSRecSystem(SLSSystem):
     # ------------------------------------------------------------------
     # Vector-engine twin
     # ------------------------------------------------------------------
+    def prepare_vector(self, ctx) -> None:
+        """Build the per-host fused local-accumulation closures once."""
+        num_drams = len(ctx.local_dram_kernels)
+        self._local_bags = [
+            ctx.local_dram_kernels[host_id % num_drams].mlp_bag(
+                self.hosts[host_id].LOCAL_MLP,
+                self.HOST_LOCAL_OVERHEAD_NS,
+                self.hosts[host_id].HOST_ACCUMULATE_NS_PER_ROW,
+            )
+            for host_id in range(ctx.num_hosts)
+        ]
+
     def process_request_vector(self, request: SLSRequest, start_ns: float, host_id: int) -> float:
         """The PIFS-Rec request flow on pre-resolved batches.
 
@@ -159,57 +171,27 @@ class PIFSRecSystem(SLSSystem):
         """
         ctx = self._vector
         begin, end = ctx.bounds[request.request_id]
-        node, node_offset = ctx.nodes_window(begin, end)
-        node_is_local = ctx.node_is_local
+        local_ks, remote_ks, remote_devs, remote_sws = ctx.split(begin, end)
         page = ctx.page
         page_last = ctx.page_last
-        # Counts carry no timestamps: bulk-count the whole bag in C.  A page
-        # holds rows of exactly one node, so the local (cursor-stamped) and
-        # remote (issue-stamped) page sets below are disjoint.
-        ctx.page_counts.update(page[begin:end])
-
-        local_ks: List[int] = []
-        remote_ks: List[int] = []
-        local_append = local_ks.append
-        remote_append = remote_ks.append
-        for k in range(begin, end):
-            if node_is_local[node[k - node_offset]]:
-                local_append(k)
-            else:
-                remote_append(k)
+        # Counts carry no timestamps: bulk-append the whole bag in C (the
+        # Counter is built at flush).  A page holds rows of exactly one
+        # node, so the local (cursor-stamped) and remote (issue-stamped)
+        # page sets below are disjoint.
+        ctx.pending_pages.extend(page[begin:end])
         host = self.hosts[host_id]
         stats = host.stats
         stats.local_rows += len(local_ks)
         stats.remote_rows += len(remote_ks)
 
-        # Local candidates: host-side loads in LOCAL_MLP groups.
+        # Local candidates: host-side loads in LOCAL_MLP groups, run through
+        # the per-host fused DRAM bag closure (one Python call per bag).
         local_done = start_ns
         if local_ks:
-            lch, lfb, lrow = ctx.lch, ctx.lfb, ctx.lrow
-            dram_access = ctx.local_access[host_id % ctx.num_local_drams]
-            local_overhead = self.HOST_LOCAL_OVERHEAD_NS
-            accumulate_ns = host.HOST_ACCUMULATE_NS_PER_ROW
-            mlp = host.LOCAL_MLP
-            local_count = len(local_ks)
-            cursor = start_ns
-            finish = start_ns
-            index = 0
-            while index < local_count:
-                group_end = index + mlp
-                if group_end > local_count:
-                    group_end = local_count
-                group_finish = cursor
-                for position in range(index, group_end):
-                    k = local_ks[position]
-                    page_last[page[k]] = cursor
-                    done = dram_access(lch[k], lfb[k], lrow[k], cursor) + local_overhead
-                    if done > group_finish:
-                        group_finish = done
-                cursor = group_finish
-                finish = group_finish + (group_end - index) * accumulate_ns
-                index = group_end
-            self._counters["local_rows"] += local_count
-            local_done = finish
+            local_done = self._local_bags[host_id](
+                local_ks, ctx.lch, ctx.lfb, ctx.lrow, start_ns, page, page_last
+            )
+            self._counters["local_rows"] += len(local_ks)
 
         if not remote_ks:
             return local_done
@@ -217,42 +199,61 @@ class PIFSRecSystem(SLSSystem):
         # Remote candidates: record at issue time, then accumulate in-fabric.
         addr = ctx.addr
         cch, cfb, crow = ctx.cch, ctx.cfb, ctx.crow
-        node_device = ctx.node_device
-        device_switch = ctx.device_switch
         page_last.update(dict.fromkeys([page[k] for k in remote_ks], start_ns))
-        by_switch: Dict[int, list] = {}
-        for k in remote_ks:
-            device_id = node_device[node[k - node_offset]]
-            row = (addr[k], device_id, cch[k], cfb[k], crow[k])
-            switch_id = device_switch[device_id]
-            bucket = by_switch.get(switch_id)
-            if bucket is None:
-                by_switch[switch_id] = [row]
-            else:
-                bucket.append(row)
         self._counters["cxl_rows"] += len(remote_ks)
 
-        home_switch_id = ctx.home_switch[host_id]
-        coordinator = self.coordinator
         dev_access = ctx.dev_access_switch
-        remote_done = None
-        for switch_id, rows in by_switch.items():
-            kernel = ctx.switch_kernels[switch_id]
-            port_transfer = ctx.port_transfer[host_id][switch_id]
-            is_home = switch_id == home_switch_id
-            result_ready, notified = kernel.accumulate(
-                port_transfer,
-                rows,
+        port_transfers = ctx.port_transfer[host_id]
+        port_streams = ctx.port_stream[host_id]
+        if ctx.single_switch:
+            # One switch: it is every host's home switch and the coordinator
+            # is disabled, so the whole remote set is one accumulation.
+            _, remote_done = ctx.switch_kernels[0].accumulate(
+                port_transfers[0],
+                port_streams[0],
+                remote_ks,
+                remote_devs,
+                addr,
+                cch,
+                cfb,
+                crow,
                 dev_access,
                 start_ns,
-                notify_host=is_home or coordinator is None,
             )
-            finish = notified
-            if not is_home and coordinator is not None:
-                hop_ns = 2 * coordinator.hop_latency_ns(home_switch_id, switch_id)
-                finish = result_ready + hop_ns
-            if remote_done is None or finish > remote_done:
-                remote_done = finish
+        else:
+            by_switch: Dict[int, Tuple[list, list]] = {}
+            for j, k in enumerate(remote_ks):
+                bucket = by_switch.get(remote_sws[j])
+                if bucket is None:
+                    by_switch[remote_sws[j]] = ([k], [remote_devs[j]])
+                else:
+                    bucket[0].append(k)
+                    bucket[1].append(remote_devs[j])
+            home_switch_id = ctx.home_switch[host_id]
+            coordinator = self.coordinator
+            remote_done = None
+            for switch_id, (switch_ks, switch_devs) in by_switch.items():
+                kernel = ctx.switch_kernels[switch_id]
+                is_home = switch_id == home_switch_id
+                result_ready, notified = kernel.accumulate(
+                    port_transfers[switch_id],
+                    port_streams[switch_id],
+                    switch_ks,
+                    switch_devs,
+                    addr,
+                    cch,
+                    cfb,
+                    crow,
+                    dev_access,
+                    start_ns,
+                    notify_host=is_home or coordinator is None,
+                )
+                finish = notified
+                if not is_home and coordinator is not None:
+                    hop_ns = 2 * coordinator.hop_latency_ns(home_switch_id, switch_id)
+                    finish = result_ready + hop_ns
+                if remote_done is None or finish > remote_done:
+                    remote_done = finish
 
         # host.combine(): snoop the writeback, fold in the local partial sum.
         stats.snoop_polls += 1

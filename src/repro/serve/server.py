@@ -85,32 +85,69 @@ def serve(system: SLSSystem, workload: SLSWorkload, config: ServeConfig) -> Serv
     lanes: Dict[int, List[float]] = {
         host: [0.0] * threads_per_host for host in range(num_hosts)
     }
+    # With an active vector context the whole dynamic batch is timed as one
+    # numpy-backed batch call; the per-request cursors are recovered from
+    # the returned completion times (request i starts where i-1 finished),
+    # so the records — and the backend state evolution — are identical to
+    # the per-request dispatch below.
+    batch_service = (
+        system.service_batch_vector
+        if getattr(system, "_vector", None) is not None
+        and hasattr(system, "service_batch_vector")
+        else None
+    )
     records: List[RequestRecord] = []
     for batch in all_batches:
         lane_times = lanes[batch.host_id]
         lane = min(range(threads_per_host), key=lambda i: (lane_times[i], i))
         cursor = max(batch.dispatch_ns, lane_times[lane])
-        for entry in batch.entries:
-            started = cursor
-            cursor = system.service_request(entry.request, started, batch.host_id)
-            records.append(
-                RequestRecord(
-                    request_id=entry.request.request_id,
-                    host_id=batch.host_id,
-                    lane=lane,
-                    arrival_ns=entry.arrival_ns,
-                    dispatch_ns=batch.dispatch_ns,
-                    start_ns=started,
-                    complete_ns=cursor,
-                    lookups=entry.request.num_candidates,
-                )
+        if batch_service is not None:
+            completions = batch_service(
+                [entry.request for entry in batch.entries], cursor, batch.host_id
             )
+            started = cursor
+            for entry, complete_ns in zip(batch.entries, completions):
+                records.append(
+                    RequestRecord(
+                        request_id=entry.request.request_id,
+                        host_id=batch.host_id,
+                        lane=lane,
+                        arrival_ns=entry.arrival_ns,
+                        dispatch_ns=batch.dispatch_ns,
+                        start_ns=started,
+                        complete_ns=complete_ns,
+                        lookups=entry.request.num_candidates,
+                    )
+                )
+                started = complete_ns
+            if completions:
+                cursor = completions[-1]
+        else:
+            for entry in batch.entries:
+                started = cursor
+                cursor = system.service_request(entry.request, started, batch.host_id)
+                records.append(
+                    RequestRecord(
+                        request_id=entry.request.request_id,
+                        host_id=batch.host_id,
+                        lane=lane,
+                        arrival_ns=entry.arrival_ns,
+                        dispatch_ns=batch.dispatch_ns,
+                        start_ns=started,
+                        complete_ns=cursor,
+                        lookups=entry.request.num_candidates,
+                    )
+                )
         lane_times[lane] = cursor
 
     records.sort(key=lambda record: record.request_id)
     total_ns = max((record.complete_ns for record in records), default=0.0)
     sim = system.finish_session(total_ns)
 
+    # Mean queue depth averages over hosts that actually admitted work: a
+    # host whose queue stayed empty must not drag the mean toward zero, and
+    # a session where *no* host admitted anything (empty workload) reports
+    # 0.0 instead of dividing by zero.
     active_queues = {h: q for h, q in queues.items() if q.admitted}
     mean_depth = (
         sum(queue.mean_depth() for queue in active_queues.values()) / len(active_queues)

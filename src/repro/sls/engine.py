@@ -239,6 +239,49 @@ class SLSSystem(ABC):
             finish_ns += self.maintenance(finish_ns)
         return finish_ns
 
+    def service_batch_vector(
+        self, requests: Sequence[SLSRequest], start_ns: float, host_id: int
+    ) -> List[float]:
+        """Serve a dispatched batch back-to-back on one lane (vector engine).
+
+        Batched twin of calling :meth:`service_request` once per request
+        with each start at the previous completion: returns the per-request
+        completion times, from which the caller recovers every request's
+        cursor (request ``i`` starts at ``result[i - 1]``).  Maintenance
+        triggered by the epoch counter lands on the serving lane between
+        requests exactly as in the sequential path.  Requires an active
+        vector context (``engine="vector"`` and :meth:`begin_session`
+        succeeded building one); the epoch counter, flush points and
+        per-request arithmetic are identical to the scalar-serve dispatch,
+        so percentiles, queue timelines and backend state do not change.
+        """
+        vector = self._vector
+        if vector is None:
+            raise RuntimeError("service_batch_vector requires an active vector context")
+        owns = vector.owns
+        process_vector = self.process_request_vector
+        process_scalar = self.process_request
+        flush = vector.flush_tiered
+        maintenance = self.maintenance
+        epoch = max(1, self.system.page_mgmt.migration_epoch_accesses)
+        counter = self._lookups_since_maintenance
+        cursor = start_ns
+        completions: List[float] = []
+        append = completions.append
+        for request in requests:
+            if owns(request):
+                cursor = process_vector(request, cursor, host_id)
+            else:
+                cursor = process_scalar(request, cursor, host_id)
+            counter += request.num_candidates
+            if counter >= epoch:
+                counter = 0
+                flush()
+                cursor += maintenance(cursor)
+            append(cursor)
+        self._lookups_since_maintenance = counter
+        return completions
+
     def finish_session(self, total_ns: float) -> SimResult:
         """Assemble the :class:`SimResult` for the session ended at ``total_ns``."""
         if self._vector is not None:
@@ -493,10 +536,8 @@ class SLSSystem(ABC):
         """
         ctx = self._vector
         begin, end = ctx.bounds[request.request_id]
-        node, node_offset = ctx.nodes_window(begin, end)
+        local_flags, row_device, offset = ctx.window_flags(begin, end)
         page = ctx.page
-        node_is_local = ctx.node_is_local
-        node_device = ctx.node_device
         lch, lfb, lrow = ctx.lch, ctx.lfb, ctx.lrow
         cch, cfb, crow = ctx.cch, ctx.cfb, ctx.crow
         dram_access = ctx.local_access[host_id % ctx.num_local_drams]
@@ -509,8 +550,9 @@ class SLSSystem(ABC):
         accumulate_ns = self.HOST_ACCUMULATE_NS_PER_ROW
         mlp = self.HOST_MLP
 
-        # Counts are timestamp-free: one C-level bulk update for the bag.
-        ctx.page_counts.update(page[begin:end])
+        # Counts are timestamp-free: one C-level bulk append for the bag
+        # (the Counter is built once at flush time).
+        ctx.pending_pages.extend(page[begin:end])
         local_rows = 0
         cxl_rows = 0
         cursor = start_ns
@@ -522,13 +564,12 @@ class SLSSystem(ABC):
             group_finish = cursor
             for k in range(index, group_end):
                 page_last[page[k]] = cursor
-                node_id = node[k - node_offset]
-                if node_is_local[node_id]:
+                if local_flags[k - offset]:
                     local_rows += 1
                     finish = dram_access(lch[k], lfb[k], lrow[k], cursor) + local_overhead
                 else:
                     cxl_rows += 1
-                    device_id = node_device[node_id]
+                    device_id = row_device[k - offset]
                     finish = (
                         host_reads[device_switch[device_id]](
                             dev_access[device_id], cch[k], cfb[k], crow[k], cursor

@@ -28,6 +28,7 @@ decision the scalar engine would make.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import Counter
 from typing import Dict, List, Optional, Tuple
 
@@ -82,11 +83,19 @@ class VectorContext:
         self.cch, self.cfb, self.crow = cch.tolist(), cfb.tolist(), crow.tolist()
 
         # Placement tables (node id -> tier / device) and the lazily
-        # re-gathered page -> node list.
+        # re-gathered page -> node window with its precomputed splits.
         is_local, node_device = placement_arrays(self.tiered.nodes(), system.node_to_device)
+        self._node_is_local_np = is_local
+        self._node_device_np = node_device
         self.node_is_local: List[bool] = is_local.tolist()
         self.node_device: List[int] = node_device.tolist()
         self._window: List[int] = []
+        self._window_local: List[bool] = []
+        self._window_device: List[int] = []
+        self._local_pos: List[int] = []
+        self._remote_pos: List[int] = []
+        self._remote_dev: List[int] = []
+        self._remote_sw: List[int] = []
         self._window_start = 0
         self._window_end = 0
         self._node_generation = -1
@@ -116,6 +125,10 @@ class VectorContext:
         self.device_switch: List[int] = [
             backends.device_switch[device_id] for device_id in range(len(backends.devices))
         ]
+        self._device_switch_np = np.asarray(self.device_switch, dtype=np.int64)
+        #: True when the fabric has exactly one switch — the request paths
+        #: then skip per-row switch bucketing entirely.
+        self.single_switch = len(backends.switches) == 1
         self.home_switch: List[int] = [
             backends.host_home_switch[host_id] for host_id in range(num_hosts)
         ]
@@ -137,8 +150,12 @@ class VectorContext:
 
         # Buffered access-recording side effects (flushed before maintenance).
         # A Counter so uniform-timestamp paths can record whole requests with
-        # one C-level ``update`` instead of per-row dict arithmetic.
+        # one C-level ``update`` instead of per-row dict arithmetic; counts
+        # are only ever read at flush time, so the request paths merely
+        # ``extend`` page-id slices onto ``pending_pages`` (a C-level list
+        # append) and the Counter is built once per flush.
         self.page_counts: Counter = Counter()
+        self.pending_pages: List[int] = []
         self.page_last: Dict[int, float] = {}
 
         self._bind_closures()
@@ -161,33 +178,92 @@ class VectorContext:
     #: whole remaining workload every epoch.
     NODE_WINDOW = 8192
 
+    def _ensure_window(self, begin: int, end: int) -> None:
+        """Make the cached window cover positions ``[begin, end)``.
+
+        The window is re-gathered through the dense page table when the
+        placement generation changes or the request leaves the cached range;
+        the closed-loop replay consumes positions in order, so each epoch
+        re-gathers one window rather than the full workload.  One rebuild
+        derives, with a handful of numpy passes, everything the request
+        paths consume per row: the node ids, the local/CXL flags, the
+        owning device per position, and the position-sorted local/remote
+        split with its device and switch columns (so per-request splits are
+        C-level list slices instead of per-row Python branching).
+        """
+        if (
+            self.tiered.generation == self._node_generation
+            and begin >= self._window_start
+            and end <= self._window_end
+        ):
+            return
+        span = end - begin
+        block = span if span > self.NODE_WINDOW else self.NODE_WINDOW
+        stop = begin + block
+        total = len(self.page)
+        if stop > total:
+            stop = total
+        table = self.tiered.node_id_table()
+        window_np = table[self._page_np[begin:stop]]
+        self._window = window_np.tolist()
+        local_mask = self._node_is_local_np[window_np]
+        self._window_local = local_mask.tolist()
+        device_np = self._node_device_np[window_np]
+        self._window_device = device_np.tolist()
+        local_idx = np.nonzero(local_mask)[0]
+        remote_idx = np.nonzero(~local_mask)[0]
+        self._local_pos = (local_idx + begin).tolist()
+        self._remote_pos = (remote_idx + begin).tolist()
+        remote_devs = device_np[remote_idx]
+        self._remote_dev = remote_devs.tolist()
+        self._remote_sw = self._device_switch_np[remote_devs].tolist()
+        self._window_start = begin
+        self._window_end = stop
+        self._node_generation = self.tiered.generation
+
     def nodes_window(self, begin: int, end: int) -> Tuple[List[int], int]:
         """Node ids for resolved positions ``[begin, end)`` as ``(list, offset)``.
 
-        Returns a window list whose index ``k - offset`` holds the node id of
-        resolved position ``k``.  The window is re-gathered through the dense
-        page table when the placement generation changes or the request
-        leaves the cached range; the closed-loop replay consumes positions in
-        order, so each epoch re-gathers one window rather than the full
-        workload.
+        Returns a window list whose index ``k - offset`` holds the node id
+        of resolved position ``k``.
         """
-        if (
-            self.tiered.generation != self._node_generation
-            or begin < self._window_start
-            or end > self._window_end
-        ):
-            span = end - begin
-            block = span if span > self.NODE_WINDOW else self.NODE_WINDOW
-            stop = begin + block
-            total = len(self.page)
-            if stop > total:
-                stop = total
-            table = self.tiered.node_id_table()
-            self._window = table[self._page_np[begin:stop]].tolist()
-            self._window_start = begin
-            self._window_end = stop
-            self._node_generation = self.tiered.generation
+        self._ensure_window(begin, end)
         return self._window, self._window_start
+
+    def window_flags(self, begin: int, end: int) -> Tuple[List[bool], List[int], int]:
+        """Per-position ``(local_flags, device_ids, offset)`` for ``[begin, end)``.
+
+        ``local_flags[k - offset]`` is True when position ``k`` resolves to
+        local DRAM; ``device_ids[k - offset]`` is the owning CXL device id
+        (-1 for local rows).  For request paths that walk rows in original
+        order (the MLP-grouped host accumulation).
+        """
+        self._ensure_window(begin, end)
+        return self._window_local, self._window_device, self._window_start
+
+    def split(self, begin: int, end: int) -> Tuple[List[int], List[int], List[int], List[int]]:
+        """Local/remote split of positions ``[begin, end)``.
+
+        Returns ``(local_ks, remote_ks, remote_devices, remote_switches)``:
+        the resolved positions that live in local DRAM, those that live in
+        the CXL pool, and — aligned with ``remote_ks`` — the owning device
+        and switch ids.  All four are slices of window-level arrays computed
+        with numpy at the last re-gather, so a request's split costs two
+        binary searches and four list slices.
+        """
+        self._ensure_window(begin, end)
+        local_pos = self._local_pos
+        remote_pos = self._remote_pos
+        i0 = bisect_left(local_pos, begin)
+        i1 = bisect_left(local_pos, end, i0)
+        j0 = bisect_left(remote_pos, begin)
+        j1 = bisect_left(remote_pos, end, j0)
+        return (
+            local_pos[i0:i1],
+            remote_pos[j0:j1],
+            self._remote_dev[j0:j1],
+            self._remote_sw[j0:j1],
+        )
 
     def nodes(self) -> List[int]:
         """Current node id for every resolved address (full gather).
@@ -216,6 +292,9 @@ class VectorContext:
         self.port_transfer = [
             [port.transfer for port in ports] for ports in self._port_kernels
         ]
+        self.port_stream = [
+            [port.transfer_stream for port in ports] for ports in self._port_kernels
+        ]
 
     def flush_tiered(self) -> None:
         """Flush buffered access counts into the tiered memory system.
@@ -223,6 +302,9 @@ class VectorContext:
         Must run before anything reads page/node hotness — the engine calls
         it ahead of every maintenance pass and at session end.
         """
+        if self.pending_pages:
+            self.page_counts.update(self.pending_pages)
+            self.pending_pages = []
         if self.page_counts:
             self.tiered.apply_access_counts(self.page_counts, self.page_last)
             self.page_counts = Counter()

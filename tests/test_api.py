@@ -497,3 +497,124 @@ class TestCLI:
         assert main(["run", "pond", "--quick", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert RunResult.from_dict(payload).system == "pond"
+
+
+class TestSweepEngineCacheKey:
+    """The config-hash cache must never serve one engine's results to the other."""
+
+    def test_sweep_cache_key_distinguishes_engines(self):
+        clear_cache()
+        grid = {"batch_size": [2, 4]}
+        scalar = Sweep(grid, base=Simulation("pond").scale(TINY_SCALE)).run()
+        size_after_scalar = cache_size()
+        assert size_after_scalar >= 2
+        vector = Sweep(
+            grid, base=Simulation("pond").scale(TINY_SCALE).engine("vector")
+        ).run()
+        # The vector points executed and were cached under their own keys —
+        # not served from the scalar entries.
+        assert cache_size() == size_after_scalar + 2
+        for scalar_run, vector_run in zip(scalar, vector):
+            assert scalar_run.config_key and vector_run.config_key
+            assert scalar_run.config_key != vector_run.config_key
+            # Equivalence: distinct cache entries, identical numbers.
+            assert scalar_run.total_ns == vector_run.total_ns
+
+    def test_engine_axis_points_get_distinct_keys(self):
+        sweep = Sweep(
+            {"engine": ["scalar", "vector"]}, base=Simulation("pond").scale(TINY_SCALE)
+        )
+        _, _, keys = sweep._compile()
+        assert len(keys) == 2
+        assert keys[0] and keys[1]
+        assert keys[0] != keys[1]
+
+
+class TestWorkerPool:
+    """The persistent sweep pool: reuse, rebuild triggers, chunked scheduling."""
+
+    def teardown_method(self):
+        from repro.api.sweep import shutdown_worker_pool
+
+        shutdown_worker_pool()
+
+    def test_pool_persists_across_runs(self):
+        from repro.api.sweep import shutdown_worker_pool, worker_pool
+
+        shutdown_worker_pool()
+        clear_cache()
+        base = Simulation("pond").scale(TINY_SCALE)
+        Sweep({"batch_size": [2, 4]}, base=base).run(parallel=True, processes=2, cache=False)
+        pool = worker_pool()
+        assert pool.active()
+        first = pool._pool
+        Sweep({"batch_size": [2, 4]}, base=Simulation("beacon").scale(TINY_SCALE)).run(
+            parallel=True, processes=2, cache=False
+        )
+        assert pool._pool is first, "second sweep should reuse the live pool"
+        shutdown_worker_pool()
+        assert not pool.active()
+
+    def test_pool_rebuilt_when_registry_changes(self):
+        from repro.api.sweep import shutdown_worker_pool, worker_pool
+
+        shutdown_worker_pool()
+        clear_cache()
+        base = Simulation("pond").scale(TINY_SCALE)
+        Sweep({"batch_size": [2, 4]}, base=base).run(parallel=True, processes=2, cache=False)
+        first = worker_pool()._pool
+        register_system("pool-generation-probe", PondSystem, replace=True)
+        try:
+            Sweep({"batch_size": [2, 4]}, base=base).run(
+                parallel=True, processes=2, cache=False
+            )
+            assert worker_pool()._pool is not first, (
+                "a registry change must rebuild the forked workers"
+            )
+        finally:
+            unregister_system("pool-generation-probe")
+
+    def test_chunks_group_by_workload_in_first_occurrence_order(self):
+        sweep = Sweep(
+            {"system": ["pond", "beacon"], "batch_size": [2, 4]},
+            base=Simulation().scale(TINY_SCALE),
+        )
+        tasks = [(sim.spec(), "") for sim, _ in sweep.simulations()]
+        chunks = Sweep._chunk_by_workload(tasks)
+        # Product order is (pond,2),(pond,4),(beacon,2),(beacon,4): two
+        # workloads, each shared by both systems.
+        assert [indices for indices, _ in chunks] == [[0, 2], [1, 3]]
+        assert all(key for _, key in chunks)
+
+    def test_single_workload_grid_still_occupies_every_worker(self):
+        """A systems-only sweep (one shared workload) must not serialize.
+
+        All grid points share one workload key; the scheduler has to split
+        the group so each of the workers gets a chunk — every part still
+        carrying the same workload key.
+        """
+        sweep = Sweep(
+            {"system": ["pond", "beacon", "recnmp", "pifs-rec"]},
+            base=Simulation().scale(TINY_SCALE),
+        )
+        tasks = [(sim.spec(), "") for sim, _ in sweep.simulations()]
+        chunks = Sweep._chunk_by_workload(tasks, workers=4)
+        assert len(chunks) == 4
+        assert sorted(i for indices, _ in chunks for i in indices) == [0, 1, 2, 3]
+        assert len({key for _, key in chunks}) == 1
+        # Splitting stops at singletons even when more workers are free.
+        assert len(Sweep._chunk_by_workload(tasks, workers=16)) == 4
+
+    def test_parallel_persistent_matches_serial(self):
+        from repro.api.sweep import shutdown_worker_pool
+
+        grid = {"system": ["pond", "beacon"], "batch_size": [2, 4]}
+        clear_cache()
+        serial = Sweep(grid, base=Simulation().scale(TINY_SCALE)).run(parallel=False, cache=False)
+        clear_cache()
+        shutdown_worker_pool()
+        parallel = Sweep(grid, base=Simulation().scale(TINY_SCALE)).run(
+            parallel=True, processes=2, cache=False
+        )
+        assert [r.params for r in serial] == [r.params for r in parallel]
+        assert [r.total_ns for r in serial] == [r.total_ns for r in parallel]

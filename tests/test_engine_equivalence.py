@@ -175,6 +175,35 @@ class TestServeEquivalence:
         assert [r.complete_ns for r in scalar.records] == [r.complete_ns for r in vector.records]
         assert [r.start_ns for r in scalar.records] == [r.start_ns for r in vector.records]
 
+    @pytest.mark.parametrize("arrival", ["bursty", "mmpp", "diurnal"])
+    @pytest.mark.parametrize("name", ["pifs-rec", "recnmp"])
+    def test_serve_arrivals_multi_host(self, name, arrival, multi_workload, tiny_system):
+        """Vector serve equivalence under bursty/diurnal load, 2 hosts x 2 switches.
+
+        The batched dispatch path must reproduce the scalar serve loop
+        exactly even when arrivals cluster (MMPP bursts) or drift
+        (diurnal), per-host queues fill unevenly, and the fabric spans
+        multiple switches.
+        """
+        config = replace(tiny_system, num_hosts=2, num_fabric_switches=2)
+        serve_config = ServeConfig(
+            qps=2.5e5, arrival=arrival, max_batch_size=4, max_wait_ns=50_000.0, seed=17
+        )
+        scalar = serve(
+            create_system(name, config).set_engine("scalar"), multi_workload, serve_config
+        )
+        vector_system = create_system(name, config).set_engine("vector")
+        vector = serve(vector_system, multi_workload, serve_config)
+        assert vector_system._vector is not None, "vector context was not built"
+        assert scalar.latency.to_dict() == vector.latency.to_dict()
+        assert scalar.queue_wait.to_dict() == vector.queue_wait.to_dict()
+        assert scalar.sim.to_dict() == vector.sim.to_dict()
+        assert scalar.queue_depth_timelines == vector.queue_depth_timelines
+        assert scalar.mean_queue_depth == vector.mean_queue_depth
+        assert [r.complete_ns for r in scalar.records] == [r.complete_ns for r in vector.records]
+        assert [r.start_ns for r in scalar.records] == [r.start_ns for r in vector.records]
+        assert [r.lane for r in scalar.records] == [r.lane for r in vector.records]
+
     def test_simulation_serve_terminal(self):
         clear_cache()
         scalar = Simulation("pifs-rec").quick().serve(2e5, seed=3)

@@ -403,3 +403,113 @@ class TestServeCLI:
 
         assert main(["serve", "pond", "--quick", "--find-max-qps"]) == 2
         assert "--sla-ms" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Queue-depth aggregation edge cases
+# ---------------------------------------------------------------------------
+class TestQueueDepthAggregation:
+    """The mean-queue-depth average must only span hosts that admitted work."""
+
+    def test_zero_request_workload(self, tiny_model, tiny_system):
+        from repro.api.registry import create_system
+        from repro.config import WorkloadConfig
+        from repro.traces.workload import build_workload
+
+        workload = build_workload(
+            WorkloadConfig(model=tiny_model, batch_size=2, num_batches=0, pooling_factor=4, seed=5)
+        )
+        assert not workload.requests
+        result = serve(create_system("pond", tiny_system), workload, ServeConfig(qps=1e5))
+        assert result.requests == 0
+        assert result.mean_queue_depth == 0.0
+        assert result.max_queue_depth == 0
+        assert result.queue_depth_timelines == {}
+        assert result.mean_batch_size == 0.0
+        assert result.achieved_qps == 0.0
+        assert result.sla_attainment == 0.0
+
+    def test_hosts_without_admissions_are_excluded(self, tiny_workload, tiny_system):
+        """A host that never admits must not drag the mean toward zero.
+
+        The workload targets host 0 only; serving it on a two-host machine
+        must leave host 1 out of the timelines and produce the same mean
+        depth as the single-host machine (queue dynamics are a pure
+        function of arrivals and batching).
+        """
+        from repro.api.registry import create_system
+
+        single = serve(
+            create_system("pond", tiny_system), tiny_workload, ServeConfig(qps=2e5, seed=3)
+        )
+        two_hosts = serve(
+            create_system("pond", replace(tiny_system, num_hosts=2)),
+            tiny_workload,
+            ServeConfig(qps=2e5, seed=3),
+        )
+        assert set(two_hosts.queue_depth_timelines) == {0}
+        assert two_hosts.mean_queue_depth == single.mean_queue_depth
+        assert two_hosts.max_queue_depth == single.max_queue_depth
+
+
+# ---------------------------------------------------------------------------
+# Vector serve dispatch
+# ---------------------------------------------------------------------------
+class TestVectorServeDispatch:
+    def test_vector_engine_routes_through_batch_hook(self, tiny_workload, tiny_system, monkeypatch):
+        from repro.api.registry import create_system
+        from repro.sls.engine import SLSSystem
+
+        calls = []
+        original = SLSSystem.service_batch_vector
+
+        def spy(self, requests, start_ns, host_id):
+            calls.append(len(requests))
+            return original(self, requests, start_ns, host_id)
+
+        monkeypatch.setattr(SLSSystem, "service_batch_vector", spy)
+        system = create_system("pifs-rec", tiny_system).set_engine("vector")
+        result = serve(system, tiny_workload, ServeConfig(qps=2e5))
+        assert system._vector is not None
+        assert calls, "vector serve did not dispatch through service_batch_vector"
+        assert sum(calls) == len(tiny_workload.requests)
+        assert result.requests == len(tiny_workload.requests)
+
+    def test_scalar_engine_keeps_per_request_dispatch(self, tiny_workload, tiny_system, monkeypatch):
+        from repro.api.registry import create_system
+        from repro.sls.engine import SLSSystem
+
+        calls = []
+        original = SLSSystem.service_batch_vector
+
+        def spy(self, requests, start_ns, host_id):
+            calls.append(len(requests))
+            return original(self, requests, start_ns, host_id)
+
+        monkeypatch.setattr(SLSSystem, "service_batch_vector", spy)
+        serve(create_system("pifs-rec", tiny_system), tiny_workload, ServeConfig(qps=2e5))
+        assert calls == []
+
+    def test_batch_hook_requires_vector_context(self, tiny_workload, tiny_system):
+        from repro.api.registry import create_system
+
+        system = create_system("pond", tiny_system)
+        system.begin_session(tiny_workload)
+        with pytest.raises(RuntimeError, match="vector context"):
+            system.service_batch_vector(list(tiny_workload.requests[:1]), 0.0, 0)
+
+    def test_batch_hook_matches_sequential_service(self, tiny_workload, tiny_system):
+        from repro.api.registry import create_system
+
+        batched = create_system("pifs-rec", tiny_system).set_engine("vector")
+        batched.begin_session(tiny_workload)
+        completions = batched.service_batch_vector(list(tiny_workload.requests), 0.0, 0)
+
+        sequential = create_system("pifs-rec", tiny_system).set_engine("vector")
+        sequential.begin_session(tiny_workload)
+        cursor = 0.0
+        expected = []
+        for request in tiny_workload.requests:
+            cursor = sequential.service_request(request, cursor, 0)
+            expected.append(cursor)
+        assert completions == expected
