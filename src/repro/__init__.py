@@ -72,6 +72,14 @@ from repro.api import (
     available_systems,
     register_system,
 )
+from repro.scenarios import (
+    Scenario,
+    TrafficSpec,
+    UnknownScenarioError,
+    available_scenarios,
+    register_scenario,
+    scenario,
+)
 
 __version__ = "1.1.0"
 
@@ -121,5 +129,11 @@ __all__ = [
     "SimResult",
     "SLSWorkload",
     "build_workload",
+    "Scenario",
+    "TrafficSpec",
+    "UnknownScenarioError",
+    "available_scenarios",
+    "register_scenario",
+    "scenario",
     "__version__",
 ]

@@ -58,6 +58,11 @@ _LAZY_EXPORTS = {
     "point": "repro.api.sweep",
     "run_grid": "repro.api.sweep",
     "main": "repro.api.cli",
+    "Scenario": "repro.scenarios",
+    "TrafficSpec": "repro.scenarios",
+    "available_scenarios": "repro.scenarios",
+    "register_scenario": "repro.scenarios",
+    "scenario": "repro.scenarios",
 }
 
 
@@ -102,4 +107,9 @@ __all__ = [
     "point",
     "run_grid",
     "main",
+    "Scenario",
+    "TrafficSpec",
+    "available_scenarios",
+    "register_scenario",
+    "scenario",
 ]

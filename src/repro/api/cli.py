@@ -15,6 +15,9 @@ Subcommands:
   old ``python -m repro.experiments.runner``)
 * ``bench`` — run the performance benchmark suite and record/update the
   ``BENCH_*.json`` baselines (``--smoke`` for the relaxed CI mode)
+* ``scenario`` — the named-scenario catalog (workload mixes, popularity
+  drift, trace files, fault injection): ``python -m repro scenario
+  list|run|compare`` (``run --all --smoke`` is the CI guard)
 * ``systems`` — list the registered systems
 
 Also installed as the ``pifs-rec`` console script.
@@ -27,6 +30,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.api.registry import UnknownSystemError, available_systems
+from repro.scenarios.registry import UnknownScenarioError
 from repro.api.results import SweepResult
 from repro.api.session import Simulation
 from repro.api.sweep import Sweep
@@ -379,6 +383,152 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return int(pytest.main([*targets, "-q", "-s"]))
 
 
+#: Default comparison set for ``python -m repro scenario compare``.
+DEFAULT_COMPARE_SYSTEMS = ("pifs-rec", "pond", "beacon")
+
+
+def _print_scenario_run(name: str, run) -> None:
+    params = run.params
+    extras = []
+    if params.get("workload"):
+        extras.append(str(params["workload"]))
+    if params.get("faults"):
+        extras.append("faults: " + ", ".join(params["faults"]))
+    suffix = f"  [{'; '.join(extras)}]" if extras else ""
+    print(
+        f"{name:>22}  {run.params['system']:>14}  "
+        f"{run.total_ns:>16,.0f} ns  {run.latency_per_lookup_ns:>10,.2f} ns/lookup  "
+        f"local/CXL {run.sim.local_rows}/{run.sim.cxl_rows}{suffix}"
+    )
+
+
+def _cmd_scenario_list(args: argparse.Namespace) -> int:
+    from repro.scenarios import available_scenarios, scenario
+
+    if args.json:
+        import json
+
+        print(json.dumps(
+            [scenario(name).to_dict() for name in available_scenarios()], indent=2
+        ))
+        return 0
+    for name in available_scenarios():
+        entry = scenario(name)
+        print(f"{name:>22}  {entry.dimensions()}")
+        if args.verbose and entry.description:
+            print(f"{'':>24}{entry.description}")
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    from repro.scenarios import available_scenarios, scenario
+
+    if args.all:
+        names = list(available_scenarios())
+    elif args.name:
+        names = _dedupe(args.name)
+    else:
+        print("error: name a scenario or pass --all (see 'scenario list')", file=sys.stderr)
+        return 2
+    if args.smoke:
+        args.quick = True
+    session_kwargs = dict(
+        system=args.system, engine=args.engine, quick=args.quick
+    )
+
+    if args.export_trace:
+        if len(names) != 1:
+            print("error: --export-trace takes exactly one scenario", file=sys.stderr)
+            return 2
+        from repro.traces.files import save_workload_trace
+
+        workload = scenario(names[0]).simulation(**session_kwargs).build_workload()
+        path = save_workload_trace(workload, args.export_trace)
+        print(f"exported {len(workload.requests)} requests "
+              f"({workload.total_lookups} lookups) to {path}")
+        return 0
+
+    payloads = []
+    failures = []
+    for name in names:
+        entry = scenario(name)
+        try:
+            run = entry.run(**session_kwargs)
+            serve_result = entry.serve(**session_kwargs) if args.serve else None
+        except Exception as error:  # smoke mode reports every broken scenario
+            if not args.smoke:
+                raise
+            failures.append(f"{name}: {type(error).__name__}: {error}")
+            continue
+        if args.smoke and not (run.total_ns > 0):
+            failures.append(f"{name}: non-positive total latency")
+            continue
+        if args.json:
+            payload = {"scenario": entry.to_dict(), "run": run.to_dict()}
+            if serve_result is not None:
+                payload["serve"] = serve_result.to_dict()
+            payloads.append(payload)
+        else:
+            _print_scenario_run(name, run)
+            if serve_result is not None:
+                latency = serve_result.latency
+                print(
+                    f"{'':>24}serve: p50 {latency.p50_ns:,.0f} ns, "
+                    f"p99 {latency.p99_ns:,.0f} ns, "
+                    f"goodput {serve_result.goodput_qps:,.0f} qps"
+                )
+    if args.json:
+        import json
+
+        print(json.dumps(payloads, indent=2))
+    for failure in failures:
+        print(f"scenario failure: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_scenario_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.scenarios import scenario
+
+    entry = scenario(args.name)
+    systems = _dedupe(args.system) if args.system else list(DEFAULT_COMPARE_SYSTEMS)
+    sweep = entry.sweep(systems=systems, engine=args.engine, quick=args.quick)
+    result = sweep.run(parallel=not args.serial, processes=args.jobs)
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0
+    print(f"scenario {args.name!r}: {entry.dimensions()}")
+    if entry.description:
+        print(entry.description)
+    print()
+    axis_names = [key for key, _ in result.axes]
+    baseline_system = systems[0]
+    baseline_runs = result.where(system=baseline_system)
+    rows = []
+    for run in result:
+        reference = next(
+            (
+                b for b in baseline_runs
+                if {k: v for k, v in b.params.items() if k != "system"}
+                == {k: v for k, v in run.params.items() if k != "system"}
+            ),
+            None,
+        )
+        rows.append(
+            [run.params.get(axis, "") for axis in axis_names]
+            + [
+                run.total_ns,
+                run.latency_per_lookup_ns,
+                run.speedup_over(reference) if reference is not None else float("nan"),
+            ]
+        )
+    print(format_table(
+        [*axis_names, "total_ns", "ns_per_lookup", f"speedup_vs_{baseline_system}"],
+        rows,
+    ))
+    return 0
+
+
 def _cmd_systems(args: argparse.Namespace) -> int:
     from repro.api.registry import system_factory
 
@@ -590,6 +740,102 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.set_defaults(func=_cmd_bench)
 
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="run the named-scenario catalog (workload mixes, drift, faults)",
+        description="The scenario catalog composes workload, traffic and fault "
+        "dimensions into named, deterministic, JSON-round-trippable situations "
+        "(see docs/SCENARIOS.md).  'list' shows them, 'run' executes one or "
+        "all, 'compare' sweeps one across systems and its declared axes.",
+        epilog="examples:\n"
+        "  python -m repro scenario list --verbose\n"
+        "  python -m repro scenario run fault-slow-link --quick\n"
+        "  python -m repro scenario run --all --smoke          # CI guard\n"
+        "  python -m repro scenario run drift-rotation --serve --engine vector\n"
+        "  python -m repro scenario compare tenant-mix --quick\n"
+        "  python -m repro scenario run paper-baseline --export-trace trace.npz",
+        formatter_class=raw,
+    )
+    scenario_commands = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    scenario_list = scenario_commands.add_parser(
+        "list",
+        help="list every registered scenario with its dimensions",
+        description="One line per scenario: name plus a compact dimension "
+        "summary (model, workload source, machine, faults, traffic, axes).",
+        epilog="example:\n  python -m repro scenario list --verbose",
+        formatter_class=raw,
+    )
+    scenario_list.add_argument("--verbose", action="store_true",
+                               help="also print each scenario's description")
+    scenario_list.add_argument("--json", action="store_true",
+                               help="print the full scenario definitions as JSON")
+    scenario_list.set_defaults(func=_cmd_scenario_list)
+
+    scenario_run = scenario_commands.add_parser(
+        "run",
+        help="run one or more scenarios (closed-loop; --serve adds open-loop)",
+        description="Execute named scenarios deterministically.  Results are "
+        "bit-identical between --engine scalar and --engine vector; --smoke is "
+        "the CI guard (quick scale, keep going past failures, exit 1 on any).",
+        epilog="examples:\n"
+        "  python -m repro scenario run fault-buffer-squeeze --quick\n"
+        "  python -m repro scenario run tenant-mix --system pond --engine vector\n"
+        "  python -m repro scenario run --all --smoke",
+        formatter_class=raw,
+    )
+    scenario_run.add_argument("name", nargs="*", default=[],
+                              help="scenario name(s) (list them with 'scenario list')")
+    scenario_run.add_argument("--all", action="store_true",
+                              help="run every registered scenario")
+    scenario_run.add_argument("--smoke", action="store_true",
+                              help="CI guard: quick scale, keep going past failures, "
+                              "exit 1 on any")
+    scenario_run.add_argument("--system", default=None, metavar="NAME",
+                              help="override the scenario's system under test")
+    scenario_run.add_argument("--engine", choices=["scalar", "vector"], default=None,
+                              help="replay engine (scenario results are bit-identical "
+                              "between scalar and vector)")
+    scenario_run.add_argument("--serve", action="store_true",
+                              help="also serve the scenario open-loop under its "
+                              "traffic spec (tail-latency metrics)")
+    scenario_run.add_argument("--export-trace", default=None, metavar="PATH",
+                              help="export the scenario's workload trace as a "
+                              "lossless .npz archive instead of running it")
+    scenario_run.add_argument("--json", action="store_true",
+                              help="print scenario + result payloads as JSON")
+    _add_scale_arguments(scenario_run)
+    scenario_run.set_defaults(func=_cmd_scenario_run)
+
+    scenario_compare = scenario_commands.add_parser(
+        "compare",
+        help="sweep one scenario across systems and its declared axes",
+        description="Expand the scenario's declared axes (pooling, tables, ...) "
+        "times the selected systems into a grid, run it on the sweep engine and "
+        "print latencies plus speedups against the first system.",
+        epilog="examples:\n"
+        "  python -m repro scenario compare pooling-scaling --quick\n"
+        "  python -m repro scenario compare fault-slow-link --system pond "
+        "--system pifs-rec --engine vector",
+        formatter_class=raw,
+    )
+    scenario_compare.add_argument("name",
+                                  help="scenario to compare (see 'scenario list')")
+    scenario_compare.add_argument("--system", action="append", default=None,
+                                  metavar="NAME",
+                                  help="system to include (repeatable; default: "
+                                  + " ".join(DEFAULT_COMPARE_SYSTEMS) + ")")
+    scenario_compare.add_argument("--engine", choices=["scalar", "vector"], default=None,
+                                  help="replay engine for every grid point")
+    scenario_compare.add_argument("--serial", action="store_true",
+                                  help="evaluate in-process instead of the worker pool")
+    scenario_compare.add_argument("--jobs", type=int, default=None, metavar="N",
+                                  help="worker process count")
+    scenario_compare.add_argument("--json", action="store_true",
+                                  help="print the SweepResult as JSON")
+    _add_scale_arguments(scenario_compare)
+    scenario_compare.set_defaults(func=_cmd_scenario_compare)
+
     systems = subparsers.add_parser(
         "systems",
         help="list the registered systems",
@@ -608,7 +854,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
-    except (UnknownSystemError, ValueError) as error:
+    except (UnknownSystemError, UnknownScenarioError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

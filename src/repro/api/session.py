@@ -64,6 +64,14 @@ class RunSpec:
     config_transforms: Tuple[ConfigTransform, ...] = ()
     system_options: Tuple[Tuple[str, Any], ...] = ()
     engine: str = "scalar"
+    #: Optional workload provider (``.build(spec) -> SLSWorkload``): trace
+    #: files, drifting popularity, multi-tenant mixes — see
+    #: :mod:`repro.scenarios.workloads`.  ``None`` uses the stationary
+    #: synthetic generators.
+    workload_provider: Optional[Any] = None
+    #: Fault/degradation specs applied at every session setup (see
+    #: :mod:`repro.scenarios.faults`); both engines see them identically.
+    faults: Tuple[Any, ...] = ()
 
 
 def system_label(system: SystemLike) -> str:
@@ -127,6 +135,13 @@ def _stable_token_inner(value: Any) -> str:
         return "{" + ", ".join(sorted(_stable_token(item) for item in value)) + "}"
     if value is None or isinstance(value, (bool, int, float, complex, str, bytes)):
         return repr(value)
+    # Objects with external state (e.g. a file-backed workload provider)
+    # expose cache_token() so their cache identity tracks the state the
+    # fields alone cannot see — an overwritten trace file must not be
+    # served stale from the workload/result caches.
+    token_fn = getattr(value, "cache_token", None)
+    if callable(token_fn):
+        return _stable_token(token_fn())
     if inspect.isclass(value):
         return _class_token(value)
     if inspect.isroutine(value):
@@ -307,6 +322,7 @@ def workload_key(spec: RunSpec) -> Optional[str]:
         view.num_batches,
         view.pooling_factor,
         view.num_hosts,
+        view.workload_provider,
     )
     try:
         return hashlib.sha256(_stable_token(parts).encode()).hexdigest()[:16]
@@ -332,15 +348,18 @@ def build_workload(spec: RunSpec):
         hit = _WORKLOAD_CACHE.get(key)
         if hit is not None:
             return hit
-    workload = evaluation_workload(
-        spec.model,
-        spec.scale,
-        distribution=spec.distribution or "meta",
-        batch_size=spec.batch_size,
-        num_hosts=spec.num_hosts,
-        num_batches=spec.num_batches,
-        pooling_factor=spec.pooling_factor,
-    )
+    if spec.workload_provider is not None:
+        workload = spec.workload_provider.build(spec)
+    else:
+        workload = evaluation_workload(
+            spec.model,
+            spec.scale,
+            distribution=spec.distribution or "meta",
+            batch_size=spec.batch_size,
+            num_hosts=spec.num_hosts,
+            num_batches=spec.num_batches,
+            pooling_factor=spec.pooling_factor,
+        )
     if key is not None:
         seed_workload_cache(key, workload)
     return workload
@@ -393,6 +412,14 @@ def build_system(spec: RunSpec):
         set_engine = getattr(system, "set_engine", None)
         if set_engine is not None:
             set_engine(spec.engine)
+    if spec.faults:
+        set_mutators = getattr(system, "set_session_mutators", None)
+        if set_mutators is None:
+            raise TypeError(
+                f"system {system_label(spec.system)!r} does not support session "
+                "mutators; fault injection needs an SLSSystem descendant"
+            )
+        set_mutators(tuple(fault.apply for fault in spec.faults))
     return system
 
 
@@ -413,6 +440,14 @@ def spec_params(spec: RunSpec) -> Dict[str, Any]:
         params["local_capacity_bytes"] = spec.local_capacity_bytes
     if spec.engine != "scalar":
         params["engine"] = spec.engine
+    if spec.workload_provider is not None:
+        params["workload"] = getattr(
+            spec.workload_provider, "label", type(spec.workload_provider).__name__
+        )
+    if spec.faults:
+        params["faults"] = [
+            getattr(fault, "kind", type(fault).__name__) for fault in spec.faults
+        ]
     return params
 
 
@@ -641,6 +676,82 @@ class Simulation:
             raise ValueError(f"unknown engine {engine!r}; expected one of: {', '.join(ENGINES)}")
         return self._set(engine=engine)
 
+    def workload_provider(self, provider: Optional[Any]) -> "Simulation":
+        """Source the workload from a provider instead of the generators.
+
+        A provider exposes ``build(spec) -> SLSWorkload`` (and ideally a
+        ``label``): trace files, drifting popularity, multi-tenant mixes —
+        see :mod:`repro.scenarios.workloads`.  ``None`` restores the
+        default synthetic generators.
+        """
+        if provider is not None and not hasattr(provider, "build"):
+            raise ValueError(
+                "workload provider must expose build(spec); see "
+                "repro.scenarios.workloads for the shipped providers"
+            )
+        return self._set(workload_provider=provider)
+
+    def faults(self, *faults: Any) -> "Simulation":
+        """Append fault/degradation injections applied at session setup.
+
+        Each fault exposes ``apply(system)`` (see
+        :mod:`repro.scenarios.faults`); the engine runs them after the
+        machine is built and before the vector kernels snapshot it, so
+        both engines replay the identical degraded machine.
+        """
+        for fault in faults:
+            if not hasattr(fault, "apply"):
+                raise ValueError(
+                    "fault specs must expose apply(system); see "
+                    "repro.scenarios.faults for the shipped faults"
+                )
+        return self._set(faults=self._spec.faults + tuple(faults))
+
+    def scenario(self, scenario: Any) -> "Simulation":
+        """Apply a named or explicit :class:`~repro.scenarios.Scenario`.
+
+        The scenario's workload/machine/fault dimensions overwrite the
+        session's current values (its system only when this session still
+        has the default); the session's scale and engine are preserved —
+        so ``Simulation("pond").quick().scenario("fault-slow-link")``
+        evaluates Pond under the scenario at quick scale.
+        """
+        from repro.scenarios.base import Scenario
+        from repro.scenarios.registry import scenario as resolve_scenario
+
+        resolved = scenario if isinstance(scenario, Scenario) else resolve_scenario(scenario)
+        if isinstance(self._spec.system, str) and self._spec.system == "pifs-rec":
+            self.system(resolved.system)
+        self.model(resolved.model)
+        # Every workload/machine/fault field is taken from the scenario —
+        # including the Nones, which mean "the scale's default", and the
+        # fields a Scenario cannot even express (capacity override, config
+        # transforms, factory options): a leaked session value would make
+        # this session diverge from what `python -m repro scenario run
+        # <name>` computes for the same name.
+        self._set(
+            distribution=resolved.distribution,
+            batch_size=resolved.batch_size,
+            num_batches=resolved.num_batches,
+            pooling_factor=resolved.pooling_factor,
+            num_hosts=resolved.resolved_hosts,
+            num_fabric_switches=resolved.switches,
+            num_cxl_devices=resolved.devices,
+            local_capacity_bytes=None,
+            base_config=DEFAULT_SYSTEM,
+            config_transforms=(),
+            system_options=(),
+            faults=(),
+        )
+        self.workload_provider(resolved.workload)
+        if resolved.faults:
+            self.faults(*resolved.faults)
+        return self
+
+    def run_scenario(self, scenario: Any, cache: bool = True) -> RunResult:
+        """Run a named/explicit scenario on this session (see :meth:`scenario`)."""
+        return self.clone().scenario(scenario).run(cache=cache)
+
     #: Aliases accepted by :meth:`apply` (and therefore by ``Sweep`` axes and
     #: keyword construction) in addition to the method names themselves.
     _ALIASES = {
@@ -658,6 +769,7 @@ class Simulation:
         "system", "model", "scale", "distribution", "batch_size", "num_batches",
         "pooling", "hosts", "switches", "devices", "local_capacity",
         "base_config", "configure", "options", "engine",
+        "workload_provider", "faults", "scenario",
     })
 
     def apply(self, **settings: Any) -> "Simulation":
@@ -671,9 +783,9 @@ class Simulation:
                 if not isinstance(value, dict):
                     raise ValueError("'options' setting expects a dict")
                 method(**value)
-            elif name == "configure":
-                transforms = value if isinstance(value, (tuple, list)) else (value,)
-                method(*transforms)
+            elif name in ("configure", "faults"):
+                items = value if isinstance(value, (tuple, list)) else (value,)
+                method(*items)
             else:
                 method(value)
         return self

@@ -45,6 +45,9 @@ class CXLType3Device:
         # the extra protocol crossings that remain after the explicit link
         # serialization below.
         self._controller_penalty_ns = cxl_config.access_penalty_ns / 2.0
+        #: Extra per-read controller latency of a degraded device (fault
+        #: injection: media retraining, a DIMM running in fail-slow mode).
+        self._read_penalty_ns = 0.0
         self._reads = 0
         self._writes = 0
 
@@ -71,6 +74,22 @@ class CXLType3Device:
     @property
     def capacity_bytes(self) -> int:
         return self._dram.capacity_bytes
+
+    @property
+    def read_penalty_ns(self) -> float:
+        return self._read_penalty_ns
+
+    def degrade_reads(self, extra_ns: float) -> None:
+        """Mark the device read-degraded: every read pays ``extra_ns`` more.
+
+        Applied at session setup (before the vector kernels snapshot the
+        controller parameters) so both engines see the identical slowdown.
+        Writes and flows that bypass the device controller (RecNMP's
+        in-expander NMP command path) are unaffected.
+        """
+        if extra_ns < 0:
+            raise ValueError("extra_ns must be non-negative")
+        self._read_penalty_ns = self._read_penalty_ns + extra_ns
 
     @property
     def reads(self) -> int:
@@ -100,8 +119,13 @@ class CXLType3Device:
         else:
             self._reads += 1
         bias_penalty = 0.0 if from_switch is False else self._bias.device_access_penalty_ns(address)
+        penalty_ns = self._controller_penalty_ns
+        if not is_write:
+            # Grouped as (controller + read_penalty) to match the batch
+            # kernel, which pre-folds the two at build time.
+            penalty_ns = penalty_ns + self._read_penalty_ns
         request_arrival = self._link.transfer(CACHE_LINE_BYTES, arrival_ns)
-        media_start = request_arrival + self._controller_penalty_ns + bias_penalty
+        media_start = request_arrival + penalty_ns + bias_penalty
         media_done = self._dram.access(
             address=address,
             arrival_ns=media_start,
@@ -185,7 +209,9 @@ class CXLDeviceKernel:
         recovery_ns = dram.recovery_ns
         burst_time = dram.burst_time
         dram_overhead = dram.overhead_ns
-        penalty = device._controller_penalty_ns
+        # The kernel paths are read-only, so the read-degradation penalty is
+        # folded into the constant (same grouping as the scalar read path).
+        penalty = device._controller_penalty_ns + device._read_penalty_ns
         bias = device.bias_table
         granularity = bias.granularity_bytes
         default_pen = 0.0 if bias._default is BiasMode.DEVICE else bias.HOST_BIAS_PENALTY_NS

@@ -57,6 +57,24 @@ class CXLLink:
         """Total time transfers spent waiting for the link to free up."""
         return self._queued_ns
 
+    def degrade(
+        self, bandwidth_scale: float = 1.0, extra_propagation_ns: float = 0.0
+    ) -> None:
+        """Degrade the link in place: scale bandwidth, add propagation delay.
+
+        Models a FlexBus link renegotiated to a narrower width / lower rate
+        or a marginal retimer adding latency.  Must be applied while no
+        flattened kernel holds the link's state (the engine applies session
+        mutators before the vector kernels are built), because kernels
+        snapshot ``bandwidth_gbps``/``propagation_ns`` at construction.
+        """
+        if bandwidth_scale <= 0:
+            raise ValueError("bandwidth_scale must be positive")
+        if extra_propagation_ns < 0:
+            raise ValueError("extra_propagation_ns must be non-negative")
+        self._bandwidth = self._bandwidth * bandwidth_scale
+        self._propagation_ns = self._propagation_ns + extra_propagation_ns
+
     def transfer(self, bytes_count: int, start_ns: float) -> float:
         """Transfer ``bytes_count`` bytes beginning no earlier than ``start_ns``.
 

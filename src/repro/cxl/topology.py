@@ -23,6 +23,10 @@ class FabricTopology:
             raise ValueError("at least one switch is required")
         self._num_switches = num_switches
         self._config = cxl_config
+        #: Extra latency added to every inter-switch hop (fault injection:
+        #: congested or retrained inter-switch links).  0.0 in a healthy
+        #: fabric, where ``hop_ns + 0.0 == hop_ns`` exactly.
+        self._extra_hop_ns = 0.0
         self._edges: Dict[int, set] = {i: set() for i in range(num_switches)}
         #: (src, dst) -> hop latency, the route table built lazily from the
         #: BFS below and reused for every request of the session; mutating
@@ -37,6 +41,23 @@ class FabricTopology:
     @property
     def num_switches(self) -> int:
         return self._num_switches
+
+    @property
+    def extra_hop_ns(self) -> float:
+        return self._extra_hop_ns
+
+    def degrade_hops(self, extra_ns: float) -> None:
+        """Add ``extra_ns`` of latency to every inter-switch hop.
+
+        Composable (repeated calls accumulate) and applied through the
+        route table, so the scalar request flow and the vector kernels —
+        both of which read :meth:`hop_latency_ns` at request time — observe
+        the identical degraded fabric.
+        """
+        if extra_ns < 0:
+            raise ValueError("extra_ns must be non-negative")
+        self._extra_hop_ns += extra_ns
+        self._hop_latency_cache.clear()
 
     def add_link(self, a: int, b: int) -> None:
         """Add a bidirectional inter-switch link."""
@@ -90,7 +111,8 @@ class FabricTopology:
         key = (src, dst)
         cached = self._hop_latency_cache.get(key)
         if cached is None:
-            cached = self.hop_count(src, dst) * self._config.inter_switch_hop_ns
+            per_hop = self._config.inter_switch_hop_ns + self._extra_hop_ns
+            cached = self.hop_count(src, dst) * per_hop
             self._hop_latency_cache[key] = cached
         return cached
 

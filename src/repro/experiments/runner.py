@@ -122,6 +122,20 @@ def run_all(scale: EvaluationScale, parallel: bool = False) -> Dict[str, object]
             rows.append([system, qps, metrics["p50_ns"], metrics["p99_ns"], metrics["goodput_qps"]])
     print(format_table(["system", "offered_qps", "p50_ns", "p99_ns", "goodput_qps"], rows))
 
+    _print_header("Scenario grid — mixes, drift, co-location, faults")
+    from repro.experiments import scenario_grid
+
+    data["scenario_grid"] = scenario_grid.run_scenario_grid(
+        scale, parallel=parallel
+    )
+    rows = []
+    for name, by_system in data["scenario_grid"].items():
+        reference = by_system[scenario_grid.GRID_SYSTEMS[0]]
+        rows.extend(
+            [[name, system, value, value / reference] for system, value in by_system.items()]
+        )
+    print(format_table(["scenario", "system", "latency_ns", "vs_pifs_rec"], rows))
+
     return data
 
 

@@ -96,6 +96,12 @@ class MultiSwitchCoordinator:
     def num_switches(self) -> int:
         return self._topology.num_switches
 
+    @property
+    def topology(self) -> FabricTopology:
+        """The fabric topology behind this coordinator (fault injection
+        degrades inter-switch hops through it)."""
+        return self._topology
+
     def is_compute_capable(self, switch_id: int) -> bool:
         """The CNV bit read during configuration (§IV-C2)."""
         return self._cnv[switch_id]

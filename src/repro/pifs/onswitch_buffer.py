@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 from collections import OrderedDict, deque
 from typing import Deque, Dict, List, Optional, Tuple
@@ -129,6 +130,27 @@ class OnSwitchBuffer:
 
     def contains(self, address: int) -> bool:
         return address in self._entries
+
+    def resize(self, capacity_bytes: int) -> None:
+        """Shrink or grow the buffer's SRAM capacity in place.
+
+        Models a fault/degradation scenario where part of the switch SRAM
+        is reallocated (or mapped out after an ECC event).  If the new
+        capacity is below the current occupancy, resident rows are evicted
+        in insertion order until the buffer fits.  Must be applied before
+        a :class:`BufferKernel` is built — kernels snapshot the capacity.
+        """
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        self._config = dataclasses.replace(self._config, capacity_bytes=capacity_bytes)
+        self._capacity_rows = max(0, capacity_bytes // self._row_bytes)
+        while len(self._entries) > self._capacity_rows:
+            victim, _ = self._entries.popitem(last=False)
+            if victim in self._fifo:
+                self._fifo.remove(victim)
+            self._evictions += 1
+        if self._config.policy == "htr":
+            self._rebuild_heap()
 
     # ------------------------------------------------------------------
     def _evict_for(self, incoming: int) -> bool:

@@ -1,0 +1,75 @@
+"""Declarative, registry-backed scenario subsystem.
+
+Scenarios compose three dimensions into named, deterministic, JSON
+round-trippable situations served through the one façade API:
+
+* **workload** — model/trace shape, a trace file, popularity drift, or a
+  multi-tenant mix (:mod:`repro.scenarios.workloads`);
+* **traffic** — open-loop serve knobs (:class:`~repro.scenarios.base.TrafficSpec`);
+* **faults** — machine degradations applied at session setup so the
+  scalar and vector engines replay the identical degraded machine
+  (:mod:`repro.scenarios.faults`).
+
+Entry points::
+
+    from repro.scenarios import scenario, available_scenarios
+
+    run = scenario("fault-slow-link").run(quick=True)
+    result = scenario("tenant-mix").sweep(systems=["pond", "pifs-rec"]).run()
+
+and ``python -m repro scenario list|run|compare`` from the CLI.  The
+starter catalog lives in :mod:`repro.scenarios.catalog`; the cookbook is
+``docs/SCENARIOS.md``.
+"""
+
+from repro.scenarios.base import SCENARIO_AXES, Scenario, TrafficSpec
+from repro.scenarios.faults import (
+    FAULT_KINDS,
+    BufferDegradation,
+    DeviceDegradation,
+    FaultSpec,
+    HopDegradation,
+    LinkDegradation,
+    fault_from_dict,
+)
+from repro.scenarios.registry import (
+    DuplicateScenarioError,
+    UnknownScenarioError,
+    available_scenarios,
+    register_scenario,
+    scenario,
+    unregister_scenario,
+)
+from repro.scenarios.workloads import (
+    PROVIDER_KINDS,
+    DriftWorkload,
+    MultiTenantWorkload,
+    TenantSpec,
+    TraceFileWorkload,
+    provider_from_dict,
+)
+
+__all__ = [
+    "SCENARIO_AXES",
+    "Scenario",
+    "TrafficSpec",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "LinkDegradation",
+    "DeviceDegradation",
+    "BufferDegradation",
+    "HopDegradation",
+    "fault_from_dict",
+    "PROVIDER_KINDS",
+    "TraceFileWorkload",
+    "DriftWorkload",
+    "MultiTenantWorkload",
+    "TenantSpec",
+    "provider_from_dict",
+    "DuplicateScenarioError",
+    "UnknownScenarioError",
+    "available_scenarios",
+    "register_scenario",
+    "scenario",
+    "unregister_scenario",
+]

@@ -1,0 +1,292 @@
+"""Declarative scenarios: workload x traffic x fault dimensions, named.
+
+A :class:`Scenario` is a frozen, JSON-round-trippable description of one
+evaluation situation — which workload shape runs (model, trace
+distribution, a drifting hot set, a trace file, a multi-tenant mix), on
+which machine (hosts/switches/devices), under which degradations
+(:mod:`repro.scenarios.faults`), and optionally under which open-loop
+traffic (:class:`TrafficSpec`).  Scenarios compile onto the existing
+façade: :meth:`Scenario.simulation` returns a configured
+:class:`~repro.api.session.Simulation`, so every scenario runs closed-loop
+(:meth:`run`), open-loop (:meth:`serve`), across systems and its declared
+axes (:meth:`sweep`), on either engine, and from the CLI
+(``python -m repro scenario run <name>``) — deterministically under the
+session seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.config import MODEL_CONFIGS
+from repro.scenarios.faults import FaultSpec, fault_from_dict
+from repro.scenarios.workloads import (
+    MultiTenantWorkload,
+    provider_from_dict,
+)
+
+#: Axis names a scenario may sweep over.  ``tables`` is special-cased (it
+#: rewrites the evaluation scale); the rest map to Simulation settings.
+SCENARIO_AXES = (
+    "system",
+    "model",
+    "distribution",
+    "batch_size",
+    "pooling",
+    "tables",
+    "devices",
+    "switches",
+    "hosts",
+)
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Open-loop traffic dimension of a scenario (the serve-path knobs)."""
+
+    qps: float = 1e5
+    arrival: str = "poisson"
+    max_batch_size: int = 8
+    max_wait_us: float = 100.0
+    sla_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.qps <= 0:
+            raise ValueError("qps must be positive")
+        if self.max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        # Validate eagerly (like every sibling spec) so a typo'd arrival
+        # fails at scenario definition, not at serve time.
+        from repro.serve.arrivals import available_arrivals
+
+        if str(self.arrival).lower() not in available_arrivals():
+            known = ", ".join(available_arrivals())
+            raise ValueError(
+                f"unknown arrival process {self.arrival!r}; expected one of: {known}"
+            )
+
+    @property
+    def sla_ns(self) -> Optional[float]:
+        return None if self.sla_ms is None else self.sla_ms * 1e6
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TrafficSpec":
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, deterministic evaluation situation (see module docstring)."""
+
+    name: str
+    description: str = ""
+    system: str = "pifs-rec"
+    model: str = "RMC1"
+    distribution: Optional[str] = None
+    batch_size: Optional[int] = None
+    num_batches: Optional[int] = None
+    pooling_factor: Optional[int] = None
+    hosts: Optional[int] = None
+    switches: int = 1
+    devices: Optional[int] = None
+    workload: Optional[Any] = None  # a workload provider (see repro.scenarios.workloads)
+    faults: Tuple[FaultSpec, ...] = ()
+    traffic: Optional[TrafficSpec] = None
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a scenario needs a name")
+        if self.model.upper() not in MODEL_CONFIGS:
+            known = ", ".join(sorted(MODEL_CONFIGS))
+            raise ValueError(f"unknown model {self.model!r}; expected one of: {known}")
+        object.__setattr__(self, "faults", tuple(self.faults))
+        object.__setattr__(
+            self, "axes", tuple((str(k), tuple(v)) for k, v in self.axes)
+        )
+        for axis, values in self.axes:
+            if axis not in SCENARIO_AXES:
+                raise ValueError(
+                    f"unknown scenario axis {axis!r}; expected one of: "
+                    + ", ".join(SCENARIO_AXES)
+                )
+            if not values:
+                raise ValueError(f"scenario axis {axis!r} has no values")
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    @property
+    def resolved_hosts(self) -> int:
+        """Host count: explicit, the multi-tenant total, or 1."""
+        if self.hosts is not None:
+            return self.hosts
+        if isinstance(self.workload, MultiTenantWorkload):
+            return self.workload.total_hosts
+        return 1
+
+    def dimensions(self) -> str:
+        """One-line summary of the scenario's dimensions (CLI listing)."""
+        parts = [self.model]
+        if self.workload is not None:
+            parts.append(self.workload.label)
+        elif self.distribution:
+            parts.append(self.distribution)
+        machine = f"{self.resolved_hosts}h/{self.switches}sw"
+        if self.devices is not None:
+            machine += f"/{self.devices}dev"
+        parts.append(machine)
+        parts.extend(fault.kind for fault in self.faults)
+        if self.traffic is not None:
+            parts.append(f"{self.traffic.qps:g}qps/{self.traffic.arrival}")
+        for axis, values in self.axes:
+            parts.append(f"{axis}x{len(values)}")
+        return " ".join(parts)
+
+    # ------------------------------------------------------------------
+    # Compilation onto the façade
+    # ------------------------------------------------------------------
+    def simulation(
+        self,
+        system: Optional[str] = None,
+        engine: Optional[str] = None,
+        scale: Optional[Any] = None,
+        quick: bool = False,
+    ):
+        """A configured :class:`~repro.api.session.Simulation` for this scenario.
+
+        Delegates to :meth:`Simulation.scenario` so there is exactly one
+        scenario → session mapping: ``Scenario.run()``,
+        ``Simulation.run_scenario()`` and the CLI cannot drift apart.
+        """
+        from repro.api.session import Simulation
+
+        sim = Simulation(system or self.system)
+        if quick:
+            sim.quick()
+        elif scale is not None:
+            sim.scale(scale)
+        sim.scenario(self)
+        if system is not None:
+            # Re-assert the explicit choice: Simulation.scenario() cannot
+            # tell an explicitly requested "pifs-rec" from its constructor
+            # default and would hand the name back to the scenario.
+            sim.system(system)
+        if engine is not None:
+            sim.engine(engine)
+        return sim
+
+    def run(self, cache: bool = True, **session_kwargs: Any):
+        """Run the scenario closed-loop; returns the :class:`RunResult`."""
+        return self.simulation(**session_kwargs).run(cache=cache)
+
+    def serve(self, qps: Optional[float] = None, **session_kwargs: Any):
+        """Serve the scenario open-loop under its traffic spec.
+
+        Scenarios without an explicit :class:`TrafficSpec` use the spec's
+        defaults; ``qps`` overrides the offered load either way.
+        """
+        traffic = self.traffic or TrafficSpec()
+        return self.simulation(**session_kwargs).serve(
+            qps if qps is not None else traffic.qps,
+            arrival=traffic.arrival,
+            max_batch_size=traffic.max_batch_size,
+            max_wait_ns=traffic.max_wait_us * 1e3,
+            sla_ns=traffic.sla_ns,
+        )
+
+    def sweep(
+        self,
+        systems: Optional[Sequence[str]] = None,
+        **session_kwargs: Any,
+    ):
+        """A :class:`~repro.api.sweep.Sweep` over the scenario's axes.
+
+        ``systems`` adds/overrides a system axis (the CLI's
+        ``scenario compare`` passes the systems to compare).  Scenarios
+        without declared axes sweep over systems alone.
+        """
+        from repro.api.sweep import Sweep, point
+
+        base = self.simulation(**session_kwargs)
+        over: Dict[str, List[Any]] = {}
+        if systems:
+            over["system"] = list(dict.fromkeys(systems))
+        scale = base.spec().scale
+        for axis, values in self.axes:
+            if axis == "system" and "system" in over:
+                continue  # explicit systems win over the declared axis
+            if axis == "tables":
+                over[axis] = [
+                    point(n, scale=replace(scale, num_tables=int(n))) for n in values
+                ]
+            else:
+                over[axis] = list(values)
+        if not over:
+            over["system"] = [self.system]
+        return Sweep(over, base=base)
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "system": self.system,
+            "model": self.model,
+            "distribution": self.distribution,
+            "batch_size": self.batch_size,
+            "num_batches": self.num_batches,
+            "pooling_factor": self.pooling_factor,
+            "hosts": self.hosts,
+            "switches": self.switches,
+            "devices": self.devices,
+            "workload": None if self.workload is None else self.workload.to_dict(),
+            "faults": [fault.to_dict() for fault in self.faults],
+            "traffic": None if self.traffic is None else self.traffic.to_dict(),
+            "axes": [[axis, list(values)] for axis, values in self.axes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        payload = dict(data)
+        workload = payload.get("workload")
+        traffic = payload.get("traffic")
+        return cls(
+            name=str(payload["name"]),
+            description=str(payload.get("description", "")),
+            system=str(payload.get("system", "pifs-rec")),
+            model=str(payload.get("model", "RMC1")),
+            distribution=payload.get("distribution"),
+            batch_size=payload.get("batch_size"),
+            num_batches=payload.get("num_batches"),
+            pooling_factor=payload.get("pooling_factor"),
+            hosts=payload.get("hosts"),
+            switches=int(payload.get("switches", 1)),
+            devices=payload.get("devices"),
+            workload=None if workload is None else provider_from_dict(workload),
+            faults=tuple(fault_from_dict(f) for f in payload.get("faults") or ()),
+            traffic=None if traffic is None else TrafficSpec.from_dict(traffic),
+            axes=tuple(
+                (str(axis), tuple(values)) for axis, values in payload.get("axes") or ()
+            ),
+        )
+
+    def to_json(self, **kwargs: Any) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "Scenario":
+        import json
+
+        return cls.from_dict(json.loads(payload))
+
+
+__all__ = ["SCENARIO_AXES", "Scenario", "TrafficSpec"]

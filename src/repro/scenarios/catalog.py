@@ -1,0 +1,179 @@
+"""The starter scenario catalog (importing this module registers them).
+
+Each entry composes the workload / traffic / fault dimensions into one
+named, deterministic situation.  ``docs/SCENARIOS.md`` is the cookbook:
+what each scenario models, which knobs it turns and what to expect
+qualitatively; ``experiments/scenario_grid.py`` runs the catalog as a
+paper-grade comparison grid.  List and run them from the CLI::
+
+    python -m repro scenario list
+    python -m repro scenario run fault-slow-link --quick
+    python -m repro scenario compare tenant-mix --quick
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.base import Scenario, TrafficSpec
+from repro.scenarios.faults import (
+    BufferDegradation,
+    DeviceDegradation,
+    HopDegradation,
+    LinkDegradation,
+)
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.workloads import DriftWorkload, MultiTenantWorkload, TenantSpec
+
+# ---------------------------------------------------------------------------
+# Workload-shape scenarios
+# ---------------------------------------------------------------------------
+register_scenario(
+    Scenario(
+        name="paper-baseline",
+        description="The paper's default evaluation point: Meta-like trace on a "
+        "healthy single-switch fabric (the reference every other scenario is "
+        "judged against).",
+        distribution="meta",
+        traffic=TrafficSpec(qps=2e5, arrival="poisson", sla_ms=5.0),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="zipfian-skew",
+        description="Heavily skewed Zipfian traffic with long bags: the regime "
+        "where the on-switch HTR buffer and hotness-based placement pay off "
+        "most (small hot set, long tail).",
+        distribution="zipfian",
+        pooling_factor=32,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="uniform-stress",
+        description="Uniform accesses defeat every caching/placement policy: "
+        "the worst case for PIFS-Rec's buffer and the best case for raw "
+        "fabric bandwidth (buffer hit ratio collapses toward zero).",
+        distribution="uniform",
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="drift-rotation",
+        description="Popularity drift: the hot set rotates every 2 batches, so "
+        "a placement tuned for the previous phase keeps paying CXL latency — "
+        "stresses the online page-management loop.",
+        workload=DriftWorkload(period_batches=2, hot_fraction=0.05, hot_probability=0.8),
+        num_batches=8,
+        traffic=TrafficSpec(qps=1.5e5, arrival="bursty", sla_ms=10.0),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# Multi-tenant co-location scenarios
+# ---------------------------------------------------------------------------
+register_scenario(
+    Scenario(
+        name="tenant-mix",
+        description="Two heterogeneous tenants share the fabric: a small hot "
+        "RMC1 next to a large RMC3, each on its own host — the big tenant's "
+        "spill traffic contends with the small tenant's tail.",
+        workload=MultiTenantWorkload(
+            tenants=(
+                TenantSpec(name="hot-small", model="RMC1", distribution="meta", hosts=1),
+                TenantSpec(name="big-cold", model="RMC3", distribution="zipfian", hosts=1),
+            )
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="tenant-quad",
+        description="Four co-located tenants (2x RMC1 + 2x RMC2) on four hosts "
+        "sharing one switch and pool: the crowded-pool regime where per-device "
+        "queueing dominates.",
+        workload=MultiTenantWorkload(
+            tenants=(
+                TenantSpec(name="a", model="RMC1", distribution="meta", hosts=1),
+                TenantSpec(name="b", model="RMC1", distribution="zipfian", hosts=1),
+                TenantSpec(name="c", model="RMC2", distribution="meta", hosts=1),
+                TenantSpec(name="d", model="RMC2", distribution="random", hosts=1),
+            )
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# Fault / degradation scenarios
+# ---------------------------------------------------------------------------
+register_scenario(
+    Scenario(
+        name="fault-slow-link",
+        description="Every CXL downstream link retrained to half bandwidth with "
+        "+100 ns propagation (marginal retimers): fabric-bound systems slow "
+        "down, host-local traffic is untouched.",
+        faults=(LinkDegradation(bandwidth_scale=0.5, extra_latency_ns=100.0),),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="fault-degraded-device",
+        description="Device 0 goes fail-slow: +200 ns on every read through its "
+        "controller. Placement policies that spread hot rows across devices "
+        "dilute the damage; capacity-ordered placement concentrates it.",
+        faults=(DeviceDegradation(extra_read_ns=200.0, devices=(0,)),),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="fault-buffer-squeeze",
+        description="Three quarters of the on-switch SRAM is mapped out "
+        "(capacity x0.25): the HTR buffer's hit ratio drops and PIFS-Rec "
+        "degrades toward its no-buffer ablation.",
+        faults=(BufferDegradation(capacity_scale=0.25),),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="fabric-congested",
+        description="Two-switch fabric whose inter-switch hops cost +400 ns "
+        "(congestion/retraining): remote-switch accumulations pay double, "
+        "rewarding placements that keep bags switch-local.",
+        hosts=2,
+        switches=2,
+        faults=(HopDegradation(extra_hop_ns=400.0),),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# Sweep-axis scenarios
+# ---------------------------------------------------------------------------
+register_scenario(
+    Scenario(
+        name="pooling-scaling",
+        description="Bag-size sensitivity: pooling factor 4 -> 64 under the "
+        "Meta trace. In-fabric accumulation amortizes per-bag overhead, so "
+        "its advantage grows with the bag.",
+        distribution="meta",
+        axes=(("pooling", (4, 16, 64)),),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="table-scaling",
+        description="Table-count sensitivity: 2 -> 8 embedding tables at fixed "
+        "capacity share. More tables mean more concurrent bags and more "
+        "working-set pressure per batch.",
+        distribution="meta",
+        axes=(("tables", (2, 4, 8)),),
+    )
+)
+
+
+__all__: list = []

@@ -1,0 +1,207 @@
+"""Composable fault/degradation injections for scenario runs.
+
+A fault is a small frozen dataclass describing one degradation of the
+simulated machine — a CXL link renegotiated to lower bandwidth or higher
+latency, a device whose reads turned fail-slow, a cut-down on-switch SRAM
+buffer, congested inter-switch hops.  Faults are *applied at session
+setup*: :meth:`~repro.sls.engine.SLSSystem.begin_session` runs every
+installed mutator after the backends, placement and system preparation
+exist but before the vector engine snapshots the machine into its
+flattened kernels, so the scalar and vector engines replay the identical
+degraded machine (the engine-equivalence suite pins this).
+
+Faults compose: a scenario carries a tuple of them and each mutates its
+own target.  They are JSON round-trippable (``to_dict``/``fault_from_dict``)
+so scenarios serialize, and picklable so faulted specs ship to sweep
+workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple, Type
+
+from repro.pifs.switch import PIFSSwitch
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Base class: one degradation applied to a system at session setup."""
+
+    #: JSON discriminator; each concrete fault overrides it.
+    kind = "fault"
+
+    def apply(self, system) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.kind
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"kind": self.kind}
+        payload.update(asdict(self))
+        return payload
+
+
+@dataclass(frozen=True)
+class LinkDegradation(FaultSpec):
+    """Degrade the downstream FlexBus link(s) of CXL device(s).
+
+    ``bandwidth_scale`` multiplies the link's peak bandwidth (0.5 = the
+    link retrained at half width); ``extra_latency_ns`` is added to the
+    propagation delay (marginal retimer).  ``devices`` selects which
+    device ids are affected; ``None`` degrades every device's link.
+    """
+
+    bandwidth_scale: float = 1.0
+    extra_latency_ns: float = 0.0
+    devices: Optional[Tuple[int, ...]] = None
+
+    kind = "link-degrade"
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_scale <= 0:
+            raise ValueError("bandwidth_scale must be positive")
+        if self.extra_latency_ns < 0:
+            raise ValueError("extra_latency_ns must be non-negative")
+        if self.devices is not None:
+            object.__setattr__(self, "devices", tuple(int(d) for d in self.devices))
+
+    def apply(self, system) -> None:
+        for device in system.backends.devices:
+            if self.devices is None or device.device_id in self.devices:
+                device.link.degrade(
+                    bandwidth_scale=self.bandwidth_scale,
+                    extra_propagation_ns=self.extra_latency_ns,
+                )
+
+    def describe(self) -> str:
+        scope = "all links" if self.devices is None else f"devices {list(self.devices)}"
+        return (
+            f"{scope} at {self.bandwidth_scale:g}x bandwidth, "
+            f"+{self.extra_latency_ns:g} ns propagation"
+        )
+
+
+@dataclass(frozen=True)
+class DeviceDegradation(FaultSpec):
+    """Mark CXL device(s) read-degraded: every read pays ``extra_read_ns``.
+
+    Models fail-slow media (a DIMM in self-heal/retraining).  Affects the
+    device-controller read path both engines share; writes are unaffected.
+    """
+
+    extra_read_ns: float = 150.0
+    devices: Tuple[int, ...] = (0,)
+
+    kind = "device-degrade"
+
+    def __post_init__(self) -> None:
+        if self.extra_read_ns < 0:
+            raise ValueError("extra_read_ns must be non-negative")
+        object.__setattr__(self, "devices", tuple(int(d) for d in self.devices))
+
+    def apply(self, system) -> None:
+        for device in system.backends.devices:
+            if device.device_id in self.devices:
+                device.degrade_reads(self.extra_read_ns)
+
+    def describe(self) -> str:
+        return f"devices {list(self.devices)} read-degraded by +{self.extra_read_ns:g} ns"
+
+
+@dataclass(frozen=True)
+class BufferDegradation(FaultSpec):
+    """Cut the on-switch SRAM buffer capacity.
+
+    ``capacity_scale`` multiplies the configured capacity (0.25 = three
+    quarters of the SRAM mapped out); ``capacity_bytes`` pins an absolute
+    size instead when given.  Only PIFS switches carry a buffer; the fault
+    is a no-op on plain fabric switches.
+    """
+
+    capacity_scale: float = 0.25
+    capacity_bytes: Optional[int] = None
+
+    kind = "buffer-degrade"
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes is None and not 0.0 <= self.capacity_scale <= 1.0:
+            raise ValueError("capacity_scale must be in [0, 1]")
+        if self.capacity_bytes is not None and self.capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+
+    def apply(self, system) -> None:
+        for switch in system.backends.switches:
+            if not isinstance(switch, PIFSSwitch):
+                continue
+            buffer = switch.buffer
+            if self.capacity_bytes is not None:
+                new_capacity = int(self.capacity_bytes)
+            else:
+                new_capacity = int(buffer.config.capacity_bytes * self.capacity_scale)
+            buffer.resize(new_capacity)
+
+    def describe(self) -> str:
+        if self.capacity_bytes is not None:
+            return f"on-switch buffer pinned to {self.capacity_bytes} bytes"
+        return f"on-switch buffer cut to {self.capacity_scale:g}x capacity"
+
+
+@dataclass(frozen=True)
+class HopDegradation(FaultSpec):
+    """Add latency to every inter-switch hop of a multi-switch fabric.
+
+    Models congestion or retraining on the inter-switch links.  Applies to
+    the fabric topology behind the multi-switch coordinator; single-switch
+    sessions (no inter-switch traffic) are unaffected.
+    """
+
+    extra_hop_ns: float = 400.0
+
+    kind = "hop-degrade"
+
+    def __post_init__(self) -> None:
+        if self.extra_hop_ns < 0:
+            raise ValueError("extra_hop_ns must be non-negative")
+
+    def apply(self, system) -> None:
+        coordinator = getattr(system, "coordinator", None)
+        topology = getattr(coordinator, "topology", None) if coordinator else None
+        if topology is not None:
+            topology.degrade_hops(self.extra_hop_ns)
+
+    def describe(self) -> str:
+        return f"+{self.extra_hop_ns:g} ns per inter-switch hop"
+
+
+#: kind → class, the JSON round-trip dispatch table.
+FAULT_KINDS: Dict[str, Type[FaultSpec]] = {
+    cls.kind: cls
+    for cls in (LinkDegradation, DeviceDegradation, BufferDegradation, HopDegradation)
+}
+
+
+def fault_from_dict(data: Mapping[str, Any]) -> FaultSpec:
+    """Rebuild a fault from its ``to_dict`` payload."""
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    cls = FAULT_KINDS.get(kind)
+    if cls is None:
+        known = ", ".join(sorted(FAULT_KINDS))
+        raise ValueError(f"unknown fault kind {kind!r}; expected one of: {known}")
+    for key in ("devices",):
+        if key in payload and payload[key] is not None:
+            payload[key] = tuple(payload[key])
+    return cls(**payload)
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "LinkDegradation",
+    "DeviceDegradation",
+    "BufferDegradation",
+    "HopDegradation",
+    "fault_from_dict",
+]

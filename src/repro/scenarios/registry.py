@@ -1,0 +1,125 @@
+"""Named-scenario registry (the scenario counterpart of the system registry).
+
+The starter catalog (:mod:`repro.scenarios.catalog`) registers itself
+lazily the first time a name is resolved, exactly like the built-in
+systems do in :mod:`repro.api.registry`; user code adds its own scenarios
+with :func:`register_scenario` — directly with a :class:`Scenario`, or as
+a decorator on a zero-argument factory::
+
+    @register_scenario
+    def my_scenario() -> Scenario:
+        return Scenario(name="my-scenario", ...)
+
+Names are case-insensitive and must be unique unless ``replace=True``.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Callable, Dict, Iterable, Optional, Tuple, Union
+
+from repro.scenarios.base import Scenario
+
+
+class UnknownScenarioError(KeyError):
+    """Raised when a scenario name is not registered (readable + suggests)."""
+
+    def __init__(self, name: str, known: Iterable[str]) -> None:
+        self.name = name
+        self.known = tuple(sorted(known))
+        message = f"unknown scenario {name!r}; expected one of: {', '.join(self.known)}"
+        guesses = difflib.get_close_matches(str(name).lower(), self.known, n=1)
+        if guesses:
+            message += f" (did you mean {guesses[0]!r}?)"
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+    def __reduce__(self):
+        return (type(self), (self.name, self.known))
+
+
+class DuplicateScenarioError(ValueError):
+    """Raised when two different scenarios claim the same name."""
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+_CATALOG_LOADED = False
+
+ScenarioLike = Union[Scenario, Callable[[], Scenario]]
+
+
+def register_scenario(
+    scenario: Optional[ScenarioLike] = None, *, replace: bool = False
+):
+    """Register a scenario (or decorate a zero-argument scenario factory)."""
+
+    def _register(target: ScenarioLike):
+        resolved = target() if callable(target) else target
+        if not isinstance(resolved, Scenario):
+            raise TypeError(
+                f"register_scenario expects a Scenario (or a factory returning "
+                f"one), got {type(resolved).__name__}"
+            )
+        key = resolved.name.lower()
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing != resolved and not replace:
+            raise DuplicateScenarioError(
+                f"scenario name {resolved.name!r} is already registered; "
+                "pass replace=True to override"
+            )
+        _REGISTRY[key] = resolved
+        return target
+
+    if scenario is not None:
+        _register(scenario)
+        return scenario
+    return _register
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a registration (mainly for tests)."""
+    _REGISTRY.pop(str(name).lower(), None)
+
+
+def _ensure_catalog() -> None:
+    """Import the starter catalog, which self-registers on first use."""
+    global _CATALOG_LOADED
+    if _CATALOG_LOADED:
+        return
+    import repro.scenarios.catalog  # noqa: F401  (registers the starter catalog)
+
+    _CATALOG_LOADED = True
+
+
+def scenario(name: str) -> Scenario:
+    """Resolve a registered scenario by (case-insensitive) name."""
+    _ensure_catalog()
+    try:
+        return _REGISTRY[str(name).lower()]
+    except KeyError:
+        raise UnknownScenarioError(name, _REGISTRY) from None
+
+
+def available_scenarios() -> Tuple[str, ...]:
+    """Registered scenarios' display names, sorted case-insensitively.
+
+    Display names (``Scenario.name``), not the lowercased registry keys —
+    listings and ``to_dict()['name']`` must agree on what a scenario is
+    called.
+    """
+    _ensure_catalog()
+    return tuple(
+        entry.name for entry in sorted(_REGISTRY.values(), key=lambda s: s.name.lower())
+    )
+
+
+__all__ = [
+    "DuplicateScenarioError",
+    "UnknownScenarioError",
+    "available_scenarios",
+    "register_scenario",
+    "scenario",
+    "unregister_scenario",
+]

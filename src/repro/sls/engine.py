@@ -155,6 +155,24 @@ class SLSSystem(ABC):
         self.engine = "scalar"
         self._vector = None
         self._vector_fallback_reason: Optional[str] = None
+        self._session_mutators: Tuple = ()
+
+    # ------------------------------------------------------------------
+    # Session mutation (fault injection)
+    # ------------------------------------------------------------------
+    def set_session_mutators(self, mutators: Sequence) -> "SLSSystem":
+        """Install callables applied to the system at every session setup.
+
+        Each mutator is called with the system after the backends,
+        placement and :meth:`prepare` exist but *before* the vector
+        context builds its flattened kernels — so a mutation of the device
+        models (a degraded link, a slower device, a smaller on-switch
+        buffer) is baked into both the scalar and the vector engine
+        identically.  The scenario layer's fault injection is implemented
+        on this hook.
+        """
+        self._session_mutators = tuple(mutators)
+        return self
 
     # ------------------------------------------------------------------
     # Engine selection
@@ -198,6 +216,11 @@ class SLSSystem(ABC):
         )
         self.tiered = self.build_placement(workload)
         self.prepare(workload)
+        # Fault-injection mutations run after the machine fully exists and
+        # before the vector kernels snapshot its parameters, so both
+        # engines observe an identical (degraded) machine.
+        for mutator in self._session_mutators:
+            mutator(self)
         self._vector = None
         self._vector_fallback_reason = None
         if self.engine == "vector" and self.supports_vector_engine:

@@ -1,0 +1,319 @@
+"""Trace-file ingestion and export.
+
+The paper evaluates on the open-source Meta ``dlrm_datasets`` traces —
+per-table streams of (indices, offsets) pairs.  This module moves real
+trace files through the same :class:`~repro.traces.meta.TraceBatch`
+interface the synthetic generators produce, in two on-disk formats:
+
+* **npz** (Meta ``dlrm_datasets`` style) — one compressed numpy archive
+  holding every batch's per-table ``indices``/``offsets`` arrays.  This is
+  the lossless format: :func:`save_trace` → :func:`load_trace` round-trips
+  bit-identically, so any synthetic workload can be exported once and
+  replayed forever (:func:`save_workload_trace` /
+  :func:`workload_from_trace`).
+* **tsv** (Criteo style) — one sample per line, one tab-separated
+  categorical index per table (decimal or Criteo's hashed hex).  Pooling
+  factor is 1 by construction; loading groups lines into batches.
+
+Both loaders validate shapes eagerly (monotone offsets, index bounds when a
+model is given) so a malformed file fails at ingestion with a pointed error
+rather than deep inside the simulator.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.config import ModelConfig
+from repro.traces.meta import TraceBatch
+from repro.traces.workload import SLSWorkload, workload_from_batches
+
+PathLike = Union[str, pathlib.Path]
+
+#: Recognised trace-file formats.
+TRACE_FORMATS = ("npz", "tsv")
+
+
+def trace_format(path: PathLike, format: Optional[str] = None) -> str:
+    """Resolve the trace format for ``path`` (explicit arg wins over suffix)."""
+    if format is not None:
+        if format not in TRACE_FORMATS:
+            raise ValueError(
+                f"unknown trace format {format!r}; expected one of: {', '.join(TRACE_FORMATS)}"
+            )
+        return format
+    suffix = pathlib.Path(path).suffix.lower().lstrip(".")
+    if suffix in TRACE_FORMATS:
+        return suffix
+    raise ValueError(
+        f"cannot infer trace format from {str(path)!r}; use a .npz or .tsv "
+        "suffix or pass format= explicitly"
+    )
+
+
+# ---------------------------------------------------------------------------
+# npz (Meta dlrm_datasets style)
+# ---------------------------------------------------------------------------
+def save_trace(batches: Sequence[TraceBatch], path: PathLike) -> pathlib.Path:
+    """Write ``batches`` to ``path`` as a compressed ``.npz`` archive.
+
+    Layout: scalar ``num_batches``/``num_tables`` plus one
+    ``batch{i}_table{t}_indices`` / ``..._offsets`` int64 array pair per
+    (batch, table).  :func:`load_trace` restores the exact arrays.
+    """
+    if not batches:
+        raise ValueError("cannot save an empty trace")
+    num_tables = batches[0].num_tables
+    payload = {
+        "num_batches": np.asarray(len(batches), dtype=np.int64),
+        "num_tables": np.asarray(num_tables, dtype=np.int64),
+    }
+    for i, batch in enumerate(batches):
+        if batch.num_tables != num_tables:
+            raise ValueError(
+                f"batch {i} has {batch.num_tables} tables, expected {num_tables}"
+            )
+        for t in range(num_tables):
+            payload[f"batch{i}_table{t}_indices"] = np.asarray(
+                batch.indices_per_table[t], dtype=np.int64
+            )
+            payload[f"batch{i}_table{t}_offsets"] = np.asarray(
+                batch.offsets_per_table[t], dtype=np.int64
+            )
+    path = pathlib.Path(path)
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **payload)
+    return path
+
+
+def _validate_bags(indices: np.ndarray, offsets: np.ndarray, where: str) -> None:
+    if offsets.size and int(offsets[0]) != 0:
+        raise ValueError(f"{where}: offsets must start at 0")
+    if offsets.size > 1 and np.any(np.diff(offsets) < 0):
+        raise ValueError(f"{where}: offsets must be non-decreasing")
+    if offsets.size and int(offsets[-1]) > indices.size:
+        raise ValueError(f"{where}: last offset exceeds the index count")
+    if indices.size and int(indices.min()) < 0:
+        raise ValueError(f"{where}: negative embedding index")
+
+
+def load_trace(path: PathLike) -> List[TraceBatch]:
+    """Load a ``.npz`` trace written by :func:`save_trace`."""
+    path = pathlib.Path(path)
+    with np.load(path) as archive:
+        try:
+            num_batches = int(archive["num_batches"])
+            num_tables = int(archive["num_tables"])
+        except KeyError as error:
+            raise ValueError(
+                f"{path}: not a trace archive (missing {error.args[0]!r})"
+            ) from None
+        batches: List[TraceBatch] = []
+        for i in range(num_batches):
+            indices_per_table: List[np.ndarray] = []
+            offsets_per_table: List[np.ndarray] = []
+            for t in range(num_tables):
+                try:
+                    indices = archive[f"batch{i}_table{t}_indices"].astype(np.int64)
+                    offsets = archive[f"batch{i}_table{t}_offsets"].astype(np.int64)
+                except KeyError as error:
+                    raise ValueError(
+                        f"{path}: truncated trace archive (missing {error.args[0]!r})"
+                    ) from None
+                _validate_bags(indices, offsets, f"{path} batch {i} table {t}")
+                indices_per_table.append(indices)
+                offsets_per_table.append(offsets)
+            batches.append(
+                TraceBatch(
+                    indices_per_table=indices_per_table,
+                    offsets_per_table=offsets_per_table,
+                )
+            )
+    return batches
+
+
+# ---------------------------------------------------------------------------
+# tsv (Criteo style)
+# ---------------------------------------------------------------------------
+def _parse_index(token: str, path: PathLike, line_no: int, base: int) -> int:
+    """Parse one categorical index in the file's declared base.
+
+    The base is a per-file property, never guessed per token: real Criteo
+    hashed features include all-digit tokens (``"10131014"``) that would
+    silently alias under mixed-base parsing.
+    """
+    try:
+        value = int(token, base)
+    except ValueError:
+        kind = "hexadecimal" if base == 16 else "decimal"
+        hint = "" if base == 16 else " (pass hex_indices=True for Criteo hashed logs)"
+        raise ValueError(
+            f"{path}:{line_no}: {token!r} is not a {kind} index{hint}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"{path}:{line_no}: negative embedding index {token!r}")
+    return value
+
+
+def load_criteo_tsv(
+    path: PathLike,
+    batch_size: int = 8,
+    num_tables: Optional[int] = None,
+    hex_indices: bool = False,
+) -> List[TraceBatch]:
+    """Load a Criteo-style TSV: one sample per line, one index per table.
+
+    Every line holds ``num_tables`` tab-separated categorical indices
+    (pooling factor 1, as in the Criteo click logs where each sample
+    contributes exactly one id per categorical feature).  Lines are grouped
+    into batches of ``batch_size`` (the final partial batch is kept).
+    ``hex_indices=True`` reads the whole file as Criteo's hashed hex ids;
+    the default is decimal (what :func:`save_criteo_tsv` writes).
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    base = 16 if hex_indices else 10
+    path = pathlib.Path(path)
+    samples: List[List[int]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            tokens = line.split("\t")
+            if num_tables is None:
+                num_tables = len(tokens)
+            elif len(tokens) != num_tables:
+                raise ValueError(
+                    f"{path}:{line_no}: expected {num_tables} columns, found {len(tokens)}"
+                )
+            samples.append([_parse_index(token, path, line_no, base) for token in tokens])
+    if not samples:
+        raise ValueError(f"{path}: no samples found")
+    assert num_tables is not None
+
+    batches: List[TraceBatch] = []
+    for start in range(0, len(samples), batch_size):
+        chunk = samples[start : start + batch_size]
+        indices_per_table = [
+            np.asarray([sample[t] for sample in chunk], dtype=np.int64)
+            for t in range(num_tables)
+        ]
+        offsets = np.arange(len(chunk), dtype=np.int64)
+        batches.append(
+            TraceBatch(
+                indices_per_table=indices_per_table,
+                offsets_per_table=[offsets.copy() for _ in range(num_tables)],
+            )
+        )
+    return batches
+
+
+def save_criteo_tsv(batches: Sequence[TraceBatch], path: PathLike) -> pathlib.Path:
+    """Write single-lookup-per-bag batches as a Criteo-style TSV.
+
+    Only traces whose every bag holds exactly one index are expressible in
+    this format (that is what a Criteo-style log is); anything else raises
+    — use the lossless :func:`save_trace` npz format instead.
+    """
+    if not batches:
+        raise ValueError("cannot save an empty trace")
+    path = pathlib.Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        for i, batch in enumerate(batches):
+            size = batch.batch_size
+            for t in range(batch.num_tables):
+                indices = batch.indices_per_table[t]
+                offsets = batch.offsets_per_table[t]
+                if len(indices) != size or not np.array_equal(
+                    np.asarray(offsets), np.arange(size, dtype=np.int64)
+                ):
+                    raise ValueError(
+                        f"batch {i} table {t} has multi-lookup bags; the "
+                        "Criteo TSV format holds exactly one index per bag "
+                        "(export as npz via save_trace instead)"
+                    )
+            for sample in range(size):
+                row = "\t".join(
+                    str(int(batch.indices_per_table[t][sample]))
+                    for t in range(batch.num_tables)
+                )
+                handle.write(row + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Workload-level convenience
+# ---------------------------------------------------------------------------
+def load_trace_file(
+    path: PathLike,
+    format: Optional[str] = None,
+    batch_size: int = 8,
+    hex_indices: bool = False,
+) -> List[TraceBatch]:
+    """Load a trace file of either format (tsv honors ``batch_size``/``hex_indices``)."""
+    resolved = trace_format(path, format)
+    if resolved == "npz":
+        return load_trace(path)
+    return load_criteo_tsv(path, batch_size=batch_size, hex_indices=hex_indices)
+
+
+def save_workload_trace(workload: SLSWorkload, path: PathLike) -> pathlib.Path:
+    """Export the trace behind ``workload`` as a lossless ``.npz`` archive.
+
+    Requires the workload to carry its source batches (every workload built
+    through :func:`~repro.traces.workload.workload_from_batches` does);
+    re-loading with :func:`workload_from_trace` under the same model and
+    host assignment rebuilds a bit-identical request stream.
+    """
+    if workload.trace is None:
+        raise ValueError(
+            "workload carries no trace batches to export (it was assembled "
+            "directly from requests); only batch-derived workloads round-trip"
+        )
+    return save_trace(workload.trace, path)
+
+
+def workload_from_trace(
+    path: PathLike,
+    model: ModelConfig,
+    *,
+    format: Optional[str] = None,
+    batch_size: int = 8,
+    hex_indices: bool = False,
+    host_id: int = 0,
+    num_hosts: int = 1,
+    distribution: Optional[str] = None,
+) -> SLSWorkload:
+    """Build an :class:`SLSWorkload` from a trace file.
+
+    Indices are bounds-checked against ``model.num_embeddings`` by the
+    address computation, so a trace recorded for a bigger table fails with
+    a pointed error instead of aliasing rows.
+    """
+    batches = load_trace_file(
+        path, format=format, batch_size=batch_size, hex_indices=hex_indices
+    )
+    return workload_from_batches(
+        batches,
+        model,
+        distribution=distribution or f"file:{pathlib.Path(path).name}",
+        host_id=host_id,
+        num_hosts=num_hosts,
+    )
+
+
+__all__ = [
+    "TRACE_FORMATS",
+    "trace_format",
+    "save_trace",
+    "load_trace",
+    "load_criteo_tsv",
+    "save_criteo_tsv",
+    "load_trace_file",
+    "save_workload_trace",
+    "workload_from_trace",
+]

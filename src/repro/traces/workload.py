@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional
 
 import numpy as np
 
@@ -42,7 +42,14 @@ class SLSRequest:
 
 @dataclass
 class SLSWorkload:
-    """A full SLS workload: requests plus the address space they live in."""
+    """A full SLS workload: requests plus the address space they live in.
+
+    ``trace`` holds the per-batch (indices, offsets) arrays the requests
+    were flattened from, when known — it is what the trace-file export
+    (:func:`repro.traces.files.save_workload_trace`) writes, enabling a
+    bit-identical save → load → rebuild round trip.  Workloads assembled
+    directly from requests (e.g. multi-tenant mixes) carry ``None``.
+    """
 
     model: ModelConfig
     address_space: AddressSpace
@@ -50,12 +57,26 @@ class SLSWorkload:
     batch_size: int
     num_batches: int
     distribution: str
+    trace: Optional[List[TraceBatch]] = None
 
     def __iter__(self) -> Iterator[SLSRequest]:
         return iter(self.requests)
 
     def __len__(self) -> int:
         return len(self.requests)
+
+    def __getstate__(self):
+        """Pickle without the source trace batches.
+
+        In memory ``trace`` is nearly free (the requests' arrays are views
+        into the same buffers), but pickling materializes every view — a
+        workload shipped to a sweep worker would carry each index twice.
+        The simulation never reads ``trace``; it exists for the in-process
+        export path, so it stays on this side of the boundary.
+        """
+        state = self.__dict__.copy()
+        state["trace"] = None
+        return state
 
     # ``total_lookups``/``total_bytes`` are summed once and cached: requests
     # are immutable after construction and the online serving loop reads
@@ -81,6 +102,99 @@ class SLSWorkload:
         return int(np.unique(addresses // page_size).size)
 
 
+def flatten_table_bags(
+    requests: List[SLSRequest],
+    request_id: int,
+    table: int,
+    indices: np.ndarray,
+    offsets: np.ndarray,
+    table_addresses: np.ndarray,
+    row_bytes: int,
+    host_of_sample: Callable[[int], int],
+) -> int:
+    """Append one :class:`SLSRequest` per non-empty bag of one (batch, table).
+
+    The single bag-flattening loop every workload source shares —
+    :func:`workload_from_batches` and the multi-tenant provider both
+    delegate here, so bag semantics (bounds, empty-bag skip, address
+    views) cannot drift between them.  ``host_of_sample`` maps a sample
+    index to its issuing host; returns the next free request id.
+    """
+    bounds = np.concatenate([offsets, [len(indices)]])
+    for sample in range(len(offsets)):
+        start, end = int(bounds[sample]), int(bounds[sample + 1])
+        rows = indices[start:end]
+        if len(rows) == 0:
+            continue
+        requests.append(
+            SLSRequest(
+                request_id=request_id,
+                host_id=host_of_sample(sample),
+                table=table,
+                sample=sample,
+                rows=rows,
+                addresses=table_addresses[start:end],
+                row_bytes=row_bytes,
+            )
+        )
+        request_id += 1
+    return request_id
+
+
+def workload_from_batches(
+    batches: List[TraceBatch],
+    model: ModelConfig,
+    *,
+    distribution: str = "file",
+    batch_size: Optional[int] = None,
+    num_batches: Optional[int] = None,
+    host_id: int = 0,
+    num_hosts: int = 1,
+    space: Optional[AddressSpace] = None,
+) -> SLSWorkload:
+    """Flatten trace batches into an :class:`SLSWorkload`.
+
+    The shared request-construction path behind every workload source:
+    synthetic generators (:func:`build_workload`), trace files
+    (:mod:`repro.traces.files`) and the drifting-popularity generator all
+    produce :class:`~repro.traces.meta.TraceBatch` lists and meet here, so
+    a trace exported to disk and re-loaded rebuilds the *identical*
+    request stream.  When ``num_hosts`` is greater than one, requests are
+    assigned to hosts round-robin by sample, matching the paper's
+    multi-host experiments where concurrent hosts issue batches against
+    the same tables.
+    """
+    space = space or AddressSpace.for_model(model)
+    row_bytes = model.embedding_row_bytes
+    hosts = max(1, num_hosts)
+
+    def host_of_sample(sample: int) -> int:
+        return (host_id + sample) % hosts
+
+    requests: List[SLSRequest] = []
+    request_id = 0
+    for batch in batches:
+        for table in range(batch.num_tables):
+            indices = batch.indices_per_table[table].astype(np.int64)
+            offsets = batch.offsets_per_table[table]
+            # One vectorized address computation per (batch, table); the
+            # per-bag arrays are views into it.
+            table_addresses = space.row_addresses(table, indices)
+            request_id = flatten_table_bags(
+                requests, request_id, table, indices, offsets,
+                table_addresses, row_bytes, host_of_sample,
+            )
+    return SLSWorkload(
+        model=model,
+        address_space=space,
+        requests=requests,
+        batch_size=(batches[0].batch_size if batches else 0) if batch_size is None else batch_size,
+        num_batches=len(batches) if num_batches is None else num_batches,
+        distribution=distribution,
+        trace=list(batches),
+    )
+
+
 def build_workload(
     config: WorkloadConfig,
     distribution: Optional[str] = None,
@@ -89,52 +203,27 @@ def build_workload(
 ) -> SLSWorkload:
     """Build an :class:`SLSWorkload` from a :class:`~repro.config.WorkloadConfig`.
 
-    When ``num_hosts`` is greater than one, requests are assigned to hosts
-    round-robin by sample, matching the paper's multi-host experiments where
-    concurrent hosts issue batches against the same tables.
+    Generates the seeded trace batches for the configured distribution and
+    flattens them through :func:`workload_from_batches`.
     """
     dist_name = distribution or config.distribution
     dist = TraceDistribution.from_name(dist_name)
     batches: List[TraceBatch] = generate_meta_like_trace(config, distribution=dist)
-    space = AddressSpace.for_model(config.model)
-    row_bytes = config.model.embedding_row_bytes
-
-    requests: List[SLSRequest] = []
-    request_id = 0
-    for batch in batches:
-        for table in range(batch.num_tables):
-            indices = batch.indices_per_table[table].astype(np.int64)
-            offsets = batch.offsets_per_table[table]
-            bounds = np.concatenate([offsets, [len(indices)]])
-            # One vectorized address computation per (batch, table); the
-            # per-bag arrays below are views into it.
-            table_addresses = space.row_addresses(table, indices)
-            for sample in range(batch.batch_size):
-                start, end = int(bounds[sample]), int(bounds[sample + 1])
-                rows = indices[start:end]
-                if len(rows) == 0:
-                    continue
-                addresses = table_addresses[start:end]
-                requests.append(
-                    SLSRequest(
-                        request_id=request_id,
-                        host_id=(host_id + sample) % max(1, num_hosts),
-                        table=table,
-                        sample=sample,
-                        rows=rows,
-                        addresses=addresses,
-                        row_bytes=row_bytes,
-                    )
-                )
-                request_id += 1
-    return SLSWorkload(
-        model=config.model,
-        address_space=space,
-        requests=requests,
+    return workload_from_batches(
+        batches,
+        config.model,
+        distribution=dist.value,
         batch_size=config.batch_size,
         num_batches=config.num_batches,
-        distribution=dist.value,
+        host_id=host_id,
+        num_hosts=num_hosts,
     )
 
 
-__all__ = ["SLSRequest", "SLSWorkload", "build_workload"]
+__all__ = [
+    "SLSRequest",
+    "SLSWorkload",
+    "build_workload",
+    "flatten_table_bags",
+    "workload_from_batches",
+]

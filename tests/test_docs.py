@@ -1,10 +1,12 @@
-"""Documentation health: markdown links resolve, CLI --help is informative.
+"""Documentation health: links resolve, CLI --help informative, API.md true.
 
 Run by the CI docs job (and tier-1): a broken relative link in README or
-docs/, or a subcommand whose ``--help`` loses its examples/descriptions,
+docs/, a subcommand whose ``--help`` loses its examples/descriptions, or an
+API.md entry naming a symbol that no longer exists (or lost its docstring)
 fails here rather than silently rotting.
 """
 
+import importlib
 import pathlib
 import re
 
@@ -17,7 +19,13 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 #: [text](target) — excluding images; targets may carry #anchors.
 _LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
 
-SUBCOMMANDS = ("run", "sweep", "serve", "compare", "figures", "systems")
+#: API.md documents symbols as headings of the form ``### `repro.x.Y` ``.
+_API_SYMBOL = re.compile(r"^#{2,4} +`(repro(?:\.[A-Za-z0-9_]+)+)`", re.MULTILINE)
+
+SUBCOMMANDS = ("run", "sweep", "serve", "compare", "figures", "bench", "scenario", "systems")
+
+#: The documents the docs tree promises (README links them all).
+DOCS_PAGES = ("ARCHITECTURE.md", "PERFORMANCE.md", "SCENARIOS.md", "API.md")
 
 
 def _markdown_files():
@@ -27,9 +35,9 @@ def _markdown_files():
 
 
 class TestMarkdownLinks:
-    def test_docs_tree_exists(self):
-        assert (ROOT / "docs" / "ARCHITECTURE.md").is_file()
-        assert (ROOT / "docs" / "PERFORMANCE.md").is_file()
+    @pytest.mark.parametrize("page", DOCS_PAGES)
+    def test_docs_tree_exists(self, page):
+        assert (ROOT / "docs" / page).is_file()
 
     @pytest.mark.parametrize("path", _markdown_files(), ids=lambda p: str(p.relative_to(ROOT)))
     def test_relative_links_resolve(self, path):
@@ -41,6 +49,59 @@ class TestMarkdownLinks:
             if not resolved.exists():
                 broken.append(target)
         assert not broken, f"broken relative links in {path.name}: {broken}"
+
+    def test_readme_links_every_docs_page(self):
+        readme = (ROOT / "README.md").read_text(encoding="utf-8")
+        missing = [page for page in DOCS_PAGES if f"docs/{page}" not in readme]
+        assert not missing, f"README does not link: {missing}"
+
+
+def _api_symbols():
+    text = (ROOT / "docs" / "API.md").read_text(encoding="utf-8")
+    symbols = _API_SYMBOL.findall(text)
+    assert len(symbols) >= 20, "API.md lost its symbol headings"
+    return symbols
+
+
+def _resolve(symbol: str):
+    """Import the longest module prefix, then getattr the rest."""
+    parts = symbol.split(".")
+    module = None
+    rest = []
+    for i in range(len(parts), 0, -1):
+        try:
+            module = importlib.import_module(".".join(parts[:i]))
+            rest = parts[i:]
+            break
+        except ImportError:
+            continue
+    assert module is not None, f"no importable module prefix in {symbol!r}"
+    obj = module
+    for name in rest:
+        obj = getattr(obj, name)
+    return obj
+
+
+class TestAPIReference:
+    """Every symbol API.md documents exists and is itself documented."""
+
+    @pytest.mark.parametrize("symbol", _api_symbols())
+    def test_symbol_exists_and_documented(self, symbol):
+        obj = _resolve(symbol)
+        doc = getattr(obj, "__doc__", None)
+        assert doc and doc.strip(), f"{symbol} has no docstring"
+
+    def test_core_surface_is_covered(self):
+        """API.md must keep documenting the load-bearing entry points."""
+        symbols = set(_api_symbols())
+        required = {
+            "repro.api.Simulation",
+            "repro.api.Sweep",
+            "repro.api.register_system",
+            "repro.scenarios.Scenario",
+            "repro.scenarios.register_scenario",
+        }
+        assert required <= symbols, f"API.md lost: {sorted(required - symbols)}"
 
 
 class TestCLIHelp:
@@ -77,10 +138,19 @@ class TestCLIHelp:
         assert "--engine" in out
         assert "vector" in out
 
-    @pytest.mark.parametrize("command", ["run", "sweep", "serve", "compare"])
+    @pytest.mark.parametrize("command", ["run", "sweep", "serve", "compare", "scenario"])
     def test_examples_present(self, command, capsys):
         parser = build_parser()
         with pytest.raises(SystemExit):
             parser.parse_args([command, "--help"])
         out = capsys.readouterr().out
         assert "examples:" in out, f"'{command} --help' lost its examples section"
+
+    @pytest.mark.parametrize("subcommand", ["list", "run", "compare"])
+    def test_scenario_subcommands(self, subcommand, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit) as excinfo:
+            parser.parse_args(["scenario", subcommand, "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) > 5, f"'scenario {subcommand} --help' is too terse"

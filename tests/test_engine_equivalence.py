@@ -213,6 +213,70 @@ class TestServeEquivalence:
         assert scalar.goodput_qps == vector.goodput_qps
 
 
+class TestScenarioEquivalence:
+    """Scenario runs — faults, mixes, drift — are engine-bit-identical too.
+
+    Faults mutate the machine at session setup (before the vector kernels
+    snapshot it) and scenario workloads come from providers instead of the
+    stationary generators; both paths must leave the scalar oracle and the
+    vector engine in perfect agreement, SimResult and backend state alike.
+    """
+
+    #: At least one fault-injection and one multi-tenant scenario (ISSUE 5
+    #: acceptance), plus drift, a congested multi-switch fabric, and the
+    #: buffer cut.
+    SCENARIOS = (
+        "fault-slow-link",
+        "fault-degraded-device",
+        "fault-buffer-squeeze",
+        "fabric-congested",
+        "tenant-mix",
+        "drift-rotation",
+    )
+
+    @staticmethod
+    def _run_scenario(name, engine):
+        from repro.scenarios import scenario
+
+        sim = scenario(name).simulation(quick=True, engine=engine)
+        system = sim.build_system()
+        workload = sim.build_workload()
+        return system, system.run(workload)
+
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_simresult_identical(self, name):
+        scalar_system, scalar = self._run_scenario(name, "scalar")
+        vector_system, vector = self._run_scenario(name, "vector")
+        assert vector_system._vector is not None, "vector context was not built"
+        assert scalar.to_dict() == vector.to_dict()
+
+    @pytest.mark.parametrize("name", ["fault-slow-link", "tenant-mix"])
+    def test_backend_state_identical(self, name):
+        scalar_system, _ = self._run_scenario(name, "scalar")
+        vector_system, _ = self._run_scenario(name, "vector")
+        assert _backend_fingerprint(scalar_system) == _backend_fingerprint(vector_system)
+
+    @pytest.mark.parametrize("name", ["fault-degraded-device", "tenant-mix"])
+    def test_serve_identical(self, name):
+        from repro.scenarios import scenario
+
+        scalar = scenario(name).serve(quick=True, engine="scalar")
+        vector = scenario(name).serve(quick=True, engine="vector")
+        assert scalar.latency.to_dict() == vector.latency.to_dict()
+        assert scalar.sim.to_dict() == vector.sim.to_dict()
+        assert [r.complete_ns for r in scalar.records] == [
+            r.complete_ns for r in vector.records
+        ]
+
+    def test_faults_change_results(self):
+        """Guard against a fault hook that silently stops applying."""
+        from repro.scenarios import scenario
+
+        baseline = scenario("paper-baseline").run(quick=True, cache=False)
+        for name in ("fault-slow-link", "fault-degraded-device"):
+            assert scenario(name).run(quick=True, cache=False).total_ns > baseline.total_ns
+
+
 class TestEngineKnob:
     def test_set_engine_validates(self, tiny_system):
         system = create_system("pond", tiny_system)

@@ -1,0 +1,299 @@
+"""Trace-file ingestion/export (repro.traces.files) and drift generation.
+
+The contract under test: a synthetic workload exported to disk and loaded
+back rebuilds the *bit-identical* request stream — same ids, hosts,
+tables, rows and byte addresses — so trace files are a faithful
+interchange format, not an approximation.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config import RMC1, WorkloadConfig, scaled_model
+from repro.traces.drift import build_drifting_workload, generate_drifting_trace
+from repro.traces.files import (
+    load_criteo_tsv,
+    load_trace,
+    load_trace_file,
+    save_criteo_tsv,
+    save_trace,
+    save_workload_trace,
+    trace_format,
+    workload_from_trace,
+)
+from repro.traces.meta import TraceBatch, generate_meta_like_trace
+from repro.traces.workload import build_workload, workload_from_batches
+
+
+@pytest.fixture()
+def config(tiny_model):
+    return WorkloadConfig(model=tiny_model, batch_size=4, num_batches=3, pooling_factor=6, seed=7)
+
+
+def _assert_workloads_identical(a, b):
+    assert len(a.requests) == len(b.requests)
+    for left, right in zip(a.requests, b.requests):
+        assert left.request_id == right.request_id
+        assert left.host_id == right.host_id
+        assert left.table == right.table
+        assert left.sample == right.sample
+        assert left.row_bytes == right.row_bytes
+        assert np.array_equal(left.rows, right.rows)
+        assert np.array_equal(left.addresses, right.addresses)
+
+
+class TestNpzRoundTrip:
+    def test_batches_bit_identical(self, config, tmp_path):
+        batches = generate_meta_like_trace(config)
+        path = save_trace(batches, tmp_path / "trace.npz")
+        loaded = load_trace(path)
+        assert len(loaded) == len(batches)
+        for original, restored in zip(batches, loaded):
+            assert original.num_tables == restored.num_tables
+            for t in range(original.num_tables):
+                assert np.array_equal(
+                    original.indices_per_table[t], restored.indices_per_table[t]
+                )
+                assert np.array_equal(
+                    original.offsets_per_table[t], restored.offsets_per_table[t]
+                )
+
+    def test_workload_round_trip_bit_identical(self, config, tmp_path):
+        workload = build_workload(config)
+        assert workload.trace is not None  # generators record their batches
+        path = save_workload_trace(workload, tmp_path / "w.npz")
+        rebuilt = workload_from_trace(path, config.model)
+        _assert_workloads_identical(workload, rebuilt)
+        assert rebuilt.total_lookups == workload.total_lookups
+        assert rebuilt.working_set_bytes == workload.working_set_bytes
+
+    def test_multi_host_round_trip(self, config, tmp_path):
+        workload = build_workload(config, num_hosts=3)
+        path = save_workload_trace(workload, tmp_path / "w.npz")
+        rebuilt = workload_from_trace(path, config.model, num_hosts=3)
+        _assert_workloads_identical(workload, rebuilt)
+
+    def test_pickle_strips_trace(self, config):
+        """Workloads ship to sweep workers without duplicating the arrays."""
+        import pickle
+
+        workload = build_workload(config)
+        shipped = pickle.loads(pickle.dumps(workload))
+        assert shipped.trace is None
+        _assert_workloads_identical(workload, shipped)
+        assert len(pickle.dumps(workload)) < len(
+            pickle.dumps(dict(workload.__dict__))
+        )
+
+    def test_requestless_workload_refuses_export(self, config, tmp_path):
+        workload = build_workload(config)
+        workload.trace = None  # assembled-from-requests workloads carry no batches
+        with pytest.raises(ValueError, match="no trace batches"):
+            save_workload_trace(workload, tmp_path / "w.npz")
+
+    def test_empty_trace_refused(self, tmp_path):
+        with pytest.raises(ValueError, match="empty"):
+            save_trace([], tmp_path / "w.npz")
+
+    def test_truncated_archive_detected(self, config, tmp_path):
+        batches = generate_meta_like_trace(config)
+        path = tmp_path / "bad.npz"
+        with open(path, "wb") as handle:
+            np.savez(
+                handle,
+                num_batches=np.asarray(2),
+                num_tables=np.asarray(1),
+                batch0_table0_indices=batches[0].indices_per_table[0],
+                batch0_table0_offsets=batches[0].offsets_per_table[0],
+            )
+        with pytest.raises(ValueError, match="truncated"):
+            load_trace(path)
+
+    def test_not_a_trace_archive(self, tmp_path):
+        path = tmp_path / "other.npz"
+        with open(path, "wb") as handle:
+            np.savez(handle, something=np.arange(4))
+        with pytest.raises(ValueError, match="not a trace archive"):
+            load_trace(path)
+
+    def test_malformed_offsets_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        with open(path, "wb") as handle:
+            np.savez(
+                handle,
+                num_batches=np.asarray(1),
+                num_tables=np.asarray(1),
+                batch0_table0_indices=np.asarray([1, 2], dtype=np.int64),
+                batch0_table0_offsets=np.asarray([3], dtype=np.int64),  # not starting at 0
+            )
+        with pytest.raises(ValueError, match="offsets must start at 0"):
+            load_trace(path)
+
+
+class TestCriteoTsv:
+    def _single_lookup_batches(self, rng, num_tables=3, samples=10):
+        values = rng.integers(0, 50, size=(samples, num_tables))
+        batches = []
+        for start in range(0, samples, 4):
+            chunk = values[start : start + 4]
+            offsets = np.arange(len(chunk), dtype=np.int64)
+            batches.append(
+                TraceBatch(
+                    indices_per_table=[chunk[:, t].astype(np.int64) for t in range(num_tables)],
+                    offsets_per_table=[offsets.copy() for _ in range(num_tables)],
+                )
+            )
+        return batches
+
+    def test_round_trip(self, tmp_path):
+        batches = self._single_lookup_batches(np.random.default_rng(3))
+        path = save_criteo_tsv(batches, tmp_path / "trace.tsv")
+        loaded = load_criteo_tsv(path, batch_size=4)
+        assert len(loaded) == len(batches)
+        for original, restored in zip(batches, loaded):
+            for t in range(original.num_tables):
+                assert np.array_equal(
+                    original.indices_per_table[t], restored.indices_per_table[t]
+                )
+
+    def test_hex_indices_parse(self, tmp_path):
+        path = tmp_path / "hex.tsv"
+        path.write_text("0a\tff\n1b\t2c\n", encoding="utf-8")
+        batches = load_criteo_tsv(path, batch_size=2, hex_indices=True)
+        assert batches[0].indices_per_table[0].tolist() == [10, 27]
+        assert batches[0].indices_per_table[1].tolist() == [255, 44]
+
+    def test_hex_base_is_per_file_never_guessed(self, tmp_path):
+        """All-digit hashed tokens must not silently parse as decimal."""
+        path = tmp_path / "hex.tsv"
+        path.write_text("10131014\t68fd1e64\n", encoding="utf-8")
+        batches = load_criteo_tsv(path, hex_indices=True)
+        assert batches[0].indices_per_table[0].tolist() == [0x10131014]
+        # Without the flag a lettered hex token is an error, not a guess.
+        with pytest.raises(ValueError, match="hex_indices=True"):
+            load_criteo_tsv(path)
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.tsv"
+        path.write_text("# header\n1\t2\n\n3\t4\n", encoding="utf-8")
+        batches = load_criteo_tsv(path, batch_size=8)
+        assert batches[0].batch_size == 2
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "ragged.tsv"
+        path.write_text("1\t2\n3\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="expected 2 columns"):
+            load_criteo_tsv(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1\tpotato\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="not a decimal index"):
+            load_criteo_tsv(path)
+
+    def test_negative_index_rejected_at_ingestion(self, tmp_path):
+        """Malformed files fail with file:line context, not deep in the simulator."""
+        path = tmp_path / "neg.tsv"
+        path.write_text("1\t-3\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=r"neg\.tsv:1: negative embedding index"):
+            load_criteo_tsv(path)
+
+    def test_multi_lookup_bags_not_expressible(self, config, tmp_path):
+        batches = generate_meta_like_trace(config)  # pooling > 1
+        with pytest.raises(ValueError, match="one index per bag"):
+            save_criteo_tsv(batches, tmp_path / "trace.tsv")
+
+    def test_workload_from_tsv(self, tiny_model, tmp_path):
+        path = tmp_path / "trace.tsv"
+        path.write_text("1\t2\t3\t4\n5\t6\t7\t8\n", encoding="utf-8")
+        workload = workload_from_trace(path, tiny_model, batch_size=2)
+        assert len(workload.requests) == 8  # 2 samples x 4 tables
+        assert workload.distribution.startswith("file:")
+
+
+class TestFormatDetection:
+    def test_suffix_detection(self):
+        assert trace_format("a/b/trace.npz") == "npz"
+        assert trace_format("trace.TSV") == "tsv"
+
+    def test_explicit_format_wins(self):
+        assert trace_format("trace.dat", format="npz") == "npz"
+
+    def test_unknown_suffix_and_format(self):
+        with pytest.raises(ValueError, match="cannot infer"):
+            trace_format("trace.dat")
+        with pytest.raises(ValueError, match="unknown trace format"):
+            trace_format("trace.npz", format="parquet")
+
+    def test_dispatch(self, config, tmp_path):
+        batches = generate_meta_like_trace(config)
+        save_trace(batches, tmp_path / "t.npz")
+        assert len(load_trace_file(tmp_path / "t.npz")) == len(batches)
+
+
+class TestDrift:
+    def test_deterministic(self, config):
+        config = replace(config, num_batches=6)
+        a = generate_drifting_trace(config, period_batches=2)
+        b = generate_drifting_trace(config, period_batches=2)
+        for batch_a, batch_b in zip(a, b):
+            for t in range(batch_a.num_tables):
+                assert np.array_equal(
+                    batch_a.indices_per_table[t], batch_b.indices_per_table[t]
+                )
+
+    def test_hot_set_rotates_between_phases(self, tiny_model):
+        config = WorkloadConfig(
+            model=tiny_model, batch_size=16, num_batches=4, pooling_factor=16, seed=5
+        )
+        batches = generate_drifting_trace(
+            config, period_batches=2, hot_fraction=0.05, hot_probability=0.95
+        )
+        def top_rows(batch):
+            counts = np.bincount(
+                np.concatenate(batch.indices_per_table), minlength=tiny_model.num_embeddings
+            )
+            hot = max(1, int(tiny_model.num_embeddings * 0.05))
+            return set(np.argsort(counts)[::-1][:hot].tolist())
+
+        # Same phase shares the hot set; the next phase moved on.
+        assert top_rows(batches[0]) == top_rows(batches[1])
+        assert top_rows(batches[0]) != top_rows(batches[2])
+
+    def test_drift_workload_round_trips(self, config, tmp_path):
+        config = replace(config, num_batches=4)
+        workload = build_drifting_workload(config, period_batches=2)
+        path = save_workload_trace(workload, tmp_path / "drift.npz")
+        rebuilt = workload_from_trace(path, config.model)
+        _assert_workloads_identical(workload, rebuilt)
+
+    def test_invalid_knobs(self, config):
+        with pytest.raises(ValueError):
+            generate_drifting_trace(config, period_batches=0)
+        with pytest.raises(ValueError):
+            generate_drifting_trace(config, hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            generate_drifting_trace(config, hot_probability=1.5)
+
+
+class TestWorkloadFromBatches:
+    def test_matches_build_workload(self, config):
+        """The extracted flattening path is the one build_workload uses."""
+        batches = generate_meta_like_trace(config)
+        direct = workload_from_batches(
+            batches,
+            config.model,
+            distribution="meta",
+            batch_size=config.batch_size,
+            num_batches=config.num_batches,
+        )
+        built = build_workload(config)
+        _assert_workloads_identical(direct, built)
+
+    def test_defaults_derived_from_batches(self, config):
+        batches = generate_meta_like_trace(config)
+        workload = workload_from_batches(batches, config.model)
+        assert workload.num_batches == len(batches)
+        assert workload.batch_size == batches[0].batch_size
