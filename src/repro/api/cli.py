@@ -60,12 +60,14 @@ def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--engine",
-        choices=["scalar", "vector"],
+        choices=["scalar", "vector", "packet"],
         default=None,
-        help="replay engine: 'scalar' walks the device models per lookup "
+        help="replay fidelity: 'scalar' walks the device models per lookup "
         "(the oracle), 'vector' resolves lookup batches as numpy arrays "
         "through flattened kernels — numerically identical, several times "
-        "faster (default: scalar)",
+        "faster; 'packet' attaches per-port packet queues to every fabric "
+        "link — identical to scalar when uncongested, and reporting "
+        "queue depths, drops and backpressure (default: scalar)",
     )
 
 
@@ -117,6 +119,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"buffer hits   : {run.sim.buffer_hit_ratio:.1%}")
     if run.sim.migrations:
         print(f"migrations    : {run.sim.migrations} ({run.sim.migration_cost_fraction:.2%} of time)")
+    if run.sim.net is not None:
+        net = run.sim.net
+        print(
+            f"packet tier   : {net.packets} packets, max queue depth "
+            f"{net.max_queue_depth}, {net.drops} drops, "
+            f"{net.backpressure_ns:,.0f} ns backpressure"
+        )
+        congested = net.congested_ports()
+        if congested:
+            print(f"congested     : {', '.join(congested)}")
     return 0
 
 
@@ -218,6 +230,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ["system", "p50_ns", "p95_ns", "p99_ns", "goodput_qps", "sla_attain", "max_queue"],
             rows,
         ))
+        net_rows = [
+            [
+                name,
+                result.sim.net.packets,
+                result.sim.net.max_queue_depth,
+                result.sim.net.drops,
+                result.sim.net.retries,
+                result.sim.net.backpressure_ns,
+            ]
+            for name, result in results
+            if result.sim is not None and result.sim.net is not None
+        ]
+        if net_rows:
+            print()
+            print("packet tier (per-port queues on every fabric link):")
+            print(format_table(
+                ["system", "packets", "max_depth", "drops", "retries", "backpressure_ns"],
+                net_rows,
+            ))
         if sla_sweeps:
             print()
             print(f"max sustainable QPS under a {args.sla_ms} ms p99 budget:")
@@ -322,6 +353,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 #: The perf-benchmark files ``bench`` knows by short name, in run order.
 BENCH_SUITES = {
     "engine": "test_engine_vectorization.py",
+    "packet": "test_packet_tier.py",
     "serve": "test_serve_vector.py",
     "sweep": "test_sweep_scaling.py",
     "workload": "test_workload_vectorization.py",
@@ -417,6 +449,10 @@ def _cmd_scenario_list(args: argparse.Namespace) -> int:
         print(f"{name:>22}  {entry.dimensions()}")
         if args.verbose and entry.description:
             print(f"{'':>24}{entry.description}")
+        if args.verbose:
+            parameters = entry.parameters()
+            if parameters != "-":
+                print(f"{'':>24}[{parameters}]")
     return 0
 
 
@@ -490,16 +526,20 @@ def _cmd_scenario_compare(args: argparse.Namespace) -> int:
     from repro.analysis.report import format_table
     from repro.scenarios import scenario
 
-    entry = scenario(args.name)
+    names = _dedupe(args.name)
+    if len(names) > 1:
+        return _compare_scenarios(names, args)
+    entry = scenario(names[0])
     systems = _dedupe(args.system) if args.system else list(DEFAULT_COMPARE_SYSTEMS)
     sweep = entry.sweep(systems=systems, engine=args.engine, quick=args.quick)
     result = sweep.run(parallel=not args.serial, processes=args.jobs)
     if args.json:
         print(result.to_json(indent=2))
         return 0
-    print(f"scenario {args.name!r}: {entry.dimensions()}")
+    print(f"scenario {names[0]!r}: {entry.dimensions()}")
     if entry.description:
         print(entry.description)
+    print(f"parameters: {entry.parameters()}")
     print()
     axis_names = [key for key, _ in result.axes]
     baseline_system = systems[0]
@@ -524,6 +564,60 @@ def _cmd_scenario_compare(args: argparse.Namespace) -> int:
         )
     print(format_table(
         [*axis_names, "total_ns", "ns_per_lookup", f"speedup_vs_{baseline_system}"],
+        rows,
+    ))
+    return 0
+
+
+def _compare_scenarios(names, args: argparse.Namespace) -> int:
+    """Compare several scenarios side by side on the same system(s).
+
+    The table carries each scenario's distinguishing fault/traffic/packet
+    parameters next to its metrics, so two rows differing only in knob
+    values (e.g. two link degradations) are tellable apart.
+    """
+    from repro.analysis.report import format_table
+    from repro.scenarios import scenario
+
+    systems = _dedupe(args.system) if args.system else [scenario(names[0]).system]
+    runs = {}
+    payloads = []
+    for name in names:
+        entry = scenario(name)
+        for system in systems:
+            run = entry.run(system=system, engine=args.engine, quick=args.quick)
+            runs[(name, system)] = run
+            payloads.append({
+                "scenario": entry.to_dict(),
+                "system": system,
+                "run": run.to_dict(),
+            })
+    if args.json:
+        import json
+
+        print(json.dumps(payloads, indent=2))
+        return 0
+    print(f"comparing {len(names)} scenarios on: {', '.join(systems)}")
+    print()
+    rows = []
+    for name in names:
+        entry = scenario(name)
+        for system in systems:
+            run = runs[(name, system)]
+            reference = runs[(names[0], system)]
+            net = run.sim.net
+            rows.append([
+                name,
+                system,
+                entry.parameters(),
+                run.total_ns,
+                run.latency_per_lookup_ns,
+                reference.total_ns / run.total_ns,
+                "-" if net is None else f"{net.max_queue_depth}d/{net.drops}x",
+            ])
+    print(format_table(
+        ["scenario", "system", "parameters", "total_ns", "ns_per_lookup",
+         f"speedup_vs_{names[0]}", "queue"],
         rows,
     ))
     return 0
@@ -793,9 +887,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "exit 1 on any")
     scenario_run.add_argument("--system", default=None, metavar="NAME",
                               help="override the scenario's system under test")
-    scenario_run.add_argument("--engine", choices=["scalar", "vector"], default=None,
-                              help="replay engine (scenario results are bit-identical "
-                              "between scalar and vector)")
+    scenario_run.add_argument("--engine", choices=["scalar", "vector", "packet"],
+                              default=None,
+                              help="replay fidelity (scenario results are bit-identical "
+                              "between scalar, vector and uncongested packet)")
     scenario_run.add_argument("--serve", action="store_true",
                               help="also serve the scenario open-loop under its "
                               "traffic spec (tail-latency metrics)")
@@ -809,24 +904,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     scenario_compare = scenario_commands.add_parser(
         "compare",
-        help="sweep one scenario across systems and its declared axes",
-        description="Expand the scenario's declared axes (pooling, tables, ...) "
-        "times the selected systems into a grid, run it on the sweep engine and "
-        "print latencies plus speedups against the first system.",
+        help="sweep one scenario across systems, or several side by side",
+        description="With one scenario: expand its declared axes (pooling, "
+        "tables, ...) times the selected systems into a grid, run it on the "
+        "sweep engine and print latencies plus speedups against the first "
+        "system.  With several scenarios: run each on the selected system(s) "
+        "and print them side by side, with the fault/traffic/packet parameter "
+        "values that distinguish them in the table.",
         epilog="examples:\n"
         "  python -m repro scenario compare pooling-scaling --quick\n"
         "  python -m repro scenario compare fault-slow-link --system pond "
-        "--system pifs-rec --engine vector",
+        "--system pifs-rec --engine vector\n"
+        "  python -m repro scenario compare paper-baseline flash-crowd-incast "
+        "hot-table-nmp-storm --quick",
         formatter_class=raw,
     )
-    scenario_compare.add_argument("name",
-                                  help="scenario to compare (see 'scenario list')")
+    scenario_compare.add_argument("name", nargs="+",
+                                  help="scenario(s) to compare (see 'scenario list')")
     scenario_compare.add_argument("--system", action="append", default=None,
                                   metavar="NAME",
                                   help="system to include (repeatable; default: "
                                   + " ".join(DEFAULT_COMPARE_SYSTEMS) + ")")
-    scenario_compare.add_argument("--engine", choices=["scalar", "vector"], default=None,
-                                  help="replay engine for every grid point")
+    scenario_compare.add_argument("--engine", choices=["scalar", "vector", "packet"],
+                                  default=None,
+                                  help="replay fidelity for every grid point")
     scenario_compare.add_argument("--serial", action="store_true",
                                   help="evaluate in-process instead of the worker pool")
     scenario_compare.add_argument("--jobs", type=int, default=None, metavar="N",

@@ -45,6 +45,11 @@ class RunResult:
     def throughput_lookups_per_us(self) -> float:
         return self.sim.throughput_lookups_per_us
 
+    @property
+    def net(self):
+        """Packet-tier observations, when the run used ``fidelity="packet"``."""
+        return self.sim.net
+
     def metric(self, name: str) -> float:
         """Read a numeric metric by name from the run or its :class:`SimResult`."""
         for holder in (self, self.sim):

@@ -72,6 +72,10 @@ class RunSpec:
     #: Fault/degradation specs applied at every session setup (see
     #: :mod:`repro.scenarios.faults`); both engines see them identically.
     faults: Tuple[Any, ...] = ()
+    #: Packet-tier configuration (:class:`~repro.net.fabric.PacketConfig`);
+    #: only consulted when ``engine == "packet"``.  ``None`` is the
+    #: uncongested default (unbounded port buffers).
+    packet: Optional[Any] = None
 
 
 def system_label(system: SystemLike) -> str:
@@ -420,6 +424,14 @@ def build_system(spec: RunSpec):
                 "mutators; fault injection needs an SLSSystem descendant"
             )
         set_mutators(tuple(fault.apply for fault in spec.faults))
+    if spec.packet is not None:
+        set_packet = getattr(system, "set_packet_config", None)
+        if set_packet is None:
+            raise TypeError(
+                f"system {system_label(spec.system)!r} does not support the "
+                "packet tier; packet fidelity needs an SLSSystem descendant"
+            )
+        set_packet(spec.packet)
     return system
 
 
@@ -448,6 +460,8 @@ def spec_params(spec: RunSpec) -> Dict[str, Any]:
         params["faults"] = [
             getattr(fault, "kind", type(fault).__name__) for fault in spec.faults
         ]
+    if spec.packet is not None:
+        params["packet"] = spec.packet.to_dict()
     return params
 
 
@@ -663,18 +677,48 @@ class Simulation:
         return self._set(system_options=tuple(sorted(merged.items(), key=lambda kv: kv[0])))
 
     def engine(self, engine: str) -> "Simulation":
-        """Select the replay engine: ``"scalar"`` (oracle) or ``"vector"``.
+        """Select the replay fidelity: ``"scalar"``, ``"vector"`` or ``"packet"``.
 
         The vector engine resolves lookup batches as numpy arrays and times
         them through flattened kernels; results are numerically identical
-        for every built-in system, several times faster.  Validated eagerly
-        so typos fail at session-build time.
+        for every built-in system, several times faster.  The packet engine
+        attaches ``repro.net`` port queues to every fabric link — identical
+        to scalar when uncongested, and reporting queue-depth timelines,
+        drops and backpressure via ``result.net`` (see :meth:`packet` for
+        the congestion knobs).  Validated eagerly so typos fail at
+        session-build time.
         """
         from repro.sls.engine import ENGINES
 
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of: {', '.join(ENGINES)}")
         return self._set(engine=engine)
+
+    def fidelity(self, fidelity: str) -> "Simulation":
+        """Alias of :meth:`engine` — the knob reads as a fidelity level."""
+        return self.engine(fidelity)
+
+    def packet(self, config: Optional[Any] = None, **knobs: Any) -> "Simulation":
+        """Configure the packet tier and select ``engine("packet")``.
+
+        Accepts a :class:`~repro.net.fabric.PacketConfig`, keyword knobs
+        (``capacity=4, policy="priority", drop=True, ...``), or nothing —
+        the uncongested default.  ``packet(None)`` with no knobs clears the
+        configuration without changing the engine.
+        """
+        from repro.net.fabric import PacketConfig
+
+        if config is not None and knobs:
+            raise ValueError("pass either a PacketConfig or keyword knobs, not both")
+        if config is None and not knobs:
+            return self._set(packet=None)
+        if config is None:
+            config = PacketConfig(**knobs)
+        elif isinstance(config, dict):
+            config = PacketConfig.from_dict(config)
+        elif not isinstance(config, PacketConfig):
+            raise ValueError(f"expected a PacketConfig, dict or knobs, got {config!r}")
+        return self._set(packet=config, engine="packet")
 
     def workload_provider(self, provider: Optional[Any]) -> "Simulation":
         """Source the workload from a provider instead of the generators.
@@ -712,9 +756,12 @@ class Simulation:
 
         The scenario's workload/machine/fault dimensions overwrite the
         session's current values (its system only when this session still
-        has the default); the session's scale and engine are preserved —
-        so ``Simulation("pond").quick().scenario("fault-slow-link")``
-        evaluates Pond under the scenario at quick scale.
+        has the default); the session's scale is preserved — so
+        ``Simulation("pond").quick().scenario("fault-slow-link")``
+        evaluates Pond under the scenario at quick scale.  The session's
+        engine is preserved unless the scenario pins a fidelity or packet
+        configuration (the congestion scenarios are meaningless without
+        the packet tier).
         """
         from repro.scenarios.base import Scenario
         from repro.scenarios.registry import scenario as resolve_scenario
@@ -742,10 +789,15 @@ class Simulation:
             config_transforms=(),
             system_options=(),
             faults=(),
+            packet=None,
         )
         self.workload_provider(resolved.workload)
         if resolved.faults:
             self.faults(*resolved.faults)
+        if resolved.fidelity is not None:
+            self.engine(resolved.fidelity)
+        if resolved.packet is not None:
+            self.packet(resolved.packet)
         return self
 
     def run_scenario(self, scenario: Any, cache: bool = True) -> RunResult:
@@ -761,6 +813,7 @@ class Simulation:
         "local_capacity_bytes": "local_capacity",
         "pooling_factor": "pooling",
         "trace": "distribution",
+        "fidelity": "engine",
     }
 
     #: The only methods :meth:`apply` may dispatch to — keeps sweep axes and
@@ -768,7 +821,7 @@ class Simulation:
     _SETTERS = frozenset({
         "system", "model", "scale", "distribution", "batch_size", "num_batches",
         "pooling", "hosts", "switches", "devices", "local_capacity",
-        "base_config", "configure", "options", "engine",
+        "base_config", "configure", "options", "engine", "packet",
         "workload_provider", "faults", "scenario",
     })
 

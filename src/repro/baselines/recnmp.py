@@ -6,7 +6,9 @@ from typing import List
 
 from repro.api.registry import register_system
 from repro.config import KIB, BufferConfig, SystemConfig
+from repro.cxl.protocol import MemOpcode
 from repro.memsys.tiered import TieredMemorySystem
+from repro.net.packet import Priority
 from repro.pagemgmt.global_hotness import GlobalHotnessPolicy
 from repro.pagemgmt.spreading import SpreadingPolicy
 from repro.pifs.onswitch_buffer import OnSwitchBuffer
@@ -108,11 +110,15 @@ class RecNMPSystem(SLSSystem):
                 self.tiered.record_access(address, start_ns)
                 self._counters["cxl_rows"] += 1
                 command_at_switch = (
-                    port.link.transfer(self.system.cxl.slot_bytes, start_ns)
+                    port.link.transfer(
+                        self.system.cxl.slot_bytes, start_ns, op=Priority.INSTRUCTION
+                    )
                     + switch.FORWARD_LATENCY_NS
                 )
                 command_at_dimm = (
-                    device.link.transfer(self.system.cxl.slot_bytes, command_at_switch)
+                    device.link.transfer(
+                        self.system.cxl.slot_bytes, command_at_switch, op=Priority.INSTRUCTION
+                    )
                     + controller_penalty
                 )
                 if self._rank_cache.lookup(address):
@@ -126,8 +132,12 @@ class RecNMPSystem(SLSSystem):
                     self._rank_cache.insert(address)
                 last_row = max(last_row, ready + self.NMP_ACCUMULATE_NS)
             # One partial sum per device crosses both links back to the host.
-            result_at_switch = device.link.transfer(self.backends.row_bytes, last_row)
-            result_at_host = port.link.transfer(self.backends.row_bytes, result_at_switch)
+            result_at_switch = device.link.transfer(
+                self.backends.row_bytes, last_row, op=MemOpcode.MEM_RD_DATA
+            )
+            result_at_host = port.link.transfer(
+                self.backends.row_bytes, result_at_switch, op=MemOpcode.MEM_RD_DATA
+            )
             finishes.append(result_at_host + self.HOST_CXL_OVERHEAD_NS)
         # The host combines the per-device partial sums.
         return max(finishes) + len(by_device) * self.HOST_ACCUMULATE_NS_PER_ROW

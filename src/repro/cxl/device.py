@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.config import CACHE_LINE_BYTES, CXLConfig, DRAMConfig
 from repro.cxl.bias_table import BiasMode, BiasTable
 from repro.cxl.link import CXLLink
+from repro.cxl.protocol import MemOpcode
 from repro.dram.device import DRAMDevice, DRAMKernel, DRAMStats
 
 
@@ -124,7 +125,11 @@ class CXLType3Device:
             # Grouped as (controller + read_penalty) to match the batch
             # kernel, which pre-folds the two at build time.
             penalty_ns = penalty_ns + self._read_penalty_ns
-        request_arrival = self._link.transfer(CACHE_LINE_BYTES, arrival_ns)
+        request_arrival = self._link.transfer(
+            CACHE_LINE_BYTES,
+            arrival_ns,
+            op=MemOpcode.MEM_WR if is_write else MemOpcode.MEM_RD,
+        )
         media_start = request_arrival + penalty_ns + bias_penalty
         media_done = self._dram.access(
             address=address,
@@ -132,7 +137,9 @@ class CXLType3Device:
             is_write=is_write,
             bytes_requested=bytes_requested,
         )
-        response_done = self._link.transfer(bytes_requested, media_done)
+        response_done = self._link.transfer(
+            bytes_requested, media_done, op=MemOpcode.MEM_RD_DATA
+        )
         return response_done
 
     def batch_kernel(self, bytes_requested: int) -> "CXLDeviceKernel":

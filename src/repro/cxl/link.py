@@ -23,6 +23,10 @@ class CXLLink:
         self._bandwidth = bandwidth_gbps
         self._propagation_ns = propagation_ns
         self._name = name
+        #: Optional packet-tier port queue (``fidelity="packet"``); when
+        #: attached it brackets every transfer — admission before the
+        #: analytic arithmetic, observation after.
+        self._port = None
         self._busy_until_ns = 0.0
         self._bytes_transferred = 0
         self._transfers = 0
@@ -75,21 +79,46 @@ class CXLLink:
         self._bandwidth = self._bandwidth * bandwidth_scale
         self._propagation_ns = self._propagation_ns + extra_propagation_ns
 
-    def transfer(self, bytes_count: int, start_ns: float) -> float:
+    def attach_port(self, port) -> None:
+        """Install (or remove, with ``None``) a packet-tier port queue.
+
+        The queue brackets :meth:`transfer`: it may delay the admission time
+        (credit backpressure / drop-retry) and observes every completed
+        transfer.  It never re-prices the transfer itself — the analytic
+        arithmetic below stays the single source of truth, which is what
+        keeps the packet tier bit-identical in the uncongested limit.
+        """
+        self._port = port
+
+    @property
+    def port(self):
+        """The attached packet-tier port queue, if any."""
+        return self._port
+
+    def transfer(self, bytes_count: int, start_ns: float, op=None) -> float:
         """Transfer ``bytes_count`` bytes beginning no earlier than ``start_ns``.
 
         Returns the time at which the last byte arrives at the far end.
+        ``op`` optionally tags the transfer with the protocol opcode it
+        carries (a :class:`~repro.cxl.protocol.MemOpcode`) — ignored by the
+        analytic arithmetic, consumed by the packet tier for priority
+        queueing and flow accounting.
         """
         if bytes_count < 0:
             raise ValueError("bytes_count must be non-negative")
+        port = self._port
+        admitted = start_ns if port is None else port.admit(start_ns, op)
         serialization = bytes_count / self._bandwidth
-        begin = max(start_ns, self._busy_until_ns)
-        self._queued_ns += begin - start_ns
+        begin = max(admitted, self._busy_until_ns)
+        self._queued_ns += begin - admitted
         finish_serialization = begin + serialization
         self._busy_until_ns = finish_serialization
         self._bytes_transferred += bytes_count
         self._transfers += 1
-        return finish_serialization + self._propagation_ns
+        delivered = finish_serialization + self._propagation_ns
+        if port is not None:
+            port.depart(start_ns, admitted, delivered, bytes_count, op)
+        return delivered
 
     def utilization(self, elapsed_ns: float) -> float:
         """Link utilization over ``elapsed_ns``."""

@@ -148,7 +148,9 @@ class FabricSwitch:
         device = self._device_for_port(request.dpid)
         self._forwarded_requests += 1
         # Request crosses the upstream link (a command flit).
-        at_switch = host_port.link.transfer(self._config.flit_bytes, request.issue_ns)
+        at_switch = host_port.link.transfer(
+            self._config.flit_bytes, request.issue_ns, op=request.opcode
+        )
         at_switch += self.FORWARD_LATENCY_NS
         # Device access includes the downstream link in both directions.
         data_at_switch = device.access(
@@ -159,7 +161,9 @@ class FabricSwitch:
             from_switch=False,
         )
         # Response data crosses the upstream link back to the host.
-        finish = host_port.link.transfer(bytes_requested, data_at_switch)
+        finish = host_port.link.transfer(
+            bytes_requested, data_at_switch, op=MemOpcode.MEM_RD_DATA
+        )
         return CXLMemS2M(
             request_id=request.message_id,
             address=request.address,

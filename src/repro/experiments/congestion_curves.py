@@ -1,0 +1,222 @@
+"""Congestion curves: what finite port buffers do that analytic pricing cannot.
+
+The analytic tier prices every fabric transfer as serialization + a busy
+wait; the packet tier (``fidelity="packet"``) attaches a credit-counted
+queue to every port.  This experiment sweeps the per-port buffer capacity
+from unbounded down to a single credit and reports how completion time
+diverges from the analytic answer as credit backpressure, drops and
+retries appear — the congestion knee the closed-form model prices as zero.
+A second table replays the three catalog congestion scenarios
+(``flash-crowd-incast``, ``priority-inversion``, ``hot-table-nmp-storm``)
+against their analytic twins, and a third shows the ``policy="priority"``
+rescue: reserved credits for CONTROL/INSTRUCTION flits erasing the
+inversion that FIFO queues inflict on the PIFS instruction stream.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.api.results import RunResult
+from repro.api.session import RunSpec, Simulation, execute_spec
+from repro.experiments.common import DEFAULT_SCALE, EvaluationScale
+from repro.net.fabric import PacketConfig
+
+#: Fabric-bound systems whose transfers actually traverse the port queues.
+CURVE_SYSTEMS = ("pifs-rec", "recnmp")
+#: Per-port credit axis: 0 = unbounded (bit-identical to analytic) -> 1.
+CAPACITIES = (0, 8, 4, 2, 1)
+#: The catalog scenarios that demonstrate packet-tier-only effects.
+CONGESTION_SCENARIOS = ("flash-crowd-incast", "priority-inversion", "hot-table-nmp-storm")
+#: The incast-shaped workload every curve point shares.
+CURVE_WORKLOAD = dict(distribution="zipfian", pooling_factor=32, num_hosts=4)
+
+
+def _curve_simulation(system: str, scale: EvaluationScale) -> Simulation:
+    return (
+        Simulation(system, scale=scale)
+        .distribution(CURVE_WORKLOAD["distribution"])
+        .pooling(CURVE_WORKLOAD["pooling_factor"])
+        .hosts(CURVE_WORKLOAD["num_hosts"])
+    )
+
+
+def _evaluate(spec: RunSpec) -> RunResult:
+    """Module-level so the process pool can pickle the task."""
+    return execute_spec(spec)
+
+
+def _run_specs(specs: Sequence[RunSpec], parallel: bool) -> List[RunResult]:
+    if parallel and len(specs) > 1:
+        context = (
+            multiprocessing.get_context("fork")
+            if sys.platform.startswith("linux")
+            else multiprocessing.get_context()
+        )
+        workers = min(len(specs), os.cpu_count() or 1)
+        with context.Pool(processes=workers) as pool:
+            return pool.map(_evaluate, specs)
+    return [_evaluate(spec) for spec in specs]
+
+
+def _cell(run: RunResult, analytic_total_ns: float) -> Dict[str, float]:
+    net = run.net
+    return {
+        "total_ns": run.total_ns,
+        "divergence_pct": 100.0 * (run.total_ns / analytic_total_ns - 1.0),
+        "backpressure_ns": 0.0 if net is None else net.backpressure_ns,
+        "drops": 0.0 if net is None else float(net.drops),
+        "retries": 0.0 if net is None else float(net.retries),
+        "max_queue_depth": 0.0 if net is None else float(net.max_queue_depth),
+    }
+
+
+def run_congestion_curves(
+    scale: EvaluationScale = DEFAULT_SCALE,
+    systems: Sequence[str] = CURVE_SYSTEMS,
+    capacities: Sequence[int] = CAPACITIES,
+    policy: str = "fifo",
+    parallel: bool = False,
+) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Buffer-capacity sweep per system: ``{system: {capacity: {...}}}``.
+
+    Each cell reports the packet-tier completion time, its divergence from
+    the analytic tier, and the queueing counters (``backpressure_ns``,
+    ``drops``, ``retries``, ``max_queue_depth``) behind the divergence.
+    Capacity ``0`` is the unbounded control row: bit-identical totals and
+    zeroed counters, pinning the tier's fidelity contract.
+    """
+    specs: List[RunSpec] = []
+    for system in systems:
+        base = _curve_simulation(system, scale)
+        specs.append(base.clone().engine("scalar").spec())
+        for capacity in capacities:
+            sim = base.clone().packet(PacketConfig(capacity=int(capacity), policy=policy))
+            specs.append(sim.spec())
+
+    outcomes = iter(_run_specs(specs, parallel))
+    curves: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for system in systems:
+        analytic = next(outcomes)
+        curves[system] = {
+            int(capacity): _cell(next(outcomes), analytic.total_ns) for capacity in capacities
+        }
+    return curves
+
+
+def run_scenario_divergence(quick: bool = False) -> Dict[str, Dict[str, float]]:
+    """The catalog congestion scenarios against their analytic twins.
+
+    For each scenario the packet-fidelity run (the scenario's own
+    configuration) is compared with the same situation replayed on the
+    analytic tier — the queueing effects in the gap are exactly what the
+    packet tier adds.
+    """
+    from repro.scenarios import catalog  # noqa: F401  (registers the catalog)
+    from repro.scenarios.registry import scenario
+
+    report: Dict[str, Dict[str, float]] = {}
+    for name in CONGESTION_SCENARIOS:
+        entry = scenario(name)
+        analytic = entry.simulation(quick=quick).engine("scalar").packet(None).run()
+        packet = entry.run(quick=quick)
+        report[name] = _cell(packet, analytic.total_ns)
+    return report
+
+
+def run_policy_rescue(
+    capacities: Sequence[int] = (2, 1), quick: bool = False
+) -> Dict[int, Dict[str, float]]:
+    """FIFO inversion vs the priority-policy rescue on ``priority-inversion``.
+
+    Returns ``{capacity: {"fifo_divergence_pct", "priority_divergence_pct",
+    "instruction_stall_ns"}}``: FIFO queues stall the PIFS instruction
+    stream behind bulk DATA; reserved credits (``policy="priority"``) put
+    the divergence back to zero.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.scenarios import catalog  # noqa: F401  (registers the catalog)
+    from repro.scenarios.registry import scenario
+
+    entry = scenario("priority-inversion")
+    analytic = entry.simulation(quick=quick).engine("scalar").packet(None).run()
+    rescue: Dict[int, Dict[str, float]] = {}
+    for capacity in capacities:
+        by_policy: Dict[str, RunResult] = {}
+        for policy in ("fifo", "priority"):
+            sim = entry.simulation(quick=quick)
+            sim.packet(dc_replace(entry.packet, capacity=int(capacity), policy=policy))
+            by_policy[policy] = sim.run()
+        fifo_net = by_policy["fifo"].net
+        rescue[int(capacity)] = {
+            "fifo_divergence_pct": 100.0 * (by_policy["fifo"].total_ns / analytic.total_ns - 1.0),
+            "priority_divergence_pct": 100.0
+            * (by_policy["priority"].total_ns / analytic.total_ns - 1.0),
+            "instruction_stall_ns": 0.0 if fifo_net is None else fifo_net.backpressure_ns,
+        }
+    return rescue
+
+
+def main(parallel: bool = False, scale: Optional[EvaluationScale] = None) -> None:
+    from repro.analysis.report import format_table
+
+    scale = scale or DEFAULT_SCALE
+    quick = scale is not DEFAULT_SCALE
+
+    curves = run_congestion_curves(scale, parallel=parallel)
+    rows = []
+    for system, by_capacity in curves.items():
+        for capacity, cell in by_capacity.items():
+            rows.append([
+                system,
+                capacity if capacity else "unbounded",
+                cell["total_ns"],
+                cell["divergence_pct"],
+                cell["backpressure_ns"],
+                cell["max_queue_depth"],
+            ])
+    print(format_table(
+        ["system", "buffer_credits", "total_ns", "divergence_pct", "backpressure_ns", "max_depth"],
+        rows,
+    ))
+
+    print()
+    print("catalog congestion scenarios vs their analytic twins:")
+    divergence = run_scenario_divergence(quick=quick)
+    print(format_table(
+        ["scenario", "divergence_pct", "backpressure_ns", "drops", "retries"],
+        [
+            [name, cell["divergence_pct"], cell["backpressure_ns"], cell["drops"], cell["retries"]]
+            for name, cell in divergence.items()
+        ],
+    ))
+
+    print()
+    print("priority-policy rescue of the inverted instruction stream:")
+    rescue = run_policy_rescue(quick=quick)
+    print(format_table(
+        ["buffer_credits", "fifo_divergence_pct", "priority_divergence_pct", "instr_stall_ns"],
+        [
+            [capacity, cell["fifo_divergence_pct"], cell["priority_divergence_pct"], cell["instruction_stall_ns"]]
+            for capacity, cell in rescue.items()
+        ],
+    ))
+
+
+if __name__ == "__main__":
+    main()
+
+
+__all__ = [
+    "CURVE_SYSTEMS",
+    "CAPACITIES",
+    "CONGESTION_SCENARIOS",
+    "run_congestion_curves",
+    "run_scenario_divergence",
+    "run_policy_rescue",
+    "main",
+]

@@ -15,6 +15,7 @@ from repro.analysis.report import format_table
 from repro.analysis.stats import min_max_normalize
 from repro.experiments import (
     characterization,
+    congestion_curves,
     fig12,
     fig13,
     fig14,
@@ -121,6 +122,24 @@ def run_all(scale: EvaluationScale, parallel: bool = False) -> Dict[str, object]
         for qps, metrics in by_qps.items():
             rows.append([system, qps, metrics["p50_ns"], metrics["p99_ns"], metrics["goodput_qps"]])
     print(format_table(["system", "offered_qps", "p50_ns", "p99_ns", "goodput_qps"], rows))
+
+    _print_header("Congestion curves — packet tier vs analytic fabric pricing")
+    data["congestion_curves"] = congestion_curves.run_congestion_curves(
+        scale, parallel=parallel
+    )
+    rows = []
+    for system, by_capacity in data["congestion_curves"].items():
+        for capacity, cell in by_capacity.items():
+            rows.append([
+                system,
+                capacity if capacity else "unbounded",
+                cell["total_ns"],
+                cell["divergence_pct"],
+                cell["backpressure_ns"],
+            ])
+    print(format_table(
+        ["system", "buffer_credits", "total_ns", "divergence_pct", "backpressure_ns"], rows
+    ))
 
     _print_header("Scenario grid — mixes, drift, co-location, faults")
     from repro.experiments import scenario_grid

@@ -1,0 +1,116 @@
+"""Aggregated packet-tier observations (``SimResult.net``).
+
+:class:`NetStats` is the JSON-serializable digest of one packet-fidelity
+session: per-port packet/drop/retry counters, backpressure stall time,
+queue-depth maxima and time-weighted means, and (optionally downsampled)
+queue-depth timelines.  It rides on :class:`~repro.sls.result.SimResult`
+and therefore flows through serve metrics, sweeps and the CLI unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+
+@dataclass
+class PortStats:
+    """Digest of one port queue's observations."""
+
+    name: str
+    packets: int = 0
+    bytes: int = 0
+    drops: int = 0
+    retries: int = 0
+    backpressure_ns: float = 0.0
+    max_depth: int = 0
+    #: Time-weighted mean occupancy over the port's busy interval.
+    mean_depth: float = 0.0
+    #: Priority-class name → flow digest (packets/bytes/stalled_ns/by_op).
+    flows: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: ``[time_ns, depth]`` breakpoints, downsampled to the configured cap.
+    timeline: List[List[float]] = field(default_factory=list)
+
+    @property
+    def congested(self) -> bool:
+        return self.drops > 0 or self.retries > 0 or self.backpressure_ns > 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "packets": self.packets,
+            "bytes": self.bytes,
+            "drops": self.drops,
+            "retries": self.retries,
+            "backpressure_ns": self.backpressure_ns,
+            "max_depth": self.max_depth,
+            "mean_depth": self.mean_depth,
+            "flows": {label: dict(flow) for label, flow in self.flows.items()},
+            "timeline": [list(point) for point in self.timeline],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "PortStats":
+        return cls(
+            name=str(data["name"]),
+            packets=int(data.get("packets", 0)),
+            bytes=int(data.get("bytes", 0)),
+            drops=int(data.get("drops", 0)),
+            retries=int(data.get("retries", 0)),
+            backpressure_ns=float(data.get("backpressure_ns", 0.0)),
+            max_depth=int(data.get("max_depth", 0)),
+            mean_depth=float(data.get("mean_depth", 0.0)),
+            flows={str(k): dict(v) for k, v in dict(data.get("flows") or {}).items()},
+            timeline=[list(point) for point in data.get("timeline") or []],
+        )
+
+
+@dataclass
+class NetStats:
+    """Whole-fabric digest of one packet-fidelity session."""
+
+    seed: int = 0
+    packets: int = 0
+    drops: int = 0
+    retries: int = 0
+    backpressure_ns: float = 0.0
+    max_queue_depth: int = 0
+    ports: Dict[str, PortStats] = field(default_factory=dict)
+
+    @property
+    def congested(self) -> bool:
+        """Whether any queueing effect fired that the analytic tier lacks."""
+        return self.drops > 0 or self.retries > 0 or self.backpressure_ns > 0.0
+
+    def congested_ports(self) -> List[str]:
+        return sorted(name for name, port in self.ports.items() if port.congested)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "packets": self.packets,
+            "drops": self.drops,
+            "retries": self.retries,
+            "backpressure_ns": self.backpressure_ns,
+            "max_queue_depth": self.max_queue_depth,
+            "ports": {name: port.to_dict() for name, port in self.ports.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "NetStats":
+        ports_data = dict(data.get("ports") or {})
+        return cls(
+            seed=int(data.get("seed", 0)),
+            packets=int(data.get("packets", 0)),
+            drops=int(data.get("drops", 0)),
+            retries=int(data.get("retries", 0)),
+            backpressure_ns=float(data.get("backpressure_ns", 0.0)),
+            max_queue_depth=int(data.get("max_queue_depth", 0)),
+            ports={
+                str(name): port if isinstance(port, PortStats) else PortStats.from_dict(port)
+                for name, port in ports_data.items()
+            },
+        )
+
+
+__all__ = ["NetStats", "PortStats"]

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.config import CXLConfig
 from repro.cxl.topology import FabricTopology
+from repro.net.packet import Priority
 
 
 @dataclass
@@ -91,6 +92,11 @@ class MultiSwitchCoordinator:
             raise ValueError("compute_capable must have one flag per switch")
         self._cnv = list(compute_capable)
         self.forward_controller = ForwardController()
+        # Packet-tier hop channel (``fidelity="packet"``): a PortQueue that
+        # treats a sub-sum's round trip as holding one buffer credit from
+        # admission until it lands back at the home switch.
+        self._hop_port = None
+        self._hop_bytes = 0
 
     @property
     def num_switches(self) -> int:
@@ -105,6 +111,39 @@ class MultiSwitchCoordinator:
     def is_compute_capable(self, switch_id: int) -> bool:
         """The CNV bit read during configuration (§IV-C2)."""
         return self._cnv[switch_id]
+
+    def attach_hop_port(self, port, bytes_hint: int = 0) -> None:
+        """Install (or remove, with ``None``) a packet-tier hop channel.
+
+        ``bytes_hint`` sizes the forwarded sub-sum payload for flow
+        accounting (typically the embedding row width).
+        """
+        self._hop_port = port
+        self._hop_bytes = int(bytes_hint)
+
+    @property
+    def hop_port(self):
+        return self._hop_port
+
+    def return_trip_ns(self, home_switch_id: int, remote_switch_id: int, ready_ns: float) -> float:
+        """When a remote sub-sum ready at ``ready_ns`` lands at the home switch.
+
+        The analytic price is the request/response hop pair
+        (``2 * hop_latency_ns``).  With a packet-tier hop channel attached,
+        the sub-sum first needs a transit credit: ``degrade_hops`` lengthens
+        the transit, credits are held longer, occupancy rises, and a finite
+        channel backs up — degradation alters occupancy, not just the price.
+        Without a channel (or with unbounded credits) the arithmetic below
+        is bit-identical to the historical inline pricing.
+        """
+        hop_ns = 2 * self.hop_latency_ns(home_switch_id, remote_switch_id)
+        port = self._hop_port
+        if port is None:
+            return ready_ns + hop_ns
+        admitted = port.admit(ready_ns, Priority.BULK)
+        landed = admitted + hop_ns
+        port.depart(ready_ns, admitted, landed, self._hop_bytes, Priority.BULK)
+        return landed
 
     def hop_latency_ns(self, src: int, dst: int) -> float:
         """Inter-switch hop latency between two switches of the fabric.

@@ -131,7 +131,9 @@ class PIFSSwitch(FabricSwitch):
             spid=host_port.port_id,
             issue_ns=issue_ns,
         )
-        config_at_switch = host_port.link.transfer(self._config.flit_bytes, issue_ns)
+        config_at_switch = host_port.link.transfer(
+            self._config.flit_bytes, issue_ns, op=MemOpcode.PIFS_CONFIG
+        )
         configured_ns = self.process_core.configure(config_instr, config_at_switch)
 
         # Step 2: one data-fetch instruction per row, pipelined on the link.
@@ -150,7 +152,9 @@ class PIFSSwitch(FabricSwitch):
             )
             # Fetch instructions are pipelined on the upstream link; the
             # link's busy-until bookkeeping provides the serialization.
-            instr_at_switch = host_port.link.transfer(self._config.slot_bytes, configured_ns)
+            instr_at_switch = host_port.link.transfer(
+                self._config.slot_bytes, configured_ns, op=MemOpcode.PIFS_DATA_FETCH
+            )
             ready_to_issue = self.process_core.register_fetch(fetch, instr_at_switch)
             # Extra per-row switch work, e.g. BEACON's address translation
             # logic, which PIFS-Rec avoids by operating on physical addresses.
@@ -189,7 +193,9 @@ class PIFSSwitch(FabricSwitch):
 
         # Step 5: write the result back to the host's reserved address.
         if notify_host:
-            notified = host_port.link.transfer(self._row_bytes, last_done)
+            notified = host_port.link.transfer(
+                self._row_bytes, last_done, op=MemOpcode.MEM_RD_DATA
+            )
         else:
             notified = last_done
         writeback = CXLCacheD2H(

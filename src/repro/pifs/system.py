@@ -142,8 +142,11 @@ class PIFSRecSystem(SLSSystem):
                 # Sub-sum produced at the remote switch travels back to the
                 # home switch (inter-switch hops in both directions for the
                 # forwarded instructions and the returning partial result).
-                hop_ns = 2 * self.coordinator.hop_latency_ns(home_switch_id, switch_id)
-                finish = outcome.result_ready_ns + hop_ns
+                # The coordinator prices the round trip — and, under packet
+                # fidelity, routes it through the hop channel's credit pool.
+                finish = self.coordinator.return_trip_ns(
+                    home_switch_id, switch_id, outcome.result_ready_ns
+                )
             finishes.append(finish)
         return max(finishes)
 

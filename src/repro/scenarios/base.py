@@ -96,6 +96,14 @@ class Scenario:
     workload: Optional[Any] = None  # a workload provider (see repro.scenarios.workloads)
     faults: Tuple[FaultSpec, ...] = ()
     traffic: Optional[TrafficSpec] = None
+    #: Pinned replay fidelity (``"scalar"``/``"vector"``/``"packet"``);
+    #: ``None`` leaves the session's engine choice alone.  Congestion
+    #: scenarios pin ``"packet"`` — their queueing effects do not exist at
+    #: analytic fidelity.
+    fidelity: Optional[str] = None
+    #: Packet-tier knobs (:class:`~repro.net.fabric.PacketConfig`); implies
+    #: packet fidelity when set.
+    packet: Optional[Any] = None
     axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
 
     def __post_init__(self) -> None:
@@ -104,6 +112,14 @@ class Scenario:
         if self.model.upper() not in MODEL_CONFIGS:
             known = ", ".join(sorted(MODEL_CONFIGS))
             raise ValueError(f"unknown model {self.model!r}; expected one of: {known}")
+        if self.fidelity is not None:
+            from repro.sls.engine import ENGINES
+
+            if self.fidelity not in ENGINES:
+                raise ValueError(
+                    f"unknown fidelity {self.fidelity!r}; expected one of: "
+                    + ", ".join(ENGINES)
+                )
         object.__setattr__(self, "faults", tuple(self.faults))
         object.__setattr__(
             self, "axes", tuple((str(k), tuple(v)) for k, v in self.axes)
@@ -143,9 +159,39 @@ class Scenario:
         parts.extend(fault.kind for fault in self.faults)
         if self.traffic is not None:
             parts.append(f"{self.traffic.qps:g}qps/{self.traffic.arrival}")
+        if self.fidelity is not None:
+            parts.append(self.fidelity)
+        if self.packet is not None:
+            parts.append(f"buf{self.packet.capacity}")
         for axis, values in self.axes:
             parts.append(f"{axis}x{len(values)}")
         return " ".join(parts)
+
+    def parameters(self) -> str:
+        """The fault/traffic/packet parameters that distinguish this scenario.
+
+        One compact human-readable string for CLI tables — the knob values
+        themselves (degradation factors, offered load, buffer credits), not
+        just the dimension names that :meth:`dimensions` reports.
+        """
+        parts: List[str] = [fault.describe() for fault in self.faults]
+        if self.traffic is not None:
+            traffic = f"{self.traffic.qps:g} qps {self.traffic.arrival}"
+            traffic += f", batch<={self.traffic.max_batch_size}"
+            traffic += f", wait<={self.traffic.max_wait_us:g}us"
+            if self.traffic.sla_ms is not None:
+                parts.append(traffic + f", SLA {self.traffic.sla_ms:g}ms")
+            else:
+                parts.append(traffic)
+        if self.packet is not None:
+            packet = f"packet buffers={self.packet.capacity or 'unbounded'}"
+            packet += f", {self.packet.policy}"
+            if self.packet.drop:
+                packet += f", drop+retry {self.packet.retry_ns:g}ns"
+            parts.append(packet)
+        elif self.fidelity is not None:
+            parts.append(f"fidelity={self.fidelity}")
+        return "; ".join(parts) if parts else "-"
 
     # ------------------------------------------------------------------
     # Compilation onto the façade
@@ -249,14 +295,19 @@ class Scenario:
             "workload": None if self.workload is None else self.workload.to_dict(),
             "faults": [fault.to_dict() for fault in self.faults],
             "traffic": None if self.traffic is None else self.traffic.to_dict(),
+            "fidelity": self.fidelity,
+            "packet": None if self.packet is None else self.packet.to_dict(),
             "axes": [[axis, list(values)] for axis, values in self.axes],
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        from repro.net.fabric import PacketConfig
+
         payload = dict(data)
         workload = payload.get("workload")
         traffic = payload.get("traffic")
+        packet = payload.get("packet")
         return cls(
             name=str(payload["name"]),
             description=str(payload.get("description", "")),
@@ -272,6 +323,8 @@ class Scenario:
             workload=None if workload is None else provider_from_dict(workload),
             faults=tuple(fault_from_dict(f) for f in payload.get("faults") or ()),
             traffic=None if traffic is None else TrafficSpec.from_dict(traffic),
+            fidelity=payload.get("fidelity"),
+            packet=None if packet is None else PacketConfig.from_dict(packet),
             axes=tuple(
                 (str(axis), tuple(values)) for axis, values in payload.get("axes") or ()
             ),

@@ -13,6 +13,7 @@ paper-grade comparison grid.  List and run them from the CLI::
 
 from __future__ import annotations
 
+from repro.net.fabric import PacketConfig
 from repro.scenarios.base import Scenario, TrafficSpec
 from repro.scenarios.faults import (
     BufferDegradation,
@@ -147,6 +148,62 @@ register_scenario(
         hosts=2,
         switches=2,
         faults=(HopDegradation(extra_hop_ns=400.0),),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# Congestion scenarios (packet fidelity: per-port queues, finite buffers)
+# ---------------------------------------------------------------------------
+register_scenario(
+    Scenario(
+        name="flash-crowd-incast",
+        description="Flash crowd: four hosts slam one switch's upstream ports "
+        "with long bags at once.  With 2-credit port buffers the response "
+        "bursts overrun the buffers and credit backpressure stalls admissions "
+        "— queueing collapse the analytic tier prices as zero.",
+        distribution="zipfian",
+        pooling_factor=32,
+        hosts=4,
+        fidelity="packet",
+        packet=PacketConfig(capacity=2, policy="fifo"),
+        traffic=TrafficSpec(qps=3e5, arrival="bursty", sla_ms=5.0),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="priority-inversion",
+        description="Two tenants of different urgency share the fabric under "
+        "tight 2-credit FIFO buffers: the big tenant's row payloads fill "
+        "every port queue and the PIFS instruction stream inverts behind "
+        "DATA bursts.  Re-run with policy='priority' to watch reserved "
+        "credits for CONTROL/INSTRUCTION flits erase the inversion.",
+        workload=MultiTenantWorkload(
+            tenants=(
+                TenantSpec(name="latency", model="RMC1", distribution="meta", hosts=1),
+                TenantSpec(name="bulk", model="RMC3", distribution="uniform", hosts=1),
+            )
+        ),
+        pooling_factor=32,
+        fidelity="packet",
+        packet=PacketConfig(capacity=2, policy="fifo"),
+        traffic=TrafficSpec(qps=2e5, arrival="poisson", sla_ms=10.0),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="hot-table-nmp-storm",
+        description="A hot table pins every bag to the same few devices while "
+        "near-memory accumulation streams whole rows: the device ports drop "
+        "packets under a 3-credit buffer and pay a 500 ns retry each time — "
+        "drop/retry dynamics only the packet tier can expose.",
+        system="recnmp",
+        distribution="zipfian",
+        pooling_factor=32,
+        devices=2,
+        fidelity="packet",
+        packet=PacketConfig(capacity=3, policy="fifo", drop=True, retry_ns=500.0),
     )
 )
 

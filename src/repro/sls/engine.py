@@ -119,7 +119,9 @@ class MemoryBackends:
 
 
 #: The recognised execution engines (see :meth:`SLSSystem.set_engine`).
-ENGINES = ("scalar", "vector")
+#: ``"packet"`` is the congestion-fidelity tier: the scalar request flow
+#: with ``repro.net`` port queues attached to every fabric link.
+ENGINES = ("scalar", "vector", "packet")
 
 
 class SLSSystem(ABC):
@@ -156,6 +158,8 @@ class SLSSystem(ABC):
         self._vector = None
         self._vector_fallback_reason: Optional[str] = None
         self._session_mutators: Tuple = ()
+        self._packet_config = None
+        self._net_fabric = None
 
     # ------------------------------------------------------------------
     # Session mutation (fault injection)
@@ -178,16 +182,30 @@ class SLSSystem(ABC):
     # Engine selection
     # ------------------------------------------------------------------
     def set_engine(self, engine: str) -> "SLSSystem":
-        """Select the replay engine: ``"scalar"`` (oracle) or ``"vector"``.
+        """Select the replay fidelity: ``"scalar"``, ``"vector"`` or ``"packet"``.
 
         Takes effect at the next :meth:`begin_session`/:meth:`run`.  The
         vector engine produces numerically identical results for every
         system that opts in via ``supports_vector_engine``; systems that do
-        not are executed on the scalar path regardless of the knob.
+        not are executed on the scalar path regardless of the knob.  The
+        packet engine runs the scalar request flow with ``repro.net`` port
+        queues attached to every fabric link — bit-identical to scalar in
+        the uncongested limit, and additionally reporting queue-depth
+        timelines, drops/retries and backpressure via ``SimResult.net``.
         """
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of: {', '.join(ENGINES)}")
         self.engine = engine
+        return self
+
+    def set_packet_config(self, config) -> "SLSSystem":
+        """Install the packet-tier configuration (``None`` restores defaults).
+
+        Only consulted when the engine is ``"packet"``; the default
+        :class:`~repro.net.fabric.PacketConfig` is the uncongested limit
+        (unbounded buffers).
+        """
+        self._packet_config = config
         return self
 
     # ------------------------------------------------------------------
@@ -232,6 +250,16 @@ class SLSSystem(ABC):
                 # The scalar path supports everything; remember why the fast
                 # path was unavailable for introspection.
                 self._vector_fallback_reason = str(error)
+        self._net_fabric = None
+        if self.engine == "packet":
+            from repro.net.fabric import PacketFabric
+
+            # Attached after the session mutators so a degraded link/hop is
+            # what the port queues observe: fault injection changes service
+            # rates *and* queue occupancy under packet fidelity.
+            fabric = PacketFabric(self._packet_config)
+            fabric.attach(self)
+            self._net_fabric = fabric
 
     def service_request(
         self, request: SLSRequest, start_ns: float, host_id: Optional[int] = None
@@ -631,6 +659,7 @@ class SLSSystem(ABC):
                 buffer_hits += switch.buffer.hits
                 buffer_misses += switch.buffer.misses
         migration_stats = self.tiered.migration_stats if self.tiered else None
+        net = self._net_fabric.finalize() if self._net_fabric is not None else None
         return SimResult(
             system=self.name,
             total_ns=total_ns,
@@ -647,6 +676,7 @@ class SLSSystem(ABC):
             backpressure_ns=backpressure,
             bytes_to_host=int(self._counters.get("bytes_to_host", 0)),
             device_access_counts=device_counts,
+            net=net,
         )
 
 

@@ -13,6 +13,8 @@ import math
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Dict, Mapping, Optional, Sequence
 
+from repro.net.stats import NetStats
+
 
 def percentile(samples: Sequence[float], q: float) -> float:
     """The ``q``-th percentile of ``samples`` (linear interpolation).
@@ -127,6 +129,9 @@ class SimResult:
     #: Per-request latency distribution; populated by the online serving
     #: loop (closed-loop replay reports only the aggregate ``total_ns``).
     latency: Optional[LatencyStats] = None
+    #: Packet-tier observations (queue depths, drops, backpressure);
+    #: populated only under ``fidelity="packet"``.
+    net: Optional[NetStats] = None
 
     def __post_init__(self) -> None:
         if self.total_ns < 0:
@@ -191,7 +196,8 @@ class SimResult:
             str(device): count for device, count in self.device_access_counts.items()
         }
         # asdict already flattened the LatencyStats dataclass into a dict
-        # (or left None); nothing further to do for ``latency``.
+        # (or left None); the same holds for ``net`` and its nested
+        # PortStats values.
         return data
 
     @classmethod
@@ -206,6 +212,9 @@ class SimResult:
         latency = payload.get("latency")
         if latency is not None and not isinstance(latency, LatencyStats):
             payload["latency"] = LatencyStats.from_dict(latency)
+        net = payload.get("net")
+        if net is not None and not isinstance(net, NetStats):
+            payload["net"] = NetStats.from_dict(net)
         return cls(**payload)
 
 

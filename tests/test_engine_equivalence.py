@@ -290,7 +290,7 @@ class TestEngineKnob:
             Simulation("pond").engine("warp")
 
     def test_engines_constant(self):
-        assert ENGINES == ("scalar", "vector")
+        assert ENGINES == ("scalar", "vector", "packet")
 
     def test_spec_key_distinguishes_engines(self):
         from repro.api.session import spec_key
@@ -338,6 +338,74 @@ class TestEngineKnob:
         assert system._vector is None  # no context: scalar path served the run
         reference = Stubborn(tiny_system).run(tiny_workload)
         assert result.to_dict() == reference.to_dict()
+
+
+class TestPacketEquivalence:
+    """Uncongested packet tier ↔ scalar oracle, for every registered system.
+
+    ``fidelity="packet"`` threads every fabric transfer through a
+    :class:`repro.net.port.PortQueue`.  With the default (unbounded)
+    :class:`repro.net.fabric.PacketConfig` the queues observe without
+    perturbing, so the SimResult must be bit-identical to the scalar tier
+    — except for the extra ``net`` report, which must exist, count every
+    packet, and show zero congestion.
+    """
+
+    @staticmethod
+    def _strip_net(result) -> dict:
+        data = result.to_dict()
+        data.pop("net", None)
+        return data
+
+    @pytest.mark.parametrize("name", ALL_SYSTEMS)
+    def test_simresult_identical(self, name, tiny_workload, tiny_system):
+        _, scalar = _run(name, tiny_system, tiny_workload, "scalar")
+        packet_system, packet = _run(name, tiny_system, tiny_workload, "packet")
+        assert packet_system._net_fabric is not None, "packet fabric was not attached"
+        assert scalar.net is None
+        assert self._strip_net(scalar) == self._strip_net(packet)
+        assert packet.net is not None
+        assert packet.net.packets > 0
+        assert not packet.net.congested
+        assert packet.net.backpressure_ns == 0.0
+        assert packet.net.drops == 0 and packet.net.retries == 0
+
+    @pytest.mark.parametrize("name", ALL_SYSTEMS)
+    def test_backend_state_identical(self, name, tiny_workload, tiny_system):
+        scalar_system, _ = _run(name, tiny_system, tiny_workload, "scalar")
+        packet_system, _ = _run(name, tiny_system, tiny_workload, "packet")
+        assert _backend_fingerprint(scalar_system) == _backend_fingerprint(packet_system)
+
+    @pytest.mark.parametrize("name", ["pifs-rec", "pond", "recnmp"])
+    def test_multi_host_multi_switch(self, name, multi_workload, tiny_system):
+        """The inter-switch hop channel rides the packet tier too."""
+        config = replace(tiny_system, num_hosts=2, num_fabric_switches=2)
+        scalar_system, scalar = _run(name, config, multi_workload, "scalar")
+        packet_system, packet = _run(name, config, multi_workload, "packet")
+        assert self._strip_net(scalar) == self._strip_net(packet)
+        assert _backend_fingerprint(scalar_system) == _backend_fingerprint(packet_system)
+
+    @pytest.mark.parametrize("name", ALL_SYSTEMS)
+    def test_serve_records_identical(self, name, tiny_workload, tiny_system):
+        config = ServeConfig(qps=3e5, arrival="poisson", max_batch_size=4, seed=11)
+        scalar = serve(create_system(name, tiny_system).set_engine("scalar"), tiny_workload, config)
+        packet = serve(create_system(name, tiny_system).set_engine("packet"), tiny_workload, config)
+        assert scalar.latency.to_dict() == packet.latency.to_dict()
+        assert self._strip_net(scalar.sim) == self._strip_net(packet.sim)
+        assert [r.complete_ns for r in scalar.records] == [r.complete_ns for r in packet.records]
+        assert [r.start_ns for r in scalar.records] == [r.start_ns for r in packet.records]
+
+    def test_finite_buffers_diverge(self, tiny_workload, tiny_system):
+        """The identity is a property of unbounded queues, not a tautology:
+        a 1-credit buffer must actually change the answer."""
+        from repro.net.fabric import PacketConfig
+
+        _, scalar = _run("recnmp", tiny_system, tiny_workload, "scalar")
+        system = create_system("recnmp", tiny_system).set_engine("packet")
+        system.set_packet_config(PacketConfig(capacity=1))
+        congested = system.run(tiny_workload)
+        assert congested.net.backpressure_ns > 0.0
+        assert congested.total_ns > scalar.total_ns
 
 
 class TestBatchedPrimitives:
