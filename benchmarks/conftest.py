@@ -7,6 +7,9 @@ fall).  Absolute numbers are not expected to match the paper — the substrate
 is a functional simulator, not the authors' testbed.
 """
 
+import os
+import platform
+
 import pytest
 
 from repro.experiments.common import EvaluationScale
@@ -24,3 +27,26 @@ def scale():
 def run_once(benchmark, func, *args, **kwargs):
     """Run ``func`` exactly once under pytest-benchmark and return its result."""
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def bench_environment() -> dict:
+    """Environment metadata stamped into every ``BENCH_*.json`` baseline.
+
+    Makes trajectory files self-describing: two baselines recorded on
+    different interpreters/numpy builds/machines are tellable apart
+    without digging through CI logs.
+    """
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy ships with the toolchain
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "cpus": os.cpu_count(),
+        "smoke": os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0"),
+    }

@@ -21,10 +21,9 @@ with relaxed floors and no baseline file.
 import json
 import os
 import pathlib
-import platform
 import time
 
-from conftest import run_once
+from conftest import bench_environment, run_once
 
 from repro.analysis.report import format_table
 from repro.api.session import Simulation, clear_cache
@@ -127,11 +126,7 @@ def test_engine_vectorization(benchmark):
                 "scalar vs vector engine, best of "
                 f"{REPEATS} runs each",
                 "recorded_unix": int(time.time()),
-                "host": {
-                    "python": platform.python_version(),
-                    "machine": platform.machine(),
-                    "system": platform.system(),
-                },
+                "host": bench_environment(),
                 "entries": rows,
                 "aggregate": {
                     "host_centric_systems": list(HOST_CENTRIC),
@@ -217,11 +212,7 @@ def test_fabric_kernels(benchmark):
                 "default evaluation scale) of the fabric/in-switch systems, "
                 f"scalar vs vector engine, best of {REPEATS} runs each",
                 "recorded_unix": int(time.time()),
-                "host": {
-                    "python": platform.python_version(),
-                    "machine": platform.machine(),
-                    "system": platform.system(),
-                },
+                "host": bench_environment(),
                 "entries": rows,
                 "aggregate": {
                     "fabric_systems": list(FABRIC_SYSTEMS),

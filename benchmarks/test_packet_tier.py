@@ -22,10 +22,9 @@ with a relaxed ceiling and no baseline file.
 import json
 import os
 import pathlib
-import platform
 import time
 
-from conftest import run_once
+from conftest import bench_environment, run_once
 
 from repro.analysis.report import format_table
 from repro.api.session import Simulation, clear_cache
@@ -56,11 +55,7 @@ def _merge_baseline(section: str, payload: dict) -> None:
             data = {}
     data.setdefault("benchmark", "packet_tier")
     data["recorded_unix"] = int(time.time())
-    data["host"] = {
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "system": platform.system(),
-    }
+    data["host"] = bench_environment()
     data[section] = payload
     BASELINE_PATH.write_text(json.dumps(data, indent=2) + "\n")
 

@@ -17,10 +17,9 @@ no baseline file.
 import json
 import os
 import pathlib
-import platform
 import time
 
-from conftest import run_once
+from conftest import bench_environment, run_once
 
 from repro.analysis.report import format_table
 from repro.api.session import Simulation, clear_cache
@@ -105,11 +104,7 @@ def test_serve_vectorization(benchmark):
                 f"{CONFIG.qps:,.0f} qps, batch<= {CONFIG.max_batch_size}), "
                 f"scalar vs vector serve path, best of {REPEATS} runs each",
                 "recorded_unix": int(time.time()),
-                "host": {
-                    "python": platform.python_version(),
-                    "machine": platform.machine(),
-                    "system": platform.system(),
-                },
+                "host": bench_environment(),
                 "entries": rows,
                 "aggregate": {
                     "systems": list(SYSTEMS),

@@ -21,10 +21,9 @@ fewer repetitions, a relaxed floor and no baseline file.
 import json
 import os
 import pathlib
-import platform
 import time
 
-from conftest import run_once
+from conftest import bench_environment, run_once
 
 from repro.api.session import Simulation, clear_cache
 from repro.api.sweep import Sweep, shutdown_worker_pool
@@ -124,12 +123,7 @@ def test_sweep_scaling(benchmark):
                 f"pool, {PROCESSES} workers, best of {REPEATS} sequences "
                 "each",
                 "recorded_unix": int(time.time()),
-                "host": {
-                    "python": platform.python_version(),
-                    "machine": platform.machine(),
-                    "system": platform.system(),
-                    "cpus": os.cpu_count(),
-                },
+                "host": bench_environment(),
                 "entry": row,
                 "floors": {"sweep_speedup": SWEEP_FLOOR},
             },

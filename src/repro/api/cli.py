@@ -18,6 +18,10 @@ Subcommands:
 * ``scenario`` — the named-scenario catalog (workload mixes, popularity
   drift, trace files, fault injection): ``python -m repro scenario
   list|run|compare`` (``run --all --smoke`` is the CI guard)
+* ``trace`` — observed sessions with Chrome/Perfetto ``trace_event``
+  export: ``python -m repro trace run|serve|scenario ... --out trace.json``
+  (``trace run <system> --smoke`` is the CI guard: quick scale plus
+  schema validation of the emitted trace)
 * ``systems`` — list the registered systems
 
 Also installed as the ``pifs-rec`` console script.
@@ -353,6 +357,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 #: The perf-benchmark files ``bench`` knows by short name, in run order.
 BENCH_SUITES = {
     "engine": "test_engine_vectorization.py",
+    "obs": "test_obs_overhead.py",
     "packet": "test_packet_tier.py",
     "serve": "test_serve_vector.py",
     "sweep": "test_sweep_scaling.py",
@@ -623,6 +628,104 @@ def _compare_scenarios(names, args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_trace_outputs(recorder, args: argparse.Namespace) -> int:
+    """Validate, report and export an observed session's recorder.
+
+    Shared tail of every ``trace`` subcommand: schema-validate the
+    Chrome/Perfetto export (non-empty ``traceEvents``, required keys),
+    write ``--out`` / ``--metrics-out``, and print the wall-clock phase
+    attribution.  Returns 1 when the trace fails validation.
+    """
+    from repro.analysis.report import format_table
+    from repro.obs.recorder import validate_chrome_trace
+
+    problems = validate_chrome_trace(recorder.to_chrome_trace())
+    suffix = f" ({recorder.dropped} dropped)" if recorder.dropped else ""
+    if args.out:
+        path = recorder.write_chrome_trace(args.out)
+        print(f"trace   : {len(recorder)} events{suffix} -> {path} "
+              "(load in https://ui.perfetto.dev or chrome://tracing)")
+    else:
+        print(f"trace   : {len(recorder)} events{suffix} (pass --out to export)")
+    if args.metrics_out:
+        if str(args.metrics_out).lower().endswith(".csv"):
+            path = recorder.write_metrics_csv(args.metrics_out)
+        else:
+            path = recorder.write_metrics_json(args.metrics_out)
+        print(f"metrics : {len(recorder.metrics())} series -> {path}")
+    phases = [
+        [name[len("phase."):-len("_ms")], value]
+        for name, value in recorder.metrics().items()
+        if name.startswith("phase.") and name.endswith("_ms")
+    ]
+    if phases:
+        print()
+        print("self-profile (wall-clock attribution):")
+        print(format_table(["phase", "wall_ms"], phases, float_format="{:,.3f}"))
+    for problem in problems:
+        print(f"trace schema: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _cmd_trace_run(args: argparse.Namespace) -> int:
+    from repro.obs.recorder import TraceRecorder
+
+    if args.smoke:
+        args.quick = True
+    recorder = TraceRecorder(label=f"run:{args.system}")
+    sim = _base_simulation(args, args.system).model(args.model).observe(recorder)
+    if args.batch_size is not None:
+        sim.batch_size(args.batch_size)
+    run = sim.run()
+    print(f"system  : {run.system}  engine {run.params.get('engine') or 'scalar'}, "
+          f"{run.sim.lookups} lookups, {run.total_ns:,.0f} ns")
+    return _write_trace_outputs(recorder, args)
+
+
+def _cmd_trace_serve(args: argparse.Namespace) -> int:
+    from repro.obs.recorder import TraceRecorder
+
+    if args.smoke:
+        args.quick = True
+    recorder = TraceRecorder(label=f"serve:{args.system}")
+    sim = _base_simulation(args, args.system).model(args.model).observe(recorder)
+    result = sim.serve(
+        args.qps,
+        arrival=args.arrival,
+        max_batch_size=args.max_batch,
+        max_wait_ns=args.max_wait_us * 1e3,
+        seed=args.seed,
+    )
+    print(f"system  : {args.system}  {args.qps:,.0f} qps {args.arrival}, "
+          f"{result.requests} requests in {result.batches} batches, "
+          f"p99 {result.latency.p99_ns:,.0f} ns")
+    return _write_trace_outputs(recorder, args)
+
+
+def _cmd_trace_scenario(args: argparse.Namespace) -> int:
+    from repro.obs.recorder import TraceRecorder
+    from repro.scenarios import scenario
+
+    if args.smoke:
+        args.quick = True
+    entry = scenario(args.name)
+    recorder = TraceRecorder(label=f"scenario:{args.name}")
+    session_kwargs = dict(system=args.system, engine=args.engine, quick=args.quick)
+    sim = entry.simulation(**session_kwargs).observe(recorder)
+    run = sim.run()
+    print(f"scenario: {args.name}  [{entry.dimensions()}]")
+    print(f"run     : {run.params['system']}  {run.total_ns:,.0f} ns, "
+          f"{run.sim.lookups} lookups")
+    if not args.no_serve:
+        # The open-loop session lands on the same recorder, so the exported
+        # timeline shows serve batching next to the engine/packet spans.
+        serve_result = entry.serve(**session_kwargs, observe=recorder)
+        print(f"serve   : {serve_result.requests} requests in "
+              f"{serve_result.batches} batches, "
+              f"p99 {serve_result.latency.p99_ns:,.0f} ns")
+    return _write_trace_outputs(recorder, args)
+
+
 def _cmd_systems(args: argparse.Namespace) -> int:
     from repro.api.registry import system_factory
 
@@ -645,6 +748,14 @@ def build_parser() -> argparse.ArgumentParser:
         "sessions and the paper's figures.",
         epilog="Use 'python -m repro <command> --help' for per-command options and "
         "examples.  Also installed as the 'pifs-rec' console script.",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default=None,
+        metavar="LEVEL",
+        help="configure the 'repro' logger namespace and print diagnostics to "
+        "stderr: debug | info | warning | error (default: logging stays off)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -818,7 +929,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="perf suite to run (repeatable): "
         + " | ".join(sorted(BENCH_SUITES))
-        + " (default: all four)",
+        + " (default: every suite)",
     )
     bench.add_argument(
         "--all",
@@ -937,6 +1048,112 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_arguments(scenario_compare)
     scenario_compare.set_defaults(func=_cmd_scenario_compare)
 
+    trace = subparsers.add_parser(
+        "trace",
+        help="run an observed session and export a Chrome/Perfetto trace",
+        description="Attach a TraceRecorder (repro.obs) to one session — "
+        "closed-loop, open-loop serving, or a named scenario — and export "
+        "the captured spans/counters as Chrome trace_event JSON (--out, "
+        "loadable in ui.perfetto.dev or chrome://tracing) plus flat metrics "
+        "(--metrics-out, .json or .csv).  Recording never perturbs results: "
+        "observed runs stay bit-identical to unobserved ones.",
+        epilog="examples:\n"
+        "  python -m repro trace run pifs-rec --engine vector --quick --out trace.json\n"
+        "  python -m repro trace serve pond --qps 2e5 --out serve.json "
+        "--metrics-out serve.csv\n"
+        "  python -m repro trace scenario hot-table-nmp-storm --out trace.json\n"
+        "  python -m repro trace run pond --smoke            # CI guard",
+        formatter_class=raw,
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+
+    def _add_trace_outputs(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument("--out", default=None, metavar="PATH",
+                               help="write the Chrome/Perfetto trace_event JSON here")
+        subparser.add_argument("--metrics-out", default=None, metavar="PATH",
+                               help="write the flat metrics here (.csv for CSV, "
+                               "anything else for JSON)")
+        subparser.add_argument("--smoke", action="store_true",
+                               help="CI guard: quick scale; exit 1 if the emitted "
+                               "trace fails trace_event schema validation")
+
+    trace_run = trace_commands.add_parser(
+        "run",
+        help="observe one closed-loop session",
+        description="Run one closed-loop session with a TraceRecorder attached: "
+        "session/request/maintenance spans, kernel counters, packet-tier "
+        "bridging (with --engine packet) and wall-clock phase attribution.",
+        epilog="example:\n"
+        "  python -m repro trace run pifs-rec --engine vector --quick --out trace.json",
+        formatter_class=raw,
+    )
+    trace_run.add_argument("system", help="registered system name")
+    trace_run.add_argument("--model", default="RMC1", metavar="RMC",
+                           help="DLRM model: RMC1..RMC4 (default: RMC1)")
+    trace_run.add_argument("--batch-size", type=int, default=None, metavar="N",
+                           help="queries per inference batch")
+    trace_run.add_argument("--num-batches", type=int, default=None, metavar="N",
+                           help="number of batches replayed")
+    _add_machine_arguments(trace_run)
+    _add_scale_arguments(trace_run)
+    _add_trace_outputs(trace_run)
+    trace_run.set_defaults(func=_cmd_trace_run)
+
+    trace_serve = trace_commands.add_parser(
+        "serve",
+        help="observe one open-loop serving session",
+        description="Serve one system open-loop with a TraceRecorder attached: "
+        "admission/batch/wait spans per host lane, queue-depth counters, and "
+        "the engine's per-request spans on the same timeline.",
+        epilog="example:\n"
+        "  python -m repro trace serve pond --qps 2e5 --arrival bursty --out serve.json",
+        formatter_class=raw,
+    )
+    trace_serve.add_argument("system", help="registered system name")
+    trace_serve.add_argument("--model", default="RMC1", metavar="RMC",
+                             help="DLRM model: RMC1..RMC4 (default: RMC1)")
+    trace_serve.add_argument("--qps", type=float, default=2e5, metavar="QPS",
+                             help="offered load in requests/s (default: 2e5)")
+    trace_serve.add_argument("--arrival", default="poisson", metavar="NAME",
+                             help="arrival process: constant | poisson | bursty | "
+                             "mmpp | diurnal (default: poisson)")
+    trace_serve.add_argument("--max-batch", type=int, default=8, metavar="N",
+                             help="dynamic batcher max batch size (default: 8)")
+    trace_serve.add_argument("--max-wait-us", type=float, default=100.0, metavar="US",
+                             help="dynamic batcher max wait in microseconds (default: 100)")
+    trace_serve.add_argument("--seed", type=int, default=None, metavar="SEED",
+                             help="arrival-process seed (default: the scale's seed)")
+    trace_serve.add_argument("--num-batches", type=int, default=None, metavar="N",
+                             help="batches in the served workload")
+    _add_machine_arguments(trace_serve)
+    _add_scale_arguments(trace_serve)
+    _add_trace_outputs(trace_serve)
+    trace_serve.set_defaults(func=_cmd_trace_serve)
+
+    trace_scenario = trace_commands.add_parser(
+        "scenario",
+        help="observe a named scenario (closed-loop + its traffic spec)",
+        description="Run a catalog scenario closed-loop AND serve it open-loop "
+        "under its traffic spec, both on one shared TraceRecorder — the "
+        "exported timeline shows serve batching, engine/kernel spans and "
+        "packet-queue backpressure together.  --no-serve keeps it closed-loop "
+        "only.",
+        epilog="example:\n"
+        "  python -m repro trace scenario hot-table-nmp-storm --out trace.json",
+        formatter_class=raw,
+    )
+    trace_scenario.add_argument("name",
+                                help="scenario name (list them with 'scenario list')")
+    trace_scenario.add_argument("--system", default=None, metavar="NAME",
+                                help="override the scenario's system under test")
+    trace_scenario.add_argument("--engine", choices=["scalar", "vector", "packet"],
+                                default=None, help="replay fidelity override")
+    trace_scenario.add_argument("--no-serve", action="store_true",
+                                help="skip the open-loop serving pass")
+    _add_scale_arguments(trace_scenario)
+    _add_trace_outputs(trace_scenario)
+    trace_scenario.set_defaults(func=_cmd_trace_scenario)
+
     systems = subparsers.add_parser(
         "systems",
         help="list the registered systems",
@@ -953,6 +1170,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level is not None:
+        from repro.obs.log import setup_logging
+
+        setup_logging(args.log_level)
     try:
         return args.func(args)
     except (UnknownSystemError, UnknownScenarioError, ValueError) as error:

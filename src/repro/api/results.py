@@ -23,7 +23,11 @@ class RunResult:
 
     ``params`` holds the JSON-safe sweep coordinates (``{"system": "pond",
     "model": "RMC4", "batch_size": 64}``); ``config_key`` is the stable hash
-    of the full run specification used by the result cache.
+    of the full run specification used by the result cache.  ``obs`` carries
+    the observability digest (:meth:`TraceRecorder.report
+    <repro.obs.recorder.TraceRecorder.report>` — event counts plus the flat
+    metrics, not the raw spans) when the run was observed, ``None``
+    otherwise.
     """
 
     system: str
@@ -31,6 +35,7 @@ class RunResult:
     params: Dict[str, Any]
     sim: SimResult
     config_key: str = ""
+    obs: Optional[Dict[str, Any]] = None
 
     # Convenience pass-throughs for the metrics every figure reads.
     @property
@@ -76,22 +81,27 @@ class RunResult:
         return True
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "system": self.system,
             "model": self.model,
             "params": dict(self.params),
             "config_key": self.config_key,
             "sim": self.sim.to_dict(),
         }
+        if self.obs is not None:
+            data["obs"] = dict(self.obs)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        obs = data.get("obs")
         return cls(
             system=str(data["system"]),
             model=str(data["model"]),
             params=dict(data.get("params") or {}),
             sim=SimResult.from_dict(data["sim"]),
             config_key=str(data.get("config_key", "")),
+            obs=dict(obs) if obs is not None else None,
         )
 
     def to_json(self, **kwargs: Any) -> str:

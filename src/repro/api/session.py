@@ -392,16 +392,30 @@ def execute_chunk(
     tasks: Sequence[Tuple[RunSpec, str]],
     shared_workload_key: Optional[str] = None,
     shared_workload: Any = None,
-) -> list:
+    record: bool = False,
+) -> Any:
     """Execute a same-workload chunk of specs in one worker round trip.
 
     Module-level and picklable (the unit the persistent sweep pool ships).
     When the parent attaches the chunk's shared workload, it is installed
     into the worker's cache first so every spec in the chunk reuses it.
+
+    With ``record=True`` a worker-local :class:`TraceRecorder` observes the
+    chunk and the return value becomes ``{"results": [...], "obs":
+    snapshot, "pid": <worker pid>}`` — the parent folds the snapshot into
+    its own recorder with worker attribution
+    (:meth:`TraceRecorder.merge <repro.obs.recorder.TraceRecorder.merge>`).
     """
     if shared_workload_key and shared_workload is not None:
         seed_workload_cache(shared_workload_key, shared_workload)
-    return [execute_spec(spec, key) for spec, key in tasks]
+    if not record:
+        return [execute_spec(spec, key) for spec, key in tasks]
+    from repro.obs.recorder import TraceRecorder
+
+    recorder = TraceRecorder(label=f"chunk-pid{os.getpid()}")
+    with recorder.phase("sweep.chunk"):
+        results = [execute_spec(spec, key, recorder=recorder) for spec, key in tasks]
+    return {"results": results, "obs": recorder.snapshot(), "pid": os.getpid()}
 
 
 def build_system(spec: RunSpec):
@@ -465,7 +479,9 @@ def spec_params(spec: RunSpec) -> Dict[str, Any]:
     return params
 
 
-def execute_serve_spec(spec: RunSpec, config: "ServeConfig") -> "ServeResult":
+def execute_serve_spec(
+    spec: RunSpec, config: "ServeConfig", recorder: Optional[Any] = None
+) -> "ServeResult":
     """Run one open-loop serving session for a spec (module-level, picklable).
 
     The serving counterpart of :func:`execute_spec`: builds the system and
@@ -473,11 +489,22 @@ def execute_serve_spec(spec: RunSpec, config: "ServeConfig") -> "ServeResult":
     :mod:`repro.serve` loop instead of the closed-loop replay.  Serving
     results are not cached — the metrics depend on the arrival seed and QPS
     in addition to the spec, and sessions are cheap relative to sweeps.
+    ``recorder`` installs an observability recorder on the system for the
+    session (observe-only; the metrics are unchanged).
     """
     from repro.serve.server import serve as _serve
 
-    system = build_system(spec)
-    workload = build_workload(spec)
+    if recorder is None:
+        system = build_system(spec)
+        workload = build_workload(spec)
+        return _serve(system, workload, config)
+    with recorder.phase("system.build"):
+        system = build_system(spec)
+    with recorder.phase("workload.build"):
+        workload = build_workload(spec)
+    set_recorder = getattr(system, "set_recorder", None)
+    if set_recorder is not None:
+        set_recorder(recorder)
     return _serve(system, workload, config)
 
 
@@ -500,7 +527,9 @@ class ServeEvaluator:
         return result
 
 
-def execute_spec(spec: RunSpec, key: Optional[str] = None) -> RunResult:
+def execute_spec(
+    spec: RunSpec, key: Optional[str] = None, recorder: Optional[Any] = None
+) -> RunResult:
     """Run one spec end-to-end (workload build → system build → replay).
 
     Module-level so :mod:`multiprocessing` can pickle it into sweep workers.
@@ -508,20 +537,39 @@ def execute_spec(spec: RunSpec, key: Optional[str] = None) -> RunResult:
     (e.g. page-management policies) mutate while simulating, and a post-run
     hash would never match the lookup key of an identical fresh spec.
     Callers that already hashed the spec pass ``key`` to skip re-hashing.
+
+    ``recorder`` installs an observability recorder on the system for this
+    run; the build stages are wall-clock attributed and the returned
+    result carries the recorder digest on ``RunResult.obs``.  Recording is
+    observe-only — the simulated numbers are bit-identical either way.
     """
     if key is None:
         key = safe_spec_key(spec) or ""
-    # System first: an unknown name fails fast instead of after the
-    # (expensive) workload generation.
-    system = build_system(spec)
-    workload = build_workload(spec)
-    sim = system.run(workload)
+    if recorder is None:
+        # System first: an unknown name fails fast instead of after the
+        # (expensive) workload generation.
+        system = build_system(spec)
+        workload = build_workload(spec)
+        sim = system.run(workload)
+        obs_report = None
+    else:
+        with recorder.phase("system.build"):
+            system = build_system(spec)
+        with recorder.phase("workload.build"):
+            workload = build_workload(spec)
+        set_recorder = getattr(system, "set_recorder", None)
+        if set_recorder is not None:
+            set_recorder(recorder)
+        sim = system.run(workload)
+        report = getattr(recorder, "report", None)
+        obs_report = report() if report is not None else None
     return RunResult(
         system=system_label(spec.system),
         model=model_label(spec.model),
         params=spec_params(spec),
         sim=sim,
         config_key=key,
+        obs=obs_report,
     )
 
 
@@ -592,6 +640,9 @@ class Simulation:
     def __init__(self, system: SystemLike = "pifs-rec", **settings: Any) -> None:
         self._spec = RunSpec(system=system)
         self._memo_key: Optional[str] = None
+        # Observability recorder; lives on the session (not the picklable
+        # spec) and is installed on the system per run by execute_spec.
+        self._recorder: Optional[Any] = None
         self.apply(**settings)
 
     # ------------------------------------------------------------------
@@ -850,10 +901,38 @@ class Simulation:
         duplicate = Simulation.__new__(Simulation)
         duplicate._spec = self._spec  # RunSpec is immutable; sharing is safe
         duplicate._memo_key = self._memo_key
+        duplicate._recorder = self._recorder
         return duplicate
 
     def spec(self) -> RunSpec:
         return self._spec
+
+    def observe(self, recorder: Any = True) -> "Simulation":
+        """Attach an observability recorder to this session.
+
+        ``observe()`` (or ``observe(True)``) creates a fresh
+        :class:`~repro.obs.recorder.TraceRecorder`; pass your own recorder
+        to share one across sessions, or ``None``/``False`` to disable.
+        Subsequent :meth:`run`/:meth:`serve` calls install it on the system
+        — spans, counters and wall-clock phases accumulate on it, exportable
+        via :meth:`TraceRecorder.write_chrome_trace
+        <repro.obs.recorder.TraceRecorder.write_chrome_trace>`.  Observed
+        runs bypass the result cache (a cache hit would execute nothing and
+        record nothing).  Recording never changes the simulated numbers.
+        """
+        if recorder is True:
+            from repro.obs.recorder import TraceRecorder
+
+            recorder = TraceRecorder()
+        elif recorder is False:
+            recorder = None
+        self._recorder = recorder
+        return self
+
+    @property
+    def recorder(self) -> Optional[Any]:
+        """The recorder attached via :meth:`observe` (``None`` when off)."""
+        return self._recorder
 
     def describe(self) -> Dict[str, Any]:
         """The run's JSON-safe coordinates (without executing it)."""
@@ -880,6 +959,11 @@ class Simulation:
         # from dirty policy state.
         if self._memo_key is None:
             self._memo_key = safe_spec_key(self._spec) or ""
+        if self._recorder is not None:
+            # Observed runs bypass the result cache entirely: a hit would
+            # record nothing, and storing would let a later unobserved run
+            # see stale obs digests.
+            return execute_spec(self._spec, key=self._memo_key, recorder=self._recorder)
         if cache:
             hit = cached_result(self._memo_key)
             if hit is not None:
@@ -937,7 +1021,7 @@ class Simulation:
         identical metrics.
         """
         config = self._serve_config(qps, arrival, max_batch_size, max_wait_ns, seed, sla_ns)
-        return execute_serve_spec(self._spec, config)
+        return execute_serve_spec(self._spec, config, recorder=self._recorder)
 
     def sla_sweep(
         self,

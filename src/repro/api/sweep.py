@@ -60,6 +60,9 @@ from repro.api.session import (
     system_label,
     workload_key,
 )
+from repro.obs.log import get_logger
+
+LOG = get_logger("api.sweep")
 
 
 def _pool_context():
@@ -98,6 +101,11 @@ class WorkerPool:
 
         generation = registry_generation()
         if self._pool is None or self._size < workers or self._generation != generation:
+            if self._pool is not None:
+                LOG.debug(
+                    "rebuilding worker pool (size %d -> %d, registry generation %d -> %d)",
+                    self._size, workers, self._generation, generation,
+                )
             self.shutdown()
             self._pool = _pool_context().Pool(processes=workers)
             self._size = workers
@@ -245,6 +253,7 @@ class Sweep:
         processes: Optional[int] = None,
         cache: bool = True,
         reuse_pool: bool = True,
+        recorder: Optional[Any] = None,
     ) -> SweepResult:
         """Execute every grid point and return the ordered results.
 
@@ -258,8 +267,18 @@ class Sweep:
         values are identical to the serial path.  ``reuse_pool=False``
         restores the legacy fork-per-call pool (mainly for benchmarking
         the engines against each other).
+
+        ``recorder`` (or a recorder attached to the base session via
+        ``Simulation.observe``) observes the sweep: config-hash cache
+        hits/misses are counted, serial runs record directly into it, and
+        parallel chunks record worker-side and are merged back with
+        ``worker-<pid>`` attribution.  Recording never changes the
+        results.
         """
         sims, specs, keys = self._compile()
+        if recorder is None:
+            recorder = getattr(self._base, "_recorder", None)
+        record = recorder is not None and getattr(recorder, "enabled", False)
 
         slots: List[Optional[RunResult]] = [None] * len(specs)
         pending: List[int] = []
@@ -267,14 +286,19 @@ class Sweep:
             hit = cached_result(key) if cache else None
             if hit is not None:
                 slots[index] = hit
+                if record:
+                    recorder.count("cache.result.hits")
             else:
                 pending.append(index)
+                if record:
+                    recorder.count("cache.result.misses")
 
         # Execute with the keys frozen at compile time: stateful option
         # objects (policies) mutate during the run, so a key recomputed
         # later would drift and a re-run of this sweep would miss the cache.
         fresh = self._execute(
-            [(specs[i], keys[i] or "") for i in pending], parallel, processes, reuse_pool
+            [(specs[i], keys[i] or "") for i in pending], parallel, processes, reuse_pool,
+            recorder=recorder if record else None,
         )
         for index, result in zip(pending, fresh):
             slots[index] = result
@@ -344,21 +368,24 @@ class Sweep:
         parallel: bool,
         processes: Optional[int],
         reuse_pool: bool = True,
+        recorder: Optional[Any] = None,
     ) -> List[RunResult]:
         if not tasks:
             return []
         workers = min(len(tasks), os.cpu_count() or 1) if processes is None else processes
         if not parallel or workers <= 1 or len(tasks) == 1:
-            return [execute_spec(spec, key) for spec, key in tasks]
+            return [execute_spec(spec, key, recorder=recorder) for spec, key in tasks]
         if not reuse_pool:
             # Legacy engine: a fresh fork-per-call pool, one task per IPC
-            # round trip, no workload sharing.  Kept as the benchmark
-            # comparator and as an escape hatch.
+            # round trip, no workload sharing (and no worker-side
+            # recording).  Kept as the benchmark comparator and as an
+            # escape hatch.
             with _pool_context().Pool(processes=workers) as pool:
                 return pool.starmap(execute_spec, list(tasks))
 
         from collections import Counter
 
+        record = recorder is not None
         chunks = Sweep._chunk_by_workload(tasks, workers)
         chunks_per_key = Counter(key for _, key in chunks if key is not None)
         pool = _WORKER_POOL.get(workers)
@@ -381,11 +408,21 @@ class Sweep:
 
                 shared = build_workload(chunk_tasks[0][0])
             grants.append(
-                pool.apply_async(execute_chunk, (chunk_tasks, chunk_key, shared))
+                pool.apply_async(execute_chunk, (chunk_tasks, chunk_key, shared, record))
             )
         results: List[Optional[RunResult]] = [None] * len(tasks)
         for (indices, _), grant in zip(chunks, grants):
-            for index, result in zip(indices, grant.get()):
+            payload = grant.get()
+            if record:
+                # Workers ship their recorder snapshot with the chunk; the
+                # merge keys every worker's events under its own Perfetto
+                # process so parallel execution reads as parallel tracks.
+                chunk_results = payload["results"]
+                recorder.merge(payload["obs"], process=f"worker-{payload['pid']}")
+                recorder.count("sweep.chunks")
+            else:
+                chunk_results = payload
+            for index, result in zip(indices, chunk_results):
                 results[index] = result
         return results  # type: ignore[return-value]
 

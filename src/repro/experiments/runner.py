@@ -23,6 +23,7 @@ from repro.experiments import (
     fig16_17,
     fig18,
     latency_curves,
+    obs_overhead,
     tables,
 )
 from repro.experiments.common import DEFAULT_SCALE, QUICK_SCALE, EvaluationScale
@@ -139,6 +140,18 @@ def run_all(scale: EvaluationScale, parallel: bool = False) -> Dict[str, object]
             ])
     print(format_table(
         ["system", "buffer_credits", "total_ns", "divergence_pct", "backpressure_ns"], rows
+    ))
+
+    _print_header("Observability overhead — NullRecorder vs TraceRecorder")
+    data["obs_overhead"] = obs_overhead.run_obs_overhead(scale)
+    obs_rows = [
+        [cell, row["null_ms"], row["traced_ms"], row["ratio"], row["events"], str(row["identical"])]
+        for cell, row in data["obs_overhead"].items()
+    ]
+    print(format_table(
+        ["cell", "null_ms", "traced_ms", "ratio", "events", "identical"],
+        obs_rows,
+        float_format="{:,.3f}",
     ))
 
     _print_header("Scenario grid — mixes, drift, co-location, faults")

@@ -25,6 +25,7 @@ from repro.net.core import EventCore
 from repro.net.packet import Priority
 from repro.net.port import POLICIES, PortQueue
 from repro.net.stats import NetStats, PortStats
+from repro.obs.log import warn_once
 
 
 @dataclass(frozen=True)
@@ -127,6 +128,14 @@ class PacketFabric:
                 "(begin_session builds the fabric first)"
             )
         cfg = self._config
+        if cfg.capacity > 0 or cfg.effective_hop_capacity > 0 or cfg.drop:
+            warn_once(
+                "packet.finite-buffers",
+                "finite packet buffers (capacity=%s, hop_capacity=%s, drop=%s) "
+                "perturb admission times; results will diverge from the "
+                "analytic tier, so do not assert bit-identity against it",
+                cfg.capacity, cfg.effective_hop_capacity, cfg.drop,
+            )
         links = [port.link for port in backends.host_ports.values()]
         links.extend(device.link for device in backends.devices)
         for link in links:

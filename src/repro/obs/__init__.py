@@ -1,0 +1,42 @@
+"""`repro.obs` — spans, counters, and self-profiling for every engine tier.
+
+Public surface:
+
+* :class:`~repro.obs.recorder.NullRecorder` / :data:`~repro.obs.recorder.NULL_RECORDER`
+  — the zero-overhead default (hot paths pay one ``obs.enabled`` check);
+* :class:`~repro.obs.recorder.TraceRecorder` — in-memory spans, counters and
+  wall-clock phases with Chrome/Perfetto ``trace_event`` export and flat
+  metrics JSON/CSV;
+* :func:`~repro.obs.recorder.validate_chrome_trace` — the schema check CI
+  runs over emitted traces;
+* :func:`~repro.obs.bridge.bridge_net_events` — folds packet-tier port
+  observations onto the recorder timeline at session end;
+* :func:`~repro.obs.log.get_logger` / :func:`~repro.obs.log.setup_logging`
+  / :func:`~repro.obs.log.warn_once` — the ``repro``-namespaced logging
+  setup behind the CLI's ``--log-level`` flag.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and a Perfetto
+walkthrough.
+"""
+
+from repro.obs.bridge import bridge_net_events
+from repro.obs.log import LOGGER, get_logger, reset_warnings, setup_logging, warn_once
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    TraceRecorder,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "LOGGER",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "TraceRecorder",
+    "bridge_net_events",
+    "get_logger",
+    "reset_warnings",
+    "setup_logging",
+    "validate_chrome_trace",
+    "warn_once",
+]

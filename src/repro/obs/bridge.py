@@ -1,0 +1,75 @@
+"""Bridge packet-tier observations onto a recorder timeline.
+
+The packet tier is observe-only by design: :class:`~repro.net.port.PortQueue`
+records ``(issued, admitted, delivered)`` tuples on the hot path and the
+digest is computed once at session end.  The bridge mirrors that economy —
+it runs from ``SLSSystem.finish_session`` over the already-collected
+records, so the per-transfer hot path pays nothing for tracing.
+
+Per queue it emits:
+
+* an ``xfer`` span ``admitted → delivered`` per packet (the link-kernel
+  service time) on a ``net.<port>`` track;
+* a ``backpressure`` span ``issued → admitted`` whenever admission stalled
+  — ``args.mode`` says whether the stall was credit backpressure
+  (``"credit"``) or drop/retry cycles (``"drop"``, with the retry count);
+* ``qdepth.<port>`` counter samples from the finalized
+  :class:`~repro.net.stats.NetStats` timelines (already event-ordered and
+  downsampled by :meth:`PacketFabric.finalize`);
+* flat metrics: per-fabric packet/drop/retry totals and backpressure ns.
+"""
+
+from __future__ import annotations
+
+
+def bridge_net_events(recorder, fabric, net) -> None:
+    """Emit ``fabric``'s packet observations into ``recorder``.
+
+    ``fabric`` is a :class:`~repro.net.fabric.PacketFabric`; ``net`` is the
+    finalized :class:`~repro.net.stats.NetStats` digest (source of the
+    queue-depth timelines) — pass the value ``finish_session`` already
+    computed to avoid a second replay.  Duck-typed on purpose: importing
+    ``repro.net`` here would cycle back through the ``repro.obs`` package.
+    """
+    if not getattr(recorder, "enabled", False):
+        return
+    for queue in fabric.queues:
+        track = f"net.{queue.name}"
+        drop_mode = queue.drop_mode
+        retry_ns = getattr(queue, "_retry_ns", 0.0)
+        for issued, admitted, delivered, size, op in getattr(queue, "_records", ()):
+            op_name = getattr(op, "name", str(op)) if op is not None else None
+            recorder.span(
+                "xfer", admitted, delivered, track=track, cat="kernel",
+                args={"bytes": size, "op": op_name},
+            )
+            if admitted > issued:
+                if drop_mode and retry_ns > 0.0:
+                    retries = int(round((admitted - issued) / retry_ns))
+                    recorder.span(
+                        "backpressure", issued, admitted, track=track, cat="net",
+                        args={"mode": "drop", "retries": retries, "op": op_name},
+                    )
+                else:
+                    recorder.span(
+                        "backpressure", issued, admitted, track=track, cat="net",
+                        args={"mode": "credit", "op": op_name},
+                    )
+        recorder.add(f"net.{queue.name}.packets", queue.packets)
+        if queue.drops:
+            recorder.add(f"net.{queue.name}.drops", queue.drops)
+        if queue.retries:
+            recorder.add(f"net.{queue.name}.retries", queue.retries)
+        if queue.backpressure_ns > 0.0:
+            recorder.add(f"net.{queue.name}.backpressure_ns", queue.backpressure_ns)
+    if net is not None:
+        for name, port in net.ports.items():
+            for time_ns, depth in port.timeline:
+                recorder.counter(f"qdepth.{name}", time_ns, depth)
+        recorder.add("net.packets", net.packets)
+        recorder.add("net.drops", net.drops)
+        recorder.add("net.retries", net.retries)
+        recorder.add("net.backpressure_ns", net.backpressure_ns)
+
+
+__all__ = ["bridge_net_events"]

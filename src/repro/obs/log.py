@@ -1,0 +1,68 @@
+"""``repro``-namespaced logging setup.
+
+The library logs under the ``repro`` logger hierarchy and installs only a
+:class:`logging.NullHandler` by default, so embedding applications stay
+silent unless they (or the CLI's ``--log-level`` flag via
+:func:`setup_logging`) opt in.
+
+:func:`warn_once` deduplicates warnings that would otherwise fire once per
+session — e.g. the finite-packet-buffer fidelity warning emitted every
+``begin_session`` of a congested sweep.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Set
+
+#: Root logger of the library; all module loggers are children of it.
+LOGGER = logging.getLogger("repro")
+LOGGER.addHandler(logging.NullHandler())
+
+_configured = False
+_seen_warnings: Set[str] = set()
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Return the ``repro`` logger, or the ``repro.<name>`` child logger."""
+    return LOGGER.getChild(name) if name else LOGGER
+
+
+def setup_logging(level: str = "warning") -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` logger at ``level``.
+
+    Idempotent: repeated calls adjust the level instead of stacking
+    handlers.  The CLI calls this from its ``--log-level`` flag; library
+    users may call it directly.
+    """
+    global _configured
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level: {level!r}")
+    if not _configured:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+        LOGGER.addHandler(handler)
+        _configured = True
+    LOGGER.setLevel(numeric)
+    return LOGGER
+
+
+def warn_once(key: str, message: str, *args: object) -> bool:
+    """Emit ``message`` at WARNING level only the first time ``key`` is seen.
+
+    Returns ``True`` if the warning was emitted, ``False`` if deduplicated.
+    """
+    if key in _seen_warnings:
+        return False
+    _seen_warnings.add(key)
+    LOGGER.warning(message, *args)
+    return True
+
+
+def reset_warnings() -> None:
+    """Clear the :func:`warn_once` dedup set (tests)."""
+    _seen_warnings.clear()
+
+
+__all__ = ["LOGGER", "get_logger", "setup_logging", "warn_once", "reset_warnings"]

@@ -1,0 +1,409 @@
+"""Recorders: the zero-overhead-when-off observability signal plane.
+
+Every instrumented component holds a recorder (``SLSSystem.obs``, the serve
+loop, the sweep engine) and emits through the same small surface:
+
+* **spans** — named intervals on a track (``span``/``instant``), stamped in
+  *simulated* nanoseconds (session, request, batch, maintenance pass,
+  packet backpressure);
+* **counters/gauges** — flat monotonic counters (``count``/``add``) plus
+  time-series counter samples (``counter``) such as queue depths;
+* **self-profiling** — *wall-clock* phases (``phase``) attributing real
+  time to simulator stages (workload build, engine execute, serve
+  bookkeeping), so BENCH regressions become diagnosable.
+
+Two implementations share the surface:
+
+* :class:`NullRecorder` — the default.  ``enabled`` is ``False`` and every
+  method is a no-op, so hot paths pay exactly one attribute check
+  (``if obs.enabled:``) and skip the call entirely.
+* :class:`TraceRecorder` — buffers events in memory (bounded by
+  ``max_events``; overflow is counted, never raised) and exports them as
+  Chrome/Perfetto ``trace_event`` JSON (:meth:`TraceRecorder.to_chrome_trace`)
+  and as flat metrics JSON/CSV.
+
+Recording is strictly observational: recorders receive timestamps that the
+simulation already computed, never produce any, so results are bit-identical
+with recording off and on (pinned by ``tests/test_obs.py``).
+
+The exported trace keeps the two time domains apart: simulated-time tracks
+live under one Perfetto *process* ("simulated time"), wall-clock phases
+under another ("wall clock"), and spans merged from sweep workers
+(:meth:`TraceRecorder.merge`) each under a process named after their worker
+— one timeline, unambiguous units.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import time
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+
+class _NullContext:
+    """Reusable no-op context manager (what ``NullRecorder.phase`` returns)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+#: Process keys of the two time domains (see module docstring).
+SIM_DOMAIN = "sim"
+WALL_DOMAIN = "wall"
+
+
+class NullRecorder:
+    """The default recorder: recording disabled, every method a no-op.
+
+    Instrumented hot paths gate on ``obs.enabled`` — a single attribute
+    check — and never call into the recorder when it is this class.  A
+    process-wide singleton (:data:`NULL_RECORDER`) is shared by every
+    un-observed system, so construction is free too.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str, start_ns: float, end_ns: float, **kwargs: Any) -> None:
+        """Ignore a simulated-time span."""
+
+    def instant(self, name: str, ts_ns: float, **kwargs: Any) -> None:
+        """Ignore an instant event."""
+
+    def counter(self, name: str, ts_ns: float, value: float, **kwargs: Any) -> None:
+        """Ignore a counter sample."""
+
+    def count(self, name: str, delta: float = 1) -> None:
+        """Ignore a flat-counter increment."""
+
+    def add(self, name: str, value: float) -> None:
+        """Alias of :meth:`count` with an explicit amount; ignored."""
+
+    def phase(self, name: str) -> _NullContext:
+        """Return a shared no-op context manager (no wall-clock reads)."""
+        return _NULL_CONTEXT
+
+    def merge(self, payload: Optional[Mapping[str, Any]], process: str = "worker") -> None:
+        """Ignore a worker snapshot."""
+
+
+#: Shared process-wide :class:`NullRecorder` (the ``SLSSystem.obs`` default).
+NULL_RECORDER = NullRecorder()
+
+
+class _Phase:
+    """Context manager recording one wall-clock phase on a TraceRecorder."""
+
+    __slots__ = ("_recorder", "_name", "_start")
+
+    def __init__(self, recorder: "TraceRecorder", name: str) -> None:
+        self._recorder = recorder
+        self._name = name
+
+    def __enter__(self) -> "_Phase":
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        end = time.perf_counter_ns()
+        self._recorder._record_phase(self._name, self._start, end)
+
+
+class TraceRecorder:
+    """In-memory trace/metrics recorder with Chrome ``trace_event`` export.
+
+    Events are stored as flat tuples ``(process_key, ph, name, ts_ns,
+    dur_or_value, track, cat)`` plus an optional args dict, capped at
+    ``max_events`` (overflow increments :attr:`dropped` instead of growing
+    without bound — a packet storm can emit one span per packet).  Flat
+    counters live in a separate dict and are never capped.
+
+    ``label`` names the trace (stored in the exported metadata);
+    ``max_events`` bounds memory.
+    """
+
+    def __init__(self, label: str = "repro", max_events: int = 500_000) -> None:
+        if max_events < 0:
+            raise ValueError("max_events must be >= 0")
+        self.label = label
+        self.max_events = int(max_events)
+        self.enabled = True
+        self.dropped = 0
+        self._events: List[Tuple[str, str, str, float, float, str, str, Optional[Dict[str, Any]]]] = []
+        self._counters: Dict[str, float] = {}
+        #: Wall-clock origin: phases are stored relative to recorder creation.
+        self._wall_origin_ns = time.perf_counter_ns()
+
+    # ------------------------------------------------------------------
+    # Recording surface (shared with NullRecorder)
+    # ------------------------------------------------------------------
+    def _append(
+        self,
+        process: str,
+        ph: str,
+        name: str,
+        ts_ns: float,
+        dur_ns: float,
+        track: str,
+        cat: str,
+        args: Optional[Dict[str, Any]],
+    ) -> None:
+        if len(self._events) >= self.max_events:
+            self.dropped += 1
+            return
+        self._events.append((process, ph, name, ts_ns, dur_ns, track, cat, args))
+
+    def span(
+        self,
+        name: str,
+        start_ns: float,
+        end_ns: float,
+        *,
+        track: str = "engine",
+        cat: str = "sim",
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a simulated-time interval ``[start_ns, end_ns]`` on ``track``."""
+        self._append(SIM_DOMAIN, "X", name, start_ns, max(0.0, end_ns - start_ns), track, cat, args)
+
+    def instant(
+        self,
+        name: str,
+        ts_ns: float,
+        *,
+        track: str = "engine",
+        cat: str = "sim",
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a zero-duration marker at simulated time ``ts_ns``."""
+        self._append(SIM_DOMAIN, "i", name, ts_ns, 0.0, track, cat, args)
+
+    def counter(
+        self,
+        name: str,
+        ts_ns: float,
+        value: float,
+        *,
+        track: Optional[str] = None,
+    ) -> None:
+        """Record one sample of the time-series counter ``name`` (a gauge)."""
+        self._append(SIM_DOMAIN, "C", name, ts_ns, float(value), track or name, "counter", None)
+
+    def count(self, name: str, delta: float = 1) -> None:
+        """Increment the flat counter ``name`` by ``delta``."""
+        self._counters[name] = self._counters.get(name, 0) + delta
+
+    def add(self, name: str, value: float) -> None:
+        """Alias of :meth:`count` with an explicit amount."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def phase(self, name: str) -> _Phase:
+        """Context manager attributing the enclosed *wall-clock* time to ``name``."""
+        return _Phase(self, name)
+
+    def _record_phase(self, name: str, start_wall_ns: int, end_wall_ns: int) -> None:
+        start = float(start_wall_ns - self._wall_origin_ns)
+        end = float(end_wall_ns - self._wall_origin_ns)
+        self._append(WALL_DOMAIN, "X", name, start, max(0.0, end - start), "phases", "phase", None)
+        self.add(f"phase.{name}_ms", (end - start) / 1e6)
+
+    # ------------------------------------------------------------------
+    # Worker merging
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A picklable dump of this recorder (what sweep workers ship back)."""
+        return {
+            "label": self.label,
+            "events": [list(event[:7]) + [event[7]] for event in self._events],
+            "counters": dict(self._counters),
+            "dropped": self.dropped,
+        }
+
+    def merge(self, payload: Optional[Mapping[str, Any]], process: str = "worker") -> None:
+        """Fold a worker's :meth:`snapshot` into this recorder.
+
+        Merged events keep their own timeline under a Perfetto process named
+        ``process`` (the sweep engine passes ``worker-<pid>``), so parallel
+        chunk execution reads as parallel tracks.  Flat counters are summed
+        into this recorder's.
+        """
+        if not payload:
+            return
+        for event in payload.get("events", ()):
+            domain, ph, name, ts_ns, dur_ns, track, cat = event[:7]
+            args = event[7] if len(event) > 7 else None
+            key = process if domain == WALL_DOMAIN else f"{process}:{SIM_DOMAIN}"
+            self._append(key, ph, name, ts_ns, dur_ns, track, cat, args)
+        for name, value in (payload.get("counters") or {}).items():
+            self.add(name, value)
+        self.dropped += int(payload.get("dropped", 0))
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every buffered event and counter (the label stays).
+
+        Lets one recorder observe several sessions in turn — e.g. repeated
+        timing runs — without the earlier session's events accumulating.
+        """
+        self.dropped = 0
+        self._events.clear()
+        self._counters.clear()
+        self._wall_origin_ns = time.perf_counter_ns()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> List[Tuple[str, str, str, float, float, str, str, Optional[Dict[str, Any]]]]:
+        """The raw buffered events (tests and diagnostics)."""
+        return list(self._events)
+
+    def metrics(self) -> Dict[str, float]:
+        """The flat counters, sorted by name."""
+        return {name: self._counters[name] for name in sorted(self._counters)}
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-safe digest carried on ``RunResult.obs``: counts + metrics."""
+        return {
+            "label": self.label,
+            "events": len(self._events),
+            "dropped": self.dropped,
+            "metrics": self.metrics(),
+        }
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """Export every buffered event as Chrome/Perfetto ``trace_event`` JSON.
+
+        Timestamps are microseconds (the format's unit): simulated
+        nanoseconds and wall-clock nanoseconds both divide by 1e3, but they
+        land in different *processes* so the units never mix on one track.
+        Load the written file at https://ui.perfetto.dev or
+        ``chrome://tracing``.
+        """
+        pids: Dict[str, int] = {}
+        tids: Dict[Tuple[str, str], int] = {}
+        trace_events: List[Dict[str, Any]] = []
+
+        def pid_of(process: str) -> int:
+            pid = pids.get(process)
+            if pid is None:
+                pid = pids[process] = len(pids) + 1
+                display = {
+                    SIM_DOMAIN: "simulated time",
+                    WALL_DOMAIN: "wall clock",
+                }.get(process, process)
+                trace_events.append({
+                    "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+                    "args": {"name": display},
+                })
+            return pid
+
+        def tid_of(process: str, track: str) -> int:
+            key = (process, track)
+            tid = tids.get(key)
+            if tid is None:
+                tid = tids[key] = sum(1 for p, _ in tids if p == process) + 1
+                trace_events.append({
+                    "ph": "M", "pid": pid_of(process), "tid": tid,
+                    "name": "thread_name", "args": {"name": track},
+                })
+            return tid
+
+        for process, ph, name, ts_ns, dur_ns, track, cat, args in self._events:
+            event: Dict[str, Any] = {
+                "ph": ph,
+                "name": name,
+                "cat": cat,
+                "pid": pid_of(process),
+                "tid": tid_of(process, track),
+                "ts": ts_ns / 1e3,
+            }
+            if ph == "X":
+                event["dur"] = dur_ns / 1e3
+                if args:
+                    event["args"] = args
+            elif ph == "C":
+                event["args"] = {"value": dur_ns}
+            else:  # instant
+                event["s"] = "t"
+                if args:
+                    event["args"] = args
+            trace_events.append(event)
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ns",
+            "otherData": {
+                "label": self.label,
+                "dropped_events": self.dropped,
+                "metrics": self.metrics(),
+            },
+        }
+
+    def write_chrome_trace(self, path: str) -> str:
+        """Write :meth:`to_chrome_trace` to ``path``; returns the path."""
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome_trace(), handle)
+        return path
+
+    def write_metrics_json(self, path: str) -> str:
+        """Write the flat metrics as a JSON object; returns the path."""
+        with open(path, "w") as handle:
+            json.dump({"label": self.label, "metrics": self.metrics()}, handle, indent=2)
+        return path
+
+    def write_metrics_csv(self, path: str) -> str:
+        """Write the flat metrics as two-column CSV; returns the path."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["metric", "value"])
+            for name, value in self.metrics().items():
+                writer.writerow([name, value])
+        return path
+
+
+def validate_chrome_trace(trace: Mapping[str, Any]) -> List[str]:
+    """Validate a ``trace_event`` payload; returns a list of problems.
+
+    Checks the subset of the Chrome trace-event schema the viewers require:
+    a ``traceEvents`` list whose entries carry ``ph``/``pid``/``tid``/
+    ``name``, numeric ``ts`` on every non-metadata event, and a numeric
+    ``dur`` on complete ('X') events.  The CI docs job runs this over every
+    emitted smoke trace.
+    """
+    problems: List[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index} is not an object")
+            continue
+        for field in ("ph", "pid", "tid", "name"):
+            if field not in event:
+                problems.append(f"event {index} missing {field!r}")
+        ph = event.get("ph")
+        if ph != "M" and not isinstance(event.get("ts"), (int, float)):
+            problems.append(f"event {index} ({ph}) has no numeric ts")
+        if ph == "X" and not isinstance(event.get("dur"), (int, float)):
+            problems.append(f"event {index} (X) has no numeric dur")
+    return problems
+
+
+__all__ = [
+    "NULL_RECORDER",
+    "NullRecorder",
+    "TraceRecorder",
+    "validate_chrome_trace",
+]

@@ -202,12 +202,16 @@ class Scenario:
         engine: Optional[str] = None,
         scale: Optional[Any] = None,
         quick: bool = False,
+        observe: Optional[Any] = None,
     ):
         """A configured :class:`~repro.api.session.Simulation` for this scenario.
 
         Delegates to :meth:`Simulation.scenario` so there is exactly one
         scenario → session mapping: ``Scenario.run()``,
         ``Simulation.run_scenario()`` and the CLI cannot drift apart.
+        ``observe`` attaches a recorder (see :meth:`Simulation.observe`),
+        so ``entry.run(observe=recorder)`` and ``entry.serve(observe=recorder)``
+        land closed- and open-loop spans on one shared timeline.
         """
         from repro.api.session import Simulation
 
@@ -224,6 +228,8 @@ class Scenario:
             sim.system(system)
         if engine is not None:
             sim.engine(engine)
+        if observe is not None:
+            sim.observe(observe)
         return sim
 
     def run(self, cache: bool = True, **session_kwargs: Any):

@@ -65,6 +65,8 @@ def serve(system: SLSSystem, workload: SLSWorkload, config: ServeConfig) -> Serv
     threads_per_host = max(1, system.system.host_threads)
 
     system.begin_session(workload)
+    obs = system.obs
+    record_obs = obs.enabled
 
     # Admission: per-host queue + batcher, fed in global arrival order
     # (the schedule is sorted, so each host sees its own arrivals in order).
@@ -73,11 +75,12 @@ def serve(system: SLSSystem, workload: SLSWorkload, config: ServeConfig) -> Serv
         host: DynamicBatcher(config.policy, queues[host]) for host in range(num_hosts)
     }
     all_batches: List[Batch] = []
-    for request, arrival_ns in zip(workload.requests, arrivals):
-        host = request.host_id % num_hosts
-        all_batches.extend(batchers[host].offer(request, int(arrival_ns)))
-    for host in range(num_hosts):
-        all_batches.extend(batchers[host].close())
+    with obs.phase("serve.admit"):
+        for request, arrival_ns in zip(workload.requests, arrivals):
+            host = request.host_id % num_hosts
+            all_batches.extend(batchers[host].offer(request, int(arrival_ns)))
+        for host in range(num_hosts):
+            all_batches.extend(batchers[host].close())
 
     # Service: globally ordered by dispatch time so the shared backend
     # models (DRAM banks, switch ports) see a deterministic access order.
@@ -97,51 +100,74 @@ def serve(system: SLSSystem, workload: SLSWorkload, config: ServeConfig) -> Serv
         else None
     )
     records: List[RequestRecord] = []
-    for batch in all_batches:
-        lane_times = lanes[batch.host_id]
-        lane = min(range(threads_per_host), key=lambda i: (lane_times[i], i))
-        cursor = max(batch.dispatch_ns, lane_times[lane])
-        if batch_service is not None:
-            completions = batch_service(
-                [entry.request for entry in batch.entries], cursor, batch.host_id
-            )
-            started = cursor
-            for entry, complete_ns in zip(batch.entries, completions):
-                records.append(
-                    RequestRecord(
-                        request_id=entry.request.request_id,
-                        host_id=batch.host_id,
-                        lane=lane,
-                        arrival_ns=entry.arrival_ns,
-                        dispatch_ns=batch.dispatch_ns,
-                        start_ns=started,
-                        complete_ns=complete_ns,
-                        lookups=entry.request.num_candidates,
-                    )
+    with obs.phase("serve.dispatch"):
+        for batch in all_batches:
+            lane_times = lanes[batch.host_id]
+            lane = min(range(threads_per_host), key=lambda i: (lane_times[i], i))
+            dispatched = max(batch.dispatch_ns, lane_times[lane])
+            cursor = dispatched
+            if batch_service is not None:
+                completions = batch_service(
+                    [entry.request for entry in batch.entries], cursor, batch.host_id
                 )
-                started = complete_ns
-            if completions:
-                cursor = completions[-1]
-        else:
-            for entry in batch.entries:
                 started = cursor
-                cursor = system.service_request(entry.request, started, batch.host_id)
-                records.append(
-                    RequestRecord(
-                        request_id=entry.request.request_id,
-                        host_id=batch.host_id,
-                        lane=lane,
-                        arrival_ns=entry.arrival_ns,
-                        dispatch_ns=batch.dispatch_ns,
-                        start_ns=started,
-                        complete_ns=cursor,
-                        lookups=entry.request.num_candidates,
+                for entry, complete_ns in zip(batch.entries, completions):
+                    records.append(
+                        RequestRecord(
+                            request_id=entry.request.request_id,
+                            host_id=batch.host_id,
+                            lane=lane,
+                            arrival_ns=entry.arrival_ns,
+                            dispatch_ns=batch.dispatch_ns,
+                            start_ns=started,
+                            complete_ns=complete_ns,
+                            lookups=entry.request.num_candidates,
+                        )
                     )
+                    started = complete_ns
+                if completions:
+                    cursor = completions[-1]
+            else:
+                for entry in batch.entries:
+                    started = cursor
+                    cursor = system.service_request(entry.request, started, batch.host_id)
+                    records.append(
+                        RequestRecord(
+                            request_id=entry.request.request_id,
+                            host_id=batch.host_id,
+                            lane=lane,
+                            arrival_ns=entry.arrival_ns,
+                            dispatch_ns=batch.dispatch_ns,
+                            start_ns=started,
+                            complete_ns=cursor,
+                            lookups=entry.request.num_candidates,
+                        )
+                    )
+            lane_times[lane] = cursor
+            if record_obs:
+                obs.span(
+                    "batch", dispatched, cursor,
+                    track=f"host{batch.host_id}.lane{lane}", cat="serve",
+                    args={"size": len(batch.entries), "index": batch.index},
                 )
-        lane_times[lane] = cursor
+                obs.count("serve.batches")
+                for record in records[len(records) - len(batch.entries):]:
+                    if record.start_ns > record.arrival_ns:
+                        obs.span(
+                            "wait", record.arrival_ns, record.start_ns,
+                            track=f"host{batch.host_id}.queue", cat="serve",
+                            args={"id": record.request_id},
+                        )
 
-    records.sort(key=lambda record: record.request_id)
-    total_ns = max((record.complete_ns for record in records), default=0.0)
+    with obs.phase("serve.summarize"):
+        records.sort(key=lambda record: record.request_id)
+        total_ns = max((record.complete_ns for record in records), default=0.0)
+        if record_obs:
+            for host, queue in queues.items():
+                if not queue.admitted:
+                    continue
+                for time_ns, depth in queue.timeline:
+                    obs.counter(f"queue.host{host}", time_ns, depth)
     sim = system.finish_session(total_ns)
 
     # Mean queue depth averages over hosts that actually admitted work: a

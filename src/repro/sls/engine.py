@@ -38,9 +38,13 @@ from repro.memsys.hotness import AccessTracker
 from repro.memsys.node import MemoryNode, MemoryTier
 from repro.memsys.page import page_id_of
 from repro.memsys.tiered import TieredMemorySystem
+from repro.obs.log import get_logger
+from repro.obs.recorder import NULL_RECORDER
 from repro.pifs.switch import PIFSSwitch
 from repro.sls.result import SimResult
 from repro.traces.workload import SLSRequest, SLSWorkload
+
+LOG = get_logger("sls.engine")
 
 
 class MemoryBackends:
@@ -160,6 +164,11 @@ class SLSSystem(ABC):
         self._session_mutators: Tuple = ()
         self._packet_config = None
         self._net_fabric = None
+        #: Observability sink; the shared NullRecorder unless
+        #: :meth:`set_recorder` installs a TraceRecorder.  Hot paths gate on
+        #: ``self.obs.enabled`` (one attribute check) and never call into
+        #: the recorder when recording is off.
+        self.obs = NULL_RECORDER
 
     # ------------------------------------------------------------------
     # Session mutation (fault injection)
@@ -208,6 +217,16 @@ class SLSSystem(ABC):
         self._packet_config = config
         return self
 
+    def set_recorder(self, recorder) -> "SLSSystem":
+        """Install an observability recorder (``None`` restores the no-op).
+
+        Recording is strictly observational: the recorder only receives
+        timestamps the engine already computed, so results are bit-identical
+        with recording off and on.
+        """
+        self.obs = NULL_RECORDER if recorder is None else recorder
+        return self
+
     # ------------------------------------------------------------------
     # Workload execution
     # ------------------------------------------------------------------
@@ -218,6 +237,10 @@ class SLSSystem(ABC):
         system request by request (:meth:`service_request`) instead of
         replaying the whole workload closed-loop.
         """
+        with self.obs.phase("session.begin"):
+            self._begin_session(workload)
+
+    def _begin_session(self, workload: SLSWorkload) -> None:
         self.workload = workload
         self._counters = {
             "local_rows": 0,
@@ -250,6 +273,10 @@ class SLSSystem(ABC):
                 # The scalar path supports everything; remember why the fast
                 # path was unavailable for introspection.
                 self._vector_fallback_reason = str(error)
+                LOG.info(
+                    "%s: vector engine unavailable, scalar fallback (%s)",
+                    self.name, error,
+                )
         self._net_fabric = None
         if self.engine == "packet":
             from repro.net.fabric import PacketFabric
@@ -281,13 +308,26 @@ class SLSSystem(ABC):
             finish_ns = self.process_request_vector(request, start_ns, host)
         else:
             finish_ns = self.process_request(request, start_ns, host)
+        obs = self.obs
+        if obs.enabled:
+            obs.span(
+                "request", start_ns, finish_ns, track=f"host{host}",
+                args={"id": request.request_id, "lookups": request.num_candidates},
+            )
+            obs.count("engine.requests")
         self._lookups_since_maintenance += request.num_candidates
         epoch = max(1, self.system.page_mgmt.migration_epoch_accesses)
         if self._lookups_since_maintenance >= epoch:
             self._lookups_since_maintenance = 0
             if vector is not None:
                 vector.flush_tiered()
-            finish_ns += self.maintenance(finish_ns)
+            stall_ns = self.maintenance(finish_ns)
+            if stall_ns > 0 and obs.enabled:
+                obs.span(
+                    "maintenance", finish_ns, finish_ns + stall_ns,
+                    track=f"host{host}", cat="maintenance",
+                )
+            finish_ns += stall_ns
         return finish_ns
 
     def service_batch_vector(
@@ -316,19 +356,35 @@ class SLSSystem(ABC):
         maintenance = self.maintenance
         epoch = max(1, self.system.page_mgmt.migration_epoch_accesses)
         counter = self._lookups_since_maintenance
+        obs = self.obs
+        record = obs.enabled
+        track = f"host{host_id}"
         cursor = start_ns
         completions: List[float] = []
         append = completions.append
         for request in requests:
+            begin_ns = cursor
             if owns(request):
                 cursor = process_vector(request, cursor, host_id)
             else:
                 cursor = process_scalar(request, cursor, host_id)
+            if record:
+                obs.span(
+                    "request", begin_ns, cursor, track=track,
+                    args={"id": request.request_id, "lookups": request.num_candidates},
+                )
+                obs.count("engine.requests")
             counter += request.num_candidates
             if counter >= epoch:
                 counter = 0
                 flush()
-                cursor += maintenance(cursor)
+                stall_ns = maintenance(cursor)
+                if stall_ns > 0 and record:
+                    obs.span(
+                        "maintenance", cursor, cursor + stall_ns,
+                        track=track, cat="maintenance",
+                    )
+                cursor += stall_ns
             append(cursor)
         self._lookups_since_maintenance = counter
         return completions
@@ -337,7 +393,32 @@ class SLSSystem(ABC):
         """Assemble the :class:`SimResult` for the session ended at ``total_ns``."""
         if self._vector is not None:
             self._vector.flush_all()
-        return self._build_result(self.workload, total_ns)
+        result = self._build_result(self.workload, total_ns)
+        obs = self.obs
+        if obs.enabled:
+            with obs.phase("session.finish"):
+                obs.span(
+                    "session", 0.0, total_ns, track="session",
+                    args={
+                        "system": self.name,
+                        "engine": self.engine,
+                        "requests": result.requests,
+                        "lookups": result.lookups,
+                    },
+                )
+                obs.add("engine.local_rows", result.local_rows)
+                obs.add("engine.cxl_rows", result.cxl_rows)
+                obs.add("engine.bytes_to_host", result.bytes_to_host)
+                if result.buffer_hits or result.buffer_misses:
+                    obs.add("cache.switch_buffer.hits", result.buffer_hits)
+                    obs.add("cache.switch_buffer.misses", result.buffer_misses)
+                if result.migrations:
+                    obs.add("engine.migrations", result.migrations)
+                if self._net_fabric is not None:
+                    from repro.obs.bridge import bridge_net_events
+
+                    bridge_net_events(obs, self._net_fabric, result.net)
+        return result
 
     def run(self, workload: SLSWorkload) -> SimResult:
         """Replay ``workload`` on this system and return the result."""
@@ -353,21 +434,39 @@ class SLSSystem(ABC):
 
         vector = self._vector
         process = self.process_request if vector is None else self.process_request_vector
-        for i, request in enumerate(workload.requests):
-            host_id = request.host_id % num_hosts
-            lane_index = host_id * threads_per_host + (host_cursor[host_id] % threads_per_host)
-            host_cursor[host_id] += 1
-            start_ns = lanes[lane_index]
-            finish_ns = process(request, start_ns, host_id)
-            lanes[lane_index] = finish_ns
-            self._lookups_since_maintenance += request.num_candidates
-            if self._lookups_since_maintenance >= epoch:
-                self._lookups_since_maintenance = 0
-                if vector is not None:
-                    vector.flush_tiered()
-                stall_ns = self.maintenance(max(lanes))
-                if stall_ns > 0:
-                    lanes = [lane + stall_ns for lane in lanes]
+        obs = self.obs
+        record = obs.enabled
+        with obs.phase("engine.execute"):
+            for i, request in enumerate(workload.requests):
+                host_id = request.host_id % num_hosts
+                lane_index = host_id * threads_per_host + (host_cursor[host_id] % threads_per_host)
+                host_cursor[host_id] += 1
+                start_ns = lanes[lane_index]
+                finish_ns = process(request, start_ns, host_id)
+                lanes[lane_index] = finish_ns
+                if record:
+                    thread = lane_index - host_id * threads_per_host
+                    obs.span(
+                        "request", start_ns, finish_ns,
+                        track=f"h{host_id}.t{thread}"
+                        if threads_per_host > 1 else f"host{host_id}",
+                        args={"id": request.request_id, "lookups": request.num_candidates},
+                    )
+                    obs.count("engine.requests")
+                self._lookups_since_maintenance += request.num_candidates
+                if self._lookups_since_maintenance >= epoch:
+                    self._lookups_since_maintenance = 0
+                    if vector is not None:
+                        vector.flush_tiered()
+                    pause_ns = max(lanes)
+                    stall_ns = self.maintenance(pause_ns)
+                    if stall_ns > 0:
+                        lanes = [lane + stall_ns for lane in lanes]
+                        if record:
+                            obs.span(
+                                "maintenance", pause_ns, pause_ns + stall_ns,
+                                track="maintenance", cat="maintenance",
+                            )
 
         total_ns = max(lanes) if lanes else 0.0
         return self.finish_session(total_ns)
@@ -636,6 +735,11 @@ class SLSSystem(ABC):
         counters["local_rows"] += local_rows
         counters["cxl_rows"] += cxl_rows
         counters["bytes_to_host"] += cxl_rows * ctx.row_bytes
+        obs = self.obs
+        if obs.enabled:
+            obs.add("kernel.local_dram.invocations", local_rows)
+            obs.add("kernel.switch_host_read.invocations", cxl_rows)
+            obs.add("kernel.elements", end - begin)
         return cursor
 
     # ------------------------------------------------------------------

@@ -302,6 +302,10 @@ class VectorContext:
         Must run before anything reads page/node hotness — the engine calls
         it ahead of every maintenance pass and at session end.
         """
+        obs = self.system.obs
+        if obs.enabled:
+            obs.count("vector.flush.calls")
+            obs.add("vector.flush.pages", len(self.pending_pages))
         if self.pending_pages:
             self.page_counts.update(self.pending_pages)
             self.pending_pages = []

@@ -22,10 +22,16 @@ _LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
 #: API.md documents symbols as headings of the form ``### `repro.x.Y` ``.
 _API_SYMBOL = re.compile(r"^#{2,4} +`(repro(?:\.[A-Za-z0-9_]+)+)`", re.MULTILINE)
 
-SUBCOMMANDS = ("run", "sweep", "serve", "compare", "figures", "bench", "scenario", "systems")
+SUBCOMMANDS = (
+    "run", "sweep", "serve", "compare", "figures", "bench", "scenario",
+    "systems", "trace",
+)
 
 #: The documents the docs tree promises (README links them all).
-DOCS_PAGES = ("ARCHITECTURE.md", "PERFORMANCE.md", "SCENARIOS.md", "API.md")
+DOCS_PAGES = (
+    "ARCHITECTURE.md", "PERFORMANCE.md", "SCENARIOS.md",
+    "OBSERVABILITY.md", "API.md",
+)
 
 
 def _markdown_files():
@@ -138,7 +144,7 @@ class TestCLIHelp:
         assert "--engine" in out
         assert "vector" in out
 
-    @pytest.mark.parametrize("command", ["run", "sweep", "serve", "compare", "scenario"])
+    @pytest.mark.parametrize("command", ["run", "sweep", "serve", "compare", "scenario", "trace"])
     def test_examples_present(self, command, capsys):
         parser = build_parser()
         with pytest.raises(SystemExit):
@@ -154,3 +160,20 @@ class TestCLIHelp:
         assert excinfo.value.code == 0
         out = capsys.readouterr().out
         assert len(out.splitlines()) > 5, f"'scenario {subcommand} --help' is too terse"
+
+    @pytest.mark.parametrize("subcommand", ["run", "serve", "scenario"])
+    def test_trace_subcommands(self, subcommand, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit) as excinfo:
+            parser.parse_args(["trace", subcommand, "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--out" in out, f"'trace {subcommand} --help' lost its export flag"
+        assert len(out.splitlines()) > 5, f"'trace {subcommand} --help' is too terse"
+
+    def test_log_level_documented(self, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit) as excinfo:
+            parser.parse_args(["--help"])
+        assert excinfo.value.code == 0
+        assert "--log-level" in capsys.readouterr().out

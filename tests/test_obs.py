@@ -1,0 +1,353 @@
+"""The ``repro.obs`` signal plane: recorders, exports, and the no-perturb pin.
+
+Four layers of guarantees:
+
+* the :class:`~repro.obs.recorder.TraceRecorder` surface — spans, instants,
+  counter samples, flat counters, wall-clock phases, the event cap, worker
+  snapshot/merge — and the Chrome ``trace_event`` export it feeds;
+* **recording never perturbs results**: every engine tier (scalar, vector,
+  packet) and the serve path produce bit-identical outcomes with recording
+  off and on (the recorder only receives timestamps the simulation already
+  computed);
+* the façade wiring: ``Simulation.observe`` bypasses the result cache,
+  ``RunResult.obs`` carries the digest through the JSON round trip, and
+  sweeps merge worker-side recordings with per-pid attribution;
+* the ``repro`` logging namespace: ``warn_once`` dedup and level setup.
+"""
+
+import json
+
+import pytest
+
+from repro.api.session import Simulation, clear_cache
+from repro.api.sweep import Sweep
+from repro.api.results import RunResult
+from repro.net.fabric import PacketConfig
+from repro.obs.log import get_logger, reset_warnings, setup_logging, warn_once
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    TraceRecorder,
+    validate_chrome_trace,
+)
+
+QUICK = dict(quick=True)
+
+
+def quick_sim(system="pond", **settings):
+    return Simulation(system, **settings).quick()
+
+
+# ---------------------------------------------------------------------------
+# Recorder surface
+# ---------------------------------------------------------------------------
+class TestNullRecorder:
+    def test_disabled_and_inert(self):
+        obs = NullRecorder()
+        assert obs.enabled is False
+        obs.span("x", 0.0, 1.0)
+        obs.instant("x", 0.0)
+        obs.counter("x", 0.0, 1.0)
+        obs.count("x")
+        obs.add("x", 2.0)
+        obs.merge({"events": [["sim", "X", "x", 0, 1, "t", "c", None]]})
+        with obs.phase("anything"):
+            pass
+
+    def test_shared_singleton(self):
+        assert NULL_RECORDER.enabled is False
+        assert isinstance(NULL_RECORDER, NullRecorder)
+
+    def test_phase_context_is_shared(self):
+        obs = NullRecorder()
+        assert obs.phase("a") is obs.phase("b")
+
+
+class TestTraceRecorder:
+    def test_span_clamps_negative_duration(self):
+        rec = TraceRecorder()
+        rec.span("s", 10.0, 5.0)
+        (_, ph, name, ts, dur, _, _, _) = rec.events()[0]
+        assert (ph, name, ts, dur) == ("X", "s", 10.0, 0.0)
+
+    def test_counters_accumulate_and_sort(self):
+        rec = TraceRecorder()
+        rec.count("b")
+        rec.count("b", 2)
+        rec.add("a", 0.5)
+        assert rec.metrics() == {"a": 0.5, "b": 3}
+        assert list(rec.metrics()) == ["a", "b"]
+
+    def test_counter_samples_are_events_not_metrics(self):
+        rec = TraceRecorder()
+        rec.counter("qdepth.p0", 100.0, 3)
+        assert len(rec) == 1
+        assert rec.metrics() == {}
+
+    def test_event_cap_counts_dropped(self):
+        rec = TraceRecorder(max_events=2)
+        for i in range(5):
+            rec.instant("i", float(i))
+        assert len(rec) == 2
+        assert rec.dropped == 3
+        rec.count("still.counted")  # flat counters are never capped
+        assert rec.metrics() == {"still.counted": 1}
+
+    def test_phase_records_wall_span_and_metric(self):
+        rec = TraceRecorder()
+        with rec.phase("build"):
+            pass
+        (process, ph, name, _, _, track, cat, _) = rec.events()[0]
+        assert (process, ph, name, track, cat) == ("wall", "X", "build", "phases", "phase")
+        assert "phase.build_ms" in rec.metrics()
+
+    def test_clear_resets_everything(self):
+        rec = TraceRecorder(max_events=1)
+        rec.instant("a", 0.0)
+        rec.instant("b", 0.0)
+        rec.count("c")
+        rec.clear()
+        assert len(rec) == 0 and rec.dropped == 0 and rec.metrics() == {}
+
+    def test_snapshot_merge_rekeys_and_sums(self):
+        worker = TraceRecorder(label="chunk")
+        worker.span("request", 0.0, 5.0, track="host0")
+        with worker.phase("sweep.chunk"):
+            pass
+        worker.count("engine.requests", 4)
+
+        parent = TraceRecorder()
+        parent.count("engine.requests", 1)
+        parent.merge(worker.snapshot(), process="worker-123")
+
+        processes = {event[0] for event in parent.events()}
+        # Sim-time events land under worker-123:sim, wall phases under worker-123.
+        assert processes == {"worker-123:sim", "worker-123"}
+        assert parent.metrics()["engine.requests"] == 5
+
+    def test_merge_accepts_none_and_adds_dropped(self):
+        parent = TraceRecorder()
+        parent.merge(None)
+        parent.merge({"events": [], "counters": {}, "dropped": 7})
+        assert len(parent) == 0
+        assert parent.dropped == 7
+
+    def test_report_digest(self):
+        rec = TraceRecorder(label="lbl")
+        rec.instant("i", 0.0)
+        rec.count("c")
+        report = rec.report()
+        assert report == {"label": "lbl", "events": 1, "dropped": 0, "metrics": {"c": 1}}
+
+
+class TestChromeExport:
+    def _recorder(self):
+        rec = TraceRecorder(label="t")
+        rec.span("request", 100.0, 400.0, track="host0", cat="sim", args={"id": 1})
+        rec.counter("qdepth.p0", 150.0, 2)
+        rec.instant("drop", 200.0, track="net.p0")
+        with rec.phase("execute"):
+            pass
+        return rec
+
+    def test_trace_event_shapes(self):
+        trace = self._recorder().to_chrome_trace()
+        events = trace["traceEvents"]
+        by_ph = {}
+        for event in events:
+            by_ph.setdefault(event["ph"], []).append(event)
+        span = by_ph["X"][0]
+        assert span["ts"] == 0.1 and span["dur"] == 0.3  # ns -> us
+        assert span["args"] == {"id": 1}
+        counter = by_ph["C"][0]
+        assert counter["args"] == {"value": 2.0}
+        assert by_ph["i"][0]["s"] == "t"
+        # Metadata names both time-domain processes.
+        names = {e["args"]["name"] for e in by_ph["M"] if e["name"] == "process_name"}
+        assert names == {"simulated time", "wall clock"}
+        assert trace["otherData"]["label"] == "t"
+
+    def test_distinct_tracks_get_distinct_tids(self):
+        rec = TraceRecorder()
+        rec.span("a", 0.0, 1.0, track="host0")
+        rec.span("b", 0.0, 1.0, track="host1")
+        trace = rec.to_chrome_trace()
+        tids = {
+            (e["pid"], e["tid"]) for e in trace["traceEvents"] if e["ph"] == "X"
+        }
+        assert len(tids) == 2
+
+    def test_validator_passes_good_trace(self):
+        assert validate_chrome_trace(self._recorder().to_chrome_trace()) == []
+
+    def test_validator_catches_problems(self):
+        assert validate_chrome_trace({}) != []
+        assert validate_chrome_trace({"traceEvents": []}) != []
+        assert validate_chrome_trace({"traceEvents": [{"ph": "X"}]}) != []
+        bad_ts = {"traceEvents": [
+            {"ph": "X", "pid": 1, "tid": 1, "name": "x", "ts": "soon", "dur": 1}
+        ]}
+        assert validate_chrome_trace(bad_ts) != []
+
+    def test_file_round_trip(self, tmp_path):
+        rec = self._recorder()
+        path = rec.write_chrome_trace(str(tmp_path / "trace.json"))
+        assert validate_chrome_trace(json.load(open(path))) == []
+        metrics_path = rec.write_metrics_json(str(tmp_path / "m.json"))
+        assert json.load(open(metrics_path))["metrics"] == rec.metrics()
+        csv_path = rec.write_metrics_csv(str(tmp_path / "m.csv"))
+        lines = open(csv_path).read().strip().splitlines()
+        assert lines[0] == "metric,value"
+        assert len(lines) == 1 + len(rec.metrics())
+
+
+# ---------------------------------------------------------------------------
+# Recording never perturbs results
+# ---------------------------------------------------------------------------
+class TestNoPerturbation:
+    @pytest.mark.parametrize("engine", ["scalar", "vector"])
+    def test_engines_bit_identical_under_recording(self, engine):
+        base = quick_sim("pond").engine(engine)
+        plain = base.clone().run(cache=False)
+        observed = base.clone().observe().run(cache=False)
+        assert observed.sim.to_dict() == plain.sim.to_dict()
+        assert observed.obs is not None and observed.obs["events"] > 0
+
+    def test_packet_tier_bit_identical_under_recording(self):
+        base = quick_sim("recnmp").packet(PacketConfig(capacity=2))
+        plain = base.clone().run(cache=False)
+        observed = base.clone().observe().run(cache=False)
+        assert observed.sim.to_dict() == plain.sim.to_dict()
+
+    def test_serve_bit_identical_under_recording(self):
+        base = quick_sim("pond").engine("vector")
+        plain = base.clone().serve(2e5, seed=7)
+        observed = base.clone().observe().serve(2e5, seed=7)
+        assert observed.to_dict() == plain.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# Façade wiring
+# ---------------------------------------------------------------------------
+class TestSimulationObserve:
+    def test_observe_defaults_to_fresh_trace_recorder(self):
+        sim = quick_sim().observe()
+        assert isinstance(sim.recorder, TraceRecorder)
+        assert quick_sim().recorder is None
+
+    def test_observe_false_detaches(self):
+        sim = quick_sim().observe()
+        assert sim.observe(False).recorder is None
+
+    def test_clone_shares_recorder(self):
+        sim = quick_sim().observe()
+        assert sim.clone().recorder is sim.recorder
+
+    def test_observed_run_bypasses_result_cache(self):
+        clear_cache()
+        base = quick_sim("pond")
+        warm = base.clone().run()  # populate the cache
+        observed = base.clone().observe().run()
+        # A cache hit would have recorded nothing; the digest proves a
+        # genuine re-execution landed on the recorder.
+        assert observed.obs is not None and observed.obs["events"] > 0
+        assert observed.total_ns == warm.total_ns
+
+    def test_obs_digest_round_trips_with_runresult(self):
+        observed = quick_sim("pond").observe().run()
+        clone = RunResult.from_json(observed.to_json())
+        assert clone.obs == observed.obs
+        # Unobserved results keep a clean payload (no obs key at all).
+        plain = quick_sim("pond").run(cache=False)
+        assert plain.obs is None and "obs" not in plain.to_dict()
+
+    def test_digest_carries_phases_and_engine_counters(self):
+        observed = quick_sim("pond").engine("vector").observe().run(cache=False)
+        metrics = observed.obs["metrics"]
+        assert "phase.engine.execute_ms" in metrics
+        assert metrics["engine.requests"] > 0
+        assert metrics["engine.local_rows"] + metrics["engine.cxl_rows"] > 0
+
+    def test_traced_serve_emits_batch_spans_and_queue_depths(self):
+        recorder = TraceRecorder()
+        quick_sim("pond").observe(recorder).serve(2e5, seed=7)
+        names = {event[2] for event in recorder.events()}
+        assert {"batch", "request", "session"} <= names
+        assert any(name.startswith("queue.host") for name in names)
+        assert recorder.metrics()["serve.batches"] > 0
+
+    def test_packet_bridge_emits_xfer_and_backpressure(self):
+        recorder = TraceRecorder()
+        run = (
+            quick_sim("recnmp")
+            .packet(PacketConfig(capacity=1))
+            .observe(recorder)
+            .run(cache=False)
+        )
+        names = {event[2] for event in recorder.events()}
+        assert "xfer" in names
+        assert "backpressure" in names  # capacity=1 must stall somewhere
+        assert any(name.startswith("qdepth.") for name in names)
+        assert recorder.metrics()["net.packets"] == run.sim.net.packets
+
+
+class TestSweepRecording:
+    def _sweep(self):
+        return Sweep({"system": ["pond", "beacon"]}, base=quick_sim())
+
+    def test_serial_sweep_counts_cache_traffic(self):
+        clear_cache()
+        recorder = TraceRecorder()
+        first = self._sweep().run(parallel=False, recorder=recorder)
+        assert recorder.metrics()["cache.result.misses"] == len(first)
+        again = self._sweep().run(parallel=False, recorder=recorder)
+        assert recorder.metrics()["cache.result.hits"] == len(again)
+
+    def test_recorded_sweep_matches_unrecorded(self):
+        clear_cache()
+        plain = self._sweep().run(parallel=False, cache=False)
+        clear_cache()
+        recorded = self._sweep().run(
+            parallel=False, cache=False, recorder=TraceRecorder()
+        )
+        assert [r.sim.to_dict() for r in recorded] == [r.sim.to_dict() for r in plain]
+
+    def test_parallel_sweep_merges_worker_recordings(self):
+        clear_cache()
+        recorder = TraceRecorder()
+        results = self._sweep().run(parallel=True, processes=2, recorder=recorder)
+        assert len(results) == 2
+        assert recorder.metrics()["sweep.chunks"] >= 1
+        worker_processes = {
+            event[0] for event in recorder.events() if event[0].startswith("worker-")
+        }
+        assert worker_processes  # pid-attributed tracks arrived from workers
+        assert all(process.split(":")[0].startswith("worker-") for process in worker_processes)
+
+    def test_base_session_recorder_is_picked_up(self):
+        clear_cache()
+        recorder = TraceRecorder()
+        Sweep({"system": ["pond"]}, base=quick_sim().observe(recorder)).run(
+            parallel=False
+        )
+        assert recorder.metrics()["cache.result.misses"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Logging namespace
+# ---------------------------------------------------------------------------
+class TestLogging:
+    def test_loggers_are_repro_namespaced(self):
+        assert get_logger().name == "repro"
+        assert get_logger("net.fabric").name == "repro.net.fabric"
+
+    def test_setup_rejects_unknown_level(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            setup_logging("loud")
+
+    def test_warn_once_deduplicates(self):
+        reset_warnings()
+        assert warn_once("obs.test-key", "message %s", 1) is True
+        assert warn_once("obs.test-key", "message %s", 2) is False
+        reset_warnings()
+        assert warn_once("obs.test-key", "message %s", 3) is True

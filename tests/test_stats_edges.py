@@ -1,0 +1,143 @@
+"""Edge cases of the stats containers: empty digests, exhausted retries,
+degenerate latency streams.
+
+The JSON round-trip contract (``to_dict`` / ``from_dict``) must hold at the
+boundaries the happy-path suites never visit: ports that saw no traffic,
+drop-mode queues that burned through ``max_retries`` and were force-admitted,
+and latency summaries built from zero or one sample.
+"""
+
+import json
+import math
+
+from repro.cxl.protocol import MemOpcode
+from repro.net import PortQueue
+from repro.net.stats import NetStats, PortStats
+from repro.sls.result import LatencyStats
+
+
+# ---------------------------------------------------------------------------
+# PortStats / NetStats round trips
+# ---------------------------------------------------------------------------
+class TestPortStatsRoundTrip:
+    def test_empty_port(self):
+        """A port that saw no traffic survives the JSON round trip intact."""
+        port = PortStats(name="cxl0.dsp")
+        clone = PortStats.from_dict(json.loads(json.dumps(port.to_dict())))
+        assert clone == port
+        assert not clone.congested
+        assert clone.flows == {}
+        assert clone.timeline == []
+
+    def test_minimal_dict_fills_defaults(self):
+        port = PortStats.from_dict({"name": "host0.usp"})
+        assert port.packets == 0
+        assert port.backpressure_ns == 0.0
+        assert port.timeline == []
+
+    def test_timeline_points_survive(self):
+        port = PortStats(name="p", packets=2, timeline=[[0.0, 1], [5.0, 0]])
+        clone = PortStats.from_dict(port.to_dict())
+        assert clone.timeline == [[0.0, 1], [5.0, 0]]
+
+
+class TestNetStatsRoundTrip:
+    def test_empty_fabric(self):
+        """No ports at all: the digest is uncongested and round-trips."""
+        net = NetStats(seed=7)
+        clone = NetStats.from_dict(json.loads(json.dumps(net.to_dict())))
+        assert clone == net
+        assert not clone.congested
+        assert clone.congested_ports() == []
+
+    def test_ports_accept_instances_and_dicts(self):
+        port = PortStats(name="p", drops=2)
+        from_instance = NetStats.from_dict({"ports": {"p": port}})
+        from_dict = NetStats.from_dict({"ports": {"p": port.to_dict()}})
+        assert from_instance.ports["p"] == from_dict.ports["p"]
+        assert from_instance.congested_ports() == ["p"]
+
+
+# ---------------------------------------------------------------------------
+# Drop mode with retries exhausted
+# ---------------------------------------------------------------------------
+class TestDropRetriesExhausted:
+    def _saturated_queue(self, max_retries: int) -> PortQueue:
+        """One credit, held until far in the future by an in-flight packet."""
+        queue = PortQueue(
+            "dev0.dsp", capacity=1, drop=True, retry_ns=100.0, max_retries=max_retries
+        )
+        queue.depart(0.0, 0.0, 1e9, 64, MemOpcode.MEM_RD)
+        return queue
+
+    def test_forced_admission_after_max_retries(self):
+        """The retry loop gives up after ``max_retries`` and admits anyway —
+        sessions always make progress even against a wedged credit."""
+        queue = self._saturated_queue(max_retries=3)
+        admitted = queue.admit(0.0, MemOpcode.MEM_RD)
+        assert admitted == 3 * 100.0
+        assert queue.drops == 3
+        assert queue.retries == 3
+
+    def test_exhausted_counters_round_trip(self):
+        queue = self._saturated_queue(max_retries=2)
+        admitted = queue.admit(10.0, MemOpcode.MEM_RD)
+        queue.depart(10.0, admitted, admitted + 50.0, 64, MemOpcode.MEM_RD)
+
+        port = PortStats(
+            name=queue.name,
+            packets=queue.packets,
+            drops=queue.drops,
+            retries=queue.retries,
+            backpressure_ns=queue.backpressure_ns,
+        )
+        net = NetStats(drops=port.drops, retries=port.retries, ports={port.name: port})
+        clone = NetStats.from_dict(json.loads(json.dumps(net.to_dict())))
+        assert clone == net
+        assert clone.congested
+        assert clone.congested_ports() == [queue.name]
+        assert clone.ports[queue.name].drops == 2
+        assert clone.ports[queue.name].retries == 2
+        # The forced admission stalled the sender by the full retry budget.
+        assert clone.ports[queue.name].backpressure_ns == 2 * 100.0
+
+
+# ---------------------------------------------------------------------------
+# LatencyStats on degenerate streams
+# ---------------------------------------------------------------------------
+class TestLatencyStatsEdges:
+    def test_zero_samples(self):
+        stats = LatencyStats.from_samples([])
+        assert stats.count == 0
+        assert stats.mean_ns == 0.0
+        assert stats.p50_ns == 0.0
+        assert stats.p999_ns == 0.0
+        assert stats.is_finite()
+        assert stats.quantile("p99") == 0.0
+
+    def test_one_sample_collapses_every_percentile(self):
+        stats = LatencyStats.from_samples([1234.5])
+        assert stats.count == 1
+        for label in ("mean", "min", "max", "p50", "p90", "p95", "p99", "p999"):
+            assert stats.quantile(label) == 1234.5
+
+    def test_zero_and_one_sample_round_trip(self):
+        for samples in ([], [42.0]):
+            stats = LatencyStats.from_samples(samples)
+            clone = LatencyStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+            assert clone == stats
+
+    def test_unknown_quantile_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown latency quantile"):
+            LatencyStats.from_samples([1.0]).quantile("p42")
+
+    def test_percentiles_stay_finite_and_ordered(self):
+        stats = LatencyStats.from_samples([5.0, 1.0])
+        assert stats.min_ns == 1.0 and stats.max_ns == 5.0
+        assert stats.p50_ns <= stats.p90_ns <= stats.p99_ns <= stats.p999_ns
+        assert all(
+            math.isfinite(stats.quantile(label))
+            for label in ("p50", "p90", "p95", "p99", "p999")
+        )
