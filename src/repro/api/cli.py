@@ -73,6 +73,19 @@ def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
         "link — identical to scalar when uncongested, and reporting "
         "queue depths, drops and backpressure (default: scalar)",
     )
+    _add_stream_argument(parser)
+
+
+def _add_stream_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream the workload out-of-core: requests are materialized "
+        "window by window (and serve consumes arrivals lazily), so peak "
+        "memory stays proportional to the active window instead of the "
+        "whole trace; every simulated number is bit-identical to the "
+        "eager path",
+    )
 
 
 def _base_simulation(args: argparse.Namespace, system: str = "pifs-rec") -> Simulation:
@@ -85,6 +98,8 @@ def _base_simulation(args: argparse.Namespace, system: str = "pifs-rec") -> Simu
             sim.apply(**{setting: value})
     if getattr(args, "num_batches", None) is not None:
         sim.num_batches(args.num_batches)
+    if getattr(args, "stream", False):
+        sim.stream()
     return sim
 
 
@@ -360,6 +375,7 @@ BENCH_SUITES = {
     "obs": "test_obs_overhead.py",
     "packet": "test_packet_tier.py",
     "serve": "test_serve_vector.py",
+    "stream": "test_stream_serve.py",
     "sweep": "test_sweep_scaling.py",
     "workload": "test_workload_vectorization.py",
 }
@@ -474,7 +490,8 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
     if args.smoke:
         args.quick = True
     session_kwargs = dict(
-        system=args.system, engine=args.engine, quick=args.quick
+        system=args.system, engine=args.engine, quick=args.quick,
+        stream=args.stream,
     )
 
     if args.export_trace:
@@ -536,7 +553,8 @@ def _cmd_scenario_compare(args: argparse.Namespace) -> int:
         return _compare_scenarios(names, args)
     entry = scenario(names[0])
     systems = _dedupe(args.system) if args.system else list(DEFAULT_COMPARE_SYSTEMS)
-    sweep = entry.sweep(systems=systems, engine=args.engine, quick=args.quick)
+    sweep = entry.sweep(systems=systems, engine=args.engine, quick=args.quick,
+                        stream=args.stream)
     result = sweep.run(parallel=not args.serial, processes=args.jobs)
     if args.json:
         print(result.to_json(indent=2))
@@ -590,7 +608,8 @@ def _compare_scenarios(names, args: argparse.Namespace) -> int:
     for name in names:
         entry = scenario(name)
         for system in systems:
-            run = entry.run(system=system, engine=args.engine, quick=args.quick)
+            run = entry.run(system=system, engine=args.engine, quick=args.quick,
+                            stream=args.stream)
             runs[(name, system)] = run
             payloads.append({
                 "scenario": entry.to_dict(),
@@ -710,7 +729,8 @@ def _cmd_trace_scenario(args: argparse.Namespace) -> int:
         args.quick = True
     entry = scenario(args.name)
     recorder = TraceRecorder(label=f"scenario:{args.name}")
-    session_kwargs = dict(system=args.system, engine=args.engine, quick=args.quick)
+    session_kwargs = dict(system=args.system, engine=args.engine, quick=args.quick,
+                          stream=args.stream)
     sim = entry.simulation(**session_kwargs).observe(recorder)
     run = sim.run()
     print(f"scenario: {args.name}  [{entry.dimensions()}]")
@@ -1011,6 +1031,7 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_run.add_argument("--json", action="store_true",
                               help="print scenario + result payloads as JSON")
     _add_scale_arguments(scenario_run)
+    _add_stream_argument(scenario_run)
     scenario_run.set_defaults(func=_cmd_scenario_run)
 
     scenario_compare = scenario_commands.add_parser(
@@ -1046,6 +1067,7 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_compare.add_argument("--json", action="store_true",
                                   help="print the SweepResult as JSON")
     _add_scale_arguments(scenario_compare)
+    _add_stream_argument(scenario_compare)
     scenario_compare.set_defaults(func=_cmd_scenario_compare)
 
     trace = subparsers.add_parser(
@@ -1151,6 +1173,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace_scenario.add_argument("--no-serve", action="store_true",
                                 help="skip the open-loop serving pass")
     _add_scale_arguments(trace_scenario)
+    _add_stream_argument(trace_scenario)
     _add_trace_outputs(trace_scenario)
     trace_scenario.set_defaults(func=_cmd_trace_scenario)
 

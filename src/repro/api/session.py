@@ -76,6 +76,11 @@ class RunSpec:
     #: only consulted when ``engine == "packet"``.  ``None`` is the
     #: uncongested default (unbounded port buffers).
     packet: Optional[Any] = None
+    #: Out-of-core streaming: build the workload as a
+    #: :class:`~repro.traces.workload.StreamingWorkload` (requests are
+    #: materialized window by window; RSS stays O(window) instead of
+    #: O(trace)).  The simulated numbers are bit-identical either way.
+    stream: bool = False
 
 
 def system_label(system: SystemLike) -> str:
@@ -327,6 +332,10 @@ def workload_key(spec: RunSpec) -> Optional[str]:
         view.pooling_factor,
         view.num_hosts,
         view.workload_provider,
+        # A streaming workload is a different container type (lazy windows
+        # vs. a materialized request list); the caches must not hand one
+        # out where the other was built.
+        view.stream,
     )
     try:
         return hashlib.sha256(_stable_token(parts).encode()).hexdigest()[:16]
@@ -353,6 +362,9 @@ def build_workload(spec: RunSpec):
         if hit is not None:
             return hit
     if spec.workload_provider is not None:
+        # Providers honor ``spec.stream`` themselves where it applies
+        # (TraceFileWorkload streams its file; generators that must
+        # materialize — drift, multi-tenant — build eagerly regardless).
         workload = spec.workload_provider.build(spec)
     else:
         workload = evaluation_workload(
@@ -363,6 +375,7 @@ def build_workload(spec: RunSpec):
             num_hosts=spec.num_hosts,
             num_batches=spec.num_batches,
             pooling_factor=spec.pooling_factor,
+            streaming=spec.stream,
         )
     if key is not None:
         seed_workload_cache(key, workload)
@@ -466,6 +479,8 @@ def spec_params(spec: RunSpec) -> Dict[str, Any]:
         params["local_capacity_bytes"] = spec.local_capacity_bytes
     if spec.engine != "scalar":
         params["engine"] = spec.engine
+    if spec.stream:
+        params["stream"] = True
     if spec.workload_provider is not None:
         params["workload"] = getattr(
             spec.workload_provider, "label", type(spec.workload_provider).__name__
@@ -749,6 +764,21 @@ class Simulation:
         """Alias of :meth:`engine` — the knob reads as a fidelity level."""
         return self.engine(fidelity)
 
+    def stream(self, enabled: bool = True) -> "Simulation":
+        """Stream the workload out-of-core instead of materializing it.
+
+        With ``stream(True)`` the session's workload is built as a
+        :class:`~repro.traces.workload.StreamingWorkload`: the trace source
+        (synthetic generator or file) is replayed window by window, so peak
+        memory stays proportional to the active window rather than the
+        whole trace, and :meth:`serve` consumes arrivals lazily with
+        bounded lookahead.  Every simulated number — SimResult counters,
+        latency records, backend state — is bit-identical to the eager
+        path on all three engines; streaming only changes *when* requests
+        are resident.
+        """
+        return self._set(stream=bool(enabled))
+
     def packet(self, config: Optional[Any] = None, **knobs: Any) -> "Simulation":
         """Configure the packet tier and select ``engine("packet")``.
 
@@ -865,6 +895,7 @@ class Simulation:
         "pooling_factor": "pooling",
         "trace": "distribution",
         "fidelity": "engine",
+        "streaming": "stream",
     }
 
     #: The only methods :meth:`apply` may dispatch to — keeps sweep axes and
@@ -873,7 +904,7 @@ class Simulation:
         "system", "model", "scale", "distribution", "batch_size", "num_batches",
         "pooling", "hosts", "switches", "devices", "local_capacity",
         "base_config", "configure", "options", "engine", "packet",
-        "workload_provider", "faults", "scenario",
+        "workload_provider", "faults", "scenario", "stream",
     })
 
     def apply(self, **settings: Any) -> "Simulation":

@@ -90,13 +90,16 @@ def evaluation_workload(
     num_hosts: int = 1,
     num_batches: Optional[int] = None,
     pooling_factor: Optional[int] = None,
+    streaming: bool = False,
 ) -> SLSWorkload:
     """Build the SLS workload for one model at the given scale.
 
     ``model_name`` is either a Table I name (``"RMC1"``..``"RMC4"``, scaled
     by ``scale``) or a ready :class:`ModelConfig` used as-is.  ``num_hosts``
     distributes the batch's requests across concurrent hosts (used by the
-    multi-host and multi-switch scaling experiments).
+    multi-host and multi-switch scaling experiments).  ``streaming=True``
+    returns the out-of-core container (windows of requests are materialized
+    on demand; the replayed schedule is bit-identical either way).
     """
     model = model_name if isinstance(model_name, ModelConfig) else scale.model(model_name)
     config = WorkloadConfig(
@@ -107,7 +110,7 @@ def evaluation_workload(
         distribution=distribution,
         seed=scale.seed,
     )
-    return build_workload(config, num_hosts=num_hosts)
+    return build_workload(config, num_hosts=num_hosts, streaming=streaming)
 
 
 def evaluation_system(

@@ -203,6 +203,7 @@ class Scenario:
         scale: Optional[Any] = None,
         quick: bool = False,
         observe: Optional[Any] = None,
+        stream: bool = False,
     ):
         """A configured :class:`~repro.api.session.Simulation` for this scenario.
 
@@ -211,7 +212,9 @@ class Scenario:
         ``Simulation.run_scenario()`` and the CLI cannot drift apart.
         ``observe`` attaches a recorder (see :meth:`Simulation.observe`),
         so ``entry.run(observe=recorder)`` and ``entry.serve(observe=recorder)``
-        land closed- and open-loop spans on one shared timeline.
+        land closed- and open-loop spans on one shared timeline.  ``stream``
+        replays the scenario's workload out-of-core (see
+        :meth:`Simulation.stream`) — bit-identical, O(window) resident.
         """
         from repro.api.session import Simulation
 
@@ -230,6 +233,8 @@ class Scenario:
             sim.engine(engine)
         if observe is not None:
             sim.observe(observe)
+        if stream:
+            sim.stream()
         return sim
 
     def run(self, cache: bool = True, **session_kwargs: Any):

@@ -35,6 +35,7 @@ from repro.memsys.address_space import AddressSpace
 from repro.traces.drift import build_drifting_workload
 from repro.traces.files import workload_from_trace
 from repro.traces.meta import generate_meta_like_trace
+from repro.traces.stream import DEFAULT_WINDOW_BATCHES
 from repro.traces.synthetic import TraceDistribution
 from repro.traces.workload import SLSRequest, SLSWorkload, flatten_table_bags
 
@@ -61,12 +62,17 @@ class TraceFileWorkload:
     """Serve the session from a trace file instead of a generator.
 
     ``hex_indices`` applies to Criteo-style TSVs whose hashed categorical
-    ids are hexadecimal.
+    ids are hexadecimal.  ``streaming=True`` (or a session built with
+    ``Simulation.stream()``) replays the file out-of-core: only the active
+    ``window_batches`` window of requests is resident at a time, and the
+    replayed schedule is bit-identical to the eager load.
     """
 
     path: str
     format: Optional[str] = None
     hex_indices: bool = False
+    streaming: bool = False
+    window_batches: int = DEFAULT_WINDOW_BATCHES
 
     kind = "trace-file"
 
@@ -86,7 +92,10 @@ class TraceFileWorkload:
             fingerprint: tuple = (stat.st_mtime_ns, stat.st_size)
         except OSError:
             fingerprint = ("missing",)
-        return ("trace-file", self.path, self.format, self.hex_indices) + fingerprint
+        return (
+            "trace-file", self.path, self.format, self.hex_indices,
+            self.streaming, self.window_batches,
+        ) + fingerprint
 
     def build(self, spec) -> SLSWorkload:
         batch_size, _, _ = _resolved(spec)
@@ -97,6 +106,8 @@ class TraceFileWorkload:
             batch_size=batch_size,
             hex_indices=self.hex_indices,
             num_hosts=max(1, spec.num_hosts),
+            streaming=self.streaming or bool(getattr(spec, "stream", False)),
+            window_batches=self.window_batches,
         )
 
     def to_dict(self) -> Dict[str, Any]:

@@ -22,11 +22,17 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Tuple, Type
+from itertools import islice
+from typing import Dict, Iterator, Optional, Tuple, Type
 
 import numpy as np
 
 NS_PER_S = 1_000_000_000.0
+
+#: Gap chunk drawn per step of the lazy schedule generator.  Chunking is
+#: purely an amortization knob: gap draws and the running cumulative sum are
+#: sequential, so every chunk size yields the identical schedule.
+ARRIVAL_CHUNK = 4096
 
 
 class UnknownArrivalError(ValueError):
@@ -62,6 +68,62 @@ class ArrivalProcess(ABC):
         gaps_ns = self._gaps_ns(num_requests, qps, np.random.default_rng(seed))
         times = np.cumsum(np.maximum(gaps_ns, 0.0))
         return np.rint(times).astype(np.int64)
+
+    def iter_arrival_times_ns(
+        self,
+        num_requests: Optional[int],
+        qps: float,
+        seed: int,
+        chunk: int = ARRIVAL_CHUNK,
+    ) -> Iterator[int]:
+        """Lazily yield the schedule :meth:`arrival_times_ns` would return.
+
+        The streaming twin: stamps are produced ``chunk`` gaps at a time
+        instead of materializing the whole timeline, so a serving loop can
+        extend the schedule as simulation time advances.  The gap draws and
+        the cumulative sum are both strictly sequential — each chunk's
+        running sum is seeded with the exact float carry of the previous
+        chunk — so for any chunk size the yielded stamps equal the eager
+        ``int64`` schedule element for element.  ``num_requests=None``
+        yields an unbounded schedule (the caller stops consuming when its
+        request stream ends).
+        """
+        if num_requests is not None and num_requests < 0:
+            raise ValueError("num_requests must be non-negative")
+        if qps <= 0:
+            raise ValueError("qps must be positive")
+        if chunk <= 0:
+            raise ValueError("chunk must be positive")
+        if num_requests == 0:
+            return
+        rng = np.random.default_rng(seed)
+        carry = 0.0
+        produced = 0
+        for gaps_ns in self._iter_gaps_ns(qps, rng, chunk):
+            block = np.maximum(gaps_ns, 0.0)
+            # Seeding the cumulative sum with the carried float preserves
+            # the eager path's exact sequential additions (s_i = s_{i-1} +
+            # g_i), so rounding never diverges at chunk boundaries.
+            times = np.cumsum(np.concatenate(([carry], block)))
+            carry = float(times[-1])
+            for stamp in np.rint(times[1:]).astype(np.int64).tolist():
+                yield stamp
+                produced += 1
+                if num_requests is not None and produced >= num_requests:
+                    return
+
+    def _iter_gaps_ns(
+        self, qps: float, rng: np.random.Generator, chunk: int
+    ) -> Iterator[np.ndarray]:
+        """Unbounded stream of gap chunks.
+
+        The default repeatedly draws ``chunk``-sized arrays through
+        :meth:`_gaps_ns`, which is exact for the processes whose draws are
+        chunk-invariant (constant, poisson); the stateful processes
+        (bursty, diurnal) override this with their scalar gap generators.
+        """
+        while True:
+            yield self._gaps_ns(chunk, qps, rng)
 
     @abstractmethod
     def _gaps_ns(self, count: int, qps: float, rng: np.random.Generator) -> np.ndarray:
@@ -112,7 +174,13 @@ class BurstyArrivals(ArrivalProcess):
         if quiet <= 0.0:
             raise ValueError("burst_ratio * burst_fraction must stay below 1")
 
-    def _gaps_ns(self, count: int, qps: float, rng: np.random.Generator) -> np.ndarray:
+    def _gap_scalars(self, qps: float, rng: np.random.Generator) -> Iterator[float]:
+        """Unbounded MMPP-2 gap generator (the state machine itself).
+
+        One RNG drives the state walk sequentially, so taking the first
+        ``n`` gaps here is draw-for-draw identical to the eager array path
+        — which is built on this generator.
+        """
         quiet_ratio = (1.0 - self.burst_fraction * self.burst_ratio) / (1.0 - self.burst_fraction)
         # Holding times are exponential in *time* and sized so a burst visit
         # carries ~mean_state_requests arrivals and the expected time share
@@ -121,26 +189,36 @@ class BurstyArrivals(ArrivalProcess):
         burst_hold_ns = self.mean_state_requests * NS_PER_S / (qps * self.burst_ratio)
         quiet_hold_ns = burst_hold_ns * (1.0 - self.burst_fraction) / self.burst_fraction
 
-        gaps = np.empty(count)
-        produced = 0
         bursting = rng.random() < self.burst_fraction
         remaining_ns = rng.exponential(burst_hold_ns if bursting else quiet_hold_ns)
         carried_ns = 0.0  # time since the last arrival, across state switches
-        while produced < count:
+        while True:
             rate = qps * (self.burst_ratio if bursting else quiet_ratio)
             gap = rng.exponential(NS_PER_S / rate)
             if gap <= remaining_ns:
                 remaining_ns -= gap
-                gaps[produced] = carried_ns + gap
+                yield carried_ns + gap
                 carried_ns = 0.0
-                produced += 1
             else:
                 # State switches mid-gap; the exponential is memoryless, so
                 # the residual is redrawn at the new state's rate.
                 carried_ns += remaining_ns
                 bursting = not bursting
                 remaining_ns = rng.exponential(burst_hold_ns if bursting else quiet_hold_ns)
-        return gaps
+
+    def _gaps_ns(self, count: int, qps: float, rng: np.random.Generator) -> np.ndarray:
+        return np.fromiter(
+            islice(self._gap_scalars(qps, rng), count), dtype=np.float64, count=count
+        )
+
+    def _iter_gaps_ns(
+        self, qps: float, rng: np.random.Generator, chunk: int
+    ) -> Iterator[np.ndarray]:
+        # The state machine persists across chunks: chunk boundaries never
+        # reset the modulating Markov chain.
+        scalars = self._gap_scalars(qps, rng)
+        while True:
+            yield np.fromiter(islice(scalars, chunk), dtype=np.float64, count=chunk)
 
 
 @dataclass(frozen=True)
@@ -162,21 +240,31 @@ class DiurnalArrivals(ArrivalProcess):
         if self.period_s <= 0.0:
             raise ValueError("period_s must be positive")
 
-    def _gaps_ns(self, count: int, qps: float, rng: np.random.Generator) -> np.ndarray:
+    def _gap_scalars(self, qps: float, rng: np.random.Generator) -> Iterator[float]:
+        """Unbounded thinned-NHPP gap generator (shared eager/streaming core)."""
         peak = qps * (1.0 + self.amplitude)
         period_ns = self.period_s * NS_PER_S
-        gaps = np.empty(count)
         now_ns = 0.0
         last_ns = 0.0
-        produced = 0
-        while produced < count:
+        while True:
             now_ns += rng.exponential(NS_PER_S / peak)
             rate = qps * (1.0 + self.amplitude * math.sin(2.0 * math.pi * now_ns / period_ns))
             if rng.random() * peak <= rate:
-                gaps[produced] = now_ns - last_ns
+                yield now_ns - last_ns
                 last_ns = now_ns
-                produced += 1
-        return gaps
+
+    def _gaps_ns(self, count: int, qps: float, rng: np.random.Generator) -> np.ndarray:
+        return np.fromiter(
+            islice(self._gap_scalars(qps, rng), count), dtype=np.float64, count=count
+        )
+
+    def _iter_gaps_ns(
+        self, qps: float, rng: np.random.Generator, chunk: int
+    ) -> Iterator[np.ndarray]:
+        # The wall-clock phase of the sinusoid persists across chunks.
+        scalars = self._gap_scalars(qps, rng)
+        while True:
+            yield np.fromiter(islice(scalars, chunk), dtype=np.float64, count=chunk)
 
 
 _PROCESSES: Dict[str, Type[ArrivalProcess]] = {

@@ -16,6 +16,7 @@ well-defined access order regardless of Python iteration details.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -57,7 +58,16 @@ def serve(system: SLSSystem, workload: SLSWorkload, config: ServeConfig) -> Serv
     queue, batched, and serviced on that host's earliest-free thread lane
     (requests within a batch run back-to-back on one lane, matching the
     closed-loop engine's one-bag-per-thread model).
+
+    A :class:`~repro.traces.workload.StreamingWorkload` is served by the
+    streaming loop (:func:`_serve_streaming`): arrivals are generated
+    lazily, requests stay resident only for their active batch window, and
+    batches dispatch from a bounded lookahead heap in the exact global
+    ``(dispatch, host, sequence)`` order of this eager path — metrics and
+    backend state are bit-identical.
     """
+    if getattr(workload, "streaming", False):
+        return _serve_streaming(system, workload, config)
     process = arrival_process(config.arrival)
     arrivals = process.arrival_times_ns(len(workload.requests), config.qps, config.seed)
 
@@ -190,6 +200,157 @@ def serve(system: SLSSystem, workload: SLSWorkload, config: ServeConfig) -> Serv
         seed=config.seed,
         sla_ns=config.sla_ns,
         batches=len(all_batches),
+        queue_depth_timelines={h: q.timeline for h, q in active_queues.items()},
+        mean_queue_depth=mean_depth,
+        max_queue_depth=max((q.max_depth for q in active_queues.values()), default=0),
+        sim=sim,
+    )
+
+
+def _serve_streaming(system: SLSSystem, workload, config: ServeConfig) -> ServeResult:
+    """Streaming twin of :func:`serve`: O(window) trace residency.
+
+    Three things distinguish it from the eager loop, none of which change
+    a single output value:
+
+    * arrivals come from the lazy generator
+      (:meth:`~repro.serve.arrivals.ArrivalProcess.iter_arrival_times_ns`),
+      which reproduces the eager ``int64`` schedule exactly;
+    * requests are flattened window by window, so only the active batch
+      window of the trace is resident;
+    * emitted batches wait in a min-heap keyed ``(dispatch, host, index)``
+      and dispatch once sim-time provably passes them.  The watermark is
+      ``min(T, earliest open-batch deadline across hosts)`` for the
+      current arrival time ``T``: a future batch either fills on an
+      arrival (dispatch ≥ T), times out (dispatch = its host's deadline,
+      and per-host deadlines only move forward as entries drain), or
+      flushes at close (again at its deadline) — so nothing can ever
+      enter the heap below the watermark, and popping strictly below it
+      replays the eager loop's *globally sorted* dispatch order with a
+      lookahead bounded by ``max_wait_ns`` worth of batches instead of
+      the whole timeline.
+
+    Dispatch runs on the scalar request path (the oracle): a vector
+    context resolves whole sessions up front, which is exactly what
+    streaming avoids — and scalar/vector results are pinned bit-identical,
+    so serving metrics do not depend on the engine either way.
+    """
+    process = arrival_process(config.arrival)
+    arrivals = process.iter_arrival_times_ns(None, config.qps, config.seed)
+
+    num_hosts = max(1, system.system.num_hosts)
+    threads_per_host = max(1, system.system.host_threads)
+
+    system.begin_session(workload)
+    if getattr(system, "_vector", None) is not None:
+        # Discard the (unused, empty-window) vector context before any
+        # request runs: its kernels snapshot the fresh machine, and syncing
+        # them at finish would overwrite the scalar path's evolved state.
+        system._vector = None
+        system._vector_fallback_reason = "streaming serve dispatches on the scalar path"
+    obs = system.obs
+    record_obs = obs.enabled
+
+    queues = {host: AdmissionQueue(host) for host in range(num_hosts)}
+    batchers = {
+        host: DynamicBatcher(config.policy, queues[host]) for host in range(num_hosts)
+    }
+    lanes: Dict[int, List[float]] = {
+        host: [0.0] * threads_per_host for host in range(num_hosts)
+    }
+    pending: List = []  # heap of (dispatch_ns, host_id, index, batch)
+    records: List[RequestRecord] = []
+    num_batches = 0
+
+    def dispatch(batch: Batch) -> None:
+        lane_times = lanes[batch.host_id]
+        lane = min(range(threads_per_host), key=lambda i: (lane_times[i], i))
+        dispatched = max(batch.dispatch_ns, lane_times[lane])
+        cursor = dispatched
+        for entry in batch.entries:
+            started = cursor
+            cursor = system.service_request(entry.request, started, batch.host_id)
+            records.append(
+                RequestRecord(
+                    request_id=entry.request.request_id,
+                    host_id=batch.host_id,
+                    lane=lane,
+                    arrival_ns=entry.arrival_ns,
+                    dispatch_ns=batch.dispatch_ns,
+                    start_ns=started,
+                    complete_ns=cursor,
+                    lookups=entry.request.num_candidates,
+                )
+            )
+        lane_times[lane] = cursor
+        if record_obs:
+            obs.span(
+                "batch", dispatched, cursor,
+                track=f"host{batch.host_id}.lane{lane}", cat="serve",
+                args={"size": len(batch.entries), "index": batch.index},
+            )
+            obs.count("serve.batches")
+            for record in records[len(records) - len(batch.entries):]:
+                if record.start_ns > record.arrival_ns:
+                    obs.span(
+                        "wait", record.arrival_ns, record.start_ns,
+                        track=f"host{batch.host_id}.queue", cat="serve",
+                        args={"id": record.request_id},
+                    )
+
+    with obs.phase("serve.stream"):
+        for request in workload:
+            arrival_ns = int(next(arrivals))
+            host = request.host_id % num_hosts
+            for batch in batchers[host].offer(request, arrival_ns):
+                heapq.heappush(pending, (batch.dispatch_ns, batch.host_id, batch.index, batch))
+                num_batches += 1
+            # Everything dispatching strictly below the watermark is final:
+            # another host may still hold an open batch whose wait timer
+            # already expired (it flushes at that deadline on its *next*
+            # arrival or at close), so the safe horizon is the earliest
+            # open deadline anywhere, not this arrival time (see docstring).
+            watermark = arrival_ns
+            for batcher in batchers.values():
+                deadline = batcher.queue.deadline_ns(config.max_wait_ns)
+                if deadline is not None and deadline < watermark:
+                    watermark = deadline
+            while pending and pending[0][0] < watermark:
+                dispatch(heapq.heappop(pending)[3])
+        for host in range(num_hosts):
+            for batch in batchers[host].close():
+                heapq.heappush(pending, (batch.dispatch_ns, batch.host_id, batch.index, batch))
+                num_batches += 1
+        while pending:
+            dispatch(heapq.heappop(pending)[3])
+
+    with obs.phase("serve.summarize"):
+        records.sort(key=lambda record: record.request_id)
+        total_ns = max((record.complete_ns for record in records), default=0.0)
+        if record_obs:
+            for host, queue in queues.items():
+                if not queue.admitted:
+                    continue
+                for time_ns, depth in queue.timeline:
+                    obs.counter(f"queue.host{host}", time_ns, depth)
+    sim = system.finish_session(total_ns)
+
+    active_queues = {h: q for h, q in queues.items() if q.admitted}
+    mean_depth = (
+        sum(queue.mean_depth() for queue in active_queues.values()) / len(active_queues)
+        if active_queues
+        else 0.0
+    )
+    return summarize(
+        system.name,
+        records,
+        qps=config.qps,
+        arrival=config.arrival,
+        max_batch_size=config.max_batch_size,
+        max_wait_ns=config.max_wait_ns,
+        seed=config.seed,
+        sla_ns=config.sla_ns,
+        batches=num_batches,
         queue_depth_timelines={h: q.timeline for h, q in active_queues.items()},
         mean_queue_depth=mean_depth,
         max_queue_depth=max((q.max_depth for q in active_queues.values()), default=0),

@@ -436,37 +436,48 @@ class SLSSystem(ABC):
         process = self.process_request if vector is None else self.process_request_vector
         obs = self.obs
         record = obs.enabled
+        # Streaming workloads are replayed window by window: only the active
+        # window's requests (and, under the vector engine, its resolution
+        # arrays) are resident.  The per-request arithmetic, lane assignment
+        # and maintenance epochs are byte-for-byte the eager loop's, and the
+        # vector kernels persist across windows, so results are bit-identical
+        # to replaying the materialized workload.
+        streaming = getattr(workload, "streaming", False)
+        windows = workload.iter_windows() if streaming else (workload.requests,)
         with obs.phase("engine.execute"):
-            for i, request in enumerate(workload.requests):
-                host_id = request.host_id % num_hosts
-                lane_index = host_id * threads_per_host + (host_cursor[host_id] % threads_per_host)
-                host_cursor[host_id] += 1
-                start_ns = lanes[lane_index]
-                finish_ns = process(request, start_ns, host_id)
-                lanes[lane_index] = finish_ns
-                if record:
-                    thread = lane_index - host_id * threads_per_host
-                    obs.span(
-                        "request", start_ns, finish_ns,
-                        track=f"h{host_id}.t{thread}"
-                        if threads_per_host > 1 else f"host{host_id}",
-                        args={"id": request.request_id, "lookups": request.num_candidates},
-                    )
-                    obs.count("engine.requests")
-                self._lookups_since_maintenance += request.num_candidates
-                if self._lookups_since_maintenance >= epoch:
-                    self._lookups_since_maintenance = 0
-                    if vector is not None:
-                        vector.flush_tiered()
-                    pause_ns = max(lanes)
-                    stall_ns = self.maintenance(pause_ns)
-                    if stall_ns > 0:
-                        lanes = [lane + stall_ns for lane in lanes]
-                        if record:
-                            obs.span(
-                                "maintenance", pause_ns, pause_ns + stall_ns,
-                                track="maintenance", cat="maintenance",
-                            )
+            for window in windows:
+                if streaming and vector is not None:
+                    vector.load_window(window)
+                for request in window:
+                    host_id = request.host_id % num_hosts
+                    lane_index = host_id * threads_per_host + (host_cursor[host_id] % threads_per_host)
+                    host_cursor[host_id] += 1
+                    start_ns = lanes[lane_index]
+                    finish_ns = process(request, start_ns, host_id)
+                    lanes[lane_index] = finish_ns
+                    if record:
+                        thread = lane_index - host_id * threads_per_host
+                        obs.span(
+                            "request", start_ns, finish_ns,
+                            track=f"h{host_id}.t{thread}"
+                            if threads_per_host > 1 else f"host{host_id}",
+                            args={"id": request.request_id, "lookups": request.num_candidates},
+                        )
+                        obs.count("engine.requests")
+                    self._lookups_since_maintenance += request.num_candidates
+                    if self._lookups_since_maintenance >= epoch:
+                        self._lookups_since_maintenance = 0
+                        if vector is not None:
+                            vector.flush_tiered()
+                        pause_ns = max(lanes)
+                        stall_ns = self.maintenance(pause_ns)
+                        if stall_ns > 0:
+                            lanes = [lane + stall_ns for lane in lanes]
+                            if record:
+                                obs.span(
+                                    "maintenance", pause_ns, pause_ns + stall_ns,
+                                    track="maintenance", cat="maintenance",
+                                )
 
         total_ns = max(lanes) if lanes else 0.0
         return self.finish_session(total_ns)
@@ -560,6 +571,14 @@ class SLSSystem(ABC):
         ``AccessTracker.hottest``), so placements are unchanged.
         """
         tracker = AccessTracker()
+        if getattr(workload, "streaming", False):
+            # One window of addresses at a time; chunked ``record_many``
+            # calls produce the same counts *and* the same first-occurrence
+            # insertion order as one concatenated pass, so the resulting
+            # placement is unchanged.
+            for addresses in workload.iter_address_arrays():
+                tracker.record_many((addresses // PAGE_SIZE_BYTES).tolist())
+            return tracker
         if workload.requests:
             addresses = np.concatenate([request.addresses for request in workload.requests])
             tracker.record_many((addresses // PAGE_SIZE_BYTES).tolist())
@@ -767,7 +786,7 @@ class SLSSystem(ABC):
         return SimResult(
             system=self.name,
             total_ns=total_ns,
-            requests=len(workload.requests),
+            requests=len(workload),
             lookups=workload.total_lookups,
             local_rows=int(self._counters.get("local_rows", 0)),
             cxl_rows=int(self._counters.get("cxl_rows", 0)),

@@ -46,6 +46,28 @@ class VectorUnsupportedError(RuntimeError):
     """
 
 
+class _OffsetBounds:
+    """Request-id-indexed view over window-local ``(begin, end)`` bounds.
+
+    Streaming windows keep the workload's global request ids, but the
+    context's resolution arrays are window-local; this shim lets every
+    request path keep indexing ``ctx.bounds[request.request_id]`` verbatim
+    while the window's bounds list stays O(window).
+    """
+
+    __slots__ = ("_bounds", "_base")
+
+    def __init__(self, bounds: List[Tuple[int, int]], base: int) -> None:
+        self._bounds = bounds
+        self._base = base
+
+    def __getitem__(self, request_id: int) -> Tuple[int, int]:
+        return self._bounds[request_id - self._base]
+
+    def __len__(self) -> int:
+        return len(self._bounds)
+
+
 class VectorContext:
     """Per-session resolution arrays and timing kernels for one system."""
 
@@ -56,31 +78,6 @@ class VectorContext:
         backends = system.backends
         self.backends = backends
         self.row_bytes = backends.row_bytes
-        self.requests = workload.requests
-
-        # ------------------------------------------------------------------
-        # Stage 1: batched address resolution over the whole workload.
-        # ------------------------------------------------------------------
-        if self.requests:
-            addresses = np.concatenate([request.addresses for request in self.requests])
-        else:
-            addresses = np.zeros(0, dtype=np.int64)
-        addresses = addresses.astype(np.int64, copy=False)
-        lengths = [len(request.addresses) for request in self.requests]
-        ends = np.cumsum(lengths) if lengths else np.zeros(0, dtype=np.int64)
-        starts = ends - np.asarray(lengths, dtype=np.int64) if lengths else ends
-        self.bounds: List[Tuple[int, int]] = list(zip(starts.tolist(), ends.tolist()))
-
-        self.addr: List[int] = addresses.tolist()
-        self._page_np = addresses // self.tiered.page_size
-        self.page: List[int] = self._page_np.tolist()
-
-        local_mapping = backends.local_dram.controller.mapping
-        lch, lfb, lrow = local_mapping.decode_flat_batch(addresses)
-        self.lch, self.lfb, self.lrow = lch.tolist(), lfb.tolist(), lrow.tolist()
-        cxl_mapping = backends.devices[0].dram.controller.mapping
-        cch, cfb, crow = cxl_mapping.decode_flat_batch(addresses)
-        self.cch, self.cfb, self.crow = cch.tolist(), cfb.tolist(), crow.tolist()
 
         # Placement tables (node id -> tier / device) and the lazily
         # re-gathered page -> node window with its precomputed splits.
@@ -89,16 +86,6 @@ class VectorContext:
         self._node_device_np = node_device
         self.node_is_local: List[bool] = is_local.tolist()
         self.node_device: List[int] = node_device.tolist()
-        self._window: List[int] = []
-        self._window_local: List[bool] = []
-        self._window_device: List[int] = []
-        self._local_pos: List[int] = []
-        self._remote_pos: List[int] = []
-        self._remote_dev: List[int] = []
-        self._remote_sw: List[int] = []
-        self._window_start = 0
-        self._window_end = 0
-        self._node_generation = -1
 
         # ------------------------------------------------------------------
         # Stage 2: flattened timing kernels over the backend state.
@@ -161,16 +148,76 @@ class VectorContext:
         self._bind_closures()
         system.prepare_vector(self)
 
+        # ------------------------------------------------------------------
+        # Stage 1: batched address resolution.  Eager workloads resolve the
+        # whole request list once; streaming workloads start empty and the
+        # engine re-resolves per window via :meth:`load_window` (the kernels
+        # above persist across windows, so the timing-state stream — and
+        # therefore every finish time — is identical to one whole-workload
+        # resolution).
+        # ------------------------------------------------------------------
+        initial = [] if getattr(workload, "streaming", False) else workload.requests
+        self.load_window(initial)
+
+    # ------------------------------------------------------------------
+    # Stage-1 resolution (whole workload, or one streaming window)
+    # ------------------------------------------------------------------
+    def load_window(self, requests: List) -> None:
+        """(Re)resolve the context's stage-1 arrays over ``requests``.
+
+        ``requests`` must carry contiguous request ids (the engine hands
+        either the whole eager request list or one streaming window, both
+        of which do); resolution arrays become O(len(requests)) and
+        ``bounds`` stays indexable by global request id.  Kernel state and
+        the buffered access counters are left untouched — they are
+        cumulative across windows, exactly like the scalar engine's device
+        state.
+        """
+        self.requests = requests
+        self._base = requests[0].request_id if requests else 0
+        if requests:
+            addresses = np.concatenate([request.addresses for request in requests])
+        else:
+            addresses = np.zeros(0, dtype=np.int64)
+        addresses = addresses.astype(np.int64, copy=False)
+        lengths = [len(request.addresses) for request in requests]
+        ends = np.cumsum(lengths) if lengths else np.zeros(0, dtype=np.int64)
+        starts = ends - np.asarray(lengths, dtype=np.int64) if lengths else ends
+        bounds: List[Tuple[int, int]] = list(zip(starts.tolist(), ends.tolist()))
+        self.bounds = bounds if self._base == 0 else _OffsetBounds(bounds, self._base)
+
+        self.addr: List[int] = addresses.tolist()
+        self._page_np = addresses // self.tiered.page_size
+        self.page: List[int] = self._page_np.tolist()
+
+        backends = self.backends
+        local_mapping = backends.local_dram.controller.mapping
+        lch, lfb, lrow = local_mapping.decode_flat_batch(addresses)
+        self.lch, self.lfb, self.lrow = lch.tolist(), lfb.tolist(), lrow.tolist()
+        cxl_mapping = backends.devices[0].dram.controller.mapping
+        cch, cfb, crow = cxl_mapping.decode_flat_batch(addresses)
+        self.cch, self.cfb, self.crow = cch.tolist(), cfb.tolist(), crow.tolist()
+
+        # Invalidate the node-window gather cache: positions are relative
+        # to this window's arrays.
+        self._window: List[int] = []
+        self._window_local: List[bool] = []
+        self._window_device: List[int] = []
+        self._local_pos: List[int] = []
+        self._remote_pos: List[int] = []
+        self._remote_dev: List[int] = []
+        self._remote_sw: List[int] = []
+        self._window_start = 0
+        self._window_end = 0
+        self._node_generation = -1
+
     # ------------------------------------------------------------------
     # Resolution accessors
     # ------------------------------------------------------------------
     def owns(self, request) -> bool:
-        """True when ``request`` is this session's workload entry."""
-        request_id = request.request_id
-        return (
-            0 <= request_id < len(self.requests)
-            and self.requests[request_id] is request
-        )
+        """True when ``request`` is in the currently resolved window."""
+        index = request.request_id - self._base
+        return 0 <= index < len(self.requests) and self.requests[index] is request
 
     #: Gather granularity of the node window (lookups, not bytes): large
     #: enough to amortize the numpy gather, small enough that the frequent

@@ -19,11 +19,21 @@ from repro.traces.files import (
     save_workload_trace,
     workload_from_trace,
 )
-from repro.traces.meta import TraceBatch, generate_meta_like_trace
+from repro.traces.meta import TraceBatch, generate_meta_like_trace, iter_meta_like_trace
+from repro.traces.stream import (
+    BatchStream,
+    MemoryBatchStream,
+    NpzBatchStream,
+    SyntheticBatchStream,
+    TsvBatchStream,
+    iter_criteo_tsv,
+    open_batch_stream,
+)
 from repro.traces.synthetic import TraceDistribution, generate_indices
 from repro.traces.workload import (
     SLSRequest,
     SLSWorkload,
+    StreamingWorkload,
     build_workload,
     workload_from_batches,
 )
@@ -31,6 +41,15 @@ from repro.traces.workload import (
 __all__ = [
     "TraceBatch",
     "generate_meta_like_trace",
+    "iter_meta_like_trace",
+    "BatchStream",
+    "MemoryBatchStream",
+    "NpzBatchStream",
+    "SyntheticBatchStream",
+    "TsvBatchStream",
+    "iter_criteo_tsv",
+    "open_batch_stream",
+    "StreamingWorkload",
     "generate_drifting_trace",
     "build_drifting_workload",
     "TraceDistribution",

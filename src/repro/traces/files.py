@@ -29,7 +29,19 @@ import numpy as np
 
 from repro.config import ModelConfig
 from repro.traces.meta import TraceBatch
-from repro.traces.workload import SLSWorkload, workload_from_batches
+from repro.traces.stream import (
+    DEFAULT_WINDOW_BATCHES,
+    NpzBatchStream,
+    _parse_index,
+    _validate_bags,
+    iter_criteo_tsv,
+    open_batch_stream,
+)
+from repro.traces.workload import (
+    SLSWorkload,
+    StreamingWorkload,
+    workload_from_batches,
+)
 
 PathLike = Union[str, pathlib.Path]
 
@@ -89,75 +101,20 @@ def save_trace(batches: Sequence[TraceBatch], path: PathLike) -> pathlib.Path:
     return path
 
 
-def _validate_bags(indices: np.ndarray, offsets: np.ndarray, where: str) -> None:
-    if offsets.size and int(offsets[0]) != 0:
-        raise ValueError(f"{where}: offsets must start at 0")
-    if offsets.size > 1 and np.any(np.diff(offsets) < 0):
-        raise ValueError(f"{where}: offsets must be non-decreasing")
-    if offsets.size and int(offsets[-1]) > indices.size:
-        raise ValueError(f"{where}: last offset exceeds the index count")
-    if indices.size and int(indices.min()) < 0:
-        raise ValueError(f"{where}: negative embedding index")
-
-
 def load_trace(path: PathLike) -> List[TraceBatch]:
-    """Load a ``.npz`` trace written by :func:`save_trace`."""
-    path = pathlib.Path(path)
-    with np.load(path) as archive:
-        try:
-            num_batches = int(archive["num_batches"])
-            num_tables = int(archive["num_tables"])
-        except KeyError as error:
-            raise ValueError(
-                f"{path}: not a trace archive (missing {error.args[0]!r})"
-            ) from None
-        batches: List[TraceBatch] = []
-        for i in range(num_batches):
-            indices_per_table: List[np.ndarray] = []
-            offsets_per_table: List[np.ndarray] = []
-            for t in range(num_tables):
-                try:
-                    indices = archive[f"batch{i}_table{t}_indices"].astype(np.int64)
-                    offsets = archive[f"batch{i}_table{t}_offsets"].astype(np.int64)
-                except KeyError as error:
-                    raise ValueError(
-                        f"{path}: truncated trace archive (missing {error.args[0]!r})"
-                    ) from None
-                _validate_bags(indices, offsets, f"{path} batch {i} table {t}")
-                indices_per_table.append(indices)
-                offsets_per_table.append(offsets)
-            batches.append(
-                TraceBatch(
-                    indices_per_table=indices_per_table,
-                    offsets_per_table=offsets_per_table,
-                )
-            )
-    return batches
+    """Load a ``.npz`` trace written by :func:`save_trace`.
+
+    Materialized form of :class:`~repro.traces.stream.NpzBatchStream`;
+    both read the archive through the same member-by-member path, so
+    validation and error reporting cannot drift between eager and
+    streaming ingestion.
+    """
+    return list(NpzBatchStream(path))
 
 
 # ---------------------------------------------------------------------------
 # tsv (Criteo style)
 # ---------------------------------------------------------------------------
-def _parse_index(token: str, path: PathLike, line_no: int, base: int) -> int:
-    """Parse one categorical index in the file's declared base.
-
-    The base is a per-file property, never guessed per token: real Criteo
-    hashed features include all-digit tokens (``"10131014"``) that would
-    silently alias under mixed-base parsing.
-    """
-    try:
-        value = int(token, base)
-    except ValueError:
-        kind = "hexadecimal" if base == 16 else "decimal"
-        hint = "" if base == 16 else " (pass hex_indices=True for Criteo hashed logs)"
-        raise ValueError(
-            f"{path}:{line_no}: {token!r} is not a {kind} index{hint}"
-        ) from None
-    if value < 0:
-        raise ValueError(f"{path}:{line_no}: negative embedding index {token!r}")
-    return value
-
-
 def load_criteo_tsv(
     path: PathLike,
     batch_size: int = 8,
@@ -172,44 +129,17 @@ def load_criteo_tsv(
     into batches of ``batch_size`` (the final partial batch is kept).
     ``hex_indices=True`` reads the whole file as Criteo's hashed hex ids;
     the default is decimal (what :func:`save_criteo_tsv` writes).
-    """
-    if batch_size <= 0:
-        raise ValueError("batch_size must be positive")
-    base = 16 if hex_indices else 10
-    path = pathlib.Path(path)
-    samples: List[List[int]] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for line_no, line in enumerate(handle, start=1):
-            line = line.rstrip("\n")
-            if not line or line.startswith("#"):
-                continue
-            tokens = line.split("\t")
-            if num_tables is None:
-                num_tables = len(tokens)
-            elif len(tokens) != num_tables:
-                raise ValueError(
-                    f"{path}:{line_no}: expected {num_tables} columns, found {len(tokens)}"
-                )
-            samples.append([_parse_index(token, path, line_no, base) for token in tokens])
-    if not samples:
-        raise ValueError(f"{path}: no samples found")
-    assert num_tables is not None
 
-    batches: List[TraceBatch] = []
-    for start in range(0, len(samples), batch_size):
-        chunk = samples[start : start + batch_size]
-        indices_per_table = [
-            np.asarray([sample[t] for sample in chunk], dtype=np.int64)
-            for t in range(num_tables)
-        ]
-        offsets = np.arange(len(chunk), dtype=np.int64)
-        batches.append(
-            TraceBatch(
-                indices_per_table=indices_per_table,
-                offsets_per_table=[offsets.copy() for _ in range(num_tables)],
-            )
+    Built on the incremental parser
+    (:func:`~repro.traces.stream.iter_criteo_tsv`): lines are decoded and
+    batched as they are read — never the whole file at once — and decode
+    errors carry the offending ``path:line`` location.
+    """
+    return list(
+        iter_criteo_tsv(
+            path, batch_size=batch_size, num_tables=num_tables, hex_indices=hex_indices
         )
-    return batches
+    )
 
 
 def save_criteo_tsv(batches: Sequence[TraceBatch], path: PathLike) -> pathlib.Path:
@@ -287,20 +217,41 @@ def workload_from_trace(
     host_id: int = 0,
     num_hosts: int = 1,
     distribution: Optional[str] = None,
-) -> SLSWorkload:
+    streaming: bool = False,
+    window_batches: int = DEFAULT_WINDOW_BATCHES,
+) -> Union[SLSWorkload, StreamingWorkload]:
     """Build an :class:`SLSWorkload` from a trace file.
 
     Indices are bounds-checked against ``model.num_embeddings`` by the
     address computation, so a trace recorded for a bigger table fails with
     a pointed error instead of aliasing rows.
+
+    With ``streaming=True`` the file is *not* loaded: the returned
+    :class:`~repro.traces.workload.StreamingWorkload` keeps a re-iterable
+    stream handle and flattens ``window_batches`` trace batches of
+    requests at a time, reconstructing the identical request stream the
+    eager path builds (same ids, hosts and addresses).
     """
+    label = distribution or f"file:{pathlib.Path(path).name}"
+    if streaming:
+        stream = open_batch_stream(
+            path, format=format, batch_size=batch_size, hex_indices=hex_indices
+        )
+        return StreamingWorkload(
+            stream,
+            model,
+            distribution=label,
+            host_id=host_id,
+            num_hosts=num_hosts,
+            window_batches=window_batches,
+        )
     batches = load_trace_file(
         path, format=format, batch_size=batch_size, hex_indices=hex_indices
     )
     return workload_from_batches(
         batches,
         model,
-        distribution=distribution or f"file:{pathlib.Path(path).name}",
+        distribution=label,
         host_id=host_id,
         num_hosts=num_hosts,
     )

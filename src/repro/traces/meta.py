@@ -11,7 +11,7 @@ holds per-table index arrays and bag offsets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -41,11 +41,17 @@ class TraceBatch:
         return int(sum(len(idx) for idx in self.indices_per_table))
 
 
-def generate_meta_like_trace(
+def iter_meta_like_trace(
     config: WorkloadConfig,
     distribution: Optional[TraceDistribution] = None,
-) -> List[TraceBatch]:
-    """Generate ``config.num_batches`` batches of Meta-like lookups.
+) -> Iterator[TraceBatch]:
+    """Lazily generate ``config.num_batches`` batches of Meta-like lookups.
+
+    One seeded RNG drives the whole trace sequentially, so consuming this
+    generator batch by batch produces exactly the list
+    :func:`generate_meta_like_trace` would build — only one batch is ever
+    resident, which is what lets the streaming workload path replay
+    arbitrarily long synthetic traces in O(window) memory.
 
     Pooling factors vary per table (drawn once per table around the
     configured mean, as in the Meta traces where some features have much
@@ -56,7 +62,6 @@ def generate_meta_like_trace(
     rng = np.random.default_rng(config.seed)
     table_pooling = rng.poisson(config.pooling_factor, size=model.num_tables).clip(1, None)
 
-    batches: List[TraceBatch] = []
     for _ in range(config.num_batches):
         indices_per_table: List[np.ndarray] = []
         offsets_per_table: List[np.ndarray] = []
@@ -72,8 +77,19 @@ def generate_meta_like_trace(
             )
             indices_per_table.append(indices)
             offsets_per_table.append(offsets)
-        batches.append(TraceBatch(indices_per_table=indices_per_table, offsets_per_table=offsets_per_table))
-    return batches
+        yield TraceBatch(indices_per_table=indices_per_table, offsets_per_table=offsets_per_table)
 
 
-__all__ = ["TraceBatch", "generate_meta_like_trace"]
+def generate_meta_like_trace(
+    config: WorkloadConfig,
+    distribution: Optional[TraceDistribution] = None,
+) -> List[TraceBatch]:
+    """Generate ``config.num_batches`` batches of Meta-like lookups.
+
+    Materialized form of :func:`iter_meta_like_trace` (same seeded RNG
+    sequence, whole trace resident).
+    """
+    return list(iter_meta_like_trace(config, distribution))
+
+
+__all__ = ["TraceBatch", "generate_meta_like_trace", "iter_meta_like_trace"]

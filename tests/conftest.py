@@ -4,8 +4,16 @@ from dataclasses import replace
 
 import pytest
 
+pytest.register_assert_rewrite("harness")
+
 from repro.config import DEFAULT_SYSTEM, RMC1, WorkloadConfig, scaled_model
 from repro.traces.workload import build_workload
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running regression (big traces, memory budgets)"
+    )
 
 
 @pytest.fixture(scope="session")
@@ -15,13 +23,17 @@ def tiny_model():
 
 
 @pytest.fixture(scope="session")
-def tiny_workload(tiny_model):
-    """A small but non-trivial SLS workload (hundreds of lookups)."""
-    return build_workload(
-        WorkloadConfig(
-            model=tiny_model, batch_size=4, num_batches=2, pooling_factor=8, seed=11
-        )
+def tiny_workload_config(tiny_model):
+    """The seeded recipe behind ``tiny_workload`` (for the diff harness)."""
+    return WorkloadConfig(
+        model=tiny_model, batch_size=4, num_batches=2, pooling_factor=8, seed=11
     )
+
+
+@pytest.fixture(scope="session")
+def tiny_workload(tiny_workload_config):
+    """A small but non-trivial SLS workload (hundreds of lookups)."""
+    return build_workload(tiny_workload_config)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,281 @@
+"""Cross-engine differential test harness.
+
+One assertion shape pins the repository's load-bearing guarantee: every
+engine tier ({scalar, vector, packet}), every workload residency mode
+({eager, streaming}) and every observability mode ({recording off, on})
+must produce the *same simulation* — bit-identical SimResult counters,
+latency records, backend/memory state, and (within an engine) NetStats.
+
+:func:`assert_run_identical` / :func:`assert_serve_identical` run every
+requested ``(engine, streaming, observe)`` variant of one spec and check:
+
+* **within an engine**: all variants are fully identical, including the
+  packet tier's ``net`` report;
+* **across engines**: identical after stripping ``net`` (only the packet
+  tier produces one — its *presence* is the only allowed difference).
+
+A spec is either an :class:`~repro.api.session.RunSpec` (the facade's
+picklable run description — scenarios compile to one) or a plain
+:class:`RunCase` (registered system name + machine config + seeded
+workload recipe) for fixture-level tests that bypass the facade.
+
+Both functions return the per-engine fingerprints so callers can make
+additional engine-specific assertions (e.g. that the packet tier counted
+packets and saw no congestion) without re-running anything.
+"""
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.api.registry import create_system
+from repro.api.session import RunSpec
+from repro.api.session import build_system as _build_spec_system
+from repro.api.session import build_workload as _build_spec_workload
+from repro.config import SystemConfig, WorkloadConfig
+from repro.obs.recorder import TraceRecorder
+from repro.serve.server import ServeConfig, serve
+from repro.sls.engine import ENGINES
+from repro.traces.workload import build_workload
+
+__all__ = [
+    "ENGINES",
+    "RunCase",
+    "assert_run_identical",
+    "assert_serve_identical",
+    "backend_fingerprint",
+    "record_tuples",
+    "run_fingerprint",
+    "serve_fingerprint",
+    "sim_fingerprint",
+]
+
+
+@dataclass(frozen=True)
+class RunCase:
+    """A differential case outside the spec facade.
+
+    ``workload`` is the seeded recipe, not a built workload object — the
+    harness builds the eager and streaming twins from it, which is exactly
+    the equivalence under test.
+    """
+
+    system: str
+    config: SystemConfig
+    workload: WorkloadConfig
+    num_hosts: int = 1
+
+
+def _build(spec, engine: str, streaming: bool):
+    """(system, workload) for one variant of the spec."""
+    if isinstance(spec, RunCase):
+        system = create_system(spec.system, spec.config).set_engine(engine)
+        workload = build_workload(
+            spec.workload, num_hosts=spec.num_hosts, streaming=streaming
+        )
+        return system, workload
+    if isinstance(spec, RunSpec):
+        variant = replace(spec, engine=engine, stream=streaming)
+        return _build_spec_system(variant), _build_spec_workload(variant)
+    raise TypeError(
+        f"expected a RunSpec or harness.RunCase, got {type(spec).__name__}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+def backend_fingerprint(system) -> dict:
+    """Observable backend/memory state after a session (for exact equality)."""
+    backends = system.backends
+    state = {
+        "devices": [
+            (device.reads, device.writes, device.link.bytes_transferred,
+             device.link.transfers, device.link.busy_until_ns,
+             device.link.total_queue_delay_ns)
+            for device in backends.devices
+        ],
+        "device_dram": [
+            (device.dram.controller.requests,
+             device.dram.controller.average_latency_ns(),
+             device.dram.controller.row_buffer_hit_rate(),
+             device.dram.controller.last_finish_ns)
+            for device in backends.devices
+        ],
+        "local_dram": [
+            (dram.controller.requests, dram.controller.average_latency_ns(),
+             dram.controller.row_buffer_hit_rate(), dram.controller.last_finish_ns)
+            for dram in backends.local_dram_per_host
+        ],
+        "switch_forwarded": [switch.forwarded_requests for switch in backends.switches],
+        "ports": sorted(
+            (key, port.link.bytes_transferred, port.link.transfers,
+             port.link.busy_until_ns, port.link.total_queue_delay_ns)
+            for key, port in backends.host_ports.items()
+        ),
+        "pages": [
+            (page.page_id, page.node_id, page.access_count, page.last_access_ns)
+            for page in system.tiered.pages()
+        ],
+        "node_access": {
+            node.node_id: system.tiered.node_access_tracker(node.node_id).as_dict()
+            for node in system.tiered.nodes()
+        },
+    }
+    from repro.pifs.switch import PIFSSwitch
+
+    for switch in backends.switches:
+        if isinstance(switch, PIFSSwitch):
+            stats = switch.process_core.stats
+            state.setdefault("pifs", []).append(
+                (switch.buffer.hits, switch.buffer.misses, switch.buffer.evictions,
+                 switch.buffer.occupancy, sorted(switch.buffer._entries),
+                 stats.decoded_instructions, stats.repacked_instructions,
+                 stats.configured_sumtags, stats.completed_sumtags,
+                 switch.process_core.accumulator.stats.elements,
+                 switch.process_core.accumulator.stats.busy_cycles,
+                 switch._next_sumtag,
+                 sorted(switch.fm_extension.io_access_counters.items()))
+            )
+    return state
+
+
+def sim_fingerprint(result) -> Dict[str, Any]:
+    """A SimResult as ``{"sim": <dict without net>, "net": <net or None>}``."""
+    data = result.to_dict()
+    return {"net": data.pop("net", None), "sim": data}
+
+
+def run_fingerprint(system, result) -> Dict[str, Any]:
+    """Closed-loop fingerprint: SimResult + NetStats + backend state."""
+    fingerprint = sim_fingerprint(result)
+    fingerprint["backend"] = backend_fingerprint(system)
+    return fingerprint
+
+
+def record_tuples(records) -> list:
+    """Latency records as plain tuples (exact equality, order included)."""
+    return [
+        (r.request_id, r.host_id, r.lane, r.arrival_ns,
+         r.dispatch_ns, r.start_ns, r.complete_ns, r.lookups)
+        for r in (records or ())
+    ]
+
+
+def serve_fingerprint(result) -> Dict[str, Any]:
+    """Open-loop fingerprint: ServeResult dict + NetStats + latency records."""
+    data = result.to_dict()
+    sim = data.get("sim")
+    net = sim.pop("net", None) if isinstance(sim, dict) else None
+    return {"net": net, "serve": data, "records": record_tuples(result.records)}
+
+
+def _strip_net(fingerprint: Dict[str, Any]) -> Dict[str, Any]:
+    return {key: value for key, value in fingerprint.items() if key != "net"}
+
+
+# ---------------------------------------------------------------------------
+# The differential assertions
+# ---------------------------------------------------------------------------
+def _attach_recorder(system) -> TraceRecorder:
+    recorder = TraceRecorder()
+    set_recorder = getattr(system, "set_recorder", None)
+    assert set_recorder is not None, "system does not support observability"
+    set_recorder(recorder)
+    return recorder
+
+
+def _check_vector_context(system, engine: str, streaming: bool, serving: bool) -> None:
+    """The vector engine must actually have engaged (not silently fallen back)."""
+    if engine != "vector" or not getattr(system, "supports_vector_engine", True):
+        return
+    if serving and streaming:
+        # Streaming serve dispatches on the scalar oracle path by design
+        # (results are pinned identical to the vector path regardless).
+        return
+    assert system._vector is not None, "vector context was not built"
+
+
+def _sweep_variants(spec, *, engines, streaming, observe, execute) -> Dict[str, Any]:
+    """Shared driver: run every variant, compare within and across engines."""
+    per_engine: Dict[str, Any] = {}
+    reference: Optional[Tuple[Dict[str, Any], str]] = None
+    for engine in engines:
+        engine_reference: Optional[Tuple[Dict[str, Any], str]] = None
+        for stream in streaming:
+            for observed in observe:
+                label = f"engine={engine}, streaming={stream}, observe={observed}"
+                fingerprint = execute(engine, stream, observed)
+                if engine_reference is None:
+                    engine_reference = (fingerprint, label)
+                else:
+                    assert fingerprint == engine_reference[0], (
+                        f"{label} diverged from {engine_reference[1]}"
+                    )
+        assert engine_reference is not None, "empty streaming/observe axes"
+        per_engine[engine] = engine_reference[0]
+        stripped = _strip_net(engine_reference[0])
+        if reference is None:
+            reference = (stripped, engine_reference[1])
+        else:
+            assert stripped == reference[0], (
+                f"{engine_reference[1]} diverged from {reference[1]}"
+            )
+    return per_engine
+
+
+def assert_run_identical(
+    spec,
+    *,
+    engines: Sequence[str] = ENGINES,
+    streaming: Sequence[bool] = (False, True),
+    observe: Sequence[bool] = (False,),
+) -> Dict[str, Any]:
+    """Pin closed-loop bit-identity across every requested variant.
+
+    Runs the spec once per ``(engine, streaming, observe)`` combination
+    and asserts the fingerprints (SimResult, NetStats, backend state)
+    agree — fully within an engine, net-stripped across engines.  Returns
+    ``{engine: fingerprint}`` for follow-up engine-specific assertions.
+    """
+
+    def execute(engine: str, stream: bool, observed: bool) -> Dict[str, Any]:
+        system, workload = _build(spec, engine, stream)
+        recorder = _attach_recorder(system) if observed else None
+        result = system.run(workload)
+        _check_vector_context(system, engine, stream, serving=False)
+        if recorder is not None:
+            assert len(recorder) > 0, "recording captured no events"
+        return run_fingerprint(system, result)
+
+    return _sweep_variants(
+        spec, engines=engines, streaming=streaming, observe=observe, execute=execute
+    )
+
+
+def assert_serve_identical(
+    spec,
+    config: ServeConfig,
+    *,
+    engines: Sequence[str] = ENGINES,
+    streaming: Sequence[bool] = (False, True),
+    observe: Sequence[bool] = (False,),
+) -> Dict[str, Any]:
+    """Pin open-loop (serving) bit-identity across every requested variant.
+
+    Like :func:`assert_run_identical` but drives the system through the
+    :mod:`repro.serve` loop; the fingerprint carries the full ServeResult
+    dict, the NetStats, and the per-request latency records.
+    """
+
+    def execute(engine: str, stream: bool, observed: bool) -> Dict[str, Any]:
+        system, workload = _build(spec, engine, stream)
+        recorder = _attach_recorder(system) if observed else None
+        result = serve(system, workload, config)
+        _check_vector_context(system, engine, stream, serving=True)
+        if recorder is not None:
+            assert len(recorder) > 0, "recording captured no events"
+        return serve_fingerprint(result)
+
+    return _sweep_variants(
+        spec, engines=engines, streaming=streaming, observe=observe, execute=execute
+    )

@@ -1,12 +1,16 @@
-"""Scalar ↔ vector engine equivalence.
+"""Scalar ↔ vector ↔ packet engine equivalence, eager ↔ streaming.
 
-The vector engine is only allowed to be *faster* — never different.  These
-tests pin, for every registered system, that the batched engine produces a
+The vector and packet engines are only allowed to be *faster* or *more
+detailed* — never different — and streaming a workload out-of-core is only
+allowed to change memory residency, never the simulation.  These tests pin,
+for every registered system, that every engine tier produces a
 :class:`~repro.sls.result.SimResult` numerically identical to the scalar
-oracle (closed-loop replay *and* the online serving path), and that the
-backend models are left in the same observable state (device counters, DRAM
-statistics, buffer contents, page hotness).  A hypothesis sweep varies the
-workload shape so the equivalence is a property, not a golden value.
+oracle (closed-loop replay *and* the online serving path), that the backend
+models are left in the same observable state (device counters, DRAM
+statistics, buffer contents, page hotness), and that the eager and
+streaming workload twins replay identically.  The shared differential
+harness (:mod:`harness`) owns the fingerprinting; a hypothesis sweep varies
+the workload shape so the equivalence is a property, not a golden value.
 """
 
 from dataclasses import replace
@@ -16,6 +20,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from harness import (
+    RunCase,
+    assert_run_identical,
+    assert_serve_identical,
+    backend_fingerprint,
+    serve_fingerprint,
+)
 from repro.api.registry import available_systems, create_system
 from repro.api.session import Simulation, RunSpec, build_system, clear_cache
 from repro.config import DEFAULT_SYSTEM, RMC1, WorkloadConfig, scaled_model
@@ -29,6 +40,10 @@ from repro.traces.workload import build_workload
 
 ALL_SYSTEMS = ("pond", "pond+pm", "beacon", "recnmp", "tpp", "pifs-rec", "pifs-rec-nopm")
 
+#: Kept under its historical name — several asserts below fingerprint a
+#: system they built by hand.
+_backend_fingerprint = backend_fingerprint
+
 
 def _run(name, system_config, workload, engine):
     system = create_system(name, system_config).set_engine(engine)
@@ -36,104 +51,52 @@ def _run(name, system_config, workload, engine):
     return system, result
 
 
-def _backend_fingerprint(system: SLSSystem) -> dict:
-    """Observable backend/memory state after a session (for exact equality)."""
-    backends = system.backends
-    state = {
-        "devices": [
-            (device.reads, device.writes, device.link.bytes_transferred,
-             device.link.transfers, device.link.busy_until_ns,
-             device.link.total_queue_delay_ns)
-            for device in backends.devices
-        ],
-        "device_dram": [
-            (device.dram.controller.requests,
-             device.dram.controller.average_latency_ns(),
-             device.dram.controller.row_buffer_hit_rate(),
-             device.dram.controller.last_finish_ns)
-            for device in backends.devices
-        ],
-        "local_dram": [
-            (dram.controller.requests, dram.controller.average_latency_ns(),
-             dram.controller.row_buffer_hit_rate(), dram.controller.last_finish_ns)
-            for dram in backends.local_dram_per_host
-        ],
-        "switch_forwarded": [switch.forwarded_requests for switch in backends.switches],
-        "ports": sorted(
-            (key, port.link.bytes_transferred, port.link.transfers,
-             port.link.busy_until_ns, port.link.total_queue_delay_ns)
-            for key, port in backends.host_ports.items()
-        ),
-        "pages": [
-            (page.page_id, page.node_id, page.access_count, page.last_access_ns)
-            for page in system.tiered.pages()
-        ],
-        "node_access": {
-            node.node_id: system.tiered.node_access_tracker(node.node_id).as_dict()
-            for node in system.tiered.nodes()
-        },
-    }
-    from repro.pifs.switch import PIFSSwitch
-
-    for switch in backends.switches:
-        if isinstance(switch, PIFSSwitch):
-            stats = switch.process_core.stats
-            state.setdefault("pifs", []).append(
-                (switch.buffer.hits, switch.buffer.misses, switch.buffer.evictions,
-                 switch.buffer.occupancy, sorted(switch.buffer._entries),
-                 stats.decoded_instructions, stats.repacked_instructions,
-                 stats.configured_sumtags, stats.completed_sumtags,
-                 switch.process_core.accumulator.stats.elements,
-                 switch.process_core.accumulator.stats.busy_cycles,
-                 switch._next_sumtag,
-                 sorted(switch.fm_extension.io_access_counters.items()))
-            )
-    return state
-
-
 @pytest.fixture(scope="module")
-def multi_workload(tiny_model):
-    """A two-host workload (exercises per-host lanes, ports and drams)."""
-    return build_workload(
-        WorkloadConfig(model=tiny_model, batch_size=4, num_batches=2, pooling_factor=8, seed=13),
-        num_hosts=2,
+def multi_workload_config(tiny_model):
+    """A two-host workload recipe (exercises per-host lanes, ports, drams)."""
+    return WorkloadConfig(
+        model=tiny_model, batch_size=4, num_batches=2, pooling_factor=8, seed=13
     )
 
 
 class TestClosedLoopEquivalence:
     @pytest.mark.parametrize("name", ALL_SYSTEMS)
-    def test_simresult_identical(self, name, tiny_workload, tiny_system):
-        scalar_system, scalar = _run(name, tiny_system, tiny_workload, "scalar")
-        vector_system, vector = _run(name, tiny_system, tiny_workload, "vector")
-        assert vector_system._vector is not None, "vector context was not built"
-        assert scalar.to_dict() == vector.to_dict()
+    def test_simresult_identical(self, name, tiny_workload_config, tiny_system):
+        assert_run_identical(
+            RunCase(name, tiny_system, tiny_workload_config),
+            engines=("scalar", "vector"),
+        )
 
     @pytest.mark.parametrize("name", ALL_SYSTEMS)
-    def test_backend_state_identical(self, name, tiny_workload, tiny_system):
-        scalar_system, _ = _run(name, tiny_system, tiny_workload, "scalar")
-        vector_system, _ = _run(name, tiny_system, tiny_workload, "vector")
-        assert _backend_fingerprint(scalar_system) == _backend_fingerprint(vector_system)
+    def test_backend_state_identical(self, name, tiny_workload_config, tiny_system):
+        # Recording on/off is part of the grid here: the recorder only
+        # receives timestamps the simulation already computed.
+        assert_run_identical(
+            RunCase(name, tiny_system, tiny_workload_config),
+            engines=("scalar", "vector"),
+            streaming=(False,),
+            observe=(False, True),
+        )
 
     @pytest.mark.parametrize("name", ["pifs-rec", "pond", "recnmp"])
-    def test_multi_host_multi_switch(self, name, multi_workload, tiny_system):
+    def test_multi_host_multi_switch(self, name, multi_workload_config, tiny_system):
         config = replace(tiny_system, num_hosts=2, num_fabric_switches=2)
-        scalar_system, scalar = _run(name, config, multi_workload, "scalar")
-        vector_system, vector = _run(name, config, multi_workload, "vector")
-        assert scalar.to_dict() == vector.to_dict()
-        assert _backend_fingerprint(scalar_system) == _backend_fingerprint(vector_system)
+        assert_run_identical(
+            RunCase(name, config, multi_workload_config, num_hosts=2),
+            engines=("scalar", "vector"),
+        )
 
     @pytest.mark.parametrize("distribution", ["zipfian", "uniform", "random"])
     def test_distributions(self, distribution, tiny_model, tiny_system):
-        workload = build_workload(
-            WorkloadConfig(
-                model=tiny_model, batch_size=4, num_batches=2,
-                pooling_factor=8, seed=7, distribution=distribution,
-            )
+        workload_config = WorkloadConfig(
+            model=tiny_model, batch_size=4, num_batches=2,
+            pooling_factor=8, seed=7, distribution=distribution,
         )
         for name in ("pond", "pifs-rec"):
-            _, scalar = _run(name, tiny_system, workload, "scalar")
-            _, vector = _run(name, tiny_system, workload, "vector")
-            assert scalar.to_dict() == vector.to_dict()
+            assert_run_identical(
+                RunCase(name, tiny_system, workload_config),
+                engines=("scalar", "vector"),
+            )
 
 
 @given(
@@ -146,11 +109,9 @@ class TestClosedLoopEquivalence:
 def test_equivalence_property(batch_size, pooling, seed, name):
     """Engine equivalence holds across workload shapes, not one golden trace."""
     model = replace(scaled_model(RMC1, 256 / RMC1.num_embeddings), num_tables=3)
-    workload = build_workload(
-        WorkloadConfig(
-            model=model, batch_size=batch_size, num_batches=1,
-            pooling_factor=pooling, seed=seed,
-        )
+    workload_config = WorkloadConfig(
+        model=model, batch_size=batch_size, num_batches=1,
+        pooling_factor=pooling, seed=seed,
     )
     config = replace(
         DEFAULT_SYSTEM,
@@ -159,58 +120,52 @@ def test_equivalence_property(batch_size, pooling, seed, name):
         host_threads=2,
         page_mgmt=replace(DEFAULT_SYSTEM.page_mgmt, migration_epoch_accesses=64),
     )
-    _, scalar = _run(name, config, workload, "scalar")
-    _, vector = _run(name, config, workload, "vector")
-    assert scalar.to_dict() == vector.to_dict()
+    assert_run_identical(
+        RunCase(name, config, workload_config), engines=("scalar", "vector")
+    )
 
 
 class TestServeEquivalence:
     @pytest.mark.parametrize("name", ALL_SYSTEMS)
-    def test_serve_records_identical(self, name, tiny_workload, tiny_system):
-        config = ServeConfig(qps=3e5, arrival="poisson", max_batch_size=4, seed=11)
-        scalar = serve(create_system(name, tiny_system).set_engine("scalar"), tiny_workload, config)
-        vector = serve(create_system(name, tiny_system).set_engine("vector"), tiny_workload, config)
-        assert scalar.latency.to_dict() == vector.latency.to_dict()
-        assert scalar.sim.to_dict() == vector.sim.to_dict()
-        assert [r.complete_ns for r in scalar.records] == [r.complete_ns for r in vector.records]
-        assert [r.start_ns for r in scalar.records] == [r.start_ns for r in vector.records]
+    def test_serve_records_identical(self, name, tiny_workload_config, tiny_system):
+        assert_serve_identical(
+            RunCase(name, tiny_system, tiny_workload_config),
+            ServeConfig(qps=3e5, arrival="poisson", max_batch_size=4, seed=11),
+            engines=("scalar", "vector"),
+        )
 
     @pytest.mark.parametrize("arrival", ["bursty", "mmpp", "diurnal"])
     @pytest.mark.parametrize("name", ["pifs-rec", "recnmp"])
-    def test_serve_arrivals_multi_host(self, name, arrival, multi_workload, tiny_system):
-        """Vector serve equivalence under bursty/diurnal load, 2 hosts x 2 switches.
+    def test_serve_arrivals_multi_host(
+        self, name, arrival, multi_workload_config, tiny_system
+    ):
+        """Serve equivalence under bursty/diurnal load, 2 hosts x 2 switches.
 
-        The batched dispatch path must reproduce the scalar serve loop
-        exactly even when arrivals cluster (MMPP bursts) or drift
-        (diurnal), per-host queues fill unevenly, and the fabric spans
-        multiple switches.
+        The batched dispatch path (and the streaming loop's bounded-lookahead
+        heap) must reproduce the scalar serve loop exactly even when arrivals
+        cluster (MMPP bursts) or drift (diurnal), per-host queues fill
+        unevenly, and the fabric spans multiple switches.
         """
         config = replace(tiny_system, num_hosts=2, num_fabric_switches=2)
-        serve_config = ServeConfig(
-            qps=2.5e5, arrival=arrival, max_batch_size=4, max_wait_ns=50_000.0, seed=17
+        assert_serve_identical(
+            RunCase(name, config, multi_workload_config, num_hosts=2),
+            ServeConfig(
+                qps=2.5e5, arrival=arrival, max_batch_size=4,
+                max_wait_ns=50_000.0, seed=17,
+            ),
+            engines=("scalar", "vector"),
         )
-        scalar = serve(
-            create_system(name, config).set_engine("scalar"), multi_workload, serve_config
-        )
-        vector_system = create_system(name, config).set_engine("vector")
-        vector = serve(vector_system, multi_workload, serve_config)
-        assert vector_system._vector is not None, "vector context was not built"
-        assert scalar.latency.to_dict() == vector.latency.to_dict()
-        assert scalar.queue_wait.to_dict() == vector.queue_wait.to_dict()
-        assert scalar.sim.to_dict() == vector.sim.to_dict()
-        assert scalar.queue_depth_timelines == vector.queue_depth_timelines
-        assert scalar.mean_queue_depth == vector.mean_queue_depth
-        assert [r.complete_ns for r in scalar.records] == [r.complete_ns for r in vector.records]
-        assert [r.start_ns for r in scalar.records] == [r.start_ns for r in vector.records]
-        assert [r.lane for r in scalar.records] == [r.lane for r in vector.records]
 
     def test_simulation_serve_terminal(self):
         clear_cache()
         scalar = Simulation("pifs-rec").quick().serve(2e5, seed=3)
         clear_cache()
         vector = Simulation("pifs-rec").quick().engine("vector").serve(2e5, seed=3)
+        clear_cache()
+        streamed = Simulation("pifs-rec").quick().stream().serve(2e5, seed=3)
         assert scalar.latency.to_dict() == vector.latency.to_dict()
         assert scalar.goodput_qps == vector.goodput_qps
+        assert serve_fingerprint(streamed) == serve_fingerprint(scalar)
 
 
 class TestScenarioEquivalence:
@@ -220,6 +175,9 @@ class TestScenarioEquivalence:
     snapshot it) and scenario workloads come from providers instead of the
     stationary generators; both paths must leave the scalar oracle and the
     vector engine in perfect agreement, SimResult and backend state alike.
+    Scenarios compile to a :class:`RunSpec`, so the harness drives them
+    straight through the facade (including the ``stream`` knob — providers
+    that must materialize simply rebuild eagerly).
     """
 
     #: At least one fault-injection and one multi-tenant scenario (ISSUE 5
@@ -235,26 +193,23 @@ class TestScenarioEquivalence:
     )
 
     @staticmethod
-    def _run_scenario(name, engine):
+    def _spec(name) -> RunSpec:
         from repro.scenarios import scenario
 
-        sim = scenario(name).simulation(quick=True, engine=engine)
-        system = sim.build_system()
-        workload = sim.build_workload()
-        return system, system.run(workload)
+        return scenario(name).simulation(quick=True).spec()
 
     @pytest.mark.parametrize("name", SCENARIOS)
     def test_simresult_identical(self, name):
-        scalar_system, scalar = self._run_scenario(name, "scalar")
-        vector_system, vector = self._run_scenario(name, "vector")
-        assert vector_system._vector is not None, "vector context was not built"
-        assert scalar.to_dict() == vector.to_dict()
+        assert_run_identical(self._spec(name), engines=("scalar", "vector"))
 
     @pytest.mark.parametrize("name", ["fault-slow-link", "tenant-mix"])
     def test_backend_state_identical(self, name):
-        scalar_system, _ = self._run_scenario(name, "scalar")
-        vector_system, _ = self._run_scenario(name, "vector")
-        assert _backend_fingerprint(scalar_system) == _backend_fingerprint(vector_system)
+        assert_run_identical(
+            self._spec(name),
+            engines=("scalar", "vector"),
+            streaming=(False,),
+            observe=(False, True),
+        )
 
     @pytest.mark.parametrize("name", ["fault-degraded-device", "tenant-mix"])
     def test_serve_identical(self, name):
@@ -262,11 +217,7 @@ class TestScenarioEquivalence:
 
         scalar = scenario(name).serve(quick=True, engine="scalar")
         vector = scenario(name).serve(quick=True, engine="vector")
-        assert scalar.latency.to_dict() == vector.latency.to_dict()
-        assert scalar.sim.to_dict() == vector.sim.to_dict()
-        assert [r.complete_ns for r in scalar.records] == [
-            r.complete_ns for r in vector.records
-        ]
+        assert serve_fingerprint(vector) == serve_fingerprint(scalar)
 
     def test_faults_change_results(self):
         """Guard against a fault hook that silently stops applying."""
@@ -352,48 +303,48 @@ class TestPacketEquivalence:
     """
 
     @staticmethod
-    def _strip_net(result) -> dict:
-        data = result.to_dict()
-        data.pop("net", None)
-        return data
+    def _assert_net_clean(fingerprints) -> None:
+        assert fingerprints["scalar"]["net"] is None
+        net = fingerprints["packet"]["net"]
+        assert net is not None, "packet fabric was not attached"
+        assert net["packets"] > 0
+        assert net["backpressure_ns"] == 0.0
+        assert net["drops"] == 0 and net["retries"] == 0
 
     @pytest.mark.parametrize("name", ALL_SYSTEMS)
-    def test_simresult_identical(self, name, tiny_workload, tiny_system):
-        _, scalar = _run(name, tiny_system, tiny_workload, "scalar")
-        packet_system, packet = _run(name, tiny_system, tiny_workload, "packet")
-        assert packet_system._net_fabric is not None, "packet fabric was not attached"
-        assert scalar.net is None
-        assert self._strip_net(scalar) == self._strip_net(packet)
-        assert packet.net is not None
-        assert packet.net.packets > 0
-        assert not packet.net.congested
-        assert packet.net.backpressure_ns == 0.0
-        assert packet.net.drops == 0 and packet.net.retries == 0
+    def test_simresult_identical(self, name, tiny_workload_config, tiny_system):
+        fingerprints = assert_run_identical(
+            RunCase(name, tiny_system, tiny_workload_config),
+            engines=("scalar", "packet"),
+        )
+        self._assert_net_clean(fingerprints)
 
     @pytest.mark.parametrize("name", ALL_SYSTEMS)
-    def test_backend_state_identical(self, name, tiny_workload, tiny_system):
-        scalar_system, _ = _run(name, tiny_system, tiny_workload, "scalar")
-        packet_system, _ = _run(name, tiny_system, tiny_workload, "packet")
-        assert _backend_fingerprint(scalar_system) == _backend_fingerprint(packet_system)
+    def test_backend_state_identical(self, name, tiny_workload_config, tiny_system):
+        assert_run_identical(
+            RunCase(name, tiny_system, tiny_workload_config),
+            engines=("scalar", "packet"),
+            streaming=(False,),
+            observe=(False, True),
+        )
 
     @pytest.mark.parametrize("name", ["pifs-rec", "pond", "recnmp"])
-    def test_multi_host_multi_switch(self, name, multi_workload, tiny_system):
+    def test_multi_host_multi_switch(self, name, multi_workload_config, tiny_system):
         """The inter-switch hop channel rides the packet tier too."""
         config = replace(tiny_system, num_hosts=2, num_fabric_switches=2)
-        scalar_system, scalar = _run(name, config, multi_workload, "scalar")
-        packet_system, packet = _run(name, config, multi_workload, "packet")
-        assert self._strip_net(scalar) == self._strip_net(packet)
-        assert _backend_fingerprint(scalar_system) == _backend_fingerprint(packet_system)
+        fingerprints = assert_run_identical(
+            RunCase(name, config, multi_workload_config, num_hosts=2),
+            engines=("scalar", "packet"),
+        )
+        self._assert_net_clean(fingerprints)
 
     @pytest.mark.parametrize("name", ALL_SYSTEMS)
-    def test_serve_records_identical(self, name, tiny_workload, tiny_system):
-        config = ServeConfig(qps=3e5, arrival="poisson", max_batch_size=4, seed=11)
-        scalar = serve(create_system(name, tiny_system).set_engine("scalar"), tiny_workload, config)
-        packet = serve(create_system(name, tiny_system).set_engine("packet"), tiny_workload, config)
-        assert scalar.latency.to_dict() == packet.latency.to_dict()
-        assert self._strip_net(scalar.sim) == self._strip_net(packet.sim)
-        assert [r.complete_ns for r in scalar.records] == [r.complete_ns for r in packet.records]
-        assert [r.start_ns for r in scalar.records] == [r.start_ns for r in packet.records]
+    def test_serve_records_identical(self, name, tiny_workload_config, tiny_system):
+        assert_serve_identical(
+            RunCase(name, tiny_system, tiny_workload_config),
+            ServeConfig(qps=3e5, arrival="poisson", max_batch_size=4, seed=11),
+            engines=("scalar", "packet"),
+        )
 
     def test_finite_buffers_diverge(self, tiny_workload, tiny_system):
         """The identity is a property of unbounded queues, not a tautology:

@@ -19,10 +19,12 @@ import json
 
 import pytest
 
+from harness import assert_run_identical, assert_serve_identical
 from repro.api.session import Simulation, clear_cache
 from repro.api.sweep import Sweep
 from repro.api.results import RunResult
 from repro.net.fabric import PacketConfig
+from repro.serve.server import ServeConfig
 from repro.obs.log import get_logger, reset_warnings, setup_logging, warn_once
 from repro.obs.recorder import (
     NULL_RECORDER,
@@ -205,25 +207,36 @@ class TestChromeExport:
 # Recording never perturbs results
 # ---------------------------------------------------------------------------
 class TestNoPerturbation:
+    """Recording (and streaming) must never change a single output value.
+
+    The diff harness drives the full ``(streaming, observe)`` grid for
+    each case, so these three tests pin the whole cross product, not just
+    observed-vs-plain: SimResult, backend state, NetStats and latency
+    records all bit-identical.
+    """
+
     @pytest.mark.parametrize("engine", ["scalar", "vector"])
     def test_engines_bit_identical_under_recording(self, engine):
-        base = quick_sim("pond").engine(engine)
-        plain = base.clone().run(cache=False)
-        observed = base.clone().observe().run(cache=False)
-        assert observed.sim.to_dict() == plain.sim.to_dict()
-        assert observed.obs is not None and observed.obs["events"] > 0
+        assert_run_identical(
+            quick_sim("pond").spec(), engines=(engine,), observe=(False, True)
+        )
 
     def test_packet_tier_bit_identical_under_recording(self):
-        base = quick_sim("recnmp").packet(PacketConfig(capacity=2))
-        plain = base.clone().run(cache=False)
-        observed = base.clone().observe().run(cache=False)
-        assert observed.sim.to_dict() == plain.sim.to_dict()
+        # A *congested* fabric (2-credit buffers): backpressure must come
+        # from the credit model, never from the recorder's presence.
+        spec = quick_sim("recnmp").packet(PacketConfig(capacity=2)).spec()
+        fingerprints = assert_run_identical(
+            spec, engines=("packet",), observe=(False, True)
+        )
+        assert fingerprints["packet"]["net"]["backpressure_ns"] > 0.0
 
     def test_serve_bit_identical_under_recording(self):
-        base = quick_sim("pond").engine("vector")
-        plain = base.clone().serve(2e5, seed=7)
-        observed = base.clone().observe().serve(2e5, seed=7)
-        assert observed.to_dict() == plain.to_dict()
+        assert_serve_identical(
+            quick_sim("pond").spec(),
+            ServeConfig(qps=2e5, seed=7),
+            engines=("vector",),
+            observe=(False, True),
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -12,6 +12,7 @@ import json
 import numpy as np
 import pytest
 
+from harness import serve_fingerprint, sim_fingerprint
 from repro.api.cli import main as cli_main
 from repro.api.session import Simulation, clear_cache
 from repro.config import BufferConfig, DEFAULT_SYSTEM
@@ -190,12 +191,13 @@ class TestDeterminism:
     def test_same_seed_same_result(self, name):
         first = scenario(name).run(quick=True, cache=False)
         second = scenario(name).run(quick=True, cache=False)
-        assert first.sim.to_dict() == second.sim.to_dict()
+        assert sim_fingerprint(first.sim) == sim_fingerprint(second.sim)
 
     def test_serve_deterministic(self):
         first = scenario("paper-baseline").serve(quick=True)
         second = scenario("paper-baseline").serve(quick=True)
-        assert first.latency.to_dict() == second.latency.to_dict()
+        # Full fingerprint: latency stats, per-request records, sim + net.
+        assert serve_fingerprint(first) == serve_fingerprint(second)
         assert first.goodput_qps == second.goodput_qps
 
 
@@ -262,7 +264,7 @@ class TestFaultEffects:
             .run(cache=False)
         )
         reference = Simulation("pond").quick().run(cache=False)
-        assert run.sim.to_dict() == reference.sim.to_dict()
+        assert sim_fingerprint(run.sim) == sim_fingerprint(reference.sim)
 
     def test_hop_degradation_changes_route_table(self):
         topology = FabricTopology(2, DEFAULT_SYSTEM.cxl)

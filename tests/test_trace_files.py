@@ -212,6 +212,59 @@ class TestCriteoTsv:
         assert len(workload.requests) == 8  # 2 samples x 4 tables
         assert workload.distribution.startswith("file:")
 
+    def test_short_row_cites_physical_line(self, tmp_path):
+        """Line numbers count file lines (comments and blanks included),
+        so the reported location matches what an editor shows."""
+        path = tmp_path / "short.tsv"
+        path.write_text("# header\n1\t2\n\n3\t4\n5\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=r"short\.tsv:5: expected 2 columns, found 1"):
+            load_criteo_tsv(path)
+
+    def test_extra_column_cites_line(self, tmp_path):
+        path = tmp_path / "wide.tsv"
+        path.write_text("1\t2\n3\t4\t5\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=r"wide\.tsv:2: expected 2 columns, found 3"):
+            load_criteo_tsv(path)
+
+    def test_non_numeric_cites_line_and_token(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1\t2\n3\tpotato\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=r"bad\.tsv:2: 'potato' is not a decimal index"):
+            load_criteo_tsv(path)
+
+    def test_hex_decimal_mix_rejected_per_file(self, tmp_path):
+        """One file, one base: a decimal file with a stray hex token fails
+        (with the hex_indices hint), and a hex file with a non-hex token
+        fails too — tokens are never base-guessed row by row."""
+        path = tmp_path / "mixed.tsv"
+        path.write_text("10\t20\n30\t4f\n", encoding="utf-8")
+        with pytest.raises(
+            ValueError, match=r"mixed\.tsv:2: '4f' is not a decimal index.*hex_indices=True"
+        ):
+            load_criteo_tsv(path)
+        # The same file parses fine as hex (all-digit tokens are valid hex) —
+        # and the values differ from the decimal reading, which is exactly
+        # why the base is declared per file instead of guessed.
+        batches = load_criteo_tsv(path, hex_indices=True)
+        assert batches[0].indices_per_table[0].tolist() == [0x10, 0x30]
+        bad_hex = tmp_path / "badhex.tsv"
+        bad_hex.write_text("0a\tzz\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=r"badhex\.tsv:1: 'zz' is not a hexadecimal index"):
+            load_criteo_tsv(bad_hex, hex_indices=True)
+
+    def test_streaming_decode_is_incremental(self, tmp_path):
+        """Batches before a malformed row are yielded before the error
+        surfaces — the parser never buffers the whole file."""
+        from repro.traces.stream import iter_criteo_tsv
+
+        path = tmp_path / "tail.tsv"
+        path.write_text("1\t2\n3\t4\n5\t6\nbad\tnope\n", encoding="utf-8")
+        stream = iter_criteo_tsv(path, batch_size=2)
+        first = next(stream)
+        assert first.indices_per_table[0].tolist() == [1, 3]
+        with pytest.raises(ValueError, match=r"tail\.tsv:4"):
+            next(stream)
+
 
 class TestFormatDetection:
     def test_suffix_detection(self):
