@@ -22,6 +22,9 @@ Subcommands:
   export: ``python -m repro trace run|serve|scenario ... --out trace.json``
   (``trace run <system> --smoke`` is the CI guard: quick scale plus
   schema validation of the emitted trace)
+* ``fleet`` — sharded datacenter-scale simulation: N per-rack systems
+  behind a request router: ``python -m repro fleet run|serve --shards 8
+  --router table-affinity`` (``fleet run --smoke`` is the CI guard)
 * ``systems`` — list the registered systems
 
 Also installed as the ``pifs-rec`` console script.
@@ -375,6 +378,7 @@ BENCH_SUITES = {
     "obs": "test_obs_overhead.py",
     "packet": "test_packet_tier.py",
     "serve": "test_serve_vector.py",
+    "fleet": "test_fleet_scaling.py",
     "stream": "test_stream_serve.py",
     "sweep": "test_sweep_scaling.py",
     "workload": "test_workload_vectorization.py",
@@ -634,14 +638,16 @@ def _compare_scenarios(names, args: argparse.Namespace) -> int:
                 name,
                 system,
                 entry.parameters(),
+                entry.shards if entry.shards else "-",
+                entry.router if entry.shards else "-",
                 run.total_ns,
                 run.latency_per_lookup_ns,
                 reference.total_ns / run.total_ns,
                 "-" if net is None else f"{net.max_queue_depth}d/{net.drops}x",
             ])
     print(format_table(
-        ["scenario", "system", "parameters", "total_ns", "ns_per_lookup",
-         f"speedup_vs_{names[0]}", "queue"],
+        ["scenario", "system", "parameters", "shards", "router", "total_ns",
+         "ns_per_lookup", f"speedup_vs_{names[0]}", "queue"],
         rows,
     ))
     return 0
@@ -744,6 +750,89 @@ def _cmd_trace_scenario(args: argparse.Namespace) -> int:
               f"{serve_result.batches} batches, "
               f"p99 {serve_result.latency.p99_ns:,.0f} ns")
     return _write_trace_outputs(recorder, args)
+
+
+def _fleet_simulation(args: argparse.Namespace) -> Simulation:
+    """The fleet-shaped session shared by ``fleet run`` and ``fleet serve``."""
+    if args.smoke:
+        args.quick = True
+    sim = _base_simulation(args, args.system).model(args.model)
+    if getattr(args, "batch_size", None) is not None:
+        sim.batch_size(args.batch_size)
+    if getattr(args, "distribution", None) is not None:
+        sim.distribution(args.distribution)
+    sim.fleet(args.shards, router=args.router, seed=args.fleet_seed)
+    return sim
+
+
+def _print_fleet_breakdown(result) -> None:
+    from repro.analysis.report import format_table
+
+    rows = [
+        [row["shard"], row["requests"], row["lookups"], row["total_ns"]]
+        for row in result.shard_breakdown()
+    ]
+    print(format_table(["shard", "requests", "lookups", "total_ns"], rows))
+
+
+def _cmd_fleet_run(args: argparse.Namespace) -> int:
+    from repro.fleet import run_fleet
+
+    sim = _fleet_simulation(args)
+    result = run_fleet(sim.spec(), workers=args.workers)
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0
+    print(f"fleet         : {result.num_shards} shard(s) of {result.system}, "
+          f"router {result.router}")
+    print(f"completion    : {result.total_ns:,.0f} ns (slowest shard)")
+    print(f"requests      : {result.requests} ({result.lookups} lookups)")
+    print(f"goodput       : {result.goodput_lookups_per_us:,.2f} lookups/us aggregate")
+    print()
+    _print_fleet_breakdown(result)
+    if args.smoke:
+        failures = []
+        if not result.total_ns > 0:
+            failures.append("non-positive fleet completion time")
+        if sum(sim_.requests for sim_ in result.per_shard) != result.requests:
+            failures.append("per-shard requests do not sum to the fleet total")
+        for failure in failures:
+            print(f"fleet smoke failure: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+def _cmd_fleet_serve(args: argparse.Namespace) -> int:
+    from repro.fleet import serve_fleet
+
+    sim = _fleet_simulation(args)
+    config = sim._serve_config(
+        args.qps, args.arrival, args.max_batch, args.max_wait_us * 1e3,
+        args.seed, args.sla_ms * 1e6 if args.sla_ms is not None else None,
+    )
+    result = serve_fleet(sim.spec(), config, workers=args.workers)
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0
+    latency = result.latency
+    print(f"fleet         : {result.num_shards} shard(s) of {result.system}, "
+          f"router {result.router}")
+    print(f"offered       : {result.qps:,.0f} qps {args.arrival}, "
+          f"achieved {result.achieved_qps:,.0f} qps over {result.requests} requests")
+    print(f"latency       : p50 {latency.p50_ns:,.0f} ns, p95 {latency.p95_ns:,.0f} ns, "
+          f"p99 {latency.p99_ns:,.0f} ns, p99.9 {latency.p999_ns:,.0f} ns")
+    print(f"goodput       : {result.goodput_qps:,.0f} qps"
+          + (f" ({result.sla_attainment:.1%} within SLA)" if result.sla_ns else ""))
+    if args.smoke:
+        failures = []
+        if not latency.is_finite():
+            failures.append("non-finite fleet latency percentile")
+        if result.requests <= 0:
+            failures.append("fleet served zero requests")
+        for failure in failures:
+            print(f"fleet smoke failure: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
 
 
 def _cmd_systems(args: argparse.Namespace) -> int:
@@ -1176,6 +1265,100 @@ def build_parser() -> argparse.ArgumentParser:
     _add_stream_argument(trace_scenario)
     _add_trace_outputs(trace_scenario)
     trace_scenario.set_defaults(func=_cmd_trace_scenario)
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="simulate a sharded fleet of systems behind a request router",
+        description="Compose N per-rack systems (repro.fleet) — each with its "
+        "own fabric and its shard of the partitioned table space — behind a "
+        "request router (hash | power-of-two-choices | table-affinity) and "
+        "replay or serve one workload across them.  Shards execute on the "
+        "persistent worker pool with --workers; results are identical for "
+        "any worker count, and a 1-shard fleet is bit-identical to the "
+        "plain single-system run.",
+        epilog="examples:\n"
+        "  python -m repro fleet run --shards 8 --router table-affinity --quick\n"
+        "  python -m repro fleet run --shards 4 --router hash --stream --workers 4\n"
+        "  python -m repro fleet serve --shards 4 --qps 4e5 --sla-ms 5 --quick\n"
+        "  python -m repro fleet run --smoke                  # CI guard",
+        formatter_class=raw,
+    )
+    fleet_commands = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    def _add_fleet_arguments(subparser: argparse.ArgumentParser) -> None:
+        from repro.fleet import ROUTER_POLICIES
+
+        subparser.add_argument("system", nargs="?", default="pifs-rec",
+                               help="registered system per shard (default: pifs-rec)")
+        subparser.add_argument("--shards", type=int, default=4, metavar="N",
+                               help="per-rack systems in the fleet (default: 4)")
+        subparser.add_argument("--router", choices=list(ROUTER_POLICIES),
+                               default="table-affinity",
+                               help="request routing policy (default: table-affinity)")
+        subparser.add_argument("--fleet-seed", type=int, default=0, metavar="SEED",
+                               help="router hashing/tie-break seed (default: 0)")
+        subparser.add_argument("--workers", type=int, default=0, metavar="N",
+                               help="worker processes executing shards (default: 0 = "
+                               "in-process serial; results are identical either way)")
+        subparser.add_argument("--model", default="RMC1", metavar="RMC",
+                               help="DLRM model: RMC1..RMC4 (default: RMC1)")
+        subparser.add_argument("--num-batches", type=int, default=None, metavar="N",
+                               help="batches in the shared workload")
+        subparser.add_argument("--smoke", action="store_true",
+                               help="CI guard: quick scale plus fleet sanity checks, "
+                               "exit 1 on any failure")
+        _add_machine_arguments(subparser)
+        _add_scale_arguments(subparser)
+        subparser.add_argument("--json", action="store_true",
+                               help="print the fleet result as JSON")
+
+    fleet_run = fleet_commands.add_parser(
+        "run",
+        help="replay one workload closed-loop across the fleet",
+        description="Partition the workload across the shards with the selected "
+        "router and replay every shard; prints the combined fleet result "
+        "(completion = slowest shard, counters summed) and the per-shard "
+        "breakdown.",
+        epilog="examples:\n"
+        "  python -m repro fleet run --shards 8 --quick\n"
+        "  python -m repro fleet run --shards 4 --router hash --stream --workers 4",
+        formatter_class=raw,
+    )
+    _add_fleet_arguments(fleet_run)
+    fleet_run.add_argument("--batch-size", type=int, default=None, metavar="N",
+                           help="queries per inference batch")
+    fleet_run.add_argument("--distribution", default=None, metavar="NAME",
+                           help="trace distribution: meta | zipfian | normal | "
+                           "uniform | random (default: meta)")
+    fleet_run.set_defaults(func=_cmd_fleet_run)
+
+    fleet_serve = fleet_commands.add_parser(
+        "serve",
+        help="serve one workload open-loop across the fleet",
+        description="Serve every shard open-loop at the offered QPS (each rack "
+        "sees the arrivals for its router-assigned requests) and report "
+        "fleet-level tail latency over the pooled per-request samples: "
+        "p50..p99.9, achieved QPS, goodput and SLA attainment.",
+        epilog="examples:\n"
+        "  python -m repro fleet serve --shards 4 --qps 4e5 --sla-ms 5 --quick\n"
+        "  python -m repro fleet serve --router power-of-two-choices --smoke",
+        formatter_class=raw,
+    )
+    _add_fleet_arguments(fleet_serve)
+    fleet_serve.add_argument("--qps", type=float, default=2e5, metavar="QPS",
+                             help="offered load in requests/s (default: 2e5)")
+    fleet_serve.add_argument("--arrival", default="poisson", metavar="NAME",
+                             help="arrival process: constant | poisson | bursty | "
+                             "mmpp | diurnal (default: poisson)")
+    fleet_serve.add_argument("--sla-ms", type=float, default=None, metavar="MS",
+                             help="latency SLA in milliseconds (enables SLA attainment)")
+    fleet_serve.add_argument("--max-batch", type=int, default=8, metavar="N",
+                             help="dynamic batcher max batch size (default: 8)")
+    fleet_serve.add_argument("--max-wait-us", type=float, default=100.0, metavar="US",
+                             help="dynamic batcher max wait in microseconds (default: 100)")
+    fleet_serve.add_argument("--seed", type=int, default=None, metavar="SEED",
+                             help="arrival-process seed (default: the scale's seed)")
+    fleet_serve.set_defaults(func=_cmd_fleet_serve)
 
     systems = subparsers.add_parser(
         "systems",

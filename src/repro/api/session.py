@@ -81,6 +81,16 @@ class RunSpec:
     #: materialized window by window; RSS stays O(window) instead of
     #: O(trace)).  The simulated numbers are bit-identical either way.
     stream: bool = False
+    #: Fleet execution: partition the workload across this many per-rack
+    #: systems behind ``fleet_router`` (see :mod:`repro.fleet`).  ``0``
+    #: is the plain single-system run; ``1`` is a one-rack fleet, which
+    #: replays bit-identically to the single-system run.
+    fleet_shards: int = 0
+    #: Request-routing policy in front of the fleet's shards (one of
+    #: :data:`repro.fleet.router.ROUTER_POLICIES`).
+    fleet_router: str = "table-affinity"
+    #: Seed for the router's hashing/tie-breaking decisions.
+    fleet_seed: int = 0
 
 
 def system_label(system: SystemLike) -> str:
@@ -491,6 +501,9 @@ def spec_params(spec: RunSpec) -> Dict[str, Any]:
         ]
     if spec.packet is not None:
         params["packet"] = spec.packet.to_dict()
+    if spec.fleet_shards:
+        params["shards"] = spec.fleet_shards
+        params["router"] = spec.fleet_router
     return params
 
 
@@ -509,6 +522,13 @@ def execute_serve_spec(
     """
     from repro.serve.server import serve as _serve
 
+    if spec.fleet_shards:
+        # Fleet sessions serve every shard and pool the samples; shards
+        # run serially here — execute_serve_spec itself may already be
+        # inside a (daemonic) sweep worker, which cannot nest pools.
+        from repro.fleet.executor import serve_fleet
+
+        return serve_fleet(spec, config, workers=0, recorder=recorder)
     if recorder is None:
         system = build_system(spec)
         workload = build_workload(spec)
@@ -560,6 +580,24 @@ def execute_spec(
     """
     if key is None:
         key = safe_spec_key(spec) or ""
+    if spec.fleet_shards:
+        # Fleet sessions replay every shard and fold the per-shard
+        # results into one combined SimResult; shards run serially here
+        # — execute_spec itself may already be inside a (daemonic) sweep
+        # worker, which cannot nest pools.  Use repro.fleet.run_fleet
+        # directly for pooled shard execution and per-shard breakdowns.
+        from repro.fleet.executor import run_fleet
+
+        fleet = run_fleet(spec, workers=0, recorder=recorder)
+        report = getattr(recorder, "report", None) if recorder is not None else None
+        return RunResult(
+            system=system_label(spec.system),
+            model=model_label(spec.model),
+            params=spec_params(spec),
+            sim=fleet.combined,
+            config_key=key,
+            obs=report() if report is not None else None,
+        )
     if recorder is None:
         # System first: an unknown name fails fast instead of after the
         # (expensive) workload generation.
@@ -779,6 +817,53 @@ class Simulation:
         """
         return self._set(stream=bool(enabled))
 
+    def fleet(
+        self,
+        shards: int,
+        router: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> "Simulation":
+        """Partition the run across ``shards`` per-rack systems.
+
+        Each shard is a full :class:`~repro.sls.system.SLSSystem` (its
+        own fabric and table shard of the partitioned address space)
+        replaying the slice of the workload the ``router`` policy
+        assigns to it — see :mod:`repro.fleet`.  ``shards=0`` restores
+        the plain single-system run; ``shards=1`` is a one-rack fleet,
+        bit-identical to the single-system run.  ``router`` is one of
+        :data:`~repro.fleet.router.ROUTER_POLICIES` (default
+        ``"table-affinity"``); ``seed`` feeds the router's hashing and
+        tie-breaking.  Composes with every other knob — engines,
+        streaming, faults, packet fidelity, observability.
+        """
+        from repro.fleet.router import ROUTER_POLICIES
+
+        shards = int(shards)
+        if shards < 0:
+            raise ValueError("fleet shard count must be non-negative")
+        changes: Dict[str, Any] = {"fleet_shards": shards}
+        if router is not None:
+            if router not in ROUTER_POLICIES:
+                known = ", ".join(ROUTER_POLICIES)
+                raise ValueError(f"unknown router policy {router!r}; expected one of: {known}")
+            changes["fleet_router"] = router
+        if seed is not None:
+            changes["fleet_seed"] = int(seed)
+        return self._set(**changes)
+
+    def shards(self, shards: int) -> "Simulation":
+        """Shorthand for :meth:`fleet` keeping the current router policy."""
+        return self.fleet(shards)
+
+    def router(self, policy: str) -> "Simulation":
+        """Select the fleet's request-routing policy (see :meth:`fleet`)."""
+        from repro.fleet.router import ROUTER_POLICIES
+
+        if policy not in ROUTER_POLICIES:
+            known = ", ".join(ROUTER_POLICIES)
+            raise ValueError(f"unknown router policy {policy!r}; expected one of: {known}")
+        return self._set(fleet_router=str(policy))
+
     def packet(self, config: Optional[Any] = None, **knobs: Any) -> "Simulation":
         """Configure the packet tier and select ``engine("packet")``.
 
@@ -871,6 +956,9 @@ class Simulation:
             system_options=(),
             faults=(),
             packet=None,
+            fleet_shards=0,
+            fleet_router="table-affinity",
+            fleet_seed=0,
         )
         self.workload_provider(resolved.workload)
         if resolved.faults:
@@ -879,6 +967,8 @@ class Simulation:
             self.engine(resolved.fidelity)
         if resolved.packet is not None:
             self.packet(resolved.packet)
+        if resolved.shards:
+            self.fleet(resolved.shards, router=resolved.router)
         return self
 
     def run_scenario(self, scenario: Any, cache: bool = True) -> RunResult:
@@ -896,6 +986,8 @@ class Simulation:
         "trace": "distribution",
         "fidelity": "engine",
         "streaming": "stream",
+        "fleet_shards": "shards",
+        "fleet_router": "router",
     }
 
     #: The only methods :meth:`apply` may dispatch to — keeps sweep axes and
@@ -905,6 +997,7 @@ class Simulation:
         "pooling", "hosts", "switches", "devices", "local_capacity",
         "base_config", "configure", "options", "engine", "packet",
         "workload_provider", "faults", "scenario", "stream",
+        "fleet", "shards", "router",
     })
 
     def apply(self, **settings: Any) -> "Simulation":

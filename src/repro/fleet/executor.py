@@ -1,0 +1,310 @@
+"""Fleet execution: N per-rack systems replaying shard views of one trace.
+
+:class:`Fleet` composes ``fleet_shards`` independent
+:class:`~repro.sls.system.SLSSystem` instances — one per rack, each with
+its own fabric and its shard of the partitioned table space — behind one
+:class:`~repro.fleet.router.Router`.  Shards are embarrassingly
+parallel, so execution generalizes the sweep engine's chunking from grid
+points to shards: the same persistent worker pool
+(:func:`repro.api.sweep.worker_pool`), the same parent-built shared
+workload shipped once per task (a streaming workload travels as its
+small stream handle, PR 8 style), and the same deterministic reassembly
+— results are collected in shard order, so serial and pooled execution
+are byte-identical for any worker count.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.api.session import (
+    RunSpec,
+    build_system,
+    build_workload,
+    cached_workload,
+    seed_workload_cache,
+    system_label,
+    workload_key,
+)
+from repro.fleet.result import (
+    FleetResult,
+    FleetServeResult,
+    combine_sim_results,
+    summarize_fleet_serve,
+)
+from repro.fleet.router import Router, make_router
+from repro.fleet.shard import ShardWorkload
+
+__all__ = ["Fleet", "run_fleet", "serve_fleet"]
+
+
+def _shard_base(spec: RunSpec) -> RunSpec:
+    """The per-shard spec: the fleet fields cleared, everything else kept.
+
+    Each shard is an ordinary single-system run over its shard view;
+    clearing the fleet fields keeps :func:`execute_fleet_shard` from
+    recursing and lets shards share the base spec's workload cache key.
+    """
+    return replace(spec, fleet_shards=0, fleet_router="table-affinity", fleet_seed=0)
+
+
+def execute_fleet_shard(
+    base_spec: RunSpec,
+    router: Router,
+    shard: int,
+    num_shards: int,
+    shared_workload_key: Optional[str] = None,
+    shared_workload: Any = None,
+    record: bool = False,
+    keep_records: bool = False,  # accepted for executor symmetry; no records here
+) -> dict:
+    """Replay one shard (module-level and picklable — the pool's unit).
+
+    Mirrors :func:`repro.api.session.execute_chunk`: a parent-built
+    shared workload is installed into the worker's cache first, and with
+    ``record=True`` the payload carries the shard's observability
+    snapshot for ``shard-<i>`` attribution in the parent.
+    """
+    if shared_workload_key and shared_workload is not None:
+        seed_workload_cache(shared_workload_key, shared_workload)
+    recorder = None
+    if record:
+        from repro.obs.recorder import TraceRecorder
+
+        recorder = TraceRecorder(label=f"shard-{shard}")
+    system = build_system(base_spec)
+    base = build_workload(base_spec)
+    workload = ShardWorkload(base, router, shard, num_shards)
+    if recorder is not None:
+        set_recorder = getattr(system, "set_recorder", None)
+        if set_recorder is not None:
+            set_recorder(recorder)
+        with recorder.phase(f"fleet.shard-{shard}"):
+            sim = system.run(workload)
+    else:
+        sim = system.run(workload)
+    return {
+        "sim": sim,
+        "obs": recorder.snapshot() if recorder is not None else None,
+        "pid": os.getpid(),
+    }
+
+
+def execute_fleet_serve_shard(
+    base_spec: RunSpec,
+    router: Router,
+    shard: int,
+    num_shards: int,
+    config: Any,
+    shared_workload_key: Optional[str] = None,
+    shared_workload: Any = None,
+    record: bool = False,
+    keep_records: bool = False,
+) -> dict:
+    """Serve one shard open-loop; ships summary + raw timing samples back.
+
+    The per-request record list is reduced to (latency, queue_wait,
+    service) triples before crossing the process boundary — enough for
+    exact fleet-level percentiles without pickling the records.
+    ``keep_records`` (in-process execution only) retains them for
+    fingerprint-level comparisons; it never crosses a pickle boundary.
+    """
+    from repro.serve.server import serve as _serve
+
+    if shared_workload_key and shared_workload is not None:
+        seed_workload_cache(shared_workload_key, shared_workload)
+    recorder = None
+    if record:
+        from repro.obs.recorder import TraceRecorder
+
+        recorder = TraceRecorder(label=f"shard-{shard}")
+    system = build_system(base_spec)
+    base = build_workload(base_spec)
+    workload = ShardWorkload(base, router, shard, num_shards)
+    if recorder is not None:
+        set_recorder = getattr(system, "set_recorder", None)
+        if set_recorder is not None:
+            set_recorder(recorder)
+        with recorder.phase(f"fleet.shard-{shard}"):
+            result = _serve(system, workload, config)
+    else:
+        result = _serve(system, workload, config)
+    samples = [
+        (record_.latency_ns, record_.queue_wait_ns, record_.service_ns)
+        for record_ in (result.records or [])
+    ]
+    if not keep_records:
+        result.records = None
+    return {
+        "serve": result,
+        "samples": samples,
+        "obs": recorder.snapshot() if recorder is not None else None,
+        "pid": os.getpid(),
+    }
+
+
+class Fleet:
+    """N sharded systems behind a request router (see module docstring).
+
+    Built from a fleet-shaped :class:`~repro.api.session.RunSpec`
+    (``fleet_shards >= 1``); :meth:`run` and :meth:`serve` execute every
+    shard — serially in-process with ``workers=0`` (retaining the shard
+    systems on :attr:`systems` for inspection), or across the persistent
+    worker pool with ``workers > 0`` — and aggregate the fleet result.
+    """
+
+    def __init__(self, spec: RunSpec) -> None:
+        if spec.fleet_shards < 1:
+            raise ValueError(
+                "a Fleet needs fleet_shards >= 1; set it via Simulation.fleet(n)"
+            )
+        self.spec = spec
+        self.base_spec = _shard_base(spec)
+        self.num_shards = int(spec.fleet_shards)
+        self.router = make_router(spec.fleet_router, seed=spec.fleet_seed)
+        #: Per-shard systems of the last serial :meth:`run`/:meth:`serve`
+        #: (``None`` after pooled execution — workers keep their systems).
+        self.systems: Optional[List[Any]] = None
+
+    @property
+    def router_policy(self) -> str:
+        return self.router.policy
+
+    def shard_workloads(self) -> List[ShardWorkload]:
+        """All shard views over the (cached) shared base workload."""
+        base = build_workload(self.base_spec)
+        return [
+            ShardWorkload(base, self.router, shard, self.num_shards)
+            for shard in range(self.num_shards)
+        ]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _shared_workload(self) -> Tuple[Optional[str], Any]:
+        """Parent-build the shared base workload once, as the sweep engine does."""
+        key = workload_key(self.base_spec)
+        shared = cached_workload(key)
+        if shared is None:
+            shared = build_workload(self.base_spec)
+        return key, shared
+
+    def _merge_obs(self, recorder: Any, payloads: Sequence[dict]) -> None:
+        for shard, payload in enumerate(payloads):
+            snapshot = payload.get("obs")
+            if snapshot is not None:
+                recorder.merge(snapshot, process=f"shard-{shard}")
+
+    def _execute(
+        self, executor, extra_args: Tuple, workers: int, recorder: Optional[Any]
+    ) -> List[dict]:
+        record = recorder is not None
+        if workers and workers > 0:
+            from repro.api.sweep import worker_pool
+
+            key, shared = self._shared_workload()
+            pool = worker_pool().get(min(int(workers), self.num_shards))
+            pending = [
+                pool.apply_async(
+                    executor,
+                    (self.base_spec, self.router, shard, self.num_shards)
+                    + extra_args
+                    + (key, shared, record),
+                )
+                for shard in range(self.num_shards)
+            ]
+            payloads = [task.get() for task in pending]
+        else:
+            # In-process serial path; identical inputs per shard, so the
+            # results match the pooled path byte for byte.  Records are
+            # retained (keep_records) — they never cross a process
+            # boundary here and ``to_dict`` excludes them, so serial and
+            # pooled result dicts still compare equal.
+            self._shared_workload()  # warm the cache once, like the pool parent
+            payloads = [
+                executor(
+                    self.base_spec, self.router, shard, self.num_shards,
+                    *extra_args, None, None, record, True,
+                )
+                for shard in range(self.num_shards)
+            ]
+        if recorder is not None:
+            self._merge_obs(recorder, payloads)
+        return payloads
+
+    def run(self, workers: int = 0, recorder: Optional[Any] = None) -> FleetResult:
+        """Replay every shard closed-loop and aggregate the fleet result."""
+        self.systems = None
+        if not workers:
+            # Serial path inlined (not via the worker entry point) only to
+            # retain each shard's system for fingerprinting; the simulated
+            # path is the same executor call.
+            systems: List[Any] = []
+            payloads: List[dict] = []
+            key, shared = self._shared_workload()
+            for shard in range(self.num_shards):
+                sub = None
+                if recorder is not None:
+                    from repro.obs.recorder import TraceRecorder
+
+                    sub = TraceRecorder(label=f"shard-{shard}")
+                system = build_system(self.base_spec)
+                workload = ShardWorkload(shared, self.router, shard, self.num_shards)
+                if sub is not None:
+                    set_recorder = getattr(system, "set_recorder", None)
+                    if set_recorder is not None:
+                        set_recorder(sub)
+                    with sub.phase(f"fleet.shard-{shard}"):
+                        sim = system.run(workload)
+                else:
+                    sim = system.run(workload)
+                systems.append(system)
+                payloads.append({"sim": sim, "obs": sub.snapshot() if sub else None})
+            if recorder is not None:
+                self._merge_obs(recorder, payloads)
+            self.systems = systems
+        else:
+            payloads = self._execute(execute_fleet_shard, (), workers, recorder)
+        per_shard = [payload["sim"] for payload in payloads]
+        return FleetResult(
+            system=system_label(self.spec.system),
+            router=self.router_policy,
+            num_shards=self.num_shards,
+            combined=combine_sim_results(per_shard),
+            per_shard=per_shard,
+        )
+
+    def serve(
+        self, config: Any, workers: int = 0, recorder: Optional[Any] = None
+    ) -> FleetServeResult:
+        """Serve every shard open-loop at the configured QPS, concurrently.
+
+        Every shard sees the full arrival process for its own requests
+        (same seed, its router-assigned slice), mirroring a frontend that
+        fans one arrival stream out across racks.
+        """
+        payloads = self._execute(execute_fleet_serve_shard, (config,), workers, recorder)
+        return summarize_fleet_serve(
+            system=system_label(self.spec.system),
+            router=self.router_policy,
+            qps=config.qps,
+            sla_ns=config.sla_ns,
+            per_shard=[payload["serve"] for payload in payloads],
+            samples=[payload["samples"] for payload in payloads],
+        )
+
+
+def run_fleet(
+    spec: RunSpec, workers: int = 0, recorder: Optional[Any] = None
+) -> FleetResult:
+    """Run the fleet described by ``spec`` (see :class:`Fleet`)."""
+    return Fleet(spec).run(workers=workers, recorder=recorder)
+
+
+def serve_fleet(
+    spec: RunSpec, config: Any, workers: int = 0, recorder: Optional[Any] = None
+) -> FleetServeResult:
+    """Serve the fleet described by ``spec`` open-loop (see :class:`Fleet`)."""
+    return Fleet(spec).serve(config, workers=workers, recorder=recorder)

@@ -38,6 +38,8 @@ SCENARIO_AXES = (
     "devices",
     "switches",
     "hosts",
+    "shards",
+    "router",
 )
 
 
@@ -104,6 +106,13 @@ class Scenario:
     #: Packet-tier knobs (:class:`~repro.net.fabric.PacketConfig`); implies
     #: packet fidelity when set.
     packet: Optional[Any] = None
+    #: Fleet dimension: partition the run across this many per-rack
+    #: systems behind ``router`` (0 = plain single-system run; see
+    #: :mod:`repro.fleet`).
+    shards: int = 0
+    #: Request-routing policy in front of the shards (one of
+    #: :data:`repro.fleet.router.ROUTER_POLICIES`).
+    router: str = "table-affinity"
     axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
 
     def __post_init__(self) -> None:
@@ -120,6 +129,15 @@ class Scenario:
                     f"unknown fidelity {self.fidelity!r}; expected one of: "
                     + ", ".join(ENGINES)
                 )
+        if self.shards < 0:
+            raise ValueError("shards must be non-negative")
+        from repro.fleet.router import ROUTER_POLICIES
+
+        if self.router not in ROUTER_POLICIES:
+            raise ValueError(
+                f"unknown router policy {self.router!r}; expected one of: "
+                + ", ".join(ROUTER_POLICIES)
+            )
         object.__setattr__(self, "faults", tuple(self.faults))
         object.__setattr__(
             self, "axes", tuple((str(k), tuple(v)) for k, v in self.axes)
@@ -156,6 +174,8 @@ class Scenario:
         if self.devices is not None:
             machine += f"/{self.devices}dev"
         parts.append(machine)
+        if self.shards:
+            parts.append(f"{self.shards}shards/{self.router}")
         parts.extend(fault.kind for fault in self.faults)
         if self.traffic is not None:
             parts.append(f"{self.traffic.qps:g}qps/{self.traffic.arrival}")
@@ -191,6 +211,8 @@ class Scenario:
             parts.append(packet)
         elif self.fidelity is not None:
             parts.append(f"fidelity={self.fidelity}")
+        if self.shards:
+            parts.append(f"fleet {self.shards} shards, {self.router}")
         return "; ".join(parts) if parts else "-"
 
     # ------------------------------------------------------------------
@@ -308,6 +330,8 @@ class Scenario:
             "traffic": None if self.traffic is None else self.traffic.to_dict(),
             "fidelity": self.fidelity,
             "packet": None if self.packet is None else self.packet.to_dict(),
+            "shards": self.shards,
+            "router": self.router,
             "axes": [[axis, list(values)] for axis, values in self.axes],
         }
 
@@ -336,6 +360,8 @@ class Scenario:
             traffic=None if traffic is None else TrafficSpec.from_dict(traffic),
             fidelity=payload.get("fidelity"),
             packet=None if packet is None else PacketConfig.from_dict(packet),
+            shards=int(payload.get("shards", 0)),
+            router=str(payload.get("router", "table-affinity")),
             axes=tuple(
                 (str(axis), tuple(values)) for axis, values in payload.get("axes") or ()
             ),

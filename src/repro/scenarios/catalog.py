@@ -208,6 +208,25 @@ register_scenario(
 )
 
 # ---------------------------------------------------------------------------
+# Fleet scenarios (sharded datacenter-scale serving, see repro.fleet)
+# ---------------------------------------------------------------------------
+register_scenario(
+    Scenario(
+        name="fleet-baseline",
+        description="Datacenter fleet: the Meta-like trace partitioned across "
+        "4 per-rack systems behind a table-affinity router — the sharded "
+        "parameter-server layout production DLRM serving actually runs. "
+        "Sweep the shards axis to watch per-rack load shrink as the fleet "
+        "scales out.",
+        distribution="meta",
+        shards=4,
+        router="table-affinity",
+        traffic=TrafficSpec(qps=2e5, arrival="poisson", sla_ms=5.0),
+        axes=(("shards", (1, 2, 4)),),
+    )
+)
+
+# ---------------------------------------------------------------------------
 # Sweep-axis scenarios
 # ---------------------------------------------------------------------------
 register_scenario(

@@ -68,6 +68,29 @@ class _OffsetBounds:
         return len(self._bounds)
 
 
+class _MappedBounds:
+    """Bounds view for windows whose request ids are not contiguous.
+
+    Fleet shard views (:class:`repro.fleet.shard.ShardWorkload`) filter a
+    shared trace but keep the global request ids, so a shard's window has
+    id gaps where requests were routed to other shards.  A per-window
+    id -> position dict keeps ``ctx.bounds[request.request_id]`` exact
+    while staying O(window).
+    """
+
+    __slots__ = ("_bounds", "_positions")
+
+    def __init__(self, bounds: List[Tuple[int, int]], request_ids: List[int]) -> None:
+        self._bounds = bounds
+        self._positions = {request_id: index for index, request_id in enumerate(request_ids)}
+
+    def __getitem__(self, request_id: int) -> Tuple[int, int]:
+        return self._bounds[self._positions[request_id]]
+
+    def __len__(self) -> int:
+        return len(self._bounds)
+
+
 class VectorContext:
     """Per-session resolution arrays and timing kernels for one system."""
 
@@ -165,9 +188,10 @@ class VectorContext:
     def load_window(self, requests: List) -> None:
         """(Re)resolve the context's stage-1 arrays over ``requests``.
 
-        ``requests`` must carry contiguous request ids (the engine hands
-        either the whole eager request list or one streaming window, both
-        of which do); resolution arrays become O(len(requests)) and
+        ``requests`` must carry strictly increasing request ids (whole
+        eager lists, streaming windows, and fleet shard views all do —
+        shard views leave id gaps, covered by a mapped bounds view);
+        resolution arrays become O(len(requests)) and
         ``bounds`` stays indexable by global request id.  Kernel state and
         the buffered access counters are left untouched — they are
         cumulative across windows, exactly like the scalar engine's device
@@ -184,7 +208,15 @@ class VectorContext:
         ends = np.cumsum(lengths) if lengths else np.zeros(0, dtype=np.int64)
         starts = ends - np.asarray(lengths, dtype=np.int64) if lengths else ends
         bounds: List[Tuple[int, int]] = list(zip(starts.tolist(), ends.tolist()))
-        self.bounds = bounds if self._base == 0 else _OffsetBounds(bounds, self._base)
+        request_ids = [request.request_id for request in requests]
+        if not requests or request_ids[-1] - self._base + 1 == len(requests):
+            # Contiguous ids (whole eager lists and plain streaming windows).
+            self.bounds = bounds if self._base == 0 else _OffsetBounds(bounds, self._base)
+        else:
+            # Id gaps: a fleet shard view routed the missing requests to
+            # other shards (ids stay global so fleet results line up with
+            # the unsharded replay).
+            self.bounds = _MappedBounds(bounds, request_ids)
 
         self.addr: List[int] = addresses.tolist()
         self._page_np = addresses // self.tiered.page_size

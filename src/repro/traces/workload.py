@@ -387,6 +387,19 @@ class StreamingWorkload:
             pages.update((addresses // page_size).tolist())
         return len(pages)
 
+    def shard_view(self, router, shard: int, num_shards: int):
+        """One shard's view of this workload under a fleet router.
+
+        Returns a :class:`~repro.fleet.shard.ShardWorkload` filtering
+        this stream to the requests ``router`` assigns to ``shard`` —
+        same global request ids, same O(window) residency, one shared
+        stream handle across all shards (the fleet engine's feeding
+        mechanism; see :mod:`repro.fleet`).
+        """
+        from repro.fleet.shard import ShardWorkload
+
+        return ShardWorkload(self, router, shard, num_shards)
+
     def materialize(self) -> SLSWorkload:
         """Build the equivalent eager :class:`SLSWorkload` (whole trace resident)."""
         return workload_from_batches(

@@ -40,6 +40,7 @@ from repro.traces.workload import build_workload
 __all__ = [
     "ENGINES",
     "RunCase",
+    "assert_fleet_identical",
     "assert_run_identical",
     "assert_serve_identical",
     "backend_fingerprint",
@@ -250,6 +251,127 @@ def assert_run_identical(
     return _sweep_variants(
         spec, engines=engines, streaming=streaming, observe=observe, execute=execute
     )
+
+
+def assert_fleet_identical(
+    spec,
+    *,
+    shard_counts: Sequence[int] = (1, 3),
+    engines: Sequence[str] = ENGINES,
+    streaming: Sequence[bool] = (False, True),
+    observe: Sequence[bool] = (False,),
+    serve_config: Optional[ServeConfig] = None,
+    workers: int = 2,
+) -> Dict[str, Any]:
+    """Pin the fleet layer's two oracles (the fleet analogue of the above).
+
+    1. **1-shard fleet ≡ single system.**  For every ``(engine,
+       streaming, observe)`` variant, a 1-shard fleet of the spec must be
+       bit-identical to the plain single-system run: SimResult counters,
+       NetStats, the shard system's backend/memory state — and, when
+       ``serve_config`` is given, the full ServeResult including the
+       per-request latency records.
+    2. **Worker-count independence.**  For every count in
+       ``shard_counts``, serial (in-process) and pooled execution of the
+       same fleet spec must produce identical result dicts.
+
+    Fleet execution goes through the spec facade, so ``spec`` must be a
+    :class:`~repro.api.session.RunSpec`; a :class:`RunCase` raises
+    ``TypeError``.  Returns the per-engine single-run fingerprints.
+    """
+    if not isinstance(spec, RunSpec):
+        raise TypeError(
+            "assert_fleet_identical needs a RunSpec (fleets compile from the "
+            f"spec facade), got {type(spec).__name__}"
+        )
+    from repro.fleet.executor import Fleet
+
+    def one_shard_spec(engine: str, stream: bool) -> RunSpec:
+        return replace(
+            spec, engine=engine, stream=stream, fleet_shards=1,
+            fleet_router=spec.fleet_router, fleet_seed=spec.fleet_seed,
+        )
+
+    def execute(engine: str, stream: bool, observed: bool) -> Dict[str, Any]:
+        plain = replace(spec, engine=engine, stream=stream, fleet_shards=0)
+        label = f"engine={engine}, streaming={stream}, observe={observed}"
+
+        system, workload = _build(plain, engine, stream)
+        recorder = _attach_recorder(system) if observed else None
+        result = system.run(workload)
+        if recorder is not None:
+            assert len(recorder) > 0, "recording captured no events"
+        single_fp = run_fingerprint(system, result)
+
+        fleet = Fleet(one_shard_spec(engine, stream))
+        fleet_recorder = TraceRecorder() if observed else None
+        fleet_result = fleet.run(recorder=fleet_recorder)
+        assert fleet.systems is not None and len(fleet.systems) == 1
+        fleet_fp = run_fingerprint(fleet.systems[0], fleet_result.per_shard[0])
+        assert fleet_fp == single_fp, (
+            f"1-shard fleet diverged from the single-system run ({label})"
+        )
+        # The combined aggregate of one shard IS the shard (net included).
+        assert fleet_result.combined.to_dict() == result.to_dict(), (
+            f"1-shard combined aggregate diverged ({label})"
+        )
+        if fleet_recorder is not None:
+            assert len(fleet_recorder) > 0, "fleet recording captured no events"
+
+        if serve_config is not None:
+            serve_system, serve_workload = _build(plain, engine, stream)
+            single_serve = serve(serve_system, serve_workload, serve_config)
+            fleet_serve = Fleet(one_shard_spec(engine, stream)).serve(serve_config)
+            assert fleet_serve.per_shard, "fleet serve returned no shard results"
+            assert serve_fingerprint(fleet_serve.per_shard[0]) == serve_fingerprint(
+                single_serve
+            ), f"1-shard fleet serve diverged from the single-system serve ({label})"
+            assert fleet_serve.latency == single_serve.latency, (
+                f"fleet-level latency stats diverged ({label})"
+            )
+        return single_fp
+
+    per_engine = _sweep_variants(
+        spec, engines=engines, streaming=streaming, observe=observe, execute=execute
+    )
+
+    # Worker-count independence (serial vs pooled) for every shard count,
+    # on every engine x streaming variant — shard views leave request-id
+    # gaps the vector context must handle, so the pooled/serial sweep must
+    # not silently run a single fidelity.  Across engines, the multi-shard
+    # combined aggregate must agree once NetStats (packet-tier-only) is
+    # stripped — the same within/across-engine contract the single-system
+    # oracles pin.
+    for shards in shard_counts:
+        for stream in streaming:
+            reference = None
+            for engine in engines:
+                fleet_spec = replace(
+                    spec, engine=engine, stream=stream, fleet_shards=int(shards)
+                )
+                label = f"shards={shards}, engine={engine}, streaming={stream}"
+                serial = Fleet(fleet_spec).run()
+                pooled = Fleet(fleet_spec).run(workers=workers)
+                assert serial.to_dict() == pooled.to_dict(), (
+                    f"pooled fleet run diverged from serial ({label})"
+                )
+                combined = dict(serial.combined.to_dict(), net=None)
+                if reference is None:
+                    reference = (combined, label)
+                else:
+                    assert combined == reference[0], (
+                        f"fleet combined aggregate: {label} diverged from "
+                        f"{reference[1]}"
+                    )
+                if serve_config is not None:
+                    serial_serve = Fleet(fleet_spec).serve(serve_config)
+                    pooled_serve = Fleet(fleet_spec).serve(
+                        serve_config, workers=workers
+                    )
+                    assert serial_serve.to_dict() == pooled_serve.to_dict(), (
+                        f"pooled fleet serve diverged from serial ({label})"
+                    )
+    return per_engine
 
 
 def assert_serve_identical(

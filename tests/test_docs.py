@@ -24,7 +24,7 @@ _API_SYMBOL = re.compile(r"^#{2,4} +`(repro(?:\.[A-Za-z0-9_]+)+)`", re.MULTILINE
 
 SUBCOMMANDS = (
     "run", "sweep", "serve", "compare", "figures", "bench", "scenario",
-    "systems", "trace",
+    "systems", "trace", "fleet",
 )
 
 #: The documents the docs tree promises (README links them all).
